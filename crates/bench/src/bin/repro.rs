@@ -1,0 +1,134 @@
+//! Regenerates the paper's tables, figures, and experiments.
+//!
+//! Usage:
+//!   repro tables   [--window SECS]   # Tables 1-3 (runs all 12 benchmarks)
+//!   repro table4                     # Table 4 (static census)
+//!   repro figures  [--window SECS]   # interval/priority/generation figures
+//!   repro experiments                # the §5/§6 experiments (E5-E12)
+//!   repro slack|spurious|inversion|quantum|mistakes|forkfail|weakmem|xlib
+//!   repro history                    # a 100ms event history of Cedar typing
+//!   repro contention                 # hottest monitors (GVX scroll, Cedar typing)
+//!   repro markdown [--window SECS]   # Tables 1-4 as Markdown (for EXPERIMENTS.md)
+//!   repro all      [--window SECS] [--json PATH]   # everything
+
+use pcr::secs;
+
+fn history() {
+    use trace::Timeline;
+    let mut sim = workloads::runner::build(
+        workloads::System::Cedar,
+        workloads::Benchmark::Keyboard,
+        0xE7E27,
+    );
+    sim.set_sink(Box::new(Timeline::new()));
+    sim.run(pcr::RunLimit::For(secs(5)));
+    let infos = sim.threads();
+    let mut tl = *trace::take_collector::<Timeline>(&mut sim).expect("timeline");
+    tl.name_threads(&infos);
+    println!(
+        "{}",
+        tl.render(pcr::SimTime::from_micros(3_000_000), pcr::millis(100), 80)
+    );
+    println!("{}", trace::thread_table(&infos).to_text());
+}
+
+fn contention() {
+    use trace::ContentionCollector;
+    for (sys, bench) in [
+        (workloads::System::Gvx, workloads::Benchmark::Scroll),
+        (workloads::System::Cedar, workloads::Benchmark::Keyboard),
+    ] {
+        let mut sim = workloads::runner::build(sys, bench, 0xCEDA_2026);
+        sim.set_sink(Box::new(ContentionCollector::new()));
+        sim.run(pcr::RunLimit::For(secs(30)));
+        let coll = trace::take_collector::<ContentionCollector>(&mut sim).expect("collector");
+        println!(
+            "{} / {bench:?}: {} of {} entries contended ({:.3}%)",
+            sys.name(),
+            coll.total_contended(),
+            coll.total_enters(),
+            100.0 * coll.total_contended() as f64 / coll.total_enters().max(1) as f64
+        );
+        for (m, c) in coll.hottest(3) {
+            println!(
+                "  {m:?}: {} contended of {} ({:.2}%)",
+                c.contended,
+                c.enters,
+                100.0 * c.fraction()
+            );
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let window = args
+        .iter()
+        .position(|a| a == "--window")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(secs)
+        .unwrap_or(secs(30));
+    let seed = 0xCEDA_2026;
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    match what {
+        "table4" => println!("{}", bench::tables::table4().to_text()),
+        "experiments" => {
+            for section in bench::experiments::all_reports() {
+                println!("{section}");
+            }
+        }
+        exp if bench::experiments::report_by_name(exp).is_some() => {
+            println!("{}", bench::experiments::report_by_name(exp).unwrap());
+        }
+        "history" => history(),
+        "contention" => contention(),
+        "markdown" => {
+            let results = bench::tables::run_all(window, seed);
+            println!("{}", bench::tables::table1(&results).to_markdown());
+            println!("{}", bench::tables::table2(&results).to_markdown());
+            println!("{}", bench::tables::table3(&results).to_markdown());
+            println!("{}", bench::tables::table4().to_markdown());
+        }
+        "tables" | "figures" | "all" => {
+            if what == "all" {
+                for section in bench::experiments::all_reports() {
+                    println!("{section}");
+                }
+            }
+            let results = bench::tables::run_all(window, seed);
+            if let Some(path) = &json_path {
+                let v = bench::tables::json_summary(&results);
+                std::fs::write(path, serde_json::to_string_pretty(&v).expect("serialize"))
+                    .expect("write json");
+                eprintln!("wrote {path}");
+            }
+            if what != "figures" {
+                println!("{}", bench::tables::table1(&results).to_text());
+                println!("{}", bench::tables::table2(&results).to_text());
+                println!("{}", bench::tables::table3(&results).to_text());
+                println!("{}", bench::tables::table4().to_text());
+            }
+            if what != "tables" {
+                for r in &results {
+                    println!("{}", bench::tables::interval_figure(r));
+                }
+                for r in &results {
+                    println!("{}", bench::tables::priority_figure(r));
+                }
+                println!("{}", bench::tables::generation_figure(&results));
+            }
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            std::process::exit(2);
+        }
+    }
+}

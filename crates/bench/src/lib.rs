@@ -1,0 +1,10 @@
+//! # bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation. The
+//! `repro` binary drives it; Criterion benches in `benches/` measure the
+//! runtime's primitives and paradigms.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod tables;

@@ -1,0 +1,134 @@
+//! The guarded button on real threads (§4.3).
+//!
+//! "A guarded button must be pressed twice, in close, but not too close
+//! succession. They usually look like ~Button~ on the screen. After a
+//! one-shot is forked it sleeps for an arming period that must pass
+//! before a second click is acceptable. ... if the timeout expires
+//! without a second click, the one-shot just repaints the guarded
+//! button."
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::sleeper::DelayedFork;
+
+/// The button's visible state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuardState {
+    /// Showing the guard ("~Button~").
+    Guarded,
+    /// First press seen; further presses are too close and rejected.
+    Arming,
+    /// Armed ("Button"); a press fires.
+    Armed,
+}
+
+struct Inner {
+    state: GuardState,
+    // Pending one-shots; kept so cancel-on-fire works and drops join.
+    pending: Vec<DelayedFork>,
+}
+
+/// A guarded button driven by chained one-shots.
+#[derive(Clone)]
+pub struct GuardedButton {
+    inner: Arc<Mutex<Inner>>,
+    arm_after: Duration,
+    disarm_after: Duration,
+}
+
+impl GuardedButton {
+    /// Creates a button with the given arming period and armed window.
+    pub fn new(arm_after: Duration, disarm_after: Duration) -> Self {
+        GuardedButton {
+            inner: Arc::new(Mutex::new(Inner {
+                state: GuardState::Guarded,
+                pending: Vec::new(),
+            })),
+            arm_after,
+            disarm_after,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> GuardState {
+        self.inner.lock().state
+    }
+
+    /// Registers a press; returns `true` when the press fires the action
+    /// (i.e. it landed in the armed window).
+    pub fn press(&self) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            GuardState::Guarded => {
+                inner.state = GuardState::Arming;
+                let me = self.clone();
+                let disarm_after = self.disarm_after;
+                let shot = DelayedFork::schedule("guard-arm", self.arm_after, move || {
+                    let mut inner = me.inner.lock();
+                    if inner.state == GuardState::Arming {
+                        inner.state = GuardState::Armed;
+                        let me2 = me.clone();
+                        let disarm =
+                            DelayedFork::schedule("guard-disarm", disarm_after, move || {
+                                let mut inner = me2.inner.lock();
+                                if inner.state == GuardState::Armed {
+                                    inner.state = GuardState::Guarded; // Repaint the guard.
+                                }
+                            });
+                        inner.pending.push(disarm);
+                    }
+                });
+                inner.pending.push(shot);
+                false
+            }
+            GuardState::Arming => false, // Too close: rejected.
+            GuardState::Armed => {
+                inner.state = GuardState::Guarded;
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn fires_on_well_spaced_double_press() {
+        let b = GuardedButton::new(ms(20), ms(200));
+        assert!(!b.press()); // Starts arming.
+        assert_eq!(b.state(), GuardState::Arming);
+        sleep(ms(60)); // Past the arming period.
+        assert_eq!(b.state(), GuardState::Armed);
+        assert!(b.press()); // Fires.
+        assert_eq!(b.state(), GuardState::Guarded);
+    }
+
+    #[test]
+    fn rejects_too_close_second_press() {
+        let b = GuardedButton::new(ms(50), ms(200));
+        assert!(!b.press());
+        assert!(!b.press()); // Still arming: rejected.
+        assert_eq!(b.state(), GuardState::Arming);
+    }
+
+    #[test]
+    fn disarms_after_the_window_expires() {
+        let b = GuardedButton::new(ms(10), ms(30));
+        assert!(!b.press());
+        sleep(ms(20));
+        assert_eq!(b.state(), GuardState::Armed);
+        sleep(ms(60)); // Window expires: guard repainted.
+        assert_eq!(b.state(), GuardState::Guarded);
+        assert!(!b.press()); // Starts a fresh cycle instead of firing.
+    }
+}

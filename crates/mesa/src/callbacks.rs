@@ -1,0 +1,143 @@
+//! Fork-boolean callbacks on real threads (§4.8).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// How a registered callback is invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallbackMode {
+    /// In a freshly spawned thread (the safe default: "the default is
+    /// almost always TRUE").
+    Forked,
+    /// Inline in the invoking thread — fast, for experts; a panicking
+    /// client would take the service down, so inline callbacks are run
+    /// under `catch_unwind` and failures are reported to the caller.
+    Unforked,
+}
+
+type Callback<E> = Arc<dyn Fn(&E) + Send + Sync + 'static>;
+
+/// A registry of client callbacks with per-registration fork control.
+pub struct CallbackRegistry<E: Clone + Send + Sync + 'static> {
+    entries: Arc<Mutex<Vec<(Callback<E>, CallbackMode)>>>,
+}
+
+impl<E: Clone + Send + Sync + 'static> Clone for CallbackRegistry<E> {
+    fn clone(&self) -> Self {
+        CallbackRegistry {
+            entries: Arc::clone(&self.entries),
+        }
+    }
+}
+
+impl<E: Clone + Send + Sync + 'static> Default for CallbackRegistry<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Clone + Send + Sync + 'static> CallbackRegistry<E> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        CallbackRegistry {
+            entries: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Registers with the forked default.
+    pub fn register<F: Fn(&E) + Send + Sync + 'static>(&self, f: F) {
+        self.register_with(CallbackMode::Forked, f);
+    }
+
+    /// Registers with an explicit mode.
+    pub fn register_with<F: Fn(&E) + Send + Sync + 'static>(&self, mode: CallbackMode, f: F) {
+        self.entries.lock().push((Arc::new(f), mode));
+    }
+
+    /// Number of registered callbacks.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Delivers `event` to every callback. Returns the number of inline
+    /// callbacks that panicked (forked ones report nothing — the paper's
+    /// insulation property; their threads are detached).
+    pub fn invoke(&self, event: E) -> usize {
+        let snapshot: Vec<(Callback<E>, CallbackMode)> = self.entries.lock().clone();
+        let mut inline_failures = 0;
+        for (i, (cb, mode)) in snapshot.into_iter().enumerate() {
+            match mode {
+                CallbackMode::Forked => {
+                    let ev = event.clone();
+                    let _ = std::thread::Builder::new()
+                        .name(format!("callback-{i}"))
+                        .spawn(move || {
+                            // Insulate: a panic dies with this thread.
+                            let _ = catch_unwind(AssertUnwindSafe(|| cb(&ev)));
+                        });
+                }
+                CallbackMode::Unforked => {
+                    if catch_unwind(AssertUnwindSafe(|| cb(&event))).is_err() {
+                        inline_failures += 1;
+                    }
+                }
+            }
+        }
+        inline_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn forked_callbacks_all_run() {
+        let reg: CallbackRegistry<u32> = CallbackRegistry::new();
+        let n = Arc::new(AtomicU32::new(0));
+        for _ in 0..4 {
+            let n = Arc::clone(&n);
+            reg.register(move |ev| {
+                n.fetch_add(*ev, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(reg.invoke(10), 0);
+        // Forked: wait for delivery.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while n.load(Ordering::Relaxed) < 40 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn inline_panic_is_reported_not_fatal() {
+        let reg: CallbackRegistry<()> = CallbackRegistry::new();
+        reg.register_with(CallbackMode::Unforked, |_| panic!("bad client"));
+        let n = Arc::new(AtomicU32::new(0));
+        let nc = Arc::clone(&n);
+        reg.register_with(CallbackMode::Unforked, move |_| {
+            nc.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(reg.invoke(()), 1);
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn registry_is_shared_between_clones() {
+        let reg: CallbackRegistry<()> = CallbackRegistry::new();
+        let clone = reg.clone();
+        clone.register(|_| {});
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+}

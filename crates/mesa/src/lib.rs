@@ -1,0 +1,64 @@
+//! # mesa — Mesa-style threading and the ten paradigms on real threads
+//!
+//! The `paradigms` crate implements the paper's thread-usage paradigms on
+//! the deterministic simulator, for reproducing the paper's experiments.
+//! This crate is the *adoptable* incarnation: the same Mesa thread model
+//! (monitors bound to the data they protect, condition variables with
+//! per-CV timeouts, exactly-one-waiter NOTIFY as a hint, the WAIT-in-a-
+//! loop convention) and the same paradigm catalogue, on `std::thread`:
+//!
+//! * [`monitor`] — [`monitor::Monitor`], [`monitor::Condition`],
+//!   guard-enforced CV usage;
+//! * [`pool`] — defer work ([`pool::WorkerPool`], panic-safe);
+//! * [`pump`] — bounded buffers; [`pipeline`] — the stage builder;
+//! * [`slack`] — slack processes with explicit slack latency;
+//! * [`sleeper`] — [`sleeper::Periodical`], [`sleeper::DelayedFork`];
+//! * [`button`] — the guarded button (§4.3's one-shot showcase);
+//! * [`mbqueue`] — the `MBQueue` serializer;
+//! * [`rejuvenate`] — supervision with restart budgets;
+//! * [`callbacks`] — fork-boolean callback registries;
+//! * [`ordered`] — ranked locks + fork-to-avoid-deadlock;
+//! * [`exploit`] — fork/join parallelism helpers (with real speedup,
+//!   unlike the paper's uniprocessor).
+//!
+//! # Example: a monitor with the WAIT-in-a-loop convention
+//!
+//! ```
+//! use mesa::Monitor;
+//! use std::time::Duration;
+//!
+//! let jobs = Monitor::new("jobs", Vec::new());
+//! let nonempty = jobs.condition("nonempty", Some(Duration::from_millis(50)));
+//!
+//! let (j, cv) = (jobs.clone(), nonempty.clone());
+//! let consumer = std::thread::spawn(move || {
+//!     let mut g = j.enter();
+//!     g.wait_until(&cv, |q: &Vec<u32>| !q.is_empty());
+//!     g.data().pop().unwrap()
+//! });
+//!
+//! {
+//!     let mut g = jobs.enter();
+//!     g.data().push(42);
+//!     g.notify(&nonempty);
+//! }
+//! assert_eq!(consumer.join().unwrap(), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod button;
+pub mod callbacks;
+pub mod exploit;
+pub mod mbqueue;
+pub mod monitor;
+pub mod ordered;
+pub mod pipeline;
+pub mod pool;
+pub mod pump;
+pub mod rejuvenate;
+pub mod slack;
+pub mod sleeper;
+
+pub use monitor::{Condition, ConditionStats, Monitor, MonitorGuard, WaitOutcome};

@@ -1,0 +1,159 @@
+//! The `MBQueue` serializer on real threads (§4.6).
+//!
+//! "MBQueue creates a queue as a serialization context and a thread to
+//! process it. Mouse clicks and key strokes cause procedures to be
+//! enqueued for the context: the thread then calls the procedures in the
+//! order received." The worker is protected by task rejuvenation: a
+//! panicking action kills only itself, and the context keeps processing
+//! (the §4.5 input-dispatcher lesson).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+type Action = Box<dyn FnOnce() + Send + 'static>;
+
+struct MbShared {
+    processed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A serialization context: enqueue closures from any thread; one worker
+/// runs them in arrival order.
+pub struct MbQueue {
+    tx: Option<Sender<Action>>,
+    worker: Option<JoinHandle<()>>,
+    shared: Arc<MbShared>,
+}
+
+impl MbQueue {
+    /// Creates the context and its processing thread.
+    pub fn new(name: &str) -> Self {
+        let (tx, rx) = unbounded::<Action>();
+        let shared = Arc::new(MbShared {
+            processed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let sh = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                while let Ok(action) = rx.recv() {
+                    if catch_unwind(AssertUnwindSafe(action)).is_err() {
+                        sh.panicked.fetch_add(1, Ordering::Relaxed);
+                    }
+                    sh.processed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .expect("spawn MBQueue worker");
+        MbQueue {
+            tx: Some(tx),
+            worker: Some(worker),
+            shared,
+        }
+    }
+
+    /// Enqueues an action; it runs after everything enqueued before it.
+    pub fn enqueue<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.tx
+            .as_ref()
+            .expect("queue alive")
+            .send(Box::new(f))
+            .expect("worker alive");
+    }
+
+    /// Actions processed so far.
+    pub fn processed(&self) -> u64 {
+        self.shared.processed.load(Ordering::Relaxed)
+    }
+
+    /// Actions that panicked (and were absorbed).
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Drains the queue and joins the worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        drop(self.tx.take());
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for MbQueue {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::thread;
+
+    #[test]
+    fn preserves_order_from_one_source() {
+        let mb = MbQueue::new("mb");
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..100 {
+            let log = Arc::clone(&log);
+            mb.enqueue(move || log.lock().push(i));
+        }
+        mb.shutdown();
+        assert_eq!(*log.lock(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serializes_concurrent_sources() {
+        let mb = Arc::new(MbQueue::new("mb"));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for src in 0..4u32 {
+            let mb = Arc::clone(&mb);
+            let log = Arc::clone(&log);
+            handles.push(thread::spawn(move || {
+                for i in 0..25u32 {
+                    let log = Arc::clone(&log);
+                    mb.enqueue(move || log.lock().push((src, i)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        Arc::try_unwrap(mb).ok().expect("sole owner").shutdown();
+        let log = log.lock();
+        assert_eq!(log.len(), 100);
+        // Per-source order preserved.
+        for src in 0..4u32 {
+            let seq: Vec<u32> = log
+                .iter()
+                .filter(|(s, _)| *s == src)
+                .map(|(_, i)| *i)
+                .collect();
+            assert_eq!(seq, (0..25).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panicking_action_absorbed() {
+        let mb = MbQueue::new("mb");
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = Arc::clone(&log);
+        mb.enqueue(move || l.lock().push(1));
+        mb.enqueue(|| panic!("poison action"));
+        let l = Arc::clone(&log);
+        mb.enqueue(move || l.lock().push(2));
+        mb.shutdown();
+        assert_eq!(*log.lock(), vec![1, 2]);
+    }
+}

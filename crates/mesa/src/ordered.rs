@@ -1,0 +1,184 @@
+//! Deadlock avoidance on real threads (§4.4): ranked locks and
+//! fork-to-avoid.
+//!
+//! The systematic alternative to the paper's fork-to-avoid paradigm is a
+//! global lock order. [`RankedMonitor`] assigns every lock a rank and
+//! panics (in any build) when a thread acquires against the order — an
+//! executable version of the lock-order conventions the paper's
+//! programmers kept in their heads.
+
+use std::cell::RefCell;
+use std::thread;
+
+use crate::monitor::{Monitor, MonitorGuard};
+
+thread_local! {
+    static HELD_RANKS: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A monitor with a rank; acquisitions must be in strictly increasing
+/// rank order within a thread.
+pub struct RankedMonitor<T> {
+    monitor: Monitor<T>,
+    rank: u32,
+}
+
+impl<T> Clone for RankedMonitor<T> {
+    fn clone(&self) -> Self {
+        RankedMonitor {
+            monitor: self.monitor.clone(),
+            rank: self.rank,
+        }
+    }
+}
+
+impl<T> RankedMonitor<T> {
+    /// Creates a ranked monitor.
+    pub fn new(name: &str, rank: u32, data: T) -> Self {
+        RankedMonitor {
+            monitor: Monitor::new(name, data),
+            rank,
+        }
+    }
+
+    /// The monitor's rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Enters the monitor, enforcing the rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread already holds a lock of rank ≥ this
+    /// one — the acquisition that could deadlock.
+    pub fn enter(&self) -> RankedGuard<'_, T> {
+        HELD_RANKS.with(|held| {
+            let held = held.borrow();
+            if let Some(&top) = held.last() {
+                assert!(
+                    self.rank > top,
+                    "lock-order violation: acquiring rank {} ({}) while holding rank {}",
+                    self.rank,
+                    self.monitor.name(),
+                    top
+                );
+            }
+        });
+        let guard = self.monitor.enter();
+        HELD_RANKS.with(|held| held.borrow_mut().push(self.rank));
+        RankedGuard {
+            guard: Some(guard),
+            rank: self.rank,
+        }
+    }
+}
+
+/// Guard for a [`RankedMonitor`]; releases the rank on drop.
+pub struct RankedGuard<'a, T> {
+    guard: Option<MonitorGuard<'a, T>>,
+    rank: u32,
+}
+
+impl<'a, T> RankedGuard<'a, T> {
+    /// Access the protected data.
+    pub fn data(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard held").data()
+    }
+
+    /// The underlying monitor guard (for CV operations).
+    pub fn monitor_guard(&mut self) -> &mut MonitorGuard<'a, T> {
+        self.guard.as_mut().expect("guard held")
+    }
+}
+
+impl<'a, T> Drop for RankedGuard<'a, T> {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        HELD_RANKS.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&r| r == self.rank) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Forks `f` so it can take locks in a legal order that the caller —
+/// already holding some — cannot (the paper's window-adjuster shape).
+/// Returns the join handle; detach by dropping it.
+pub fn fork_to_avoid_deadlock<F>(name: &str, f: F) -> thread::JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .expect("spawn deadlock-avoider")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_acquisition_allowed() {
+        let a = RankedMonitor::new("a", 1, 0u32);
+        let b = RankedMonitor::new("b", 2, 0u32);
+        let mut ga = a.enter();
+        *ga.data() += 1;
+        let mut gb = b.enter();
+        *gb.data() += 1;
+        drop(gb);
+        drop(ga);
+        // Re-acquisition after release is fine.
+        let _ga = a.enter();
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn out_of_order_acquisition_panics() {
+        let a = RankedMonitor::new("a", 1, ());
+        let b = RankedMonitor::new("b", 2, ());
+        let _gb = b.enter();
+        let _ga = a.enter(); // rank 1 after rank 2: the ABBA precursor.
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn same_rank_reacquisition_panics() {
+        let a = RankedMonitor::new("a", 1, ());
+        let b = RankedMonitor::new("b", 1, ());
+        let _ga = a.enter();
+        let _gb = b.enter();
+    }
+
+    #[test]
+    fn ranks_are_per_thread() {
+        let a = RankedMonitor::new("a", 5, ());
+        let _ga = a.enter();
+        // Another thread can take a lower rank: no shared held-state.
+        let b = RankedMonitor::new("b", 1, ());
+        let t = std::thread::spawn(move || {
+            let _gb = b.enter();
+        });
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn fork_to_avoid_escapes_held_rank() {
+        let low = RankedMonitor::new("low", 1, 0u32);
+        let high = RankedMonitor::new("high", 2, 0u32);
+        let _gh = high.enter(); // Holding rank 2, we may not take rank 1...
+        let lc = low.clone();
+        // ...but a forked thread may.
+        let t = fork_to_avoid_deadlock("repaint", move || {
+            let mut g = lc.enter();
+            *g.data() = 42;
+        });
+        t.join().unwrap();
+        drop(_gh);
+        let mut g = low.enter();
+        assert_eq!(*g.data(), 42);
+    }
+}

@@ -1,0 +1,120 @@
+//! A multi-stage pipeline builder on real threads (§4.2) — the mirror of
+//! `paradigms::pipeline` for the adoptable library.
+
+use std::thread::JoinHandle;
+
+use crate::pump::{spawn_pump, BoundedQueue};
+
+/// A pipeline under construction: `In` is the source type, `T` the
+/// current tail type.
+pub struct PipelineBuilder<In: Send + 'static, T: Send + 'static> {
+    name: String,
+    stage: usize,
+    capacity: usize,
+    source: BoundedQueue<In>,
+    tail: BoundedQueue<T>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Starts a pipeline whose source accepts `T`.
+pub fn pipeline<T: Send + 'static>(name: &str, capacity: usize) -> PipelineBuilder<T, T> {
+    let source = BoundedQueue::new(&format!("{name}.q0"), capacity);
+    PipelineBuilder {
+        name: name.to_string(),
+        stage: 0,
+        capacity,
+        tail: source.clone(),
+        source,
+        workers: Vec::new(),
+    }
+}
+
+impl<In: Send + 'static, T: Send + 'static> PipelineBuilder<In, T> {
+    /// Appends a pump stage transforming `T -> U`; `None` filters.
+    pub fn stage<U, F>(mut self, f: F) -> PipelineBuilder<In, U>
+    where
+        U: Send + 'static,
+        F: FnMut(T) -> Option<U> + Send + 'static,
+    {
+        let stage = self.stage + 1;
+        let out: BoundedQueue<U> =
+            BoundedQueue::new(&format!("{}.q{stage}", self.name), self.capacity);
+        let worker = spawn_pump(
+            &format!("{}.stage{stage}", self.name),
+            self.tail,
+            out.clone(),
+            f,
+        );
+        self.workers.push(worker);
+        PipelineBuilder {
+            name: self.name,
+            stage,
+            capacity: self.capacity,
+            source: self.source,
+            tail: out,
+            workers: self.workers,
+        }
+    }
+
+    /// Finishes the pipeline.
+    pub fn build(self) -> Pipeline<In, T> {
+        Pipeline {
+            source: self.source,
+            sink: self.tail,
+            workers: self.workers,
+        }
+    }
+}
+
+/// A built pipeline: feed `source`, drain `sink`; closing the source
+/// propagates shutdown stage by stage; [`Pipeline::join`] reaps the
+/// stage threads afterwards.
+pub struct Pipeline<In: Send + 'static, Out: Send + 'static> {
+    /// Feed items here.
+    pub source: BoundedQueue<In>,
+    /// Results appear here; `None` after the source closes and drains.
+    pub sink: BoundedQueue<Out>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<In: Send + 'static, Out: Send + 'static> Pipeline<In, Out> {
+    /// Joins the stage threads (call after closing the source and
+    /// draining the sink).
+    pub fn join(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_stages_transform_and_filter() {
+        let p = pipeline::<u32>("p", 8)
+            .stage(|x| (x % 2 == 0).then_some(x))
+            .stage(|x| Some(x * 10))
+            .stage(|x| Some(format!("v{x}")))
+            .build();
+        for i in 0..10 {
+            p.source.put(i);
+        }
+        p.source.close();
+        let mut got = Vec::new();
+        while let Some(s) = p.sink.take() {
+            got.push(s);
+        }
+        assert_eq!(got, vec!["v0", "v20", "v40", "v60", "v80"]);
+        p.join();
+    }
+
+    #[test]
+    fn shutdown_propagates_through_empty_pipeline() {
+        let p = pipeline::<u8>("empty", 2).stage(Some).build();
+        p.source.close();
+        assert_eq!(p.sink.take(), None);
+        p.join();
+    }
+}

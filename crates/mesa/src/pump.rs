@@ -1,0 +1,272 @@
+//! General pumps on real threads (§4.2): bounded buffers and pipelines.
+
+use std::collections::VecDeque;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::monitor::{Condition, Monitor};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// A monitor-protected bounded buffer with `nonempty`/`nonfull` CVs.
+/// Clones share the queue.
+pub struct BoundedQueue<T> {
+    monitor: Monitor<QueueState<T>>,
+    nonempty: Condition,
+    nonfull: Condition,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        BoundedQueue {
+            monitor: self.monitor.clone(),
+            nonempty: self.nonempty.clone(),
+            nonfull: self.nonfull.clone(),
+        }
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: &str, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let monitor = Monitor::new(
+            name,
+            QueueState {
+                items: VecDeque::new(),
+                capacity,
+                closed: false,
+            },
+        );
+        let nonempty = monitor.condition(&format!("{name}.nonempty"), None);
+        let nonfull = monitor.condition(&format!("{name}.nonfull"), None);
+        BoundedQueue {
+            monitor,
+            nonempty,
+            nonfull,
+        }
+    }
+
+    /// Inserts `item`, blocking while full. Returns `false` (dropping the
+    /// item) if the queue is closed.
+    pub fn put(&self, item: T) -> bool {
+        let mut g = self.monitor.enter();
+        g.wait_until(&self.nonfull, |q| q.closed || q.items.len() < q.capacity);
+        if g.data_ref().closed {
+            return false;
+        }
+        g.data().items.push_back(item);
+        g.notify(&self.nonempty);
+        true
+    }
+
+    /// Inserts without blocking; hands the item back if full or closed.
+    pub fn try_put(&self, item: T) -> Result<(), T> {
+        let mut g = self.monitor.enter();
+        let q = g.data();
+        if q.closed || q.items.len() >= q.capacity {
+            return Err(item);
+        }
+        q.items.push_back(item);
+        g.notify(&self.nonempty);
+        Ok(())
+    }
+
+    /// Removes the next item, blocking while empty. `None` once closed
+    /// and drained.
+    pub fn take(&self) -> Option<T> {
+        let mut g = self.monitor.enter();
+        g.wait_until(&self.nonempty, |q| q.closed || !q.items.is_empty());
+        let item = g.data().items.pop_front();
+        if item.is_some() {
+            g.notify(&self.nonfull);
+        }
+        item
+    }
+
+    /// Removes the next item, waiting at most `timeout`.
+    pub fn take_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut g = self.monitor.enter();
+        if !g.wait_until_for(&self.nonempty, timeout, |q| q.closed || !q.items.is_empty()) {
+            return None;
+        }
+        let item = g.data().items.pop_front();
+        if item.is_some() {
+            g.notify(&self.nonfull);
+        }
+        item
+    }
+
+    /// Removes the next item without blocking.
+    pub fn try_take(&self) -> Option<T> {
+        let mut g = self.monitor.enter();
+        let item = g.data().items.pop_front();
+        if item.is_some() {
+            g.notify(&self.nonfull);
+        }
+        item
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        let mut g = self.monitor.enter();
+        let items: Vec<T> = g.data().items.drain(..).collect();
+        if !items.is_empty() {
+            g.broadcast(&self.nonfull);
+        }
+        items
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.monitor.enter().data().items.len()
+    }
+
+    /// True if currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue; all waiters wake.
+    pub fn close(&self) {
+        let mut g = self.monitor.enter();
+        g.data().closed = true;
+        g.broadcast(&self.nonempty);
+        g.broadcast(&self.nonfull);
+    }
+
+    /// True once closed.
+    pub fn is_closed(&self) -> bool {
+        self.monitor.enter().data().closed
+    }
+}
+
+/// Spawns a pump thread connecting `input` to `output` through
+/// `transform`; exits (closing `output`) when `input` closes and drains.
+pub fn spawn_pump<T, U, F>(
+    name: &str,
+    input: BoundedQueue<T>,
+    output: BoundedQueue<U>,
+    mut transform: F,
+) -> JoinHandle<()>
+where
+    T: Send + 'static,
+    U: Send + 'static,
+    F: FnMut(T) -> Option<U> + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || {
+            while let Some(item) = input.take() {
+                if let Some(out) = transform(item) {
+                    output.put(out);
+                }
+            }
+            output.close();
+        })
+        .expect("spawn pump thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new("q", 4);
+        let qp = q.clone();
+        let producer = thread::spawn(move || {
+            for i in 0..50 {
+                qp.put(i);
+            }
+            qp.close();
+        });
+        let mut got = Vec::new();
+        while let Some(x) = q.take() {
+            got.push(x);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backpressure_blocks_producer() {
+        let q = BoundedQueue::new("q", 1);
+        q.put(0);
+        assert_eq!(q.try_put(1), Err(1));
+        let qc = q.clone();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            qc.take()
+        });
+        // This put blocks until the taker drains a slot.
+        let start = std::time::Instant::now();
+        assert!(q.put(2));
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        assert_eq!(t.join().unwrap(), Some(0));
+    }
+
+    #[test]
+    fn take_timeout_expires() {
+        let q: BoundedQueue<u8> = BoundedQueue::new("q", 2);
+        assert_eq!(q.take_timeout(Duration::from_millis(10)), None);
+        q.put(7);
+        assert_eq!(q.take_timeout(Duration::from_millis(10)), Some(7));
+    }
+
+    #[test]
+    fn three_stage_pipeline() {
+        let a = BoundedQueue::new("a", 8);
+        let b = BoundedQueue::new("b", 8);
+        let c = BoundedQueue::new("c", 8);
+        let p1 = spawn_pump("double", a.clone(), b.clone(), |x: u32| Some(x * 2));
+        let p2 = spawn_pump("fmt", b, c.clone(), |x: u32| Some(format!("{x}!")));
+        for i in 0..4 {
+            a.put(i);
+        }
+        a.close();
+        let mut got = Vec::new();
+        while let Some(s) = c.take() {
+            got.push(s);
+        }
+        p1.join().unwrap();
+        p2.join().unwrap();
+        assert_eq!(got, vec!["0!", "2!", "4!", "6!"]);
+    }
+
+    #[test]
+    fn close_wakes_everyone() {
+        let q: BoundedQueue<u8> = BoundedQueue::new("q", 1);
+        let takers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || q.take())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        for t in takers {
+            assert_eq!(t.join().unwrap(), None);
+        }
+        assert!(!q.put(1));
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let q = BoundedQueue::new("q", 8);
+        for i in 0..5 {
+            q.put(i);
+        }
+        assert_eq!(q.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+}

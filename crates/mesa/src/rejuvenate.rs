@@ -1,0 +1,189 @@
+//! Task rejuvenation on real threads (§4.5).
+
+use std::thread;
+use std::time::Duration;
+
+/// Why a supervised service stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceEnd {
+    /// The service returned normally.
+    Completed,
+    /// The restart budget ran out; the last panic message is kept.
+    GaveUp(String),
+}
+
+/// Outcome of a supervised run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RejuvenationReport {
+    /// Times the service was started (including the first).
+    pub starts: u32,
+    /// How it ended.
+    pub end: ServiceEnd,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `factory`-produced service bodies under a rejuvenating
+/// supervisor: each panic forks a fresh copy (after `backoff`), up to
+/// `max_restarts` restarts. Blocks until completion or giving up.
+pub fn supervise<F, B>(
+    name: &str,
+    max_restarts: u32,
+    backoff: Duration,
+    factory: F,
+) -> RejuvenationReport
+where
+    F: Fn(u32) -> B,
+    B: FnOnce() + Send + 'static,
+{
+    let mut starts = 0;
+    loop {
+        let body = factory(starts);
+        starts += 1;
+        let handle = thread::Builder::new()
+            .name(format!("{name}#{}", starts - 1))
+            .spawn(body)
+            .expect("spawn supervised service");
+        match handle.join() {
+            Ok(()) => {
+                return RejuvenationReport {
+                    starts,
+                    end: ServiceEnd::Completed,
+                }
+            }
+            Err(payload) => {
+                let msg = panic_message(payload);
+                if starts > max_restarts {
+                    return RejuvenationReport {
+                        starts,
+                        end: ServiceEnd::GaveUp(msg),
+                    };
+                }
+                if !backoff.is_zero() {
+                    thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+/// The §4.5 dispatcher shape on real threads: a long-lived loop making
+/// *unforked* callbacks (short, on the critical path), protected by task
+/// rejuvenation — a panicking callback kills only the current
+/// incarnation and a fresh copy resumes from the next event.
+///
+/// `next_event` yields events (`None` ends dispatching); `dispatch` may
+/// panic. Returns `(events_delivered, rejuvenations)`; the delivered
+/// count is a lower bound, since a dying incarnation's tally dies with
+/// it (only the poison event itself is re-counted).
+pub fn rejuvenating_dispatcher<E, N, D>(
+    name: &str,
+    max_restarts: u32,
+    next_event: N,
+    dispatch: D,
+) -> (u64, u32)
+where
+    E: Send + 'static,
+    N: Fn() -> Option<E> + Send + Sync + Clone + 'static,
+    D: Fn(E) + Send + Sync + Clone + 'static,
+{
+    let mut restarts = 0;
+    let mut total: u64 = 0;
+    loop {
+        let ne = next_event.clone();
+        let dp = dispatch.clone();
+        let handle = thread::Builder::new()
+            .name(format!("{name}#{restarts}"))
+            .spawn(move || {
+                let mut n: u64 = 0;
+                while let Some(ev) = ne() {
+                    dp(ev); // Unforked callback: fast but vulnerable.
+                    n += 1;
+                }
+                n
+            })
+            .expect("spawn dispatcher");
+        match handle.join() {
+            Ok(n) => return (total + n, restarts),
+            Err(_) => {
+                restarts += 1;
+                total += 1; // The poison event was consumed.
+                if restarts > max_restarts {
+                    return (total, restarts);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn completes_without_restart() {
+        let r = supervise("ok", 3, Duration::ZERO, |_| || ());
+        assert_eq!(r.starts, 1);
+        assert_eq!(r.end, ServiceEnd::Completed);
+    }
+
+    #[test]
+    fn rejuvenates_until_success() {
+        let attempts = Arc::new(AtomicU32::new(0));
+        let r = supervise("flaky", 5, Duration::from_millis(1), |_| {
+            let attempts = Arc::clone(&attempts);
+            move || {
+                if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("flaky failure");
+                }
+            }
+        });
+        assert_eq!(r.starts, 3);
+        assert_eq!(r.end, ServiceEnd::Completed);
+    }
+
+    #[test]
+    fn dispatcher_survives_poison_events() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let counter = Arc::new(AtomicU32::new(0));
+        let delivered = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&counter);
+        let d = Arc::clone(&delivered);
+        let (n, restarts) = rejuvenating_dispatcher(
+            "dispatcher",
+            3,
+            move || {
+                let i = c.fetch_add(1, Ordering::Relaxed);
+                (i < 20).then_some(i)
+            },
+            move |ev: u32| {
+                if ev == 7 {
+                    panic!("client callback error");
+                }
+                d.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(restarts, 1);
+        assert!(n >= 13, "n = {n}");
+        assert_eq!(delivered.load(Ordering::Relaxed), 19);
+    }
+
+    #[test]
+    fn gives_up_with_last_message() {
+        let r = supervise("doomed", 2, Duration::ZERO, |attempt| {
+            move || panic!("broken #{attempt}")
+        });
+        assert_eq!(r.starts, 3);
+        assert_eq!(r.end, ServiceEnd::GaveUp("broken #2".to_string()));
+    }
+}

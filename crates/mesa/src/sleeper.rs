@@ -1,0 +1,224 @@
+//! Sleepers and one-shots on real threads (§4.3).
+//!
+//! [`Periodical`] is the `PeriodicalFork` encapsulation (timeout-driven
+//! sleeper with its state in a closure); [`DelayedFork`] the one-shot.
+//! Both use a condvar-based cancellable sleep so `cancel` takes effect
+//! immediately instead of at the next wakeup.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+struct CancelState {
+    cancelled: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl CancelState {
+    fn new() -> Arc<Self> {
+        Arc::new(CancelState {
+            cancelled: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Sleeps up to `d`; returns `true` if cancelled during the sleep.
+    fn sleep(&self, d: Duration) -> bool {
+        let mut c = self.cancelled.lock();
+        if *c {
+            return true;
+        }
+        let _ = self.cv.wait_for(&mut c, d);
+        *c
+    }
+
+    fn cancel(&self) {
+        *self.cancelled.lock() = true;
+        self.cv.notify_all();
+    }
+
+    fn is_cancelled(&self) -> bool {
+        *self.cancelled.lock()
+    }
+}
+
+/// Handle to a periodic sleeper.
+pub struct Periodical {
+    state: Arc<CancelState>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Periodical {
+    /// Spawns a thread that runs `tick` every `period` until cancelled.
+    pub fn spawn<F>(name: &str, period: Duration, mut tick: F) -> Self
+    where
+        F: FnMut() + Send + 'static,
+    {
+        let state = CancelState::new();
+        let st = Arc::clone(&state);
+        let worker = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                while !st.sleep(period) {
+                    tick();
+                }
+            })
+            .expect("spawn periodical");
+        Periodical {
+            state,
+            worker: Some(worker),
+        }
+    }
+
+    /// Stops the sleeper promptly and joins it.
+    pub fn cancel(mut self) {
+        self.state.cancel();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+
+    /// True once cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.is_cancelled()
+    }
+}
+
+impl Drop for Periodical {
+    fn drop(&mut self) {
+        self.state.cancel();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A one-shot: runs `f` once after `delay`, unless cancelled first —
+/// the `DelayedFork` encapsulation.
+pub struct DelayedFork {
+    state: Arc<CancelState>,
+    fired: Arc<Mutex<bool>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl DelayedFork {
+    /// Schedules `f` to run after `delay`.
+    pub fn schedule<F>(name: &str, delay: Duration, f: F) -> Self
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let state = CancelState::new();
+        let fired = Arc::new(Mutex::new(false));
+        let (st, fl) = (Arc::clone(&state), Arc::clone(&fired));
+        let worker = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                if st.sleep(delay) {
+                    return; // Cancelled during the delay.
+                }
+                *fl.lock() = true;
+                f();
+            })
+            .expect("spawn one-shot");
+        DelayedFork {
+            state,
+            fired,
+            worker: Some(worker),
+        }
+    }
+
+    /// Cancels if the action has not started; returns `true` on success.
+    pub fn cancel(&self) -> bool {
+        if *self.fired.lock() {
+            return false;
+        }
+        self.state.cancel();
+        !*self.fired.lock()
+    }
+
+    /// True once the action has started.
+    pub fn fired(&self) -> bool {
+        *self.fired.lock()
+    }
+
+    /// Waits for the one-shot thread to finish (fired or cancelled).
+    pub fn join(mut self) -> bool {
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        *self.fired.lock()
+    }
+}
+
+impl Drop for DelayedFork {
+    fn drop(&mut self) {
+        // Don't block destruction on the delay: cancel if still pending.
+        self.state.cancel();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Instant;
+
+    #[test]
+    fn periodical_ticks_repeatedly() {
+        let n = Arc::new(AtomicU32::new(0));
+        let nc = Arc::clone(&n);
+        let p = Periodical::spawn("t", Duration::from_millis(5), move || {
+            nc.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        p.cancel();
+        let ticks = n.load(Ordering::Relaxed);
+        assert!((5..=14).contains(&ticks), "ticks = {ticks}");
+    }
+
+    #[test]
+    fn periodical_cancel_is_prompt() {
+        let p = Periodical::spawn("slow", Duration::from_secs(3600), || {});
+        let start = Instant::now();
+        p.cancel(); // Must not wait an hour.
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn delayed_fork_fires_once_after_delay() {
+        let n = Arc::new(AtomicU32::new(0));
+        let nc = Arc::clone(&n);
+        let start = Instant::now();
+        let shot = DelayedFork::schedule("shot", Duration::from_millis(20), move || {
+            nc.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(shot.join());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cancelled_delayed_fork_never_fires() {
+        let n = Arc::new(AtomicU32::new(0));
+        let nc = Arc::clone(&n);
+        let shot = DelayedFork::schedule("shot", Duration::from_millis(100), move || {
+            nc.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(shot.cancel());
+        assert!(!shot.join());
+        assert_eq!(n.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_fails() {
+        let shot = DelayedFork::schedule("shot", Duration::from_millis(1), || {});
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!shot.cancel());
+        assert!(shot.fired());
+    }
+}

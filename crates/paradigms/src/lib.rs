@@ -1,0 +1,70 @@
+//! # paradigms — the ten thread-usage paradigms on the simulator
+//!
+//! The paper's §4 classifies every thread-creation site in Cedar and GVX
+//! into ten paradigms. This crate implements each as a reusable
+//! component on the [`pcr`] runtime, in the paper's order:
+//!
+//! | § | Paradigm | Here |
+//! |---|----------|------|
+//! | 4.1 | Defer work | [`defer`], [`deferred`] |
+//! | 4.2 | General pumps | [`pump`] ([`pump::BoundedQueue`], [`pump::spawn_pump`]), [`pipeline`] |
+//! | 4.2 | Slack processes | [`slack`] ([`slack::spawn_slack`], [`slack::SlackPolicy`]) |
+//! | 4.3 | Sleepers | [`sleeper`] ([`sleeper::Periodical`]) |
+//! | 4.3 | One-shots | [`oneshot`] ([`oneshot::delayed_fork`], [`oneshot::GuardedButton`]) |
+//! | 4.4 | Deadlock avoiders | [`deadlock_avoid`] |
+//! | 4.5 | Task rejuvenation | [`rejuvenate`] |
+//! | 4.6 | Serializers | [`serializer`] ([`serializer::MbQueue`]) |
+//! | 4.7 | Concurrency exploiters | [`exploit`] |
+//! | 4.8 | Encapsulated forks | the packaged constructors throughout ([`oneshot::delayed_fork`] = `DelayedFork`, [`sleeper::Periodical`] = `PeriodicalFork`, [`serializer::MbQueue`] = `MBQueue`) |
+//!
+//! [`mistakes`] reproduces §5.3's anti-patterns (IF-based WAIT,
+//! timeout-masked missing NOTIFYs) for the experiments that measure their
+//! cost. The same paradigms on real `std::thread`s are in the `mesa`
+//! crate.
+//!
+//! # Example: a pipeline fed by a sleeper, drained by a serializer
+//!
+//! ```
+//! use paradigms::pipeline::pipeline;
+//! use paradigms::serializer::MbQueue;
+//! use pcr::{millis, Priority, RunLimit, Sim, SimConfig};
+//!
+//! let mut sim = Sim::new(SimConfig::default());
+//! let h = sim.fork_root("main", Priority::of(5), |ctx| {
+//!     let p = pipeline::<u32>(ctx, "p", 8, Priority::of(4))
+//!         .stage(millis(1), |x| Some(x * 2))
+//!         .build();
+//!     let mb = MbQueue::new(ctx, "apply", Priority::of(4), 8);
+//!     for i in 0..4 {
+//!         p.source.put(ctx, i);
+//!     }
+//!     p.source.close(ctx);
+//!     let mut sum = 0;
+//!     while let Some(v) = p.sink.take(ctx) {
+//!         sum += v;
+//!     }
+//!     mb.stop(ctx);
+//!     sum
+//! });
+//! sim.run(RunLimit::For(pcr::secs(10)));
+//! assert_eq!(h.into_result().unwrap().unwrap(), 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod callbacks;
+pub mod deadlock_avoid;
+pub mod defer;
+pub mod deferred;
+pub mod exploit;
+pub mod mistakes;
+pub mod oneshot;
+pub mod pipeline;
+pub mod pump;
+pub mod rejuvenate;
+pub mod serializer;
+pub mod slack;
+pub mod sleeper;
+
+pub use threadstudy_core::Paradigm;

@@ -1,0 +1,254 @@
+//! The common mistakes of §5.3, reproduced on purpose.
+//!
+//! Two questionable practices stood out in the paper's code archaeology:
+//!
+//! 1. **IF-based WAIT** — `IF NOT condition THEN WAIT cv` instead of the
+//!    `WHILE` loop. Works "with sufficient constraints on the number and
+//!    behavior of the threads using the monitor", then breaks as programs
+//!    are modified — [`wait_if`] lets experiments demonstrate exactly
+//!    that.
+//! 2. **Timeout-masked missing NOTIFYs** — timeouts added "to compensate
+//!    for missing NOTIFYs (bugs), instead of fixing the underlying
+//!    problem. ... the system can become timeout driven — it apparently
+//!    works correctly but slowly." [`LossyNotifyQueue`] is a queue whose
+//!    producer drops a configurable fraction of its NOTIFYs.
+
+use pcr::{Condition, Monitor, MonitorGuard, ThreadCtx, WaitOutcome};
+
+/// The `IF NOT (condition) THEN WAIT cv` anti-pattern: checks the
+/// predicate once, waits at most once, and returns *without rechecking*.
+///
+/// Returns `true` if the predicate held when the function returned
+/// control — which, unlike [`pcr::MonitorGuard::wait_until`], is not
+/// guaranteed: Mesa monitors promise nothing about the condition after a
+/// WAIT completes.
+pub fn wait_if<T: Send + 'static>(
+    guard: &mut MonitorGuard<'_, T>,
+    cv: &Condition,
+    pred: impl Fn(&T) -> bool,
+) -> bool {
+    if !guard.with(&pred) {
+        let _ = guard.wait(cv);
+    }
+    guard.with(&pred)
+}
+
+/// A bounded queue whose producer "forgets" its NOTIFY every
+/// `1/notify_drop_rate` puts, so consumers make progress only through
+/// their CV timeout — the timeout-driven system of §5.3.
+pub struct LossyNotifyQueue<T: Send + 'static> {
+    monitor: Monitor<Vec<T>>,
+    nonempty: Condition,
+    drop_every: u64,
+    counter: Monitor<u64>,
+}
+
+impl<T: Send + 'static> Clone for LossyNotifyQueue<T> {
+    fn clone(&self) -> Self {
+        LossyNotifyQueue {
+            monitor: self.monitor.clone(),
+            nonempty: self.nonempty.clone(),
+            drop_every: self.drop_every,
+            counter: self.counter.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> LossyNotifyQueue<T> {
+    /// Creates the queue. `drop_every = 0` drops no notifies;
+    /// `drop_every = 1` drops all of them; `n` drops every n-th.
+    /// `cv_timeout` is the consumer-side timeout that masks the bug.
+    pub fn new(
+        ctx: &ThreadCtx,
+        name: &str,
+        drop_every: u64,
+        cv_timeout: Option<pcr::SimDuration>,
+    ) -> Self {
+        let monitor = ctx.new_monitor(name, Vec::new());
+        let nonempty = ctx.new_condition(&monitor, &format!("{name}.nonempty"), cv_timeout);
+        let counter = ctx.new_monitor(&format!("{name}.counter"), 0u64);
+        LossyNotifyQueue {
+            monitor,
+            nonempty,
+            drop_every,
+            counter,
+        }
+    }
+
+    /// Puts an item; possibly "forgets" the NOTIFY.
+    pub fn put(&self, ctx: &ThreadCtx, item: T) {
+        let n = {
+            let mut g = ctx.enter(&self.counter);
+            g.with_mut(|c| {
+                *c += 1;
+                *c
+            })
+        };
+        let mut g = ctx.enter(&self.monitor);
+        g.with_mut(|q| q.push(item));
+        let drop_this = self.drop_every != 0 && n % self.drop_every == 0;
+        if !drop_this {
+            g.notify(&self.nonempty);
+        }
+    }
+
+    /// Takes an item, waiting (correctly, in a loop) until one appears.
+    /// Returns the item and how many of the waits timed out — the
+    /// signature of a timeout-driven system.
+    pub fn take(&self, ctx: &ThreadCtx) -> (T, u64) {
+        let mut timeouts = 0;
+        let mut g = ctx.enter(&self.monitor);
+        loop {
+            if let Some(item) = g.with_mut(|q| (!q.is_empty()).then(|| q.remove(0))) {
+                return (item, timeouts);
+            }
+            if g.wait(&self.nonempty) == WaitOutcome::TimedOut {
+                timeouts += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr::{millis, secs, Priority, RunLimit, Sim, SimConfig, StopReason};
+
+    /// Two consumers + one item + BROADCAST: the IF-wait consumer that
+    /// loses the race proceeds on a false predicate.
+    #[test]
+    fn if_wait_breaks_with_two_consumers() {
+        let mut sim = Sim::new(SimConfig::default());
+        let m: Monitor<Vec<u32>> = sim.monitor("q", Vec::new());
+        let cv = sim.condition(&m, "nonempty", None);
+        let mut consumers = Vec::new();
+        for i in 0..2 {
+            let m = m.clone();
+            let cv = cv.clone();
+            consumers.push(
+                sim.fork_root(&format!("c{i}"), Priority::of(5), move |ctx| {
+                    let mut g = ctx.enter(&m);
+                    // The §5.3 anti-pattern.
+                    let ok = wait_if(&mut g, &cv, |q| !q.is_empty());
+                    if ok {
+                        g.with_mut(|q| q.pop());
+                    }
+                    ok
+                }),
+            );
+        }
+        let _ = sim.fork_root("producer", Priority::of(4), move |ctx| {
+            ctx.work(millis(5));
+            let mut g = ctx.enter(&m);
+            g.with_mut(|q| q.push(1));
+            g.broadcast(&cv);
+        });
+        let r = sim.run(RunLimit::For(secs(2)));
+        assert_eq!(r.reason, StopReason::AllExited);
+        let outcomes: Vec<bool> = consumers
+            .into_iter()
+            .map(|h| h.into_result().unwrap().unwrap())
+            .collect();
+        // Exactly one consumer saw a true predicate; the other returned
+        // from WAIT with the condition false — the latent bug.
+        assert_eq!(outcomes.iter().filter(|&&b| b).count(), 1, "{outcomes:?}");
+        assert_eq!(outcomes.iter().filter(|&&b| !b).count(), 1, "{outcomes:?}");
+    }
+
+    /// The WHILE-loop convention handles the identical schedule safely.
+    #[test]
+    fn while_wait_survives_two_consumers() {
+        let mut sim = Sim::new(SimConfig::default());
+        let m: Monitor<Vec<u32>> = sim.monitor("q", Vec::new());
+        // Timeout so the loser of the race eventually re-checks and exits
+        // empty-handed instead of hanging this test.
+        let cv = sim.condition(&m, "nonempty", Some(millis(50)));
+        let mut consumers = Vec::new();
+        for i in 0..2 {
+            let m = m.clone();
+            let cv = cv.clone();
+            consumers.push(
+                sim.fork_root(&format!("c{i}"), Priority::of(5), move |ctx| {
+                    let deadline = ctx.now() + millis(300);
+                    let mut g = ctx.enter(&m);
+                    loop {
+                        if let Some(v) = g.with_mut(|q| q.pop()) {
+                            return Some(v);
+                        }
+                        if ctx.now() >= deadline {
+                            return None;
+                        }
+                        g.wait(&cv);
+                    }
+                }),
+            );
+        }
+        let _ = sim.fork_root("producer", Priority::of(4), move |ctx| {
+            ctx.work(millis(5));
+            let mut g = ctx.enter(&m);
+            g.with_mut(|q| q.push(1));
+            g.broadcast(&cv);
+        });
+        let r = sim.run(RunLimit::For(secs(2)));
+        assert_eq!(r.reason, StopReason::AllExited);
+        let got: Vec<Option<u32>> = consumers
+            .into_iter()
+            .map(|h| h.into_result().unwrap().unwrap())
+            .collect();
+        // One consumer got the item; the other correctly concluded there
+        // was nothing for it. Nobody proceeded on a false predicate.
+        assert_eq!(got.iter().filter(|g| g.is_some()).count(), 1);
+    }
+
+    /// All NOTIFYs dropped: the system still "works", clocked entirely by
+    /// the CV timeout — correct but slow (per-item latency jumps from
+    /// microseconds to tens of milliseconds).
+    #[test]
+    fn timeout_masked_queue_works_slowly() {
+        let run = |drop_every: u64| -> (pcr::SimDuration, u64) {
+            let mut sim = Sim::new(SimConfig::default());
+            let h = sim.fork_root("driver", Priority::of(4), move |ctx| {
+                // Items carry their put time so the consumer can measure
+                // put-to-take latency.
+                let q: LossyNotifyQueue<pcr::SimTime> =
+                    LossyNotifyQueue::new(ctx, "lossy", drop_every, Some(millis(50)));
+                let qc = q.clone();
+                let consumer = ctx
+                    .fork_prio("consumer", Priority::of(5), move |ctx| {
+                        let mut timeouts = 0;
+                        let mut latency = pcr::SimDuration::ZERO;
+                        for _ in 0..10 {
+                            let (put_at, t) = qc.take(ctx);
+                            latency += ctx.now().saturating_since(put_at);
+                            timeouts += t;
+                        }
+                        (latency / 10, timeouts)
+                    })
+                    .unwrap();
+                for _ in 0..10 {
+                    ctx.sleep_precise(millis(60));
+                    q.put(ctx, ctx.now());
+                }
+                ctx.join(consumer).unwrap()
+            });
+            sim.run(RunLimit::For(secs(10)));
+            h.into_result().unwrap().unwrap()
+        };
+        let (healthy_latency, _healthy_timeouts) = run(0);
+        let (buggy_latency, buggy_timeouts) = run(1);
+        // Note timeouts also occur in the healthy system — waits simply
+        // outlasting a quiet queue (the paper measures 48-82% of waits
+        // timing out in normal operation). The discriminator is latency.
+        assert!(buggy_timeouts >= 5, "timeout-driven: {buggy_timeouts}");
+        // Healthy latency is essentially the notify path; the buggy
+        // system limps along at the timeout's pace.
+        assert!(
+            healthy_latency < millis(1),
+            "healthy latency {healthy_latency}"
+        );
+        assert!(
+            buggy_latency >= millis(10),
+            "buggy latency {buggy_latency} should be timeout-scale"
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! General pumps (§4.2): bounded buffers and pipeline stages.
+//!
+//! A *pump* picks up input from one place, possibly transforms it, and
+//! produces it as output someplace else. Bounded buffers connect pumps
+//! into pipelines. The paper finds pipelines used "mostly ... as a
+//! programming convenience" — tokens just appear in a queue; the
+//! programmer needs to understand less about the pieces being connected.
+
+use std::collections::VecDeque;
+
+use pcr::{Condition, Monitor, Priority, SimDuration, ThreadCtx, ThreadId};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// A monitor-protected bounded buffer in the classic producer–consumer
+/// style, with `nonempty`/`nonfull` condition variables.
+///
+/// Cloning the handle shares the queue.
+pub struct BoundedQueue<T: Send + 'static> {
+    monitor: Monitor<QueueState<T>>,
+    nonempty: Condition,
+    nonfull: Condition,
+}
+
+impl<T: Send + 'static> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        BoundedQueue {
+            monitor: self.monitor.clone(),
+            nonempty: self.nonempty.clone(),
+            nonfull: self.nonfull.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> BoundedQueue<T> {
+    /// Creates a queue before the run starts.
+    ///
+    /// `cv_timeout` is the timeout interval for both CVs (Mesa CVs carry
+    /// their timeout; `None` waits forever).
+    pub fn new_in_sim(
+        sim: &mut pcr::Sim,
+        name: &str,
+        capacity: usize,
+        cv_timeout: Option<SimDuration>,
+    ) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let monitor = sim.monitor(
+            name,
+            QueueState {
+                items: VecDeque::new(),
+                capacity,
+                closed: false,
+            },
+        );
+        let nonempty = sim.condition(&monitor, &format!("{name}.nonempty"), cv_timeout);
+        let nonfull = sim.condition(&monitor, &format!("{name}.nonfull"), cv_timeout);
+        BoundedQueue {
+            monitor,
+            nonempty,
+            nonfull,
+        }
+    }
+
+    /// Creates a queue from inside a running thread.
+    pub fn new(
+        ctx: &ThreadCtx,
+        name: &str,
+        capacity: usize,
+        cv_timeout: Option<SimDuration>,
+    ) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let monitor = ctx.new_monitor(
+            name,
+            QueueState {
+                items: VecDeque::new(),
+                capacity,
+                closed: false,
+            },
+        );
+        let nonempty = ctx.new_condition(&monitor, &format!("{name}.nonempty"), cv_timeout);
+        let nonfull = ctx.new_condition(&monitor, &format!("{name}.nonfull"), cv_timeout);
+        BoundedQueue {
+            monitor,
+            nonempty,
+            nonfull,
+        }
+    }
+
+    /// Inserts `item`, blocking while the queue is full. Returns `false`
+    /// (dropping the item) if the queue is closed.
+    pub fn put(&self, ctx: &ThreadCtx, item: T) -> bool {
+        let mut g = ctx.enter(&self.monitor);
+        g.wait_until(&self.nonfull, |q| q.closed || q.items.len() < q.capacity);
+        if g.with(|q| q.closed) {
+            return false;
+        }
+        g.with_mut(|q| q.items.push_back(item));
+        g.notify(&self.nonempty);
+        true
+    }
+
+    /// Inserts without blocking; returns the item back if full or closed.
+    pub fn try_put(&self, ctx: &ThreadCtx, item: T) -> Result<(), T> {
+        let mut g = ctx.enter(&self.monitor);
+        let rejected = g.with_mut(|q| {
+            if q.closed || q.items.len() >= q.capacity {
+                Some(item)
+            } else {
+                q.items.push_back(item);
+                None
+            }
+        });
+        match rejected {
+            None => {
+                g.notify(&self.nonempty);
+                Ok(())
+            }
+            Some(item) => Err(item),
+        }
+    }
+
+    /// Removes the next item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed and drained.
+    pub fn take(&self, ctx: &ThreadCtx) -> Option<T> {
+        let mut g = ctx.enter(&self.monitor);
+        g.wait_until(&self.nonempty, |q| q.closed || !q.items.is_empty());
+        let item = g.with_mut(|q| q.items.pop_front());
+        if item.is_some() {
+            g.notify(&self.nonfull);
+        }
+        item
+    }
+
+    /// Removes the next item without blocking.
+    pub fn try_take(&self, ctx: &ThreadCtx) -> Option<T> {
+        let mut g = ctx.enter(&self.monitor);
+        let item = g.with_mut(|q| q.items.pop_front());
+        if item.is_some() {
+            g.notify(&self.nonfull);
+        }
+        item
+    }
+
+    /// Drains everything currently queued without blocking.
+    pub fn drain(&self, ctx: &ThreadCtx) -> Vec<T> {
+        let mut g = ctx.enter(&self.monitor);
+        let items = g.with_mut(|q| q.items.drain(..).collect::<Vec<_>>());
+        if !items.is_empty() {
+            g.broadcast(&self.nonfull);
+        }
+        items
+    }
+
+    /// Current length.
+    pub fn len(&self, ctx: &ThreadCtx) -> usize {
+        let g = ctx.enter(&self.monitor);
+        g.with(|q| q.items.len())
+    }
+
+    /// True if currently empty.
+    pub fn is_empty(&self, ctx: &ThreadCtx) -> bool {
+        self.len(ctx) == 0
+    }
+
+    /// Closes the queue: puts are rejected, takes drain then return
+    /// `None`, and all waiters wake.
+    pub fn close(&self, ctx: &ThreadCtx) {
+        let mut g = ctx.enter(&self.monitor);
+        g.with_mut(|q| q.closed = true);
+        g.broadcast(&self.nonempty);
+        g.broadcast(&self.nonfull);
+    }
+
+    /// True once [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self, ctx: &ThreadCtx) -> bool {
+        let g = ctx.enter(&self.monitor);
+        g.with(|q| q.closed)
+    }
+}
+
+/// Spawns a pump thread: `take` from `input`, transform, `put` to
+/// `output`, charging `cost_per_item` of CPU per item. Exits when the
+/// input closes and drains (closing its output behind it).
+///
+/// Returns the pump thread's id.
+pub fn spawn_pump<T, U, F>(
+    ctx: &ThreadCtx,
+    name: &str,
+    priority: Priority,
+    input: BoundedQueue<T>,
+    output: BoundedQueue<U>,
+    cost_per_item: SimDuration,
+    mut transform: F,
+) -> ThreadId
+where
+    T: Send + 'static,
+    U: Send + 'static,
+    F: FnMut(T) -> Option<U> + Send + 'static,
+{
+    ctx.fork_detached_prio(name, priority, move |ctx| {
+        while let Some(item) = input.take(ctx) {
+            ctx.work(cost_per_item);
+            if let Some(out) = transform(item) {
+                output.put(ctx, out);
+            }
+        }
+        output.close(ctx);
+    })
+    .expect("fork pump")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr::{millis, secs, RunLimit, Sim, SimConfig, StopReason};
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut sim = Sim::new(SimConfig::default());
+        let q = BoundedQueue::new_in_sim(&mut sim, "q", 4, None);
+        let qp = q.clone();
+        let _ = sim.fork_root("producer", Priority::DEFAULT, move |ctx| {
+            for i in 0..20 {
+                qp.put(ctx, i);
+            }
+            qp.close(ctx);
+        });
+        let h = sim.fork_root("consumer", Priority::DEFAULT, move |ctx| {
+            let mut got = Vec::new();
+            while let Some(x) = q.take(ctx) {
+                got.push(x);
+            }
+            got
+        });
+        let r = sim.run(RunLimit::ToCompletion);
+        assert_eq!(r.reason, StopReason::AllExited);
+        assert_eq!(
+            h.into_result().unwrap().unwrap(),
+            (0..20).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn capacity_blocks_producer() {
+        let mut sim = Sim::new(SimConfig::default());
+        let q = BoundedQueue::new_in_sim(&mut sim, "q", 2, None);
+        let qp = q.clone();
+        let produced_at = sim.fork_root("producer", Priority::DEFAULT, move |ctx| {
+            for i in 0..4 {
+                qp.put(ctx, i);
+            }
+            ctx.now()
+        });
+        let q2 = q.clone();
+        let _ = sim.fork_root("slow-consumer", Priority::of(3), move |ctx| {
+            for _ in 0..4 {
+                ctx.sleep_precise(millis(10));
+                q2.take(ctx);
+            }
+        });
+        sim.run(RunLimit::ToCompletion);
+        // Producer could only finish after the consumer drained two slots
+        // (at 10ms and 20ms).
+        let t = produced_at.into_result().unwrap().unwrap();
+        assert!(t.as_micros() >= 20_000, "producer finished at {t}");
+    }
+
+    #[test]
+    fn try_put_and_try_take() {
+        let mut sim = Sim::new(SimConfig::default());
+        let q = BoundedQueue::new_in_sim(&mut sim, "q", 1, None);
+        let h = sim.fork_root("t", Priority::DEFAULT, move |ctx| {
+            assert!(q.try_take(ctx).is_none());
+            assert!(q.try_put(ctx, 1).is_ok());
+            assert_eq!(q.try_put(ctx, 2), Err(2));
+            assert_eq!(q.len(ctx), 1);
+            assert_eq!(q.try_take(ctx), Some(1));
+            assert!(q.is_empty(ctx));
+            true
+        });
+        sim.run(RunLimit::ToCompletion);
+        assert!(h.into_result().unwrap().unwrap());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let mut sim = Sim::new(SimConfig::default());
+        let q: BoundedQueue<u8> = BoundedQueue::new_in_sim(&mut sim, "q", 2, None);
+        let qc = q.clone();
+        let h = sim.fork_root("consumer", Priority::DEFAULT, move |ctx| qc.take(ctx));
+        let _ = sim.fork_root("closer", Priority::of(3), move |ctx| {
+            ctx.sleep_precise(millis(5));
+            q.close(ctx);
+        });
+        let r = sim.run(RunLimit::For(secs(2)));
+        assert_eq!(r.reason, StopReason::AllExited);
+        assert_eq!(h.into_result().unwrap().unwrap(), None);
+    }
+
+    #[test]
+    fn pipeline_of_pumps() {
+        // Three-stage pipeline: source -> double -> stringify -> sink.
+        let mut sim = Sim::new(SimConfig::default());
+        let a: BoundedQueue<u32> = BoundedQueue::new_in_sim(&mut sim, "a", 8, None);
+        let b: BoundedQueue<u32> = BoundedQueue::new_in_sim(&mut sim, "b", 8, None);
+        let c: BoundedQueue<String> = BoundedQueue::new_in_sim(&mut sim, "c", 8, None);
+        let (a0, a1) = (a.clone(), a);
+        let (b0, b1) = (b.clone(), b);
+        let (c0, c1) = (c.clone(), c);
+        let _ = sim.fork_root("driver", Priority::DEFAULT, move |ctx| {
+            spawn_pump(ctx, "double", Priority::DEFAULT, a1, b0, millis(1), |x| {
+                Some(x * 2)
+            });
+            spawn_pump(
+                ctx,
+                "stringify",
+                Priority::DEFAULT,
+                b1,
+                c0,
+                millis(1),
+                |x| Some(format!("v{x}")),
+            );
+            for i in 0..5 {
+                a0.put(ctx, i);
+            }
+            a0.close(ctx);
+        });
+        let h = sim.fork_root("sink", Priority::DEFAULT, move |ctx| {
+            let mut got = Vec::new();
+            while let Some(s) = c1.take(ctx) {
+                got.push(s);
+            }
+            got
+        });
+        let r = sim.run(RunLimit::For(secs(5)));
+        assert_eq!(r.reason, StopReason::AllExited);
+        assert_eq!(
+            h.into_result().unwrap().unwrap(),
+            vec!["v0", "v2", "v4", "v6", "v8"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let mut sim = Sim::new(SimConfig::default());
+        let _: BoundedQueue<u8> = BoundedQueue::new_in_sim(&mut sim, "q", 0, None);
+    }
+
+    #[test]
+    fn put_after_close_rejected() {
+        let mut sim = Sim::new(SimConfig::default());
+        let q = BoundedQueue::new_in_sim(&mut sim, "q", 2, None);
+        let h = sim.fork_root("t", Priority::DEFAULT, move |ctx| {
+            q.close(ctx);
+            assert!(q.is_closed(ctx));
+            !q.put(ctx, 9)
+        });
+        sim.run(RunLimit::ToCompletion);
+        assert!(h.into_result().unwrap().unwrap());
+    }
+}

@@ -1,0 +1,224 @@
+//! Task rejuvenation (§4.5): "This thread is in trouble. Ok let's make
+//! two of them!"
+//!
+//! When a thread reaches a state it cannot recover from in place
+//! (uncaught exception, stack overflow), a *new* copy of the service is
+//! forked. The paper calls the paradigm counter-intuitive but credits it
+//! with "add\[ing\] significantly to the robustness of our systems", while
+//! warning that "its ability to mask underlying design problems suggests
+//! that it be used with caution."
+
+use pcr::{JoinError, Priority, SimDuration, ThreadCtx};
+
+/// Why a supervised service finally stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceEnd {
+    /// The service body returned normally.
+    Completed,
+    /// The restart budget was exhausted; the last panic message is kept.
+    GaveUp(String),
+}
+
+/// Outcome of a supervised run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RejuvenationReport {
+    /// Times the service was (re)started, including the first start.
+    pub starts: u32,
+    /// How it ended.
+    pub end: ServiceEnd,
+}
+
+/// Runs `service` under a rejuvenating supervisor: on panic, a fresh
+/// copy is forked (after `backoff` of sleep), up to `max_restarts`
+/// restarts. Blocks until the service completes or the budget runs out.
+///
+/// The factory receives the attempt number (0-based) so the service can
+/// know it is a rejuvenated copy.
+pub fn supervise<F, B>(
+    ctx: &ThreadCtx,
+    name: &str,
+    priority: Priority,
+    max_restarts: u32,
+    backoff: SimDuration,
+    factory: F,
+) -> RejuvenationReport
+where
+    F: Fn(u32) -> B,
+    B: FnOnce(&ThreadCtx) + Send + 'static,
+{
+    let mut starts = 0;
+    loop {
+        let body = factory(starts);
+        starts += 1;
+        let handle = ctx
+            .fork_prio(&format!("{name}#{}", starts - 1), priority, body)
+            .expect("fork supervised service");
+        match ctx.join(handle) {
+            Ok(()) => {
+                return RejuvenationReport {
+                    starts,
+                    end: ServiceEnd::Completed,
+                }
+            }
+            Err(JoinError::Panicked(msg)) => {
+                if starts > max_restarts {
+                    return RejuvenationReport {
+                        starts,
+                        end: ServiceEnd::GaveUp(msg),
+                    };
+                }
+                if !backoff.is_zero() {
+                    ctx.sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+/// The dispatcher shape from §4.5: a long-lived loop making *unforked*
+/// callbacks (they are short and on the critical path), protected by
+/// task rejuvenation — if a callback panics, a new copy of the
+/// dispatcher keeps running from the next event.
+///
+/// `next_event` produces events (`None` ends the dispatch loop);
+/// `dispatch` may panic. Returns (events dispatched, rejuvenations);
+/// the event count is a lower bound, because a dying incarnation's tally
+/// is lost with it (only the poison event itself is re-counted).
+pub fn rejuvenating_dispatcher<E, N, D>(
+    ctx: &ThreadCtx,
+    name: &str,
+    priority: Priority,
+    max_restarts: u32,
+    next_event: N,
+    dispatch: D,
+) -> (u64, u32)
+where
+    E: Send + 'static,
+    N: Fn(&ThreadCtx) -> Option<E> + Send + Sync + Clone + 'static,
+    D: Fn(&ThreadCtx, E) + Send + Sync + Clone + 'static,
+{
+    let mut restarts = 0;
+    let mut total: u64 = 0;
+    loop {
+        let ne = next_event.clone();
+        let dp = dispatch.clone();
+        let handle = ctx
+            .fork_prio(&format!("{name}#{restarts}"), priority, move |ctx| {
+                let mut n: u64 = 0;
+                while let Some(ev) = ne(ctx) {
+                    dp(ctx, ev); // Unforked callback: fast but vulnerable.
+                    n += 1;
+                }
+                n
+            })
+            .expect("fork dispatcher");
+        match ctx.join(handle) {
+            Ok(n) => return (total + n, restarts),
+            Err(JoinError::Panicked(_)) => {
+                // The count from the dead dispatcher is lost with it; the
+                // rejuvenated copy resumes from the next event.
+                restarts += 1;
+                total += 1; // The event whose callback panicked was consumed.
+                if restarts > max_restarts {
+                    return (total, restarts);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr::{millis, secs, Monitor, RunLimit, Sim, SimConfig};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn service_that_succeeds_first_try() {
+        let mut sim = Sim::new(SimConfig::default());
+        let h = sim.fork_root("sup", Priority::DEFAULT, move |ctx| {
+            supervise(ctx, "svc", Priority::DEFAULT, 3, millis(10), |_attempt| {
+                |ctx: &ThreadCtx| ctx.work(millis(1))
+            })
+        });
+        sim.run(RunLimit::For(secs(2)));
+        let report = h.into_result().unwrap().unwrap();
+        assert_eq!(report.starts, 1);
+        assert_eq!(report.end, ServiceEnd::Completed);
+    }
+
+    #[test]
+    fn service_rejuvenates_until_success() {
+        let mut sim = Sim::new(SimConfig::default());
+        let h = sim.fork_root("sup", Priority::DEFAULT, move |ctx| {
+            supervise(ctx, "flaky", Priority::DEFAULT, 5, millis(10), |attempt| {
+                move |ctx: &ThreadCtx| {
+                    ctx.work(millis(1));
+                    if attempt < 3 {
+                        panic!("crash on attempt {attempt}");
+                    }
+                }
+            })
+        });
+        sim.run(RunLimit::For(secs(5)));
+        let report = h.into_result().unwrap().unwrap();
+        assert_eq!(report.starts, 4); // Attempts 0, 1, 2 crash; 3 succeeds.
+        assert_eq!(report.end, ServiceEnd::Completed);
+    }
+
+    #[test]
+    fn service_gives_up_after_budget() {
+        let mut sim = Sim::new(SimConfig::default());
+        let h = sim.fork_root("sup", Priority::DEFAULT, move |ctx| {
+            supervise(ctx, "doomed", Priority::DEFAULT, 2, millis(1), |_| {
+                |_ctx: &ThreadCtx| panic!("always broken")
+            })
+        });
+        sim.run(RunLimit::For(secs(5)));
+        let report = h.into_result().unwrap().unwrap();
+        assert_eq!(report.starts, 3); // Initial + 2 restarts.
+        assert_eq!(report.end, ServiceEnd::GaveUp("always broken".to_string()));
+    }
+
+    #[test]
+    fn dispatcher_survives_poison_event() {
+        // 20 events; event #7 makes the (unforked) callback panic. The
+        // rejuvenated dispatcher keeps delivering the rest.
+        let mut sim = Sim::new(SimConfig::default());
+        let delivered: Monitor<Vec<u32>> = sim.monitor("delivered", Vec::new());
+        let d = delivered.clone();
+        let h = sim.fork_root("input", Priority::of(6), move |ctx| {
+            let counter = Arc::new(AtomicU32::new(0));
+            let d2 = d.clone();
+            let (n, restarts) = rejuvenating_dispatcher(
+                ctx,
+                "dispatcher",
+                Priority::of(6),
+                3,
+                move |_ctx| {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    (i < 20).then_some(i)
+                },
+                move |ctx, ev: u32| {
+                    if ev == 7 {
+                        panic!("client callback error");
+                    }
+                    let mut g = ctx.enter(&d2);
+                    g.with_mut(|v| v.push(ev));
+                },
+            );
+            let g = ctx.enter(&d);
+            (n, restarts, g.with(|v| v.clone()))
+        });
+        sim.run(RunLimit::For(secs(5)));
+        let (n, restarts, delivered) = h.into_result().unwrap().unwrap();
+        assert_eq!(restarts, 1);
+        // The dead incarnation's tally is lost with it; the returned count
+        // is a lower bound (poison event + successor's events).
+        assert!(n >= 13, "n = {n}");
+        assert_eq!(delivered.len(), 19); // All but the poison event.
+        assert!(!delivered.contains(&7));
+        assert!(delivered.contains(&19));
+    }
+}

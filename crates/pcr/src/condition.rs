@@ -1,0 +1,60 @@
+//! Condition variables.
+//!
+//! Each condition variable belongs to one monitor and represents a state
+//! of that monitor's data (a *condition*) plus a queue of threads waiting
+//! for the condition to become true. WAITs may time out: the timeout
+//! interval is a property of the CV, set at creation, and deadlines are
+//! quantized to the runtime's timer granularity (50 ms in PCR).
+
+use std::fmt;
+
+use crate::event::CondId;
+use crate::monitor::MonitorId;
+use crate::time::SimDuration;
+
+/// A condition variable handle.
+///
+/// Cloning the handle refers to the same queue. NOTIFY has *exactly one
+/// waiter wakens* semantics and is only a performance hint: waiters must
+/// re-check their predicate, so BROADCAST can always be substituted
+/// without affecting correctness (§2).
+#[derive(Clone)]
+pub struct Condition {
+    pub(crate) id: CondId,
+    pub(crate) monitor: MonitorId,
+    pub(crate) name: String,
+    pub(crate) timeout: Option<SimDuration>,
+}
+
+impl Condition {
+    /// The CV's identity in the event stream.
+    pub fn id(&self) -> CondId {
+        self.id
+    }
+
+    /// The monitor this CV belongs to.
+    pub fn monitor_id(&self) -> MonitorId {
+        self.monitor
+    }
+
+    /// The CV's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The timeout interval associated with this CV, if any.
+    pub fn timeout(&self) -> Option<SimDuration> {
+        self.timeout
+    }
+}
+
+impl fmt::Debug for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condition")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("monitor", &self.monitor)
+            .field("timeout", &self.timeout)
+            .finish()
+    }
+}

@@ -1,0 +1,432 @@
+//! The API simulated code calls: `ThreadCtx`.
+//!
+//! Every simulated thread body receives a `&ThreadCtx`. All interaction
+//! with the runtime — forking, joining, working, sleeping, yielding,
+//! monitors, condition variables — goes through it. Between two calls the
+//! thread's Rust code executes in zero virtual time; virtual CPU is
+//! consumed explicitly with [`ThreadCtx::work`].
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::condition::Condition;
+use crate::error::{ForkError, JoinError};
+use crate::event::WaitOutcome;
+use crate::monitor::{Monitor, MonitorGuard, MonitorId};
+use crate::rendezvous::{BodyFn, ForkSpec, Reply, Request, ShutdownSignal, ThreadChannels};
+use crate::rng::SplitMix64;
+use crate::thread::{JoinHandle, Priority, ResultSlot, ThreadId};
+use crate::time::{SimDuration, SimTime};
+
+/// Options for [`ThreadCtx::fork_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ForkOpts {
+    /// Initial priority; `None` inherits the forker's priority.
+    pub priority: Option<Priority>,
+    /// Create the thread already detached.
+    pub detached: bool,
+}
+
+impl ForkOpts {
+    /// Sets an explicit initial priority.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = Some(p);
+        self
+    }
+
+    /// Marks the thread as detached at creation.
+    pub fn detached(mut self) -> Self {
+        self.detached = true;
+        self
+    }
+}
+
+/// A simulated thread's handle to the runtime.
+///
+/// Not `Clone` and not shareable across threads: it embodies the calling
+/// thread's identity. Simulated code must not perform *real* blocking
+/// (OS sleeps, real locks held across calls); the simulation models time
+/// itself.
+pub struct ThreadCtx {
+    pub(crate) tid: ThreadId,
+    pub(crate) name: String,
+    pub(crate) channels: ThreadChannels,
+    pub(crate) clock: Arc<AtomicU64>,
+    pub(crate) shutting_down: Cell<bool>,
+    pub(crate) priority: Cell<Priority>,
+    pub(crate) seed: u64,
+}
+
+impl ThreadCtx {
+    /// This thread's identity.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// This thread's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This thread's current priority.
+    pub fn priority(&self) -> Priority {
+        self.priority.get()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.clock.load(Ordering::Relaxed))
+    }
+
+    /// A deterministic per-thread random generator, derived from the
+    /// simulation seed and this thread's id.
+    pub fn rng(&self) -> SplitMix64 {
+        SplitMix64::new(
+            self.seed ^ (self.tid.as_u32() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+
+    // ---- core rendezvous ------------------------------------------------
+
+    fn call(&self, req: Request) -> Reply {
+        if self.shutting_down.get() {
+            std::panic::panic_any(ShutdownSignal);
+        }
+        if self.channels.req_tx.send((self.tid, req)).is_err() {
+            self.enter_shutdown();
+        }
+        match self.channels.reply_rx.recv() {
+            Ok(Reply::Shutdown) | Err(_) => self.enter_shutdown(),
+            Ok(Reply::Fault(msg)) => panic!("{msg}"),
+            Ok(r) => r,
+        }
+    }
+
+    fn enter_shutdown(&self) -> ! {
+        self.shutting_down.set(true);
+        std::panic::panic_any(ShutdownSignal)
+    }
+
+    // ---- thread lifecycle ----------------------------------------------
+
+    /// FORKs a thread running `f`, returning a handle to JOIN.
+    ///
+    /// Under [`crate::ForkPolicy::WaitForResources`] this may block until a
+    /// thread slot frees up; under [`crate::ForkPolicy::Error`] it returns
+    /// [`ForkError::ResourcesExhausted`] at the limit (§5.4).
+    pub fn fork<T, F>(&self, name: &str, f: F) -> Result<JoinHandle<T>, ForkError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&ThreadCtx) -> T + Send + 'static,
+    {
+        self.fork_with(name, ForkOpts::default(), f)
+    }
+
+    /// FORKs at an explicit priority.
+    pub fn fork_prio<T, F>(
+        &self,
+        name: &str,
+        priority: Priority,
+        f: F,
+    ) -> Result<JoinHandle<T>, ForkError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&ThreadCtx) -> T + Send + 'static,
+    {
+        self.fork_with(name, ForkOpts::default().priority(priority), f)
+    }
+
+    /// FORKs a detached thread (it will never be JOINed).
+    pub fn fork_detached<F>(&self, name: &str, f: F) -> Result<ThreadId, ForkError>
+    where
+        F: FnOnce(&ThreadCtx) + Send + 'static,
+    {
+        self.fork_with(name, ForkOpts::default().detached(), f)
+            .map(|h| h.tid)
+    }
+
+    /// FORKs a detached thread at an explicit priority.
+    pub fn fork_detached_prio<F>(
+        &self,
+        name: &str,
+        priority: Priority,
+        f: F,
+    ) -> Result<ThreadId, ForkError>
+    where
+        F: FnOnce(&ThreadCtx) + Send + 'static,
+    {
+        self.fork_with(name, ForkOpts::default().detached().priority(priority), f)
+            .map(|h| h.tid)
+    }
+
+    /// FORKs with explicit options.
+    pub fn fork_with<T, F>(
+        &self,
+        name: &str,
+        opts: ForkOpts,
+        f: F,
+    ) -> Result<JoinHandle<T>, ForkError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&ThreadCtx) -> T + Send + 'static,
+    {
+        let slot: ResultSlot<T> = Arc::new(Mutex::new(None));
+        let body = wrap_body(f, Arc::clone(&slot));
+        match self.call(Request::Fork(ForkSpec {
+            name: name.to_string(),
+            priority: opts.priority,
+            detached: opts.detached,
+            body,
+        })) {
+            Reply::Forked(tid) => Ok(JoinHandle { tid, slot }),
+            Reply::ForkFailed => Err(ForkError::ResourcesExhausted),
+            r => unreachable!("fork: unexpected reply {r:?}"),
+        }
+    }
+
+    /// JOINs a forked thread, returning the value its body returned, or
+    /// the panic message if it panicked. Consumes the handle: a thread may
+    /// be JOINed at most once.
+    pub fn join<T>(&self, handle: JoinHandle<T>) -> Result<T, JoinError> {
+        match self.call(Request::Join(handle.tid)) {
+            Reply::Joined => handle.take_result(),
+            r => unreachable!("join: unexpected reply {r:?}"),
+        }
+    }
+
+    /// DETACHes a forked thread, telling the runtime to recycle its
+    /// resources when it terminates.
+    pub fn detach<T>(&self, handle: JoinHandle<T>) {
+        let _ = self.call(Request::Detach(handle.tid));
+    }
+
+    // ---- time -----------------------------------------------------------
+
+    /// Consumes `d` of virtual CPU time. Preemptible: higher-priority
+    /// wakeups and quantum expiry can interleave other threads.
+    pub fn work(&self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        let _ = self.call(Request::Work(d));
+    }
+
+    /// Sleeps for at least `d`. Like PCR timeouts, the wake time is
+    /// quantized to the timer granularity: "the smallest sleep interval is
+    /// the remainder of the scheduler quantum" (§6.3).
+    pub fn sleep(&self, d: SimDuration) {
+        let _ = self.call(Request::Sleep { d, precise: false });
+    }
+
+    /// Sleeps for exactly `d`, unquantized. Models waiting for an external
+    /// device event delivered by the host OS rather than by PCR's timer
+    /// (keyboard interrupts, network packets).
+    pub fn sleep_precise(&self, d: SimDuration) {
+        let _ = self.call(Request::Sleep { d, precise: true });
+    }
+
+    // ---- scheduling -----------------------------------------------------
+
+    /// YIELDs the processor; its only purpose is to cause the scheduler to
+    /// run.
+    pub fn yield_now(&self) {
+        let _ = self.call(Request::Yield);
+    }
+
+    /// `YieldButNotToMe` (§5.2): gives the processor to the highest
+    /// priority ready thread *other than the caller*, if such a thread
+    /// exists. The favored thread is shielded from preemption by the
+    /// caller until its timeslice ends.
+    pub fn yield_but_not_to_me(&self) {
+        let _ = self.call(Request::YieldButNotToMe);
+    }
+
+    /// Donates a timeslice to a specific ready thread (directed yield).
+    /// No-op if the target is not ready.
+    pub fn directed_yield(&self, target: ThreadId, slice: SimDuration) {
+        let _ = self.call(Request::DirectedYield { target, slice });
+    }
+
+    /// Donates a timeslice to a randomly chosen ready thread — the
+    /// SystemDaemon's proportional-scheduling hack (§6.2).
+    pub fn donate_random(&self, slice: SimDuration) {
+        let _ = self.call(Request::DonateRandom { slice });
+    }
+
+    /// Changes this thread's priority.
+    pub fn set_priority(&self, p: Priority) {
+        self.priority.set(p);
+        let _ = self.call(Request::SetPriority(p));
+    }
+
+    // ---- monitors and condition variables --------------------------------
+
+    /// Enters `m`, blocking if another thread is inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics on recursive entry: Mesa monitors are not re-entrant and a
+    /// recursive ENTER would self-deadlock.
+    pub fn enter<'a, T: Send + 'static>(&'a self, m: &'a Monitor<T>) -> MonitorGuard<'a, T> {
+        match self.call(Request::MonitorEnter(m.id)) {
+            Reply::Ok => MonitorGuard {
+                ctx: self,
+                monitor: m,
+                active: true,
+            },
+            r => unreachable!("enter: unexpected reply {r:?}"),
+        }
+    }
+
+    pub(crate) fn monitor_exit(&self, mid: MonitorId) {
+        if self.shutting_down.get() {
+            return;
+        }
+        if self
+            .channels
+            .req_tx
+            .send((self.tid, Request::MonitorExit(mid)))
+            .is_err()
+        {
+            self.shutting_down.set(true);
+            return;
+        }
+        match self.channels.reply_rx.recv() {
+            Ok(Reply::Shutdown) | Err(_) => {
+                self.shutting_down.set(true);
+                // Unwind unless we are already unwinding (a panic inside a
+                // panic would abort the process).
+                if !std::thread::panicking() {
+                    std::panic::panic_any(ShutdownSignal);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// WAITs on `cv`, atomically releasing the guard's monitor, queueing
+    /// on the CV, and re-entering the monitor before returning.
+    ///
+    /// Mesa semantics: the condition is *not* guaranteed to hold on
+    /// return; re-check it in a loop (or use
+    /// [`MonitorGuard::wait_until`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cv` belongs to a different monitor than `guard`.
+    pub fn wait<T: Send + 'static>(
+        &self,
+        guard: &mut MonitorGuard<'_, T>,
+        cv: &Condition,
+    ) -> WaitOutcome {
+        assert_eq!(
+            guard.monitor.id, cv.monitor,
+            "WAIT: condition {:?} does not belong to monitor {:?}",
+            cv.id, guard.monitor.id
+        );
+        match self.call(Request::CvWait { cv: cv.id }) {
+            Reply::Wait(outcome) => outcome,
+            r => unreachable!("wait: unexpected reply {r:?}"),
+        }
+    }
+
+    /// NOTIFYs `cv`: makes exactly one waiter runnable, if any is queued.
+    /// Requires the monitor to be held, which the guard proves.
+    pub fn notify<T: Send + 'static>(&self, guard: &MonitorGuard<'_, T>, cv: &Condition) {
+        assert_eq!(
+            guard.monitor.id, cv.monitor,
+            "NOTIFY: condition {:?} does not belong to monitor {:?}",
+            cv.id, guard.monitor.id
+        );
+        let _ = self.call(Request::Notify { cv: cv.id });
+    }
+
+    /// BROADCASTs `cv`: makes every waiter runnable.
+    pub fn broadcast<T: Send + 'static>(&self, guard: &MonitorGuard<'_, T>, cv: &Condition) {
+        assert_eq!(
+            guard.monitor.id, cv.monitor,
+            "BROADCAST: condition {:?} does not belong to monitor {:?}",
+            cv.id, guard.monitor.id
+        );
+        let _ = self.call(Request::Broadcast { cv: cv.id });
+    }
+
+    /// Creates a monitor at run time.
+    pub fn new_monitor<T: Send + 'static>(&self, name: &str, data: T) -> Monitor<T> {
+        match self.call(Request::NewMonitor {
+            name: name.to_string(),
+        }) {
+            Reply::MonitorId(id) => Monitor::new(id, name, data),
+            r => unreachable!("new_monitor: unexpected reply {r:?}"),
+        }
+    }
+
+    /// Creates a condition variable on `m` at run time.
+    pub fn new_condition<T: Send + 'static>(
+        &self,
+        m: &Monitor<T>,
+        name: &str,
+        timeout: Option<SimDuration>,
+    ) -> Condition {
+        match self.call(Request::NewCondition {
+            name: name.to_string(),
+            monitor: m.id,
+            timeout,
+        }) {
+            Reply::CondId(id) => Condition {
+                id,
+                monitor: m.id,
+                name: name.to_string(),
+                timeout,
+            },
+            r => unreachable!("new_condition: unexpected reply {r:?}"),
+        }
+    }
+
+    pub(crate) fn send_exit(&self, panicked: bool) {
+        if self.shutting_down.get() {
+            return;
+        }
+        let _ = self
+            .channels
+            .req_tx
+            .send((self.tid, Request::Exit { panicked }));
+    }
+}
+
+/// Wraps a user body for result capture and panic handling.
+pub(crate) fn wrap_body<T: Send + 'static>(
+    f: impl FnOnce(&ThreadCtx) -> T + Send + 'static,
+    slot: ResultSlot<T>,
+) -> BodyFn {
+    Box::new(move |ctx: &ThreadCtx| {
+        match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+            Ok(v) => {
+                *slot.lock().expect("result slot poisoned") = Some(Ok(v));
+                ctx.send_exit(false);
+            }
+            Err(payload) => {
+                if payload.is::<ShutdownSignal>() {
+                    // Teardown unwind: vanish quietly.
+                    return;
+                }
+                let msg = panic_message(payload.as_ref());
+                *slot.lock().expect("result slot poisoned") = Some(Err(msg));
+                ctx.send_exit(true);
+            }
+        }
+    })
+}
+
+/// Extracts a readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

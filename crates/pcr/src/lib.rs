@@ -1,0 +1,117 @@
+//! # pcr — a deterministic reimplementation of the Portable Common Runtime's thread model
+//!
+//! This crate rebuilds, as a virtual-time simulation, the user-level
+//! thread runtime underneath the two systems studied in *Using Threads in
+//! Interactive Systems: A Case Study* (Hauser, Jacobi, Theimer, Welch,
+//! Weiser; SOSP 1993): Xerox PARC's **Portable Common Runtime** (PCR)
+//! implementing the **Mesa thread model**.
+//!
+//! The model (paper §2):
+//!
+//! * multiple lightweight, **pre-emptively scheduled threads** sharing an
+//!   address space, created with FORK and reaped with JOIN (at most once)
+//!   or DETACH;
+//! * **monitors**: a mutual-exclusion lock bound to the data it protects
+//!   ([`Monitor`], entered via [`ThreadCtx::enter`]);
+//! * **condition variables** with per-CV timeout intervals, NOTIFY with
+//!   *exactly one waiter wakens* semantics, and BROADCAST; waiters must
+//!   re-check their predicate ("WAIT only in a loop");
+//! * **7 strict priorities** with round-robin among equal priorities, a
+//!   **50 ms timeslice**, and preemption even while holding monitor locks;
+//! * YIELD, the paper's `YieldButNotToMe`, directed yields, and the
+//!   SystemDaemon that donates random slices to overcome stable priority
+//!   inversions (§6.2);
+//! * the §6.1 NOTIFY fix (defer rescheduling until monitor exit) as a
+//!   configurable [`NotifyMode`];
+//! * fork-failure policies (§5.4) and the per-monitor metalock with
+//!   optional cycle donation (§6.2).
+//!
+//! ## How the simulation works
+//!
+//! Each simulated thread runs on a real OS thread, but the scheduler
+//! unparks exactly one at a time; user code between two runtime calls
+//! executes in zero virtual time, and virtual CPU is consumed explicitly
+//! with [`ThreadCtx::work`]. All scheduling state lives in [`Sim`], so a
+//! given configuration and seed replays identically — which is what makes
+//! the paper's tables reproducible as deterministic experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use pcr::{millis, Priority, RunLimit, Sim, SimConfig};
+//!
+//! let mut sim = Sim::new(SimConfig::default());
+//! let queue = sim.monitor("queue", Vec::<u32>::new());
+//! let nonempty = sim.condition(&queue, "nonempty", Some(millis(50)));
+//!
+//! let (qc, cv) = (queue.clone(), nonempty.clone());
+//! sim.fork_root("consumer", Priority::of(5), move |ctx| {
+//!     let mut g = ctx.enter(&qc);
+//!     g.wait_until(&cv, |q| !q.is_empty());
+//!     g.with_mut(|q| q.pop().unwrap())
+//! });
+//! let (qp, cv2) = (queue, nonempty);
+//! sim.fork_root("producer", Priority::of(4), move |ctx| {
+//!     ctx.work(millis(3));
+//!     let mut g = ctx.enter(&qp);
+//!     g.with_mut(|q| q.push(7));
+//!     g.notify(&cv2);
+//! });
+//!
+//! let report = sim.run(RunLimit::ToCompletion);
+//! assert!(!report.deadlocked());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod condition;
+mod config;
+mod ctx;
+mod error;
+mod event;
+mod monitor;
+pub mod mp;
+mod rendezvous;
+mod rng;
+mod sched;
+mod thread;
+mod time;
+mod timer;
+pub mod weakmem;
+
+pub use condition::Condition;
+pub use config::{ForkPolicy, NotifyMode, SimConfig, SystemDaemonConfig};
+pub use ctx::{ForkOpts, ThreadCtx};
+pub use error::{BlockedThread, DeadlockReport, ForkError, JoinError, RunReport, StopReason};
+pub use event::{
+    CondId, Event, EventKind, MultiSink, NullSink, TraceSink, VecSink, WaitOutcome, YieldKind,
+};
+pub use monitor::{Monitor, MonitorGuard, MonitorId};
+pub use mp::MpSim;
+pub use rng::SplitMix64;
+pub use sched::{RunLimit, Sim, SimStats};
+pub use thread::{JoinHandle, Priority, ThreadId, ThreadInfo};
+pub use time::{micros, millis, secs, SimDuration, SimTime};
+
+use std::sync::Once;
+
+static PANIC_SILENCER: Once = Once::new();
+
+/// Installs a process-wide panic hook that suppresses the runtime's
+/// internal teardown unwinds (every simulated thread is unwound with a
+/// private payload when a [`Sim`] is dropped) while chaining every other
+/// panic to the previously installed hook.
+///
+/// Called automatically by [`Sim::new`]; safe to call repeatedly.
+pub(crate) fn install_panic_silencer() {
+    PANIC_SILENCER.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<rendezvous::ShutdownSignal>() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}

@@ -1,0 +1,127 @@
+//! The baton protocol between simulated threads and the scheduler.
+//!
+//! Each simulated thread runs on its own OS thread, but exactly one is
+//! ever unparked: the scheduler resumes a thread by sending it a
+//! [`Reply`], then blocks until that thread sends its next [`Request`].
+//! User code between two requests executes in zero virtual time; virtual
+//! time advances only through explicit costs processed by the scheduler.
+//! All scheduling state therefore lives on the scheduler's side and the
+//! simulation is deterministic.
+
+use std::sync::mpsc;
+
+use crate::event::{CondId, WaitOutcome};
+use crate::monitor::MonitorId;
+use crate::thread::{Priority, ThreadId};
+use crate::time::SimDuration;
+
+/// A simulated thread body, already wrapped for result capture and panic
+/// handling.
+pub(crate) type BodyFn = Box<dyn FnOnce(&crate::ctx::ThreadCtx) + Send + 'static>;
+
+/// Everything the scheduler needs to create a thread.
+pub(crate) struct ForkSpec {
+    pub name: String,
+    pub priority: Option<Priority>,
+    pub detached: bool,
+    pub body: BodyFn,
+}
+
+impl std::fmt::Debug for ForkSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForkSpec")
+            .field("name", &self.name)
+            .field("priority", &self.priority)
+            .field("detached", &self.detached)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A request from the running thread to the scheduler.
+#[derive(Debug)]
+pub(crate) enum Request {
+    /// Create a thread.
+    Fork(ForkSpec),
+    /// Wait for a thread to exit.
+    Join(ThreadId),
+    /// Mark a thread as never-to-be-joined.
+    Detach(ThreadId),
+    /// Consume virtual CPU time (preemptible).
+    Work(SimDuration),
+    /// Sleep. `precise` sleeps wake exactly on time (modelling external
+    /// device events delivered by the host OS); plain sleeps are quantized
+    /// to the timer granularity like PCR timeouts.
+    Sleep { d: SimDuration, precise: bool },
+    /// Plain YIELD.
+    Yield,
+    /// `YieldButNotToMe` (§5.2).
+    YieldButNotToMe,
+    /// Directed yield: donate `slice` to `target` if it is ready.
+    DirectedYield {
+        target: ThreadId,
+        slice: SimDuration,
+    },
+    /// Donate `slice` to a randomly chosen ready thread (SystemDaemon).
+    DonateRandom { slice: SimDuration },
+    /// Change own priority.
+    SetPriority(Priority),
+    /// Enter a monitor.
+    MonitorEnter(MonitorId),
+    /// Exit a monitor.
+    MonitorExit(MonitorId),
+    /// Atomically exit the CV's monitor and wait on the CV.
+    CvWait { cv: CondId },
+    /// Wake at most one waiter.
+    Notify { cv: CondId },
+    /// Wake all waiters.
+    Broadcast { cv: CondId },
+    /// Allocate a monitor id.
+    NewMonitor { name: String },
+    /// Allocate a condition-variable id.
+    NewCondition {
+        name: String,
+        monitor: MonitorId,
+        timeout: Option<SimDuration>,
+    },
+    /// Thread terminated (normally or by panic). No reply follows.
+    Exit { panicked: bool },
+}
+
+/// The scheduler's reply that resumes a parked thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Reply {
+    /// Generic completion.
+    Ok,
+    /// Fork succeeded.
+    Forked(ThreadId),
+    /// Fork failed under [`crate::ForkPolicy::Error`].
+    ForkFailed,
+    /// Join target has exited.
+    Joined,
+    /// A CV wait finished with this outcome.
+    Wait(WaitOutcome),
+    /// Fresh monitor id.
+    MonitorId(MonitorId),
+    /// Fresh condition id.
+    CondId(CondId),
+    /// The request was illegal (recursive monitor entry, exiting an
+    /// unowned monitor, CV op without the lock...). The thread panics
+    /// with this message; the simulation continues.
+    Fault(String),
+    /// The simulation is tearing down: unwind out of the thread body.
+    Shutdown,
+}
+
+/// Panic payload used to unwind a simulated thread at shutdown.
+pub(crate) struct ShutdownSignal;
+
+/// The channel endpoints a simulated thread holds.
+pub(crate) struct ThreadChannels {
+    pub req_tx: mpsc::Sender<(ThreadId, Request)>,
+    pub reply_rx: mpsc::Receiver<Reply>,
+}
+
+/// Creates the per-thread reply channel.
+pub(crate) fn reply_channel() -> (mpsc::Sender<Reply>, mpsc::Receiver<Reply>) {
+    mpsc::channel()
+}

@@ -1,0 +1,154 @@
+//! A small deterministic PRNG for scheduler decisions and workload jitter.
+//!
+//! The simulator must replay identically from a seed across library
+//! versions, so it uses its own SplitMix64 instead of an external crate
+//! whose stream might change between releases. SplitMix64 is the seeding
+//! generator from Vigna's xoshiro family; its output quality is more than
+//! adequate for picking donation targets and jittering arrival times.
+
+/// Deterministic SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds produce equal streams.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniformly distributed value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below: bound must be positive");
+        // Debiased multiply-shift (Lemire). The retry loop rejects the
+        // small biased region; it terminates quickly with overwhelming
+        // probability.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns an exponentially distributed value with the given mean.
+    ///
+    /// Used to model Poisson arrival processes (keystrokes, mouse events,
+    /// transient-fork inter-arrival times) in the synthetic workloads.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        // Avoid ln(0) by nudging the uniform sample away from zero.
+        let u = self.next_f64().max(1e-12);
+        -mean * u.ln()
+    }
+
+    /// Picks a random element index for a slice of length `len`, or `None`
+    /// for an empty slice.
+    pub fn pick_index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.next_below(len as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = SplitMix64::new(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_range() {
+        let mut r = SplitMix64::new(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.next_below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let mut r = SplitMix64::new(11);
+        let n = 20_000;
+        let mean = 5.0;
+        let total: f64 = (0..n).map(|_| r.next_exp(mean)).sum();
+        let observed = total / n as f64;
+        assert!(
+            (observed - mean).abs() < 0.25,
+            "observed mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn pick_index_handles_empty() {
+        let mut r = SplitMix64::new(5);
+        assert_eq!(r.pick_index(0), None);
+        assert!(r.pick_index(3).is_some());
+    }
+}

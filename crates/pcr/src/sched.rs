@@ -1,0 +1,1346 @@
+//! The scheduler: strict priorities, round-robin timeslicing, preemption,
+//! yields and slice donation, monitors, and condition variables.
+//!
+//! [`Sim`] owns every piece of scheduling state and advances the virtual
+//! clock. Simulated threads interact with it through the rendezvous
+//! protocol in [`crate::rendezvous`]; exactly one simulated thread is ever
+//! unparked, so the whole simulation is single-threaded in effect and
+//! deterministic for a given configuration and seed.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use crate::condition::Condition;
+use crate::config::{ForkPolicy, NotifyMode, SimConfig};
+use crate::ctx::{wrap_body, ThreadCtx};
+use crate::error::{BlockedThread, DeadlockReport, RunReport, StopReason};
+use crate::event::{CondId, Event, EventKind, TraceSink, WaitOutcome, YieldKind};
+use crate::monitor::{Monitor, MonitorId};
+use crate::rendezvous::{reply_channel, ForkSpec, Reply, Request, ThreadChannels};
+use crate::rng::SplitMix64;
+use crate::thread::{JoinHandle, Priority, ResultSlot, ThreadId, ThreadInfo};
+use crate::time::{SimDuration, SimTime};
+use crate::timer::{TimerKind, TimerWheel};
+
+/// Aggregate counters maintained by the runtime, mirroring the metrics in
+/// the paper's Tables 1–3.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Threads created (Table 1: forks/sec).
+    pub forks: u64,
+    /// Threads exited.
+    pub exits: u64,
+    /// Threads that exited by panic.
+    pub panics: u64,
+    /// Thread switches (Table 1: thread switches/sec).
+    pub switches: u64,
+    /// Timeslice expirations.
+    pub quantum_expiries: u64,
+    /// Monitor entries (Table 2: ML-enters/sec).
+    pub ml_enters: u64,
+    /// Contended monitor entries (paper §3: 0.01–0.1 % in Cedar, up to
+    /// 0.4 % in GVX).
+    pub ml_contended: u64,
+    /// CV waits begun (Table 2: waits/sec).
+    pub cv_waits: u64,
+    /// CV waits that ended by timeout (Table 2: % timeouts).
+    pub cv_timeouts: u64,
+    /// NOTIFY calls.
+    pub cv_notifies: u64,
+    /// BROADCAST calls.
+    pub cv_broadcasts: u64,
+    /// Spurious lock conflicts (§6.1): a notified thread dispatched only
+    /// to block on the still-held monitor.
+    pub spurious_conflicts: u64,
+    /// Yield primitives invoked (all kinds).
+    pub yields: u64,
+    /// SystemDaemon donations performed.
+    pub daemon_donations: u64,
+    /// FORKs that blocked for resources (§5.4).
+    pub fork_blocks: u64,
+    /// FORKs that failed with an error (§5.4).
+    pub fork_failures: u64,
+    /// Stalls behind a preempted metalock holder (§6.2, donation off).
+    pub metalock_stalls: u64,
+    /// High-water mark of live threads (paper: never exceeded 41 in the
+    /// benchmarks).
+    pub max_live_threads: usize,
+    /// Distinct monitors entered (Table 3: # MLs).
+    pub distinct_monitors: HashSet<u32>,
+    /// Distinct CVs waited on (Table 3: # CVs).
+    pub distinct_conditions: HashSet<u32>,
+    /// Virtual CPU consumed at each priority level (§3's per-priority
+    /// execution-time profile).
+    pub cpu_by_priority: [SimDuration; Priority::LEVELS],
+    /// Total virtual CPU consumed by threads.
+    pub total_cpu: SimDuration,
+}
+
+impl SimStats {
+    /// Fraction of CV waits that timed out.
+    pub fn timeout_fraction(&self) -> f64 {
+        if self.cv_waits == 0 {
+            0.0
+        } else {
+            self.cv_timeouts as f64 / self.cv_waits as f64
+        }
+    }
+
+    /// Fraction of monitor entries that were contended.
+    pub fn contention_fraction(&self) -> f64 {
+        if self.ml_enters == 0 {
+            0.0
+        } else {
+            self.ml_contended as f64 / self.ml_enters as f64
+        }
+    }
+}
+
+/// How long [`Sim::run`] should keep going.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunLimit {
+    /// Run for this much more virtual time.
+    For(SimDuration),
+    /// Run until this absolute virtual time.
+    Until(SimTime),
+    /// Run until every thread has exited (never returns if eternal
+    /// threads exist; prefer a time limit for worlds with daemons).
+    ToCompletion,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Ready,
+    Running,
+    MutexWait(MonitorId),
+    MetaWait(MonitorId),
+    CvWait(CondId),
+    Sleeping,
+    JoinWait(ThreadId),
+    ForkWait,
+    Exited,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AfterDebt {
+    Reply,
+    BlockOnMutex(MonitorId),
+}
+
+struct Tcb {
+    name: String,
+    priority: Priority,
+    state: TState,
+    pending_reply: Option<Reply>,
+    debt: SimDuration,
+    after_debt: AfterDebt,
+    reply_tx: mpsc::Sender<Reply>,
+    os_join: Option<std::thread::JoinHandle<()>>,
+    detached: bool,
+    joiner: Option<ThreadId>,
+    exited: bool,
+    panicked: bool,
+    parent: Option<ThreadId>,
+    generation: u32,
+    cpu: SimDuration,
+    wait_seq: u64,
+    /// Monitor to (re)acquire when next dispatched, with the CV-wait
+    /// outcome to report (None for a metalock-stall retry).
+    acquire_on_dispatch: Option<MonitorId>,
+    reacquire_outcome: Option<WaitOutcome>,
+    reacquire_cv: Option<CondId>,
+}
+
+struct MonitorState {
+    name: String,
+    owner: Option<ThreadId>,
+    queue: VecDeque<ThreadId>,
+    /// Deferred-reschedule notifications awaiting the notifier's exit.
+    deferred: Vec<(ThreadId, WaitOutcome, CondId)>,
+    /// Thread preempted inside the metalock window, if any.
+    meta: Option<ThreadId>,
+    /// Threads stalled behind `meta` (metalock donation disabled).
+    meta_waiters: VecDeque<ThreadId>,
+}
+
+impl MonitorState {
+    fn new(name: String) -> Self {
+        MonitorState {
+            name,
+            owner: None,
+            queue: VecDeque::new(),
+            deferred: Vec::new(),
+            meta: None,
+            meta_waiters: VecDeque::new(),
+        }
+    }
+}
+
+struct CvState {
+    #[expect(dead_code, reason = "kept for debugging and future reports")]
+    name: String,
+    monitor: MonitorId,
+    timeout: Option<SimDuration>,
+    queue: VecDeque<ThreadId>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum DonationPlan {
+    /// `YieldButNotToMe`: next pick excludes the donor.
+    NotToMe { excluded: ThreadId },
+    /// Directed yield: next pick is `target` with `slice` as its quantum.
+    Directed {
+        target: ThreadId,
+        slice: SimDuration,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Shield {
+    /// No preemption at all during the donated slice.
+    Full,
+    /// The donor may not preempt the favored thread.
+    FromDonor(ThreadId),
+}
+
+/// The simulated runtime.
+///
+/// Build one with [`Sim::new`], create monitors/conditions/root threads,
+/// then call [`Sim::run`]. Dropping the `Sim` tears every simulated
+/// thread down cleanly.
+pub struct Sim {
+    cfg: SimConfig,
+    clock: SimTime,
+    clock_mirror: Arc<AtomicU64>,
+    rng: SplitMix64,
+    threads: Vec<Tcb>,
+    ready: [VecDeque<ThreadId>; Priority::LEVELS],
+    running: Option<ThreadId>,
+    last_dispatched: Option<ThreadId>,
+    shield: Option<Shield>,
+    donation: Option<DonationPlan>,
+    timers: TimerWheel,
+    monitors: Vec<MonitorState>,
+    conds: Vec<CvState>,
+    req_tx: mpsc::Sender<(ThreadId, Request)>,
+    req_rx: mpsc::Receiver<(ThreadId, Request)>,
+    sink: Option<Box<dyn TraceSink>>,
+    stats: SimStats,
+    pending_forks: VecDeque<(ThreadId, ForkSpec)>,
+    live_threads: usize,
+}
+
+impl Sim {
+    /// Creates a runtime with the given configuration. If the
+    /// configuration enables the SystemDaemon, the daemon thread is
+    /// forked immediately at priority 6 (the level the paper reports both
+    /// systems using for it).
+    pub fn new(cfg: SimConfig) -> Sim {
+        crate::install_panic_silencer();
+        let (req_tx, req_rx) = mpsc::channel();
+        let seed = cfg.seed;
+        let daemon = cfg.system_daemon;
+        let mut sim = Sim {
+            cfg,
+            clock: SimTime::ZERO,
+            clock_mirror: Arc::new(AtomicU64::new(0)),
+            rng: SplitMix64::new(seed),
+            threads: Vec::new(),
+            ready: Default::default(),
+            running: None,
+            last_dispatched: None,
+            shield: None,
+            donation: None,
+            timers: TimerWheel::new(),
+            monitors: Vec::new(),
+            conds: Vec::new(),
+            req_tx,
+            req_rx,
+            sink: None,
+            stats: SimStats::default(),
+            pending_forks: VecDeque::new(),
+            live_threads: 0,
+        };
+        if let Some(d) = daemon {
+            let (period, slice) = (d.period, d.slice);
+            let h = sim.fork_root_with(
+                "SystemDaemon",
+                Some(Priority::of(6)),
+                true,
+                move |ctx: &ThreadCtx| loop {
+                    ctx.sleep_precise(period);
+                    ctx.donate_random(slice);
+                },
+            );
+            drop(h); // Detached; the handle is never joined.
+        }
+        sim
+    }
+
+    /// Creates a runtime with default (paper) configuration.
+    pub fn with_defaults() -> Sim {
+        Sim::new(SimConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Runtime counters accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Installs a trace sink; events flow to it from now on.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the trace sink.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Post-run summary of every thread ever created.
+    pub fn threads(&self) -> Vec<ThreadInfo> {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ThreadInfo {
+                tid: ThreadId(i as u32),
+                name: t.name.clone(),
+                priority: t.priority,
+                cpu: t.cpu,
+                exited: t.exited,
+                panicked: t.panicked,
+                parent: t.parent,
+                generation: t.generation,
+            })
+            .collect()
+    }
+
+    /// Number of threads currently alive.
+    pub fn live_threads(&self) -> usize {
+        self.live_threads
+    }
+
+    // ---- pre-run construction -------------------------------------------
+
+    /// Creates a monitor before the run starts.
+    pub fn monitor<T: Send + 'static>(&mut self, name: &str, data: T) -> Monitor<T> {
+        let id = MonitorId(self.monitors.len() as u32);
+        self.monitors.push(MonitorState::new(name.to_string()));
+        Monitor::new(id, name, data)
+    }
+
+    /// Creates a condition variable on `m` before the run starts.
+    pub fn condition<T: Send + 'static>(
+        &mut self,
+        m: &Monitor<T>,
+        name: &str,
+        timeout: Option<SimDuration>,
+    ) -> Condition {
+        let id = CondId(self.conds.len() as u32);
+        self.conds.push(CvState {
+            name: name.to_string(),
+            monitor: m.id(),
+            timeout,
+            queue: VecDeque::new(),
+        });
+        Condition {
+            id,
+            monitor: m.id(),
+            name: name.to_string(),
+            timeout,
+        }
+    }
+
+    /// Forks a root thread (generation 0) at the given priority
+    /// (`None` = default priority 4).
+    pub fn fork_root<T, F>(&mut self, name: &str, priority: Priority, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&ThreadCtx) -> T + Send + 'static,
+    {
+        self.fork_root_with(name, Some(priority), false, f)
+    }
+
+    /// Forks a detached root thread.
+    pub fn fork_root_detached<F>(&mut self, name: &str, priority: Priority, f: F) -> ThreadId
+    where
+        F: FnOnce(&ThreadCtx) + Send + 'static,
+    {
+        let h = self.fork_root_with(name, Some(priority), true, f);
+        h.tid()
+    }
+
+    fn fork_root_with<T, F>(
+        &mut self,
+        name: &str,
+        priority: Option<Priority>,
+        detached: bool,
+        f: F,
+    ) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&ThreadCtx) -> T + Send + 'static,
+    {
+        let slot: ResultSlot<T> = Arc::new(Mutex::new(None));
+        let body = wrap_body(f, Arc::clone(&slot));
+        let tid = self.create_thread(
+            ForkSpec {
+                name: name.to_string(),
+                priority,
+                detached,
+                body,
+            },
+            None,
+        );
+        JoinHandle { tid, slot }
+    }
+
+    // ---- thread creation --------------------------------------------------
+
+    fn create_thread(&mut self, spec: ForkSpec, parent: Option<ThreadId>) -> ThreadId {
+        let tid = ThreadId(self.threads.len() as u32);
+        let priority = spec.priority.unwrap_or_else(|| {
+            parent
+                .map(|p| self.threads[p.0 as usize].priority)
+                .unwrap_or(Priority::DEFAULT)
+        });
+        let generation = parent
+            .map(|p| self.threads[p.0 as usize].generation + 1)
+            .unwrap_or(0);
+        let (reply_tx, reply_rx) = reply_channel();
+        let ctx = ThreadCtx {
+            tid,
+            name: spec.name.clone(),
+            channels: ThreadChannels {
+                req_tx: self.req_tx.clone(),
+                reply_rx,
+            },
+            clock: Arc::clone(&self.clock_mirror),
+            shutting_down: std::cell::Cell::new(false),
+            priority: std::cell::Cell::new(priority),
+            seed: self.cfg.seed,
+        };
+        let body = spec.body;
+        let os_join = std::thread::Builder::new()
+            .name(format!("sim-{}", spec.name))
+            .stack_size(128 * 1024)
+            .spawn(move || {
+                // Wait for the first dispatch; anything but the go-ahead
+                // means the simulation is tearing down before we started.
+                match ctx.channels.reply_rx.recv() {
+                    Ok(Reply::Ok) => body(&ctx),
+                    _ => {}
+                }
+            })
+            .expect("failed to spawn OS thread for simulated thread");
+        self.threads.push(Tcb {
+            name: spec.name,
+            priority,
+            state: TState::Ready,
+            pending_reply: Some(Reply::Ok),
+            debt: SimDuration::ZERO,
+            after_debt: AfterDebt::Reply,
+            reply_tx,
+            os_join: Some(os_join),
+            detached: spec.detached,
+            joiner: None,
+            exited: false,
+            panicked: false,
+            parent,
+            generation,
+            cpu: SimDuration::ZERO,
+            wait_seq: 0,
+            acquire_on_dispatch: None,
+            reacquire_outcome: None,
+            reacquire_cv: None,
+        });
+        self.live_threads += 1;
+        self.stats.max_live_threads = self.stats.max_live_threads.max(self.live_threads);
+        self.stats.forks += 1;
+        self.emit(EventKind::Fork {
+            parent,
+            child: tid,
+            priority,
+            generation,
+        });
+        self.ready[priority.index()].push_back(tid);
+        tid
+    }
+
+    // ---- event emission ---------------------------------------------------
+
+    fn emit(&mut self, kind: EventKind) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(&Event {
+                t: self.clock,
+                kind,
+            });
+        }
+    }
+
+    fn set_clock(&mut self, t: SimTime) {
+        debug_assert!(t >= self.clock, "clock must be monotonic");
+        self.clock = t;
+        self.clock_mirror.store(t.as_micros(), Ordering::Relaxed);
+    }
+
+    // ---- ready-queue helpers ----------------------------------------------
+
+    fn push_ready_back(&mut self, tid: ThreadId) {
+        let p = self.threads[tid.0 as usize].priority;
+        self.threads[tid.0 as usize].state = TState::Ready;
+        self.ready[p.index()].push_back(tid);
+    }
+
+    fn push_ready_front(&mut self, tid: ThreadId) {
+        let p = self.threads[tid.0 as usize].priority;
+        self.threads[tid.0 as usize].state = TState::Ready;
+        self.ready[p.index()].push_front(tid);
+    }
+
+    fn pop_ready_excluding(&mut self, excluded: Option<ThreadId>) -> Option<ThreadId> {
+        for q in self.ready.iter_mut().rev() {
+            let pos = match excluded {
+                None => {
+                    if q.is_empty() {
+                        continue;
+                    }
+                    0
+                }
+                Some(ex) => match q.iter().position(|&t| t != ex) {
+                    Some(p) => p,
+                    None => continue,
+                },
+            };
+            return q.remove(pos);
+        }
+        None
+    }
+
+    fn remove_from_ready(&mut self, tid: ThreadId) -> bool {
+        let p = self.threads[tid.0 as usize].priority;
+        let q = &mut self.ready[p.index()];
+        if let Some(pos) = q.iter().position(|&t| t == tid) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn exists_ready_higher_than(&self, prio: Priority, excluded: Option<ThreadId>) -> bool {
+        for (i, q) in self.ready.iter().enumerate().rev() {
+            if i < prio.index() + 1 {
+                break;
+            }
+            match excluded {
+                None => {
+                    if !q.is_empty() {
+                        return true;
+                    }
+                }
+                Some(ex) => {
+                    if q.iter().any(|&t| t != ex) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn exists_ready_at_least(&self, prio: Priority) -> bool {
+        self.ready[prio.index()..].iter().any(|q| !q.is_empty())
+    }
+
+    fn preempt_needed(&self) -> bool {
+        let Some(run) = self.running else {
+            return false;
+        };
+        let rp = self.threads[run.0 as usize].priority;
+        match self.shield {
+            Some(Shield::Full) => false,
+            Some(Shield::FromDonor(d)) => self.exists_ready_higher_than(rp, Some(d)),
+            None => self.exists_ready_higher_than(rp, None),
+        }
+    }
+
+    // ---- timers -----------------------------------------------------------
+
+    fn fire_due_timers(&mut self) {
+        while let Some(kind) = self.timers.pop_due(self.clock) {
+            match kind {
+                TimerKind::Wake(tid) => {
+                    if self.threads[tid.0 as usize].state == TState::Sleeping {
+                        self.push_ready_back(tid);
+                    }
+                }
+                TimerKind::CvTimeout { tid, cv, seq } => {
+                    let idx = tid.0 as usize;
+                    let live = self.threads[idx].wait_seq == seq
+                        && self.threads[idx].state == TState::CvWait(cv);
+                    if live {
+                        self.threads[idx].wait_seq += 1;
+                        let mid = self.conds[cv.0 as usize].monitor;
+                        self.conds[cv.0 as usize].queue.retain(|&w| w != tid);
+                        self.stats.cv_timeouts += 1;
+                        let t = &mut self.threads[idx];
+                        t.acquire_on_dispatch = Some(mid);
+                        t.reacquire_outcome = Some(WaitOutcome::TimedOut);
+                        t.reacquire_cv = Some(cv);
+                        self.push_ready_back(tid);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- monitor helpers ----------------------------------------------------
+
+    /// Consumes a thread's pending CV-wake bookkeeping, emitting the
+    /// `CvWake` event, and returns the reply it should receive once it
+    /// holds its monitor again.
+    fn grant_reply(&mut self, tid: ThreadId) -> Reply {
+        let t = &mut self.threads[tid.0 as usize];
+        match t.reacquire_outcome.take() {
+            Some(outcome) => {
+                let cv = t.reacquire_cv.take().expect("reacquire without cv");
+                self.emit(EventKind::CvWake { tid, cv, outcome });
+                Reply::Wait(outcome)
+            }
+            None => Reply::Ok,
+        }
+    }
+
+    /// Grants a released monitor to the next queued thread, flushing
+    /// deferred notifications into the queue first.
+    fn release_monitor(&mut self, mid: MonitorId) {
+        let deferred: Vec<(ThreadId, WaitOutcome, CondId)> =
+            self.monitors[mid.0 as usize].deferred.drain(..).collect();
+        for (wtid, outcome, cv) in deferred {
+            let w = &mut self.threads[wtid.0 as usize];
+            debug_assert!(matches!(w.state, TState::CvWait(_)));
+            w.state = TState::MutexWait(mid);
+            w.reacquire_outcome = Some(outcome);
+            w.reacquire_cv = Some(cv);
+            self.monitors[mid.0 as usize].queue.push_back(wtid);
+        }
+        self.monitors[mid.0 as usize].owner = None;
+        if let Some(next) = self.monitors[mid.0 as usize].queue.pop_front() {
+            self.monitors[mid.0 as usize].owner = Some(next);
+            let reply = self.grant_reply(next);
+            self.threads[next.0 as usize].pending_reply = Some(reply);
+            self.push_ready_back(next);
+        }
+    }
+
+    /// Handles a thread's dispatch-time monitor (re)acquire. Returns true
+    /// if the thread may keep running, false if it blocked.
+    fn dispatch_acquire(&mut self, tid: ThreadId, mid: MonitorId) -> bool {
+        let owner = self.monitors[mid.0 as usize].owner;
+        let outcome = self.threads[tid.0 as usize].reacquire_outcome;
+        match owner {
+            None => {
+                self.monitors[mid.0 as usize].owner = Some(tid);
+                self.stats.ml_enters += 1;
+                self.stats.distinct_monitors.insert(mid.0);
+                self.emit(EventKind::MlEnter {
+                    tid,
+                    monitor: mid,
+                    contended: false,
+                });
+                let reply = self.grant_reply(tid);
+                let t = &mut self.threads[tid.0 as usize];
+                t.pending_reply = Some(reply);
+                t.debt = self.cfg.primitive_cost;
+                t.after_debt = AfterDebt::Reply;
+                true
+            }
+            Some(_) => {
+                // The §6.1 wasted trip: dispatched just to block again.
+                if outcome == Some(WaitOutcome::Notified) {
+                    self.stats.spurious_conflicts += 1;
+                    self.emit(EventKind::SpuriousLockConflict { tid, monitor: mid });
+                }
+                self.stats.ml_enters += 1;
+                self.stats.ml_contended += 1;
+                self.stats.distinct_monitors.insert(mid.0);
+                self.emit(EventKind::MlEnter {
+                    tid,
+                    monitor: mid,
+                    contended: true,
+                });
+                self.monitors[mid.0 as usize].queue.push_back(tid);
+                self.threads[tid.0 as usize].state = TState::MutexWait(mid);
+                false
+            }
+        }
+    }
+
+    /// Runs the preempted metalock holder's remaining window right now
+    /// (cycle donation), unblocking the monitor's queues.
+    fn donate_metalock(&mut self, mid: MonitorId, holder: ThreadId) {
+        let debt = self.threads[holder.0 as usize].debt;
+        self.charge_thread(holder, debt);
+        self.threads[holder.0 as usize].debt = SimDuration::ZERO;
+        debug_assert_eq!(
+            self.threads[holder.0 as usize].after_debt,
+            AfterDebt::BlockOnMutex(mid)
+        );
+        // The holder finishes its enqueue-and-block immediately; it was
+        // Ready (preempted), so pull it from the ready queue first.
+        let was_ready = self.remove_from_ready(holder);
+        debug_assert!(was_ready, "metalock holder must be preempted/ready");
+        self.finish_block_on_mutex(holder, mid);
+    }
+
+    /// Completes a contended-enter after its metalock window: clears the
+    /// metalock, releases stalled threads, and enqueues (or grants).
+    fn finish_block_on_mutex(&mut self, tid: ThreadId, mid: MonitorId) {
+        self.threads[tid.0 as usize].after_debt = AfterDebt::Reply;
+        let m = &mut self.monitors[mid.0 as usize];
+        if m.meta == Some(tid) {
+            m.meta = None;
+        }
+        let stalled: Vec<ThreadId> = m.meta_waiters.drain(..).collect();
+        for s in stalled {
+            let t = &mut self.threads[s.0 as usize];
+            t.acquire_on_dispatch = Some(mid);
+            self.push_ready_back(s);
+        }
+        let m = &mut self.monitors[mid.0 as usize];
+        if m.owner.is_none() && m.queue.is_empty() {
+            // The mutex freed up while we were in the metalock window.
+            m.owner = Some(tid);
+            let reply = self.grant_reply(tid);
+            self.threads[tid.0 as usize].pending_reply = Some(reply);
+            self.push_ready_back(tid);
+        } else {
+            m.queue.push_back(tid);
+            self.threads[tid.0 as usize].state = TState::MutexWait(mid);
+        }
+    }
+
+    fn charge_thread(&mut self, tid: ThreadId, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        let t = &mut self.threads[tid.0 as usize];
+        t.cpu += d;
+        let idx = t.priority.index();
+        self.stats.cpu_by_priority[idx] += d;
+        self.stats.total_cpu += d;
+        self.set_clock(self.clock + d);
+    }
+
+    fn fault(&mut self, tid: ThreadId, msg: String) {
+        let t = &mut self.threads[tid.0 as usize];
+        t.pending_reply = Some(Reply::Fault(msg));
+        t.debt = SimDuration::ZERO;
+        t.after_debt = AfterDebt::Reply;
+    }
+
+    // ---- the run loop -------------------------------------------------------
+
+    /// Advances the simulation until the limit is reached, every thread
+    /// has exited, or the remaining threads are deadlocked.
+    pub fn run(&mut self, limit: RunLimit) -> RunReport {
+        let start = self.clock;
+        let end = match limit {
+            RunLimit::For(d) => self.clock.saturating_add(d),
+            RunLimit::Until(t) => t,
+            RunLimit::ToCompletion => SimTime::MAX,
+        };
+        let reason = loop {
+            self.fire_due_timers();
+            if self.live_threads == 0 {
+                break StopReason::AllExited;
+            }
+            if self.clock >= end {
+                break StopReason::TimeLimit;
+            }
+            match self.pick_next() {
+                Some((tid, slice, shield)) => {
+                    self.dispatch(tid, slice, shield, end);
+                }
+                None => match self.timers.next_deadline() {
+                    Some(t) if t <= end => self.set_clock(t),
+                    Some(_) => {
+                        self.set_clock(end);
+                        break StopReason::TimeLimit;
+                    }
+                    None => break StopReason::Deadlock(self.deadlock_report()),
+                },
+            }
+        };
+        if reason == StopReason::TimeLimit && self.clock < end && end != SimTime::MAX {
+            self.set_clock(end);
+        }
+        RunReport {
+            reason,
+            now: self.clock,
+            elapsed: self.clock.saturating_since(start),
+        }
+    }
+
+    fn pick_next(&mut self) -> Option<(ThreadId, Option<SimDuration>, Option<Shield>)> {
+        if let Some(plan) = self.donation.take() {
+            match plan {
+                DonationPlan::NotToMe { excluded } => {
+                    if let Some(tid) = self.pop_ready_excluding(Some(excluded)) {
+                        return Some((tid, None, Some(Shield::FromDonor(excluded))));
+                    }
+                }
+                DonationPlan::Directed { target, slice } => {
+                    if self.threads[target.0 as usize].state == TState::Ready
+                        && self.remove_from_ready(target)
+                    {
+                        return Some((target, Some(slice), Some(Shield::Full)));
+                    }
+                }
+            }
+        }
+        self.pop_ready_excluding(None).map(|t| (t, None, None))
+    }
+
+    fn dispatch(
+        &mut self,
+        tid: ThreadId,
+        quantum_override: Option<SimDuration>,
+        shield: Option<Shield>,
+        end: SimTime,
+    ) {
+        if self.last_dispatched != Some(tid) {
+            self.stats.switches += 1;
+            let prio = self.threads[tid.0 as usize].priority;
+            self.emit(EventKind::Switch {
+                from: self.last_dispatched,
+                to: tid,
+                to_priority: prio,
+            });
+            // Scheduler overhead: advances the clock, charged to no thread.
+            self.set_clock(self.clock + self.cfg.switch_cost);
+            self.last_dispatched = Some(tid);
+        }
+        self.running = Some(tid);
+        self.threads[tid.0 as usize].state = TState::Running;
+        self.shield = shield;
+        let mut quantum_left = quantum_override.unwrap_or(self.cfg.quantum);
+
+        // A CV wake or metalock retry acquires its monitor now; blocking
+        // here is the "useless trip through the scheduler" of §6.1.
+        if let Some(mid) = self.threads[tid.0 as usize].acquire_on_dispatch.take() {
+            if !self.dispatch_acquire(tid, mid) {
+                self.running = None;
+                self.shield = None;
+                return;
+            }
+        }
+
+        loop {
+            self.fire_due_timers();
+            if self.clock >= end {
+                self.push_ready_front(tid);
+                break;
+            }
+            if self.preempt_needed() {
+                self.push_ready_front(tid);
+                break;
+            }
+            let debt = self.threads[tid.0 as usize].debt;
+            if !debt.is_zero() {
+                let mut slice = debt.min(quantum_left).min(end.since(self.clock));
+                if let Some(nt) = self.timers.next_deadline() {
+                    slice = slice.min(nt.saturating_since(self.clock));
+                }
+                if slice.is_zero() {
+                    // Quantum exhausted (timers due are handled at loop top).
+                    self.quantum_expired(tid);
+                    if self.shield.is_some() {
+                        self.shield = None;
+                        self.push_ready_back(tid);
+                        break;
+                    }
+                    if self.exists_ready_at_least(self.threads[tid.0 as usize].priority) {
+                        self.push_ready_back(tid);
+                        break;
+                    }
+                    quantum_left = self.cfg.quantum;
+                    continue;
+                }
+                self.charge_thread(tid, slice);
+                self.threads[tid.0 as usize].debt -= slice;
+                quantum_left -= slice;
+                continue;
+            }
+            match self.threads[tid.0 as usize].after_debt {
+                AfterDebt::BlockOnMutex(mid) => {
+                    self.finish_block_on_mutex(tid, mid);
+                    // finish_block_on_mutex may have granted immediately
+                    // (thread is Ready) or blocked it; either way this
+                    // dispatch ends.
+                    break;
+                }
+                AfterDebt::Reply => {}
+            }
+            let Some(reply) = self.threads[tid.0 as usize].pending_reply.take() else {
+                unreachable!("running thread {tid:?} has no debt and no pending reply");
+            };
+            self.threads[tid.0 as usize]
+                .reply_tx
+                .send(reply)
+                .expect("simulated thread vanished while running");
+            let (rtid, req) = self
+                .req_rx
+                .recv()
+                .expect("simulated thread disconnected while running");
+            debug_assert_eq!(rtid, tid, "request from a thread that is not running");
+            self.handle_request(tid, req);
+            if self.threads[tid.0 as usize].state != TState::Running {
+                break;
+            }
+        }
+        self.running = None;
+        self.shield = None;
+    }
+
+    fn quantum_expired(&mut self, tid: ThreadId) {
+        self.stats.quantum_expiries += 1;
+        self.emit(EventKind::QuantumExpired { tid });
+    }
+
+    // ---- request handling ----------------------------------------------------
+
+    fn handle_request(&mut self, tid: ThreadId, req: Request) {
+        match req {
+            Request::Fork(spec) => self.handle_fork(tid, spec),
+            Request::Join(target) => self.handle_join(tid, target),
+            Request::Detach(target) => {
+                self.threads[target.0 as usize].detached = true;
+                self.emit(EventKind::Detach { tid, target });
+                self.reply_ok(tid);
+            }
+            Request::Work(d) => {
+                let t = &mut self.threads[tid.0 as usize];
+                t.debt = d;
+                t.after_debt = AfterDebt::Reply;
+                t.pending_reply = Some(Reply::Ok);
+            }
+            Request::Sleep { d, precise } => {
+                let mut until = self.clock + d;
+                if !precise {
+                    until = until.round_up_to(self.cfg.granularity());
+                }
+                self.emit(EventKind::Sleep { tid, until });
+                self.timers.schedule(until, TimerKind::Wake(tid));
+                let t = &mut self.threads[tid.0 as usize];
+                t.state = TState::Sleeping;
+                t.pending_reply = Some(Reply::Ok);
+            }
+            Request::Yield => {
+                self.stats.yields += 1;
+                self.emit(EventKind::Yield {
+                    tid,
+                    kind: YieldKind::Normal,
+                });
+                self.threads[tid.0 as usize].pending_reply = Some(Reply::Ok);
+                self.push_ready_back(tid);
+            }
+            Request::YieldButNotToMe => {
+                self.stats.yields += 1;
+                self.emit(EventKind::Yield {
+                    tid,
+                    kind: YieldKind::ButNotToMe,
+                });
+                self.donation = Some(DonationPlan::NotToMe { excluded: tid });
+                self.threads[tid.0 as usize].pending_reply = Some(Reply::Ok);
+                self.push_ready_back(tid);
+            }
+            Request::DirectedYield { target, slice } => {
+                self.stats.yields += 1;
+                self.emit(EventKind::Yield {
+                    tid,
+                    kind: YieldKind::Directed(target),
+                });
+                self.threads[tid.0 as usize].pending_reply = Some(Reply::Ok);
+                if self.threads[target.0 as usize].state == TState::Ready {
+                    self.donation = Some(DonationPlan::Directed { target, slice });
+                    self.push_ready_back(tid);
+                }
+                // Target not ready: the yield is a no-op and we keep running.
+            }
+            Request::DonateRandom { slice } => {
+                self.threads[tid.0 as usize].pending_reply = Some(Reply::Ok);
+                let candidates: Vec<ThreadId> = self
+                    .ready
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .filter(|&t| t != tid)
+                    .collect();
+                if let Some(i) = self.rng.pick_index(candidates.len()) {
+                    let target = candidates[i];
+                    self.stats.daemon_donations += 1;
+                    self.emit(EventKind::DaemonDonation { target });
+                    self.donation = Some(DonationPlan::Directed { target, slice });
+                    self.push_ready_back(tid);
+                }
+            }
+            Request::SetPriority(p) => {
+                self.threads[tid.0 as usize].priority = p;
+                self.emit(EventKind::SetPriority { tid, priority: p });
+                self.reply_ok(tid);
+            }
+            Request::MonitorEnter(mid) => self.handle_enter(tid, mid),
+            Request::MonitorExit(mid) => self.handle_exit_monitor(tid, mid),
+            Request::CvWait { cv } => self.handle_cv_wait(tid, cv),
+            Request::Notify { cv } => self.handle_notify(tid, cv, false),
+            Request::Broadcast { cv } => self.handle_notify(tid, cv, true),
+            Request::NewMonitor { name } => {
+                let id = MonitorId(self.monitors.len() as u32);
+                self.monitors.push(MonitorState::new(name));
+                self.threads[tid.0 as usize].pending_reply = Some(Reply::MonitorId(id));
+            }
+            Request::NewCondition {
+                name,
+                monitor,
+                timeout,
+            } => {
+                let id = CondId(self.conds.len() as u32);
+                self.conds.push(CvState {
+                    name,
+                    monitor,
+                    timeout,
+                    queue: VecDeque::new(),
+                });
+                self.threads[tid.0 as usize].pending_reply = Some(Reply::CondId(id));
+            }
+            Request::Exit { panicked } => self.handle_exit(tid, panicked),
+        }
+    }
+
+    fn reply_ok(&mut self, tid: ThreadId) {
+        let t = &mut self.threads[tid.0 as usize];
+        t.pending_reply = Some(Reply::Ok);
+        t.debt = self.cfg.primitive_cost;
+        t.after_debt = AfterDebt::Reply;
+    }
+
+    fn handle_fork(&mut self, tid: ThreadId, spec: ForkSpec) {
+        if self.live_threads >= self.cfg.max_threads {
+            match self.cfg.fork_policy {
+                ForkPolicy::Error => {
+                    self.stats.fork_failures += 1;
+                    self.emit(EventKind::ForkFailed { tid });
+                    self.threads[tid.0 as usize].pending_reply = Some(Reply::ForkFailed);
+                }
+                ForkPolicy::WaitForResources => {
+                    self.stats.fork_blocks += 1;
+                    self.emit(EventKind::ForkBlocked { tid });
+                    self.threads[tid.0 as usize].state = TState::ForkWait;
+                    self.pending_forks.push_back((tid, spec));
+                }
+            }
+            return;
+        }
+        let child = self.create_thread(spec, Some(tid));
+        let t = &mut self.threads[tid.0 as usize];
+        t.pending_reply = Some(Reply::Forked(child));
+        t.debt = self.cfg.fork_cost;
+        t.after_debt = AfterDebt::Reply;
+    }
+
+    fn handle_join(&mut self, tid: ThreadId, target: ThreadId) {
+        if self.threads[target.0 as usize].exited {
+            self.emit(EventKind::Join {
+                joiner: tid,
+                target,
+            });
+            self.threads[tid.0 as usize].pending_reply = Some(Reply::Joined);
+        } else {
+            if let Some(other) = self.threads[target.0 as usize].joiner {
+                self.fault(
+                    tid,
+                    format!("JOIN: thread {target:?} is already being joined by {other:?}"),
+                );
+                return;
+            }
+            self.threads[target.0 as usize].joiner = Some(tid);
+            self.threads[tid.0 as usize].state = TState::JoinWait(target);
+        }
+    }
+
+    fn handle_enter(&mut self, tid: ThreadId, mid: MonitorId) {
+        // Metalock window check (§6.2): someone preempted mid-window?
+        if let Some(holder) = self.monitors[mid.0 as usize].meta {
+            if holder != tid {
+                if self.cfg.metalock_donation {
+                    self.donate_metalock(mid, holder);
+                } else {
+                    self.stats.metalock_stalls += 1;
+                    self.emit(EventKind::MetalockStall {
+                        tid,
+                        monitor: mid,
+                        holder,
+                    });
+                    self.monitors[mid.0 as usize].meta_waiters.push_back(tid);
+                    self.threads[tid.0 as usize].state = TState::MetaWait(mid);
+                    return;
+                }
+            }
+        }
+        match self.monitors[mid.0 as usize].owner {
+            None => {
+                self.monitors[mid.0 as usize].owner = Some(tid);
+                self.stats.ml_enters += 1;
+                self.stats.distinct_monitors.insert(mid.0);
+                self.emit(EventKind::MlEnter {
+                    tid,
+                    monitor: mid,
+                    contended: false,
+                });
+                self.reply_ok(tid);
+            }
+            Some(owner) if owner == tid => {
+                self.fault(
+                    tid,
+                    format!(
+                        "recursive monitor entry on {:?} ({}); Mesa monitors are not re-entrant",
+                        mid, self.monitors[mid.0 as usize].name
+                    ),
+                );
+            }
+            Some(_) => {
+                self.stats.ml_enters += 1;
+                self.stats.ml_contended += 1;
+                self.stats.distinct_monitors.insert(mid.0);
+                self.emit(EventKind::MlEnter {
+                    tid,
+                    monitor: mid,
+                    contended: true,
+                });
+                // Enqueueing runs inside the metalock window; if we get
+                // preempted during it, others stall (or donate cycles).
+                self.monitors[mid.0 as usize].meta = Some(tid);
+                let t = &mut self.threads[tid.0 as usize];
+                t.debt = self.cfg.metalock_cost;
+                t.after_debt = AfterDebt::BlockOnMutex(mid);
+            }
+        }
+    }
+
+    fn handle_exit_monitor(&mut self, tid: ThreadId, mid: MonitorId) {
+        if self.monitors[mid.0 as usize].owner != Some(tid) {
+            self.fault(
+                tid,
+                format!(
+                    "monitor exit on {:?} ({}) by non-owner",
+                    mid, self.monitors[mid.0 as usize].name
+                ),
+            );
+            return;
+        }
+        self.emit(EventKind::MlExit { tid, monitor: mid });
+        self.release_monitor(mid);
+        self.reply_ok(tid);
+    }
+
+    fn handle_cv_wait(&mut self, tid: ThreadId, cv: CondId) {
+        let mid = self.conds[cv.0 as usize].monitor;
+        if self.monitors[mid.0 as usize].owner != Some(tid) {
+            self.fault(
+                tid,
+                format!("WAIT on {cv:?} without holding its monitor {mid:?}"),
+            );
+            return;
+        }
+        self.stats.cv_waits += 1;
+        self.stats.distinct_conditions.insert(cv.0);
+        self.emit(EventKind::CvWait { tid, cv });
+        let t = &mut self.threads[tid.0 as usize];
+        t.wait_seq += 1;
+        let seq = t.wait_seq;
+        t.state = TState::CvWait(cv);
+        if let Some(timeout) = self.conds[cv.0 as usize].timeout {
+            let deadline = (self.clock + timeout).round_up_to(self.cfg.granularity());
+            self.timers
+                .schedule(deadline, TimerKind::CvTimeout { tid, cv, seq });
+        }
+        self.conds[cv.0 as usize].queue.push_back(tid);
+        self.emit(EventKind::MlExit { tid, monitor: mid });
+        self.release_monitor(mid);
+    }
+
+    fn handle_notify(&mut self, tid: ThreadId, cv: CondId, broadcast: bool) {
+        let mid = self.conds[cv.0 as usize].monitor;
+        if self.monitors[mid.0 as usize].owner != Some(tid) {
+            self.fault(
+                tid,
+                format!("NOTIFY/BROADCAST on {cv:?} without holding its monitor {mid:?}"),
+            );
+            return;
+        }
+        let mut woken = 0u32;
+        let mut first_woken = None;
+        loop {
+            let Some(w) = self.conds[cv.0 as usize].queue.pop_front() else {
+                break;
+            };
+            woken += 1;
+            first_woken.get_or_insert(w);
+            let wt = &mut self.threads[w.0 as usize];
+            wt.wait_seq += 1; // Lazily cancels the timeout timer.
+            match self.cfg.notify_mode {
+                NotifyMode::Immediate => {
+                    wt.acquire_on_dispatch = Some(mid);
+                    wt.reacquire_outcome = Some(WaitOutcome::Notified);
+                    wt.reacquire_cv = Some(cv);
+                    self.push_ready_back(w);
+                }
+                NotifyMode::DeferredReschedule => {
+                    self.monitors[mid.0 as usize]
+                        .deferred
+                        .push((w, WaitOutcome::Notified, cv));
+                }
+            }
+            if !broadcast {
+                break;
+            }
+        }
+        if broadcast {
+            self.stats.cv_broadcasts += 1;
+            self.emit(EventKind::Broadcast { tid, cv, woken });
+        } else {
+            self.stats.cv_notifies += 1;
+            self.emit(EventKind::Notify {
+                tid,
+                cv,
+                woken: first_woken,
+            });
+        }
+        self.reply_ok(tid);
+    }
+
+    fn handle_exit(&mut self, tid: ThreadId, panicked: bool) {
+        self.emit(EventKind::Exit { tid, panicked });
+        self.stats.exits += 1;
+        if panicked {
+            self.stats.panics += 1;
+        }
+        let t = &mut self.threads[tid.0 as usize];
+        t.exited = true;
+        t.panicked = panicked;
+        t.state = TState::Exited;
+        t.pending_reply = None;
+        t.debt = SimDuration::ZERO;
+        self.live_threads -= 1;
+        // Reap the OS thread; it terminates right after sending Exit.
+        if let Some(h) = self.threads[tid.0 as usize].os_join.take() {
+            let _ = h.join();
+        }
+        debug_assert!(
+            self.monitors.iter().all(|m| m.owner != Some(tid)),
+            "thread exited while holding a monitor"
+        );
+        if let Some(j) = self.threads[tid.0 as usize].joiner.take() {
+            self.emit(EventKind::Join {
+                joiner: j,
+                target: tid,
+            });
+            self.threads[j.0 as usize].pending_reply = Some(Reply::Joined);
+            self.push_ready_back(j);
+        }
+        // A freed slot can satisfy a blocked FORK (§5.4).
+        if self.live_threads < self.cfg.max_threads {
+            if let Some((forker, spec)) = self.pending_forks.pop_front() {
+                let child = self.create_thread(spec, Some(forker));
+                let f = &mut self.threads[forker.0 as usize];
+                f.pending_reply = Some(Reply::Forked(child));
+                f.debt = self.cfg.fork_cost;
+                f.after_debt = AfterDebt::Reply;
+                self.push_ready_back(forker);
+            }
+        }
+    }
+
+    // ---- deadlock reporting -----------------------------------------------
+
+    fn deadlock_report(&self) -> DeadlockReport {
+        let mut blocked = Vec::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.exited {
+                continue;
+            }
+            let tid = ThreadId(i as u32);
+            let (waiting_for, blocked_on) = match t.state {
+                TState::MutexWait(m) => (
+                    format!("monitor {:?} ({})", m, self.monitors[m.0 as usize].name),
+                    self.monitors[m.0 as usize].owner,
+                ),
+                TState::MetaWait(m) => (
+                    format!("metalock of {:?}", m),
+                    self.monitors[m.0 as usize].meta,
+                ),
+                TState::CvWait(cv) => {
+                    let mid = self.conds[cv.0 as usize].monitor;
+                    (
+                        format!("condition {cv:?} (no timeout) of monitor {mid:?}"),
+                        None,
+                    )
+                }
+                TState::JoinWait(target) => (format!("join of {target:?}"), Some(target)),
+                TState::ForkWait => ("fork resources".to_string(), None),
+                TState::Sleeping | TState::Ready | TState::Running | TState::Exited => continue,
+            };
+            blocked.push(BlockedThread {
+                tid,
+                name: t.name.clone(),
+                waiting_for,
+                blocked_on,
+            });
+        }
+        DeadlockReport { blocked }
+    }
+
+    fn shutdown(&mut self) {
+        for t in &self.threads {
+            if !t.exited {
+                let _ = t.reply_tx.send(Reply::Shutdown);
+            }
+        }
+        for t in &mut self.threads {
+            if let Some(h) = t.os_join.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.clock)
+            .field("live_threads", &self.live_threads)
+            .field("monitors", &self.monitors.len())
+            .field("conditions", &self.conds.len())
+            .finish()
+    }
+}

@@ -1,0 +1,332 @@
+//! Virtual time for the simulated runtime.
+//!
+//! The simulator measures time in integer microseconds, matching the
+//! microsecond-resolution event traces the paper's authors gathered from
+//! their instrumented PCR. [`SimTime`] is an instant on the virtual clock
+//! (microseconds since simulation start); [`SimDuration`] is a span.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation's virtual clock, in microseconds since start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time far beyond any practical simulation horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw microseconds since simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; the virtual clock never
+    /// runs backwards, so this indicates a simulator bug.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: `earlier` is later than `self`"),
+        )
+    }
+
+    /// Returns the span from `earlier` to `self`, or zero if `earlier`
+    /// is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Rounds this time up to the next multiple of `granularity`.
+    ///
+    /// PCR's condition-variable timeouts and sleeps fire only on scheduler
+    /// ticks; this models that quantization. A zero granularity leaves the
+    /// time unchanged.
+    pub fn round_up_to(self, granularity: SimDuration) -> SimTime {
+        if granularity.0 == 0 {
+            return self;
+        }
+        let g = granularity.0;
+        let rounded = self.0.div_ceil(g).saturating_mul(g);
+        SimTime(rounded)
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The longest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns true if this is the empty span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_sub(other.0).map(SimDuration)
+    }
+}
+
+/// Convenience constructor: microseconds.
+pub const fn micros(us: u64) -> SimDuration {
+    SimDuration::from_micros(us)
+}
+
+/// Convenience constructor: milliseconds.
+pub const fn millis(ms: u64) -> SimDuration {
+    SimDuration::from_millis(ms)
+}
+
+/// Convenience constructor: seconds.
+pub const fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}us", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0 / 1_000_000;
+        let us = self.0 % 1_000_000;
+        write!(f, "{s}.{us:06}s")
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+            write!(f, "{}s", self.0 / 1_000_000)
+        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+            write!(f, "{}ms", self.0 / 1_000)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(secs(1), millis(1_000));
+        assert_eq!(millis(1), micros(1_000));
+        assert_eq!(secs(2).as_micros(), 2_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + millis(50);
+        assert_eq!(t.as_micros(), 50_000);
+        assert_eq!(t - SimTime::ZERO, millis(50));
+        assert_eq!((t + millis(25)).since(t), millis(25));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_micros(10);
+        let late = SimTime::from_micros(20);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), micros(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "later than")]
+    fn since_panics_on_backwards_time() {
+        let early = SimTime::from_micros(10);
+        let late = SimTime::from_micros(20);
+        let _ = early.since(late);
+    }
+
+    #[test]
+    fn round_up_to_granularity() {
+        let g = millis(50);
+        assert_eq!(SimTime::from_micros(1).round_up_to(g).as_micros(), 50_000);
+        assert_eq!(
+            SimTime::from_micros(50_000).round_up_to(g).as_micros(),
+            50_000
+        );
+        assert_eq!(
+            SimTime::from_micros(50_001).round_up_to(g).as_micros(),
+            100_000
+        );
+        // Zero granularity is the identity.
+        assert_eq!(
+            SimTime::from_micros(123).round_up_to(SimDuration::ZERO),
+            SimTime::from_micros(123)
+        );
+    }
+
+    #[test]
+    fn duration_min_and_saturating() {
+        assert_eq!(millis(3).min(millis(5)), millis(3));
+        assert_eq!(millis(5).saturating_sub(millis(7)), SimDuration::ZERO);
+        assert_eq!(millis(7).checked_sub(millis(5)), Some(millis(2)));
+        assert_eq!(millis(5).checked_sub(millis(7)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(secs(3).to_string(), "3s");
+        assert_eq!(millis(50).to_string(), "50ms");
+        assert_eq!(micros(7).to_string(), "7us");
+        assert_eq!(micros(1_500).to_string(), "1500us");
+        assert_eq!((SimTime::ZERO + micros(1_250_000)).to_string(), "1.250000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [millis(1), millis(2), millis(3)].into_iter().sum();
+        assert_eq!(total, millis(6));
+    }
+}

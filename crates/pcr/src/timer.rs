@@ -1,0 +1,130 @@
+//! The runtime's timer queue.
+//!
+//! Holds pending wakeups: sleeps and condition-variable timeouts.
+//! Quantization to the timer granularity happens at insertion time, by
+//! the caller; the wheel itself is an exact priority queue ordered by
+//! (deadline, insertion sequence) so same-deadline timers fire FIFO.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::event::CondId;
+use crate::thread::ThreadId;
+use crate::time::SimTime;
+
+/// What to do when a timer fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TimerKind {
+    /// Wake a sleeping thread.
+    Wake(ThreadId),
+    /// Time out a CV wait. `seq` must match the thread's current wait
+    /// sequence number or the timer is stale and ignored (lazy
+    /// cancellation).
+    CvTimeout { tid: ThreadId, cv: CondId, seq: u64 },
+}
+
+#[derive(PartialEq, Eq)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    kind: TimerKind,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Pending timers, ordered by deadline.
+#[derive(Default)]
+pub(crate) struct TimerWheel {
+    heap: BinaryHeap<Reverse<Entry>>,
+    next_seq: u64,
+}
+
+impl TimerWheel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: TimerKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, kind }));
+    }
+
+    /// The earliest pending deadline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pops the next timer due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<TimerKind> {
+        if self.next_deadline()? <= now {
+            self.heap.pop().map(|Reverse(e)| e.kind)
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending timers (including stale ones awaiting lazy
+    /// cancellation).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no timers are pending.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::millis;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(SimTime::ZERO + millis(30), TimerKind::Wake(ThreadId(3)));
+        w.schedule(SimTime::ZERO + millis(10), TimerKind::Wake(ThreadId(1)));
+        w.schedule(SimTime::ZERO + millis(20), TimerKind::Wake(ThreadId(2)));
+        assert_eq!(w.next_deadline(), Some(SimTime::ZERO + millis(10)));
+        let now = SimTime::ZERO + millis(25);
+        assert_eq!(w.pop_due(now), Some(TimerKind::Wake(ThreadId(1))));
+        assert_eq!(w.pop_due(now), Some(TimerKind::Wake(ThreadId(2))));
+        assert_eq!(w.pop_due(now), None);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn same_deadline_fires_fifo() {
+        let mut w = TimerWheel::new();
+        let t = SimTime::ZERO + millis(5);
+        for i in 0..4 {
+            w.schedule(t, TimerKind::Wake(ThreadId(i)));
+        }
+        for i in 0..4 {
+            assert_eq!(w.pop_due(t), Some(TimerKind::Wake(ThreadId(i))));
+        }
+    }
+
+    #[test]
+    fn empty_wheel() {
+        let mut w = TimerWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+        assert_eq!(w.pop_due(SimTime::MAX), None);
+    }
+}

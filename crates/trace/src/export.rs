@@ -1,0 +1,258 @@
+//! Machine-readable export of traces and measurements.
+//!
+//! The authors built ad-hoc tools over their event logs; this module
+//! provides the modern equivalent: JSON Lines export of the event
+//! stream and serde-serializable measurement records, so external
+//! tooling (plots, diffing runs) can consume the reproduction's output.
+
+use std::io::Write;
+
+use pcr::{Event, EventKind};
+use serde::Serialize;
+
+/// A flattened, serializable view of one runtime event.
+#[derive(Debug, Clone, Serialize)]
+pub struct EventRecord {
+    /// Microseconds since simulation start.
+    pub t_us: u64,
+    /// Event kind tag (e.g. "switch", "ml_enter").
+    pub kind: &'static str,
+    /// Primary thread involved.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub tid: Option<u32>,
+    /// Secondary thread (fork child, switch target, notify wakee...).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub other: Option<u32>,
+    /// Monitor id, when relevant.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub monitor: Option<u32>,
+    /// Condition id, when relevant.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cv: Option<u32>,
+    /// Extra detail (priority, contended flag, outcome...).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub detail: Option<String>,
+}
+
+impl From<&Event> for EventRecord {
+    fn from(ev: &Event) -> Self {
+        let mut r = EventRecord {
+            t_us: ev.t.as_micros(),
+            kind: "other",
+            tid: None,
+            other: None,
+            monitor: None,
+            cv: None,
+            detail: None,
+        };
+        match ev.kind {
+            EventKind::Fork {
+                parent,
+                child,
+                priority,
+                generation,
+            } => {
+                r.kind = "fork";
+                r.tid = parent.map(|t| t.as_u32());
+                r.other = Some(child.as_u32());
+                r.detail = Some(format!("prio={priority} gen={generation}"));
+            }
+            EventKind::Exit { tid, panicked } => {
+                r.kind = "exit";
+                r.tid = Some(tid.as_u32());
+                r.detail = panicked.then(|| "panicked".to_string());
+            }
+            EventKind::Join { joiner, target } => {
+                r.kind = "join";
+                r.tid = Some(joiner.as_u32());
+                r.other = Some(target.as_u32());
+            }
+            EventKind::Detach { tid, target } => {
+                r.kind = "detach";
+                r.tid = Some(tid.as_u32());
+                r.other = Some(target.as_u32());
+            }
+            EventKind::Switch {
+                from,
+                to,
+                to_priority,
+            } => {
+                r.kind = "switch";
+                r.tid = from.map(|t| t.as_u32());
+                r.other = Some(to.as_u32());
+                r.detail = Some(format!("prio={to_priority}"));
+            }
+            EventKind::QuantumExpired { tid } => {
+                r.kind = "quantum_expired";
+                r.tid = Some(tid.as_u32());
+            }
+            EventKind::MlEnter {
+                tid,
+                monitor,
+                contended,
+            } => {
+                r.kind = "ml_enter";
+                r.tid = Some(tid.as_u32());
+                r.monitor = Some(monitor.as_u32());
+                r.detail = contended.then(|| "contended".to_string());
+            }
+            EventKind::MlExit { tid, monitor } => {
+                r.kind = "ml_exit";
+                r.tid = Some(tid.as_u32());
+                r.monitor = Some(monitor.as_u32());
+            }
+            EventKind::CvWait { tid, cv } => {
+                r.kind = "cv_wait";
+                r.tid = Some(tid.as_u32());
+                r.cv = Some(cv.as_u32());
+            }
+            EventKind::CvWake { tid, cv, outcome } => {
+                r.kind = "cv_wake";
+                r.tid = Some(tid.as_u32());
+                r.cv = Some(cv.as_u32());
+                r.detail = Some(format!("{outcome:?}"));
+            }
+            EventKind::Notify { tid, cv, woken } => {
+                r.kind = "notify";
+                r.tid = Some(tid.as_u32());
+                r.cv = Some(cv.as_u32());
+                r.other = woken.map(|t| t.as_u32());
+            }
+            EventKind::Broadcast { tid, cv, woken } => {
+                r.kind = "broadcast";
+                r.tid = Some(tid.as_u32());
+                r.cv = Some(cv.as_u32());
+                r.detail = Some(format!("woken={woken}"));
+            }
+            EventKind::SpuriousLockConflict { tid, monitor } => {
+                r.kind = "spurious_lock_conflict";
+                r.tid = Some(tid.as_u32());
+                r.monitor = Some(monitor.as_u32());
+            }
+            EventKind::Yield { tid, kind } => {
+                r.kind = "yield";
+                r.tid = Some(tid.as_u32());
+                r.detail = Some(format!("{kind:?}"));
+            }
+            EventKind::SetPriority { tid, priority } => {
+                r.kind = "set_priority";
+                r.tid = Some(tid.as_u32());
+                r.detail = Some(format!("prio={priority}"));
+            }
+            EventKind::Sleep { tid, until } => {
+                r.kind = "sleep";
+                r.tid = Some(tid.as_u32());
+                r.detail = Some(format!("until={}", until.as_micros()));
+            }
+            EventKind::DaemonDonation { target } => {
+                r.kind = "daemon_donation";
+                r.other = Some(target.as_u32());
+            }
+            EventKind::ForkBlocked { tid } => {
+                r.kind = "fork_blocked";
+                r.tid = Some(tid.as_u32());
+            }
+            EventKind::ForkFailed { tid } => {
+                r.kind = "fork_failed";
+                r.tid = Some(tid.as_u32());
+            }
+            EventKind::MetalockStall {
+                tid,
+                monitor,
+                holder,
+            } => {
+                r.kind = "metalock_stall";
+                r.tid = Some(tid.as_u32());
+                r.monitor = Some(monitor.as_u32());
+                r.other = Some(holder.as_u32());
+            }
+        }
+        r
+    }
+}
+
+/// Writes events as JSON Lines (one JSON object per line).
+pub fn write_jsonl<'a, W: Write>(
+    events: impl IntoIterator<Item = &'a Event>,
+    mut w: W,
+) -> std::io::Result<usize> {
+    let mut n = 0;
+    for ev in events {
+        let rec = EventRecord::from(ev);
+        let line = serde_json::to_string(&rec).expect("event serializes");
+        writeln!(w, "{line}")?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr::{Priority, ThreadId};
+
+    fn ev(kind: EventKind) -> Event {
+        Event {
+            t: pcr::SimTime::from_micros(123),
+            kind,
+        }
+    }
+
+    #[test]
+    fn every_kind_serializes() {
+        let t0 = ThreadId::from_u32(0);
+        let samples = vec![
+            ev(EventKind::Fork {
+                parent: Some(t0),
+                child: ThreadId::from_u32(1),
+                priority: Priority::DEFAULT,
+                generation: 1,
+            }),
+            ev(EventKind::Exit {
+                tid: t0,
+                panicked: true,
+            }),
+            ev(EventKind::Switch {
+                from: None,
+                to: t0,
+                to_priority: Priority::of(6),
+            }),
+            ev(EventKind::Yield {
+                tid: t0,
+                kind: pcr::YieldKind::ButNotToMe,
+            }),
+            ev(EventKind::DaemonDonation { target: t0 }),
+        ];
+        let mut buf = Vec::new();
+        let n = write_jsonl(&samples, &mut buf).unwrap();
+        assert_eq!(n, samples.len());
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), samples.len());
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["t_us"], 123);
+            assert!(v["kind"].is_string());
+        }
+        assert!(text.contains("\"fork\""));
+        assert!(text.contains("panicked"));
+        assert!(text.contains("ButNotToMe"));
+    }
+
+    #[test]
+    fn end_to_end_jsonl_from_a_run() {
+        use pcr::{millis, RunLimit, Sim, SimConfig, VecSink};
+        let mut sim = Sim::new(SimConfig::default());
+        sim.set_sink(Box::new(VecSink::default()));
+        let _ = sim.fork_root("t", Priority::DEFAULT, |ctx| ctx.work(millis(1)));
+        sim.run(RunLimit::ToCompletion);
+        let sink = sim.take_sink().unwrap();
+        let events = sink
+            .into_any()
+            .downcast::<VecSink>()
+            .expect("vec sink")
+            .events;
+        let mut buf = Vec::new();
+        let n = write_jsonl(&events, &mut buf).unwrap();
+        assert!(n >= 3); // fork, switch, exit at least
+    }
+}

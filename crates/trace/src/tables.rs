@@ -1,0 +1,249 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! Renders aligned monospace tables (and Markdown) so `repro` can print
+//! rows shaped exactly like the paper's Tables 1–4.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table builder.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table; the first column is left-aligned, the rest right.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides column alignments.
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders as an aligned monospace table.
+    pub fn to_text(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+        }
+        let fmt_row = |cells: &[String], w: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = w[i].saturating_sub(c.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(c);
+                        line.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(c);
+                    }
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &w, &self.aligns));
+        let total: usize = w.iter().sum::<usize>() + 2 * (w.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &w, &self.aligns));
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "### {}\n", self.title);
+        }
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let seps: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => ":---",
+                Align::Right => "---:",
+            })
+            .collect();
+        let _ = writeln!(out, "| {} |", seps.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Renders a per-thread summary table from [`pcr::Sim::threads`] output:
+/// name, priority, CPU consumed, lifecycle — the "who is doing what"
+/// view the authors used alongside their event histories.
+pub fn thread_table(infos: &[pcr::ThreadInfo]) -> Table {
+    let mut t = Table::new("Threads", &["Thread", "Prio", "CPU", "Gen", "State"]);
+    let mut sorted: Vec<&pcr::ThreadInfo> = infos.iter().collect();
+    sorted.sort_by(|a, b| b.cpu.cmp(&a.cpu));
+    for info in sorted {
+        let state = if info.panicked {
+            "panicked"
+        } else if info.exited {
+            "exited"
+        } else {
+            "alive"
+        };
+        t.row(vec![
+            info.name.clone(),
+            info.priority.to_string(),
+            info.cpu.to_string(),
+            info.generation.to_string(),
+            state.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Formats a float with one decimal, the paper's table style.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float as a whole number.
+pub fn f0(x: f64) -> String {
+    format!("{x:.0}")
+}
+
+/// Formats a percentage like the paper ("82%").
+pub fn pct(x: f64) -> String {
+    format!("{x:.0}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut t = Table::new("Table 1", &["Benchmark", "Forks/sec"]);
+        t.row(vec!["Idle Cedar", "0.9"]);
+        t.row(vec!["Keyboard input", "5.0"]);
+        let s = t.to_text();
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("Idle Cedar"));
+        // Numbers right-aligned under the header.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].ends_with("Forks/sec"));
+        assert!(lines[3].ends_with("0.9"));
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("T", &["A", "B"]);
+        t.row(vec!["x", "1"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| A | B |"));
+        assert!(md.contains("| :--- | ---: |"));
+        assert!(md.contains("| x | 1 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("T", &["A", "B"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f1(3.14159), "3.1");
+        assert_eq!(f0(131.7), "132");
+        assert_eq!(pct(81.9), "82%");
+    }
+
+    #[test]
+    fn thread_table_sorts_by_cpu() {
+        use pcr::{millis, Priority, RunLimit, Sim, SimConfig};
+        let mut sim = Sim::new(SimConfig::default());
+        let _ = sim.fork_root("big", Priority::of(3), |ctx| ctx.work(millis(30)));
+        let _ = sim.fork_root("small", Priority::of(4), |ctx| ctx.work(millis(5)));
+        sim.run(RunLimit::ToCompletion);
+        let t = thread_table(&sim.threads());
+        let text = t.to_text();
+        let big_pos = text.find("big").unwrap();
+        let small_pos = text.find("small").unwrap();
+        assert!(big_pos < small_pos, "rows not CPU-sorted:\n{text}");
+        assert!(text.contains("exited"));
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new("", &["A"]);
+        assert!(t.is_empty());
+        t.row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Event-history rendering — the authors' favourite instrument.
+//!
+//! §7: "Even after a year of looking at the same 100 millisecond event
+//! histories we are seeing new things in them. To understand systems it
+//! is not enough to describe how things should be; one also needs to
+//! know how they are."
+//!
+//! [`Timeline`] collects the raw event stream and renders a window of it
+//! as a per-thread ASCII history: one row per thread, one column per
+//! time slot, showing who ran, who waited, and where the scheduling
+//! events (forks, notifies, preemptions) landed.
+
+use std::collections::BTreeMap;
+
+use pcr::{Event, EventKind, SimDuration, SimTime, ThreadId, TraceSink};
+
+/// A retained event trace with window-rendering support.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    events: Vec<Event>,
+    names: BTreeMap<ThreadId, String>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers thread names (from [`pcr::Sim::threads`]) so rows are
+    /// labelled; unnamed threads render as `T<n>`.
+    pub fn name_threads(&mut self, infos: &[pcr::ThreadInfo]) {
+        for t in infos {
+            self.names.insert(t.tid, t.name.clone());
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events within `[start, start+span)`.
+    pub fn window(&self, start: SimTime, span: SimDuration) -> impl Iterator<Item = &Event> {
+        let end = start.saturating_add(span);
+        self.events
+            .iter()
+            .filter(move |e| e.t >= start && e.t < end)
+    }
+
+    fn label(&self, tid: ThreadId) -> String {
+        self.names
+            .get(&tid)
+            .cloned()
+            .unwrap_or_else(|| format!("T{}", tid.as_u32()))
+    }
+
+    /// Renders the classic 100 ms event history: one row per thread that
+    /// was active in the window, `cols` slots wide. Slot glyphs:
+    ///
+    /// * `#` — the thread was running (dispatched) in this slot;
+    /// * `f` — it forked a child; `x` — it exited;
+    /// * `n` — it notified/broadcast; `w` — it began a CV wait;
+    /// * `t` — a wait of its timed out; `.` — nothing recorded.
+    ///
+    /// A trailing per-thread event count column keeps dense rows honest.
+    pub fn render(&self, start: SimTime, span: SimDuration, cols: usize) -> String {
+        use std::fmt::Write as _;
+        assert!(cols > 0, "need at least one column");
+        let slot = SimDuration::from_micros((span.as_micros() / cols as u64).max(1));
+        // Track which thread is running as of each switch event.
+        let mut rows: BTreeMap<ThreadId, Vec<char>> = BTreeMap::new();
+        let mut counts: BTreeMap<ThreadId, u64> = BTreeMap::new();
+        let slot_of = |t: SimTime| -> usize {
+            ((t.saturating_since(start).as_micros() / slot.as_micros()) as usize).min(cols - 1)
+        };
+        let mark = |rows: &mut BTreeMap<ThreadId, Vec<char>>, tid: ThreadId, s: usize, c: char| {
+            let row = rows.entry(tid).or_insert_with(|| vec!['.'; cols]);
+            // Rarer glyphs win over the running glyph.
+            if row[s] == '.' || row[s] == '#' {
+                row[s] = c;
+            }
+        };
+        let mut running: Option<ThreadId> = None;
+        let end = start.saturating_add(span);
+        for e in &self.events {
+            if e.t >= end {
+                break;
+            }
+            // Track running even before the window so fills are right.
+            if let EventKind::Switch { to, .. } = e.kind {
+                if e.t >= start {
+                    if let Some(prev) = running {
+                        // Fill the running span up to this switch.
+                        let from_slot = slot_of(e.t);
+                        mark(&mut rows, prev, from_slot, '#');
+                    }
+                }
+                running = Some(to);
+            }
+            if e.t < start {
+                continue;
+            }
+            let s = slot_of(e.t);
+            if let Some(r) = running {
+                mark(&mut rows, r, s, '#');
+            }
+            let (tid, glyph) = match e.kind {
+                EventKind::Fork { parent, .. } => (parent, 'f'),
+                EventKind::Exit { tid, .. } => (Some(tid), 'x'),
+                EventKind::Notify { tid, .. } | EventKind::Broadcast { tid, .. } => {
+                    (Some(tid), 'n')
+                }
+                EventKind::CvWait { tid, .. } => (Some(tid), 'w'),
+                EventKind::CvWake {
+                    tid,
+                    outcome: pcr::WaitOutcome::TimedOut,
+                    ..
+                } => (Some(tid), 't'),
+                _ => (None, ' '),
+            };
+            if let Some(tid) = tid {
+                mark(&mut rows, tid, s, glyph);
+                *counts.entry(tid).or_default() += 1;
+            }
+        }
+        let name_w = rows
+            .keys()
+            .map(|t| self.label(*t).len())
+            .max()
+            .unwrap_or(4)
+            .min(28);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "event history {start} .. {end} ({span}, {cols} slots of {slot})"
+        );
+        for (tid, row) in &rows {
+            let mut name = self.label(*tid);
+            name.truncate(name_w);
+            let line: String = row.iter().collect();
+            let _ = writeln!(
+                out,
+                "{name:name_w$} |{line}| {:>4}",
+                counts.get(tid).copied().unwrap_or(0)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:name_w$}  legend: #run f=fork x=exit n=notify w=wait t=timeout",
+            ""
+        );
+        out
+    }
+}
+
+impl TraceSink for Timeline {
+    fn record(&mut self, ev: &Event) {
+        self.events.push(*ev);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr::{millis, secs, Priority, RunLimit, Sim, SimConfig};
+
+    fn small_world() -> (Timeline, Vec<pcr::ThreadInfo>) {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.set_sink(Box::new(Timeline::new()));
+        let m = sim.monitor("m", 0u32);
+        let cv = sim.condition(&m, "cv", Some(millis(50)));
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let _ = sim.fork_root("pinger", Priority::of(5), move |ctx| {
+            for _ in 0..5 {
+                ctx.sleep_precise(millis(10));
+                let mut g = ctx.enter(&m2);
+                g.with_mut(|v| *v += 1);
+                g.notify(&cv2);
+            }
+        });
+        let _ = sim.fork_root("waiter", Priority::of(4), move |ctx| {
+            let mut g = ctx.enter(&m);
+            for _ in 0..5 {
+                let _ = g.wait(&cv);
+            }
+        });
+        sim.run(RunLimit::For(secs(1)));
+        let infos = sim.threads();
+        let mut tl = *crate::take_collector::<Timeline>(&mut sim).unwrap();
+        tl.name_threads(&infos);
+        (tl, infos)
+    }
+
+    #[test]
+    fn records_and_windows() {
+        let (tl, _) = small_world();
+        assert!(!tl.is_empty());
+        let all: Vec<_> = tl.window(SimTime::ZERO, secs(1)).collect();
+        assert_eq!(all.len(), tl.len());
+        let none: Vec<_> = tl.window(SimTime::ZERO + secs(10), secs(1)).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn renders_named_rows_with_glyphs() {
+        let (tl, _) = small_world();
+        let text = tl.render(SimTime::ZERO, millis(100), 50);
+        assert!(text.contains("pinger"), "{text}");
+        assert!(text.contains("waiter"), "{text}");
+        assert!(text.contains('n'), "notify glyph missing:\n{text}");
+        assert!(text.contains('w'), "wait glyph missing:\n{text}");
+        assert!(text.contains("legend"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_columns_rejected() {
+        let tl = Timeline::new();
+        let _ = tl.render(SimTime::ZERO, millis(100), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # workloads — the synthetic Cedar and GVX worlds
+//!
+//! Rebuilds, per the substitution rule in DESIGN.md, the two systems the
+//! paper measured: **Cedar** (research) and **GVX** (GlobalView,
+//! product), as parameterized populations of threads on the [`pcr`]
+//! runtime whose paradigm mix, blocking structure, priorities, and event
+//! rates are calibrated to the paper's §3. Each of the paper's twelve
+//! benchmark rows (eight Cedar + four GVX) is a [`spec::Benchmark`] run
+//! through [`runner::run_benchmark`], which returns the measurements of
+//! Tables 1–3 plus the in-text distributions (execution intervals, fork
+//! genealogy, CPU by priority).
+//!
+//! [`inventory::census`] carries the Table 4 fork-site census as data,
+//! cross-checked against the dynamic models.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cedar;
+pub mod gvx;
+pub mod inventory;
+pub mod runner;
+pub mod session;
+pub mod spec;
+pub mod world;
+
+pub use runner::{probe, run_benchmark, BenchResult, DEFAULT_WINDOW};
+pub use spec::{paper_row, Benchmark, PaperRow, System};

@@ -1,0 +1,200 @@
+//! Running a benchmark and harvesting the paper's measurements.
+
+use pcr::{secs, Priority, RunLimit, Sim, SimConfig, SimDuration, SystemDaemonConfig};
+use threadstudy_core::System;
+use trace::{BenchmarkRates, Collector, IntervalHistogram};
+
+use crate::spec::Benchmark;
+
+/// Everything measured from one benchmark run.
+#[derive(Debug)]
+pub struct BenchResult {
+    /// Which system ran.
+    pub system: System,
+    /// Which benchmark ran.
+    pub benchmark: Benchmark,
+    /// The Tables 1–3 rates.
+    pub rates: BenchmarkRates,
+    /// Execution-interval histogram (§3's bimodal distribution).
+    pub intervals: IntervalHistogram,
+    /// Maximum fork generation observed (§3: never exceeds 2).
+    pub max_generation: u32,
+    /// Thread count per generation.
+    pub generation_counts: Vec<usize>,
+    /// High-water mark of concurrently live threads (paper: ≤ 41).
+    pub max_live_threads: usize,
+    /// Virtual CPU consumed at each priority level (index 0 = priority 1).
+    pub cpu_by_priority: [SimDuration; 7],
+    /// Mean lifetime of threads that exited (§3: "well under 1 second").
+    pub mean_transient_lifetime: Option<SimDuration>,
+}
+
+/// Default virtual measurement window.
+pub const DEFAULT_WINDOW: SimDuration = secs(30);
+
+/// Builds the world for `(system, benchmark)` in a fresh simulator.
+pub fn build(system: System, benchmark: Benchmark, seed: u64) -> Sim {
+    // The SystemDaemon's pace is tuned per system so its wakeups sit
+    // inside each system's measured switch budget.
+    let daemon = match system {
+        System::Cedar => SystemDaemonConfig {
+            period: pcr::millis(100),
+            slice: pcr::millis(5),
+        },
+        System::Gvx => SystemDaemonConfig {
+            period: pcr::millis(500),
+            slice: pcr::millis(5),
+        },
+    };
+    let cfg = SimConfig::default()
+        .with_seed(seed)
+        .with_system_daemon(daemon);
+    let mut sim = Sim::new(cfg);
+    match system {
+        System::Cedar => crate::cedar::install(&mut sim, benchmark),
+        System::Gvx => crate::gvx::install(&mut sim, benchmark),
+    }
+    sim
+}
+
+/// Runs one benchmark for `window` of virtual time (plus a 2-second
+/// warm-up that is excluded from the rates) and returns the
+/// measurements.
+///
+/// # Panics
+///
+/// Panics if the world deadlocks.
+pub fn run_benchmark(
+    system: System,
+    benchmark: Benchmark,
+    window: SimDuration,
+    seed: u64,
+) -> BenchResult {
+    let mut sim = build(system, benchmark, seed);
+    // Warm-up: let queues and sleepers reach steady state.
+    let warmup = sim.run(RunLimit::For(secs(2)));
+    assert!(
+        !warmup.deadlocked(),
+        "world deadlocked during warm-up: {:?}",
+        warmup.reason
+    );
+    let start_stats = sim.stats().clone();
+    sim.set_sink(Box::new(Collector::new()));
+    let report = sim.run(RunLimit::For(window));
+    assert!(
+        !report.deadlocked(),
+        "world deadlocked during measurement: {:?}",
+        report.reason
+    );
+    let end_stats = sim.stats().clone();
+    assert_eq!(
+        end_stats.panics, 0,
+        "world threads panicked — the model is crippled"
+    );
+    let collector = trace::take_collector::<Collector>(&mut sim).expect("collector present");
+    let label = benchmark.label(system);
+    let rates = BenchmarkRates::from_window(&label, &start_stats, &end_stats, report.elapsed);
+    let mut cpu_by_priority = end_stats.cpu_by_priority;
+    for (i, c) in cpu_by_priority.iter_mut().enumerate() {
+        *c = c.saturating_sub(start_stats.cpu_by_priority[i]);
+    }
+    BenchResult {
+        system,
+        benchmark,
+        rates,
+        intervals: collector.intervals.into_histogram(),
+        max_generation: collector.genealogy.max_generation(),
+        generation_counts: collector.genealogy.generation_counts(),
+        max_live_threads: end_stats.max_live_threads,
+        cpu_by_priority,
+        mean_transient_lifetime: collector.genealogy.mean_lifetime_of_exited(),
+    }
+}
+
+/// Convenience: a quick probe run for tests (shorter window).
+pub fn probe(system: System, benchmark: Benchmark) -> BenchResult {
+    run_benchmark(system, benchmark, secs(10), 0xC0FFEE)
+}
+
+/// Counts the eternal threads of an installed world before any run.
+pub fn eternal_thread_count(system: System) -> usize {
+    let sim = build(system, Benchmark::Idle, 1);
+    sim.live_threads()
+}
+
+/// A tiny self-check world used by unit tests: two threads exchanging
+/// notifies. Returns its switch count over one virtual second.
+pub fn smoke() -> u64 {
+    let mut sim = Sim::new(SimConfig::default());
+    let m = sim.monitor("m", 0u32);
+    let cv = sim.condition(&m, "cv", Some(pcr::millis(50)));
+    let (m2, cv2) = (m.clone(), cv.clone());
+    let _ = sim.fork_root("a", Priority::of(4), move |ctx| loop {
+        let mut g = ctx.enter(&m2);
+        g.with_mut(|v| *v += 1);
+        g.notify(&cv2);
+        let _ = g.wait(&cv2);
+    });
+    let _ = sim.fork_root("b", Priority::of(4), move |ctx| loop {
+        let mut g = ctx.enter(&m);
+        g.with_mut(|v| *v += 1);
+        g.notify(&cv);
+        let _ = g.wait(&cv);
+    });
+    sim.run(RunLimit::For(secs(1)));
+    sim.stats().switches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_world_switches() {
+        assert!(smoke() > 10);
+    }
+
+    #[test]
+    fn cedar_idle_probe_shape() {
+        let r = probe(System::Cedar, Benchmark::Idle);
+        // Eternal threads only: low fork rate from the idle forker.
+        assert!(
+            r.rates.forks_per_sec > 0.2 && r.rates.forks_per_sec < 3.0,
+            "idle forks/sec = {}",
+            r.rates.forks_per_sec
+        );
+        assert!(
+            r.rates.switches_per_sec > 50.0 && r.rates.switches_per_sec < 500.0,
+            "idle switches/sec = {}",
+            r.rates.switches_per_sec
+        );
+        assert!(
+            r.rates.timeout_pct > 60.0,
+            "idle timeouts = {}%",
+            r.rates.timeout_pct
+        );
+        assert!(r.max_generation <= 2);
+        assert!(r.max_live_threads <= 41, "live = {}", r.max_live_threads);
+    }
+
+    #[test]
+    fn gvx_never_forks() {
+        for b in [
+            Benchmark::Idle,
+            Benchmark::Keyboard,
+            Benchmark::Mouse,
+            Benchmark::Scroll,
+        ] {
+            let r = probe(System::Gvx, b);
+            assert_eq!(r.rates.forks_per_sec, 0.0, "GVX {b} forked");
+        }
+    }
+
+    #[test]
+    fn eternal_populations_are_paper_sized() {
+        let cedar = eternal_thread_count(System::Cedar);
+        let gvx = eternal_thread_count(System::Gvx);
+        assert!((30..=41).contains(&cedar), "cedar eternal = {cedar}");
+        assert!((20..=26).contains(&gvx), "gvx eternal = {gvx}");
+    }
+}

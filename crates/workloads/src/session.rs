@@ -1,0 +1,125 @@
+//! Multi-phase interactive sessions: one continuous run of a world
+//! through several benchmark phases, with per-phase measurements.
+//!
+//! The paper measured each benchmark in isolation; a real Cedar day
+//! interleaves them. A [`Session`] keeps a single simulator alive and
+//! slices the statistics at phase boundaries, which also exercises the
+//! world's *transitions* (e.g. the idle forker resuming after a compile
+//! phase ends — except that workers in this model are eternal, so
+//! compute phases must come last; see [`SessionPhase`]).
+
+use pcr::{RunLimit, Sim, SimDuration};
+use threadstudy_core::System;
+use trace::BenchmarkRates;
+
+use crate::spec::Benchmark;
+
+/// One phase of a session: a label plus a duration. The world itself is
+/// fixed at construction (its event sources and workers run for the
+/// whole session); phases are measurement windows over it.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionPhase {
+    /// Label for the phase's row.
+    pub benchmark: Benchmark,
+    /// Virtual duration of the phase.
+    pub duration: SimDuration,
+}
+
+/// Per-phase measurement.
+#[derive(Debug)]
+pub struct PhaseResult {
+    /// The phase that ran.
+    pub phase: SessionPhase,
+    /// Rates over exactly this phase's window.
+    pub rates: BenchmarkRates,
+}
+
+/// A session over one continuously-running world.
+pub struct Session {
+    sim: Sim,
+    system: System,
+}
+
+impl Session {
+    /// Builds a session over the world configured for `benchmark`; the
+    /// world's event sources and workers then run continuously while
+    /// successive [`Session::run_phase`] calls slice the measurements.
+    pub fn new(system: System, benchmark: Benchmark, seed: u64) -> Self {
+        Session {
+            sim: crate::runner::build(system, benchmark, seed),
+            system,
+        }
+    }
+
+    /// Runs one phase and returns its sliced rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world deadlocks.
+    pub fn run_phase(&mut self, phase: SessionPhase) -> PhaseResult {
+        let before = self.sim.stats().clone();
+        let report = self.sim.run(RunLimit::For(phase.duration));
+        assert!(!report.deadlocked(), "session world deadlocked");
+        let after = self.sim.stats().clone();
+        let label = format!(
+            "{} ({:?} phase)",
+            phase.benchmark.label(self.system),
+            phase.benchmark
+        );
+        PhaseResult {
+            phase,
+            rates: BenchmarkRates::from_window(&label, &before, &after, report.elapsed),
+        }
+    }
+
+    /// The underlying simulator (for custom probes).
+    pub fn sim(&mut self) -> &mut Sim {
+        &mut self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr::secs;
+
+    #[test]
+    fn phases_slice_stats_independently() {
+        // One continuous keyboard world measured twice: the two phases'
+        // rates are computed from disjoint windows and roughly agree.
+        let mut s = Session::new(System::Cedar, Benchmark::Keyboard, 5);
+        let warm = s.run_phase(SessionPhase {
+            benchmark: Benchmark::Keyboard,
+            duration: secs(2),
+        });
+        let p1 = s.run_phase(SessionPhase {
+            benchmark: Benchmark::Keyboard,
+            duration: secs(8),
+        });
+        let p2 = s.run_phase(SessionPhase {
+            benchmark: Benchmark::Keyboard,
+            duration: secs(8),
+        });
+        let _ = warm;
+        assert!(p1.rates.ml_enters_per_sec > 1000.0);
+        let ratio = p1.rates.ml_enters_per_sec / p2.rates.ml_enters_per_sec;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "steady-state phases should agree: {ratio}"
+        );
+        // Virtual time really advanced continuously.
+        assert_eq!(s.sim().now(), pcr::SimTime::ZERO + secs(18));
+    }
+
+    #[test]
+    fn gvx_session_stays_forkless_across_phases() {
+        let mut s = Session::new(System::Gvx, Benchmark::Scroll, 5);
+        for _ in 0..3 {
+            let p = s.run_phase(SessionPhase {
+                benchmark: Benchmark::Scroll,
+                duration: secs(5),
+            });
+            assert_eq!(p.rates.forks_per_sec, 0.0);
+        }
+    }
+}

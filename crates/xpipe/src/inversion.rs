@@ -1,0 +1,224 @@
+//! Stable priority inversion and its workarounds (§6.2).
+//!
+//! Two experiments:
+//!
+//! 1. **Monitor inversion + SystemDaemon.** A high-priority thread waits
+//!    on a monitor held by a low-priority thread that a middle-priority
+//!    CPU hog never lets run — Birrell's stable inversion, which the
+//!    paper says was "not hypothetical". PCR's fix is the SystemDaemon:
+//!    a high-priority sleeper that donates random slices so every ready
+//!    thread makes progress.
+//!
+//! 2. **Metalock donation ablation.** For the short per-monitor metalock
+//!    PCR *does* donate cycles from the blocked thread to the holder; we
+//!    magnify the metalock window, preempt a low-priority thread inside
+//!    it, and measure how long a high-priority thread stalls behind it
+//!    with donation on vs off.
+
+use pcr::{
+    micros, millis, secs, Priority, RunLimit, Sim, SimConfig, SimDuration, SystemDaemonConfig,
+};
+
+/// Result of one inversion scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct InversionOutcome {
+    /// Time the high-priority thread needed to acquire the monitor, or
+    /// `None` if it was still stalled when the run was cut off.
+    pub acquire_latency: Option<SimDuration>,
+    /// SystemDaemon donations performed.
+    pub donations: u64,
+    /// Metalock stalls observed.
+    pub metalock_stalls: u64,
+}
+
+/// Scenario 1: classic stable inversion, with or without the
+/// SystemDaemon. Returns how long the high-priority thread waited for a
+/// monitor held by a starving low-priority thread.
+pub fn monitor_inversion(daemon: bool) -> InversionOutcome {
+    let cfg = if daemon {
+        SimConfig::default().with_system_daemon(SystemDaemonConfig {
+            period: millis(100),
+            slice: millis(5),
+        })
+    } else {
+        SimConfig::default()
+    };
+    let mut sim = Sim::new(cfg);
+    let resource = sim.monitor("resource", 0u32);
+    // Low-priority holder: needs 30ms of CPU inside the monitor.
+    let r1 = resource.clone();
+    let _ = sim.fork_root("low-holder", Priority::of(2), move |ctx| {
+        let mut g = ctx.enter(&r1);
+        ctx.work(millis(30));
+        g.with_mut(|v| *v += 1);
+    });
+    // Middle-priority hog: wakes once the holder is inside the monitor
+    // and never blocks again.
+    let _ = sim.fork_root("middle-hog", Priority::of(4), move |ctx| {
+        ctx.sleep_precise(micros(200));
+        loop {
+            ctx.work(millis(50));
+        }
+    });
+    // High-priority claimant: arrives after the holder has the monitor.
+    let r2 = resource;
+    let h = sim.fork_root("high-claimant", Priority::of(6), move |ctx| {
+        ctx.sleep_precise(millis(1));
+        let t0 = ctx.now();
+        let mut g = ctx.enter(&r2);
+        g.with_mut(|v| *v += 1);
+        ctx.now().since(t0)
+    });
+    let _ = sim.run(RunLimit::For(secs(20)));
+    let stats = sim.stats().clone();
+    InversionOutcome {
+        acquire_latency: h.into_result().map(|r| r.expect("claimant ok")),
+        donations: stats.daemon_donations,
+        metalock_stalls: stats.metalock_stalls,
+    }
+}
+
+/// Scenario 2: metalock inversion. The metalock window is magnified to
+/// 500 µs so a precisely-timed interrupt can preempt a low-priority
+/// thread inside it while a middle-priority hog keeps it off the CPU; a
+/// high-priority thread then needs the same monitor.
+///
+/// PCR donated cycles *only* for the metalock ("It is not done for
+/// monitors themselves, where we don't know how to implement it
+/// efficiently"), so with donation the high thread clears the metalock
+/// instantly but can still be stably inverted on the mutex itself —
+/// only the SystemDaemon resolves that.
+pub fn metalock_inversion(donation: bool, daemon: bool) -> InversionOutcome {
+    let mut cfg = SimConfig::default()
+        .with_metalock_cost(micros(500))
+        .with_metalock_donation(donation);
+    if daemon {
+        cfg = cfg.with_system_daemon(SystemDaemonConfig {
+            period: millis(100),
+            slice: millis(5),
+        });
+    }
+    let mut sim = Sim::new(cfg);
+    let resource = sim.monitor("resource", 0u32);
+
+    // Owner: takes the monitor at t=0 and holds it briefly (sleeping),
+    // so the low thread's enter is contended and walks the metalock
+    // path; the owner is gone long before anyone else needs the mutex.
+    let r_owner = resource.clone();
+    let _ = sim.fork_root("owner", Priority::of(5), move |ctx| {
+        let mut g = ctx.enter(&r_owner);
+        ctx.sleep_precise(micros(150));
+        g.with_mut(|v| *v += 1);
+    });
+
+    // Low thread: contends while the owner holds; its 500µs metalock
+    // window starts right away.
+    let r_low = resource.clone();
+    let _ = sim.fork_root("low-enterer", Priority::of(2), move |ctx| {
+        let mut g = ctx.enter(&r_low);
+        g.with_mut(|v| *v += 1);
+    });
+
+    // Interrupt: preempts the low thread in the middle of its window.
+    let _ = sim.fork_root("interrupt", Priority::of(7), move |ctx| {
+        ctx.sleep_precise(micros(300));
+        ctx.work(micros(100));
+    });
+
+    // Hog: wakes just after the interrupt and keeps the low thread from
+    // ever finishing the window on its own.
+    let _ = sim.fork_root("middle-hog", Priority::of(4), move |ctx| {
+        ctx.sleep_precise(micros(400));
+        loop {
+            ctx.work(millis(50));
+        }
+    });
+
+    // High thread: needs the same monitor shortly after. The mutex is
+    // free by now; only the stuck metalock (and then the stuck
+    // low-priority owner-to-be) stands in its way.
+    let r_high = resource;
+    let h = sim.fork_root("high-claimant", Priority::of(6), move |ctx| {
+        ctx.sleep_precise(millis(1));
+        let t0 = ctx.now();
+        let mut g = ctx.enter(&r_high);
+        g.with_mut(|v| *v += 1);
+        ctx.now().since(t0)
+    });
+    let _ = sim.run(RunLimit::For(secs(20)));
+    let stats = sim.stats().clone();
+    InversionOutcome {
+        acquire_latency: h.into_result().map(|r| r.expect("claimant ok")),
+        donations: stats.daemon_donations,
+        metalock_stalls: stats.metalock_stalls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inversion_is_stable_without_the_daemon() {
+        let out = monitor_inversion(false);
+        // The high thread never gets the monitor inside 20 virtual
+        // seconds: the hog starves the holder forever.
+        assert!(
+            out.acquire_latency.is_none(),
+            "latency {:?} — inversion should be stable",
+            out.acquire_latency
+        );
+        assert_eq!(out.donations, 0);
+    }
+
+    #[test]
+    fn system_daemon_bounds_the_inversion() {
+        let out = monitor_inversion(true);
+        let lat = out.acquire_latency.expect("daemon must rescue the holder");
+        // 30ms of holder CPU delivered in 5ms donations every ~100ms:
+        // bounded at roughly a second.
+        assert!(lat < secs(6), "latency {lat} too long despite the daemon");
+        assert!(out.donations > 0);
+    }
+
+    #[test]
+    fn metalock_stalls_only_without_donation() {
+        let with = metalock_inversion(true, false);
+        let without = metalock_inversion(false, false);
+        assert_eq!(with.metalock_stalls, 0, "donation must clear the window");
+        assert!(without.metalock_stalls >= 1, "no stall recorded");
+    }
+
+    #[test]
+    fn even_donation_cannot_fix_mutex_inversion_without_daemon() {
+        // PCR's donation covers the metalock only; the low thread, once
+        // granted the mutex, still starves behind the hog — exactly why
+        // the paper calls priorities "problematic in general".
+        let out = metalock_inversion(true, false);
+        assert!(
+            out.acquire_latency.is_none(),
+            "latency {:?} — mutex inversion should persist",
+            out.acquire_latency
+        );
+    }
+
+    #[test]
+    fn daemon_rescues_both_metalock_variants() {
+        let with = metalock_inversion(true, true);
+        let without = metalock_inversion(false, true);
+        let lat_with = with.acquire_latency.expect("rescued");
+        let lat_without = without.acquire_latency.expect("rescued");
+        assert!(lat_with < secs(3), "with-donation latency {lat_with}");
+        assert!(
+            lat_without < secs(5),
+            "without-donation latency {lat_without}"
+        );
+        // Without donation the daemon must rescue the low thread twice
+        // (metalock window, then its monitor tenure): never faster.
+        assert!(
+            lat_without >= lat_with,
+            "expected without ({lat_without}) >= with ({lat_with})"
+        );
+        assert!(without.metalock_stalls >= 1);
+    }
+}

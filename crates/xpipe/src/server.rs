@@ -1,0 +1,152 @@
+//! The simulated X server and its paint-request vocabulary.
+//!
+//! The paper's X server is an external Unix process with high
+//! per-transaction costs — the reason batching pays (§5.2). Here it is a
+//! thread consuming batches from a queue, charging a fixed per-batch
+//! cost plus a per-request cost, and recording when each screen region
+//! was last painted (for user-visible latency measurements).
+
+use pcr::{micros, millis, Monitor, Priority, SimDuration, SimTime, ThreadCtx};
+
+use paradigms::pump::BoundedQueue;
+
+/// One paint request: which region, which content version, and when the
+/// imaging thread produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaintReq {
+    /// Screen region.
+    pub region: u32,
+    /// Content version (later replaces earlier).
+    pub version: u32,
+    /// When the request was produced.
+    pub produced_at: SimTime,
+}
+
+/// Statistics the server accumulates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Batches received.
+    pub batches: u64,
+    /// Individual requests painted.
+    pub requests: u64,
+    /// Sum of produce-to-paint latency (µs) across requests.
+    pub total_latency_us: u64,
+    /// Worst produce-to-paint latency seen (µs).
+    pub max_latency_us: u64,
+}
+
+impl ServerStats {
+    /// Mean produce-to-paint latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.requests == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.total_latency_us / self.requests)
+        }
+    }
+
+    /// Worst produce-to-paint latency.
+    pub fn max_latency(&self) -> SimDuration {
+        SimDuration::from_micros(self.max_latency_us)
+    }
+}
+
+/// A running simulated X server.
+pub struct XServer {
+    stats: Monitor<ServerStats>,
+}
+
+/// Cost model: the per-batch overhead dominates small batches, which is
+/// what makes merging worthwhile.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerCosts {
+    /// Charged once per batch (connection + round-trip overhead).
+    pub per_batch: SimDuration,
+    /// Charged per request in a batch.
+    pub per_request: SimDuration,
+}
+
+impl Default for ServerCosts {
+    fn default() -> Self {
+        ServerCosts {
+            per_batch: millis(2),
+            per_request: micros(150),
+        }
+    }
+}
+
+impl XServer {
+    /// Spawns the server thread consuming `batches`.
+    pub fn spawn(
+        ctx: &ThreadCtx,
+        priority: Priority,
+        costs: ServerCosts,
+        batches: BoundedQueue<Vec<PaintReq>>,
+    ) -> XServer {
+        let stats = ctx.new_monitor("xserver.stats", ServerStats::default());
+        let st = stats.clone();
+        let _ = ctx
+            .fork_detached_prio("XServer", priority, move |ctx| {
+                while let Some(batch) = batches.take(ctx) {
+                    ctx.work(costs.per_batch + costs.per_request * batch.len() as u64);
+                    let now = ctx.now();
+                    let mut g = ctx.enter(&st);
+                    g.with_mut(|s| {
+                        s.batches += 1;
+                        for r in &batch {
+                            s.requests += 1;
+                            let lat = now.saturating_since(r.produced_at).as_micros();
+                            s.total_latency_us += lat;
+                            s.max_latency_us = s.max_latency_us.max(lat);
+                        }
+                    });
+                }
+            })
+            .expect("fork X server");
+        XServer { stats }
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn stats(&self, ctx: &ThreadCtx) -> ServerStats {
+        let g = ctx.enter(&self.stats);
+        g.with(|s| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr::{secs, RunLimit, Sim, SimConfig};
+
+    #[test]
+    fn server_charges_batch_and_request_costs() {
+        let mut sim = Sim::new(SimConfig::default());
+        let q: BoundedQueue<Vec<PaintReq>> = BoundedQueue::new_in_sim(&mut sim, "b", 8, None);
+        let q2 = q.clone();
+        let h = sim.fork_root("driver", Priority::of(5), move |ctx| {
+            let server = XServer::spawn(ctx, Priority::of(4), ServerCosts::default(), q2);
+            let t0 = ctx.now();
+            for i in 0..3 {
+                q.put(
+                    ctx,
+                    vec![PaintReq {
+                        region: i,
+                        version: 1,
+                        produced_at: t0,
+                    }],
+                );
+            }
+            q.close(ctx);
+            ctx.sleep_precise(millis(100));
+            server.stats(ctx)
+        });
+        sim.run(RunLimit::For(secs(2)));
+        let stats = h.into_result().unwrap().unwrap();
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.requests, 3);
+        // Each single-request batch costs ~2.15ms; the LAST one finishes
+        // ~6.5ms after production.
+        assert!(stats.max_latency() >= millis(6));
+        assert!(stats.mean_latency() >= millis(2));
+    }
+}

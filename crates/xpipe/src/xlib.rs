@@ -1,0 +1,277 @@
+//! Threaded Xlib vs. X1 (§5.6): managing the I/O connection to the X
+//! server from a multi-threaded client.
+//!
+//! The **modified Xlib** let any client thread read from the connection
+//! while holding the library's monitor. Two problems followed: a
+//! priority inversion window while the reading thread held the mutex
+//! across the (short-timeout) read, and — because "the X specification
+//! requires that the output queue be flushed whenever a read is done" —
+//! the repeated short-timeout reads caused "an excessive number of
+//! output flushes, defeating the throughput gains of batching requests".
+//!
+//! **X1** introduced a serializer thread that owns the connection: it
+//! blocks indefinitely reading and dispatches events; client timeouts
+//! become ordinary CV timeouts, the inversion window shrinks to the
+//! queue operations, and output flushing is decoupled (explicit flushes
+//! plus a periodic maintenance flush).
+//!
+//! Model: the `socket` monitor holds arriving server events; the `lib`
+//! monitor holds the client library's state (output queue, counters).
+//! The Xlib reader enters `lib`, then waits on the socket's CV — which
+//! releases only the socket monitor, so `lib` stays held across the
+//! read, exactly the original's inversion window.
+
+use std::collections::VecDeque;
+
+use pcr::{micros, millis, secs, Priority, RunLimit, Sim, SimConfig, SimDuration};
+
+/// Measurements from one connection-management model.
+#[derive(Clone, Copy, Debug)]
+pub struct XlibOutcome {
+    /// Server events delivered to the client.
+    pub events_delivered: u64,
+    /// Output-queue flushes performed.
+    pub flushes: u64,
+    /// Flushes per event delivered (the §5.6 throughput-loss metric).
+    pub flushes_per_event: f64,
+    /// Total virtual time the library mutex was held by a thread that
+    /// was waiting for input — the priority-inversion window.
+    pub inversion_window: SimDuration,
+    /// Mean time a high-priority client needed to enter the library.
+    pub highprio_entry_latency: SimDuration,
+}
+
+const EVENTS: u32 = 100;
+const EVENT_GAP: SimDuration = millis(40);
+const READ_TIMEOUT: SimDuration = millis(50);
+
+#[derive(Default)]
+struct Socket {
+    incoming: VecDeque<u32>,
+    done: bool,
+}
+
+#[derive(Default)]
+struct LibState {
+    pending_output: u32,
+    flushes: u64,
+    delivered: u64,
+    inversion_us: u64,
+}
+
+struct World {
+    sim: Sim,
+    socket: pcr::Monitor<Socket>,
+    arrived: pcr::Condition,
+    lib: pcr::Monitor<LibState>,
+}
+
+fn build(blocking_read: bool) -> World {
+    let mut sim = Sim::new(SimConfig::default().with_seed(7));
+    let socket = sim.monitor("socket", Socket::default());
+    let timeout = if blocking_read {
+        None
+    } else {
+        Some(READ_TIMEOUT)
+    };
+    let arrived = sim.condition(&socket, "event-arrived", timeout);
+    let lib = sim.monitor("xlib", LibState::default());
+    // The server-side event source.
+    let (s1, a1) = (socket.clone(), arrived.clone());
+    let _ = sim.fork_root("server-events", Priority::of(7), move |ctx| {
+        for i in 0..EVENTS {
+            ctx.sleep_precise(EVENT_GAP);
+            let mut g = ctx.enter(&s1);
+            g.with_mut(|s| s.incoming.push_back(i));
+            g.notify(&a1);
+        }
+        let mut g = ctx.enter(&s1);
+        g.with_mut(|s| s.done = true);
+        g.broadcast(&a1);
+    });
+    World {
+        sim,
+        socket,
+        arrived,
+        lib,
+    }
+}
+
+fn spawn_highprio_client(w: &mut World) -> pcr::JoinHandle<SimDuration> {
+    let lib = w.lib.clone();
+    w.sim
+        .fork_root("highprio-client", Priority::of(6), move |ctx| {
+            let mut total = SimDuration::ZERO;
+            let mut n = 0u64;
+            for _ in 0..40 {
+                ctx.sleep_precise(millis(90));
+                let t0 = ctx.now();
+                let mut g = ctx.enter(&lib);
+                g.with_mut(|c| c.pending_output += 1);
+                total += ctx.now().since(t0);
+                n += 1;
+            }
+            total / n.max(1)
+        })
+}
+
+fn harvest(mut w: World, h: pcr::JoinHandle<SimDuration>) -> XlibOutcome {
+    let r = w.sim.run(RunLimit::For(secs(30)));
+    assert!(!r.deadlocked(), "xlib world deadlocked");
+    let hp_latency = h.into_result().expect("client done").expect("client ok");
+    let lib = w.lib.clone();
+    let probe = w.sim.fork_root("probe", Priority::of(6), move |ctx| {
+        let g = ctx.enter(&lib);
+        g.with(|c| (c.delivered, c.flushes, c.inversion_us))
+    });
+    w.sim.run(RunLimit::For(secs(1)));
+    let (delivered, flushes, inversion_us) =
+        probe.into_result().expect("probe done").expect("probe ok");
+    XlibOutcome {
+        events_delivered: delivered,
+        flushes,
+        flushes_per_event: flushes as f64 / delivered.max(1) as f64,
+        inversion_window: SimDuration::from_micros(inversion_us),
+        highprio_entry_latency: hp_latency,
+    }
+}
+
+/// The modified-Xlib model: the client thread reads the connection
+/// itself, holding the library monitor, with short-timeout reads and
+/// the spec-mandated flush before each read.
+pub fn run_modified_xlib() -> XlibOutcome {
+    let mut w = build(false);
+    let (socket, arrived, lib) = (w.socket.clone(), w.arrived.clone(), w.lib.clone());
+    let _ = w
+        .sim
+        .fork_root("reading-client", Priority::of(3), move |ctx| loop {
+            // Enter the library; it stays held across the whole read.
+            let mut libg = ctx.enter(&lib);
+            // The X spec couples read and flush.
+            libg.with_mut(|c| {
+                c.flushes += 1;
+                c.pending_output = 0;
+            });
+            ctx.work(micros(80)); // The flush I/O.
+            let mut sg = ctx.enter(&socket);
+            if sg.with(|s| s.done && s.incoming.is_empty()) {
+                break;
+            }
+            if let Some(_ev) = sg.with_mut(|s| s.incoming.pop_front()) {
+                drop(sg);
+                libg.with_mut(|c| c.delivered += 1);
+                drop(libg);
+                ctx.work(micros(200)); // Handle the event.
+                continue;
+            }
+            // Short-timeout read while the LIBRARY mutex is held: the
+            // inversion window.
+            let t0 = ctx.now();
+            let _ = sg.wait(&arrived);
+            let held = ctx.now().saturating_since(t0).as_micros();
+            drop(sg);
+            libg.with_mut(|c| c.inversion_us += held);
+        });
+    let h = spawn_highprio_client(&mut w);
+    harvest(w, h)
+}
+
+/// The X1 model: a dedicated reading thread blocks indefinitely on the
+/// socket (holding nothing else); flushing is decoupled.
+pub fn run_x1() -> XlibOutcome {
+    let mut w = build(true);
+    let (socket, arrived, lib) = (w.socket.clone(), w.arrived.clone(), w.lib.clone());
+    let _ = w.sim.fork_root("x1-reader", Priority::of(5), move |ctx| {
+        loop {
+            let mut sg = ctx.enter(&socket);
+            sg.wait_until(&arrived, |s| s.done || !s.incoming.is_empty());
+            if sg.with(|s| s.done && s.incoming.is_empty()) {
+                break;
+            }
+            let batch: Vec<u32> = sg.with_mut(|s| s.incoming.drain(..).collect());
+            drop(sg);
+            // Dispatch outside the socket monitor.
+            let mut libg = ctx.enter(&lib);
+            libg.with_mut(|c| c.delivered += batch.len() as u64);
+            drop(libg);
+            ctx.work(micros(200) * batch.len() as u64);
+        }
+    });
+    // Maintenance flusher: periodic decoupled flushing.
+    let lib2 = w.lib.clone();
+    let _ = w
+        .sim
+        .fork_root("maintenance-flusher", Priority::of(4), move |ctx| loop {
+            ctx.sleep(millis(950));
+            let mut g = ctx.enter(&lib2);
+            let had = g.with_mut(|c| {
+                let had = c.pending_output > 0;
+                if had {
+                    c.flushes += 1;
+                    c.pending_output = 0;
+                }
+                had
+            });
+            drop(g);
+            if had {
+                ctx.work(micros(80));
+            }
+        });
+    let h = spawn_highprio_client(&mut w);
+    harvest(w, h)
+}
+
+/// The §5.6 comparison.
+pub fn compare() -> (XlibOutcome, XlibOutcome) {
+    (run_modified_xlib(), run_x1())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_models_deliver_all_events() {
+        let (xlib, x1) = compare();
+        assert_eq!(xlib.events_delivered, EVENTS as u64);
+        assert_eq!(x1.events_delivered, EVENTS as u64);
+    }
+
+    #[test]
+    fn xlib_flushes_excessively() {
+        let (xlib, x1) = compare();
+        // The short-timeout read loop flushes at least once per read
+        // attempt; X1 flushes ~once a second.
+        assert!(
+            xlib.flushes_per_event >= 1.0,
+            "xlib flushes/event = {}",
+            xlib.flushes_per_event
+        );
+        assert!(
+            x1.flushes_per_event < 0.2,
+            "x1 flushes/event = {}",
+            x1.flushes_per_event
+        );
+        assert!(xlib.flushes > 10 * x1.flushes.max(1));
+    }
+
+    #[test]
+    fn x1_closes_the_inversion_window() {
+        let (xlib, x1) = compare();
+        // Xlib holds the library mutex across blocked reads for a large
+        // share of the run; X1's reader never does.
+        assert!(
+            xlib.inversion_window > secs(1),
+            "xlib window {}",
+            xlib.inversion_window
+        );
+        assert_eq!(x1.inversion_window, SimDuration::ZERO);
+        // And the high-priority client pays for it.
+        assert!(
+            xlib.highprio_entry_latency > x1.highprio_entry_latency,
+            "latencies: xlib {} x1 {}",
+            xlib.highprio_entry_latency,
+            x1.highprio_entry_latency
+        );
+    }
+}

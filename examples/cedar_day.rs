@@ -1,0 +1,41 @@
+//! A day in the life of Cedar: runs the synthetic Cedar world through
+//! an interactive session — idle, then typing, then a compile — and
+//! prints the measurements the paper's Tables 1–3 are built from.
+//!
+//! Run with: `cargo run --release --example cedar_day`
+
+use threadstudy::pcr::secs;
+use threadstudy::workloads::{run_benchmark, Benchmark, System};
+
+fn main() {
+    println!("A day in the life of the synthetic Cedar world (10s windows)\n");
+    println!(
+        "{:<22} {:>9} {:>12} {:>9} {:>9} {:>13} {:>6} {:>6}",
+        "phase", "forks/s", "switches/s", "waits/s", "%timeout", "ML-enters/s", "#CVs", "#MLs"
+    );
+    for bench in [
+        Benchmark::Idle,
+        Benchmark::Keyboard,
+        Benchmark::Scroll,
+        Benchmark::Compile,
+    ] {
+        let r = run_benchmark(System::Cedar, bench, secs(10), 0xDA1_CEDA);
+        println!(
+            "{:<22} {:>9.1} {:>12.0} {:>9.0} {:>8.0}% {:>13.0} {:>6} {:>6}",
+            r.rates.name,
+            r.rates.forks_per_sec,
+            r.rates.switches_per_sec,
+            r.rates.waits_per_sec,
+            r.rates.timeout_pct,
+            r.rates.ml_enters_per_sec,
+            r.rates.distinct_cvs,
+            r.rates.distinct_mls
+        );
+        assert!(r.max_generation <= 2, "the paper saw no generation > 2");
+        assert!(r.max_live_threads <= 41, "the paper saw at most 41 threads");
+    }
+    println!(
+        "\nEvery phase obeys the paper's structural invariants: fork generations never\n\
+         exceed 2 and at most 41 threads ever exist concurrently."
+    );
+}

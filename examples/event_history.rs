@@ -1,0 +1,37 @@
+//! The authors' instrument of choice: "Even after a year of looking at
+//! the same 100 millisecond event histories we are seeing new things in
+//! them" (§7).
+//!
+//! Runs the synthetic Cedar world under keyboard input, captures the
+//! full event stream, and renders a 100 ms event history plus a JSONL
+//! excerpt for external tooling.
+//!
+//! Run with: `cargo run --release --example event_history`
+
+use threadstudy::pcr::{millis, secs, RunLimit, SimTime};
+use threadstudy::trace::Timeline;
+use threadstudy::workloads::{runner, Benchmark, System};
+
+fn main() {
+    let mut sim = runner::build(System::Cedar, Benchmark::Keyboard, 0xE7E27);
+    sim.set_sink(Box::new(Timeline::new()));
+    sim.run(RunLimit::For(secs(5)));
+    let infos = sim.threads();
+    let mut timeline =
+        *threadstudy::trace::take_collector::<Timeline>(&mut sim).expect("timeline installed");
+    timeline.name_threads(&infos);
+
+    // The classic window: 100 milliseconds, mid-run.
+    let start = SimTime::from_micros(3_000_000);
+    println!("{}", timeline.render(start, millis(100), 80));
+
+    // And the machine-readable form of the same window.
+    let window: Vec<_> = timeline.window(start, millis(10)).cloned().collect();
+    let mut buf = Vec::new();
+    let n = threadstudy::trace::write_jsonl(&window, &mut buf).unwrap();
+    println!("first 10ms of the window as JSON Lines ({n} events):");
+    for line in String::from_utf8(buf).unwrap().lines().take(12) {
+        println!("  {line}");
+    }
+    println!("  ...");
+}

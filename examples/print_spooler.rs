@@ -1,0 +1,102 @@
+//! A print spooler on **real threads**, built from the `mesa` crate's
+//! paradigm library — the adoptable face of the paper's catalogue.
+//!
+//! * defer work: `WorkerPool` renders documents in the background while
+//!   the "UI" returns instantly;
+//! * serializer: an `MbQueue` feeds the (single) printer in submission
+//!   order;
+//! * slack process: a `SlackProcess` coalesces duplicate status updates
+//!   before they hit the (expensive) status display;
+//! * task rejuvenation: a poisoned render job panics and the pool keeps
+//!   serving;
+//! * one-shot: a `DelayedFork` times out an abandoned print dialog.
+//!
+//! Run with: `cargo run --example print_spooler`
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use threadstudy::mesa::mbqueue::MbQueue;
+use threadstudy::mesa::pool::WorkerPool;
+use threadstudy::mesa::pump::BoundedQueue;
+use threadstudy::mesa::slack::{merge_by_key, SlackProcess};
+use threadstudy::mesa::sleeper::DelayedFork;
+
+fn main() {
+    // The printer: one device, one serializer thread (§4.6).
+    let printer = Arc::new(MbQueue::new("printer"));
+
+    // Status updates flow through a slack process that merges repeated
+    // updates for the same job before the costly display redraw (§4.2).
+    let status_q: BoundedQueue<(u32, &'static str)> = BoundedQueue::new("status", 128);
+    let status_display = SlackProcess::spawn(
+        "status-display",
+        status_q.clone(),
+        Duration::from_millis(5),
+        merge_by_key(|s: &(u32, &'static str)| s.0),
+        |batch| {
+            for (job, state) in batch {
+                println!("  [status] job {job}: {state}");
+            }
+        },
+    );
+
+    // The render farm: defer work to a bounded pool (§4.1, with the §5
+    // lesson about per-fork stack costs).
+    let pool = WorkerPool::new("render", 3);
+    let printed = Arc::new(AtomicU32::new(0));
+
+    for job in 0..8u32 {
+        let printer = Arc::clone(&printer);
+        let status_q = status_q.clone();
+        let printed = Arc::clone(&printed);
+        pool.defer(move || {
+            status_q.put((job, "rendering"));
+            if job == 3 {
+                // A poisoned document: the pool worker must survive it
+                // (task rejuvenation applied to the pool, §4.5).
+                panic!("corrupt PostScript in job 3");
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            status_q.put((job, "queued for printer"));
+            let status_q2 = status_q.clone();
+            printer.enqueue(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                status_q2.put((job, "printed"));
+                printed.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+    }
+
+    // An abandoned print dialog times out via a one-shot (§4.3).
+    let dialog = DelayedFork::schedule("dialog-timeout", Duration::from_millis(60), || {
+        println!("  [dialog] print dialog timed out and closed itself");
+    });
+
+    // Let everything drain.
+    while pool.executed() < 8 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let pool_panics = pool.panicked();
+    pool.shutdown();
+    // MbQueue::shutdown needs sole ownership.
+    std::thread::sleep(Duration::from_millis(100));
+    Arc::try_unwrap(printer)
+        .ok()
+        .expect("printer idle")
+        .shutdown();
+    status_q.close();
+    let counters = status_display.join();
+    assert!(dialog.join());
+
+    println!("\njobs printed      : {}", printed.load(Ordering::Relaxed));
+    println!("render panics     : {pool_panics} (absorbed; the pool kept serving)");
+    println!(
+        "status updates    : {} merged into {} display redraws",
+        counters.items_in(),
+        counters.batches_out()
+    );
+    assert_eq!(printed.load(Ordering::Relaxed), 7); // All but the poisoned job.
+    assert_eq!(pool_panics, 1);
+}

@@ -1,0 +1,33 @@
+//! # threadstudy — facade crate
+//!
+//! Reproduction of *Using Threads in Interactive Systems: A Case Study*
+//! (Hauser, Jacobi, Theimer, Welch, Weiser; SOSP 1993). This crate
+//! re-exports the workspace's components under one roof:
+//!
+//! * [`pcr`] — the deterministic virtual-time rebuild of the Portable
+//!   Common Runtime's Mesa thread model (the substrate both studied
+//!   systems ran on);
+//! * [`trace`] — instrumentation: event collectors, rate counters,
+//!   execution-interval histograms, genealogy (the paper's measurement
+//!   apparatus);
+//! * [`core`] — the paradigm taxonomy and the static fork-site inventory
+//!   (the paper's primary intellectual contribution);
+//! * [`paradigms`] — the ten thread-usage paradigms as reusable
+//!   components on the simulator;
+//! * [`mesa`] — the same Mesa model and paradigms on real `std::thread`s,
+//!   for downstream programs;
+//! * [`workloads`] — synthetic Cedar and GVX worlds and the paper's
+//!   twelve benchmarks;
+//! * [`xpipe`] — the X-server pipeline case studies (§5.2, §5.6, §6.1,
+//!   §6.3).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results of every table and figure.
+
+pub use mesa;
+pub use paradigms;
+pub use pcr;
+pub use threadstudy_core as core;
+pub use trace;
+pub use workloads;
+pub use xpipe;

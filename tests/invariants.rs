@@ -1,0 +1,161 @@
+//! Structural invariants the paper reports, checked across the full
+//! synthetic worlds, plus determinism and census consistency.
+
+use threadstudy::core::System as CoreSystem;
+use threadstudy::pcr::{millis, secs};
+use threadstudy::workloads::{inventory, run_benchmark, runner, Benchmark, System};
+
+#[test]
+fn fork_generations_never_exceed_two() {
+    // §3: "none of our benchmarks exhibited forking generations greater
+    // than 2. That is, every transient thread was either the child or
+    // grandchild of some worker or long-lived thread."
+    for sys in [System::Cedar, System::Gvx] {
+        for &b in Benchmark::suite(sys) {
+            let r = run_benchmark(sys, b, secs(10), 7);
+            assert!(
+                r.max_generation <= 2,
+                "{sys:?}/{b:?}: generation {} observed",
+                r.max_generation
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_threads_never_exceed_41() {
+    // §3: "the maximum number of threads concurrently existing in the
+    // system never exceeded 41."
+    for sys in [System::Cedar, System::Gvx] {
+        for &b in Benchmark::suite(sys) {
+            let r = run_benchmark(sys, b, secs(10), 7);
+            assert!(
+                r.max_live_threads <= 41,
+                "{sys:?}/{b:?}: {} live threads",
+                r.max_live_threads
+            );
+        }
+    }
+}
+
+#[test]
+fn transient_lifetimes_are_well_under_a_second() {
+    // §3: "an average lifetime for non-eternal threads that is well
+    // under 1 second."
+    let r = run_benchmark(System::Cedar, Benchmark::Format, secs(10), 7);
+    let mean = r.mean_transient_lifetime.expect("transients existed");
+    assert!(mean < secs(1), "mean transient lifetime {mean}");
+}
+
+#[test]
+fn execution_intervals_are_bimodal_under_compute_load() {
+    // §3: most intervals are 0-5ms, with a second peak at 45-50ms that
+    // carries a large share of total CPU.
+    let r = run_benchmark(System::Cedar, Benchmark::Compile, secs(10), 7);
+    let h = &r.intervals;
+    assert!(
+        h.fraction_between(millis(0), millis(5)) > 0.5,
+        "short intervals {:.2}",
+        h.fraction_between(millis(0), millis(5))
+    );
+    let cpu_share = h.time_fraction_between(millis(44), millis(51));
+    assert!(
+        cpu_share > 0.2,
+        "45-50ms intervals carry only {:.2} of CPU",
+        cpu_share
+    );
+    let mode = h.mode_at_or_above(millis(10)).expect("second mode");
+    assert!(
+        (millis(40)..=millis(51)).contains(&mode),
+        "second mode at {mode}"
+    );
+}
+
+#[test]
+fn benchmark_runs_are_deterministic() {
+    let a = run_benchmark(System::Cedar, Benchmark::Keyboard, secs(5), 99);
+    let b = run_benchmark(System::Cedar, Benchmark::Keyboard, secs(5), 99);
+    assert_eq!(a.rates.switches_per_sec, b.rates.switches_per_sec);
+    assert_eq!(a.rates.forks_per_sec, b.rates.forks_per_sec);
+    assert_eq!(a.rates.ml_enters_per_sec, b.rates.ml_enters_per_sec);
+    assert_eq!(a.rates.distinct_mls, b.rates.distinct_mls);
+    assert_eq!(a.max_live_threads, b.max_live_threads);
+}
+
+#[test]
+fn different_seeds_give_different_details() {
+    let a = run_benchmark(System::Cedar, Benchmark::Keyboard, secs(5), 1);
+    let b = run_benchmark(System::Cedar, Benchmark::Keyboard, secs(5), 2);
+    // Arrival jitter differs; exact event counts should too.
+    assert_ne!(
+        (a.rates.switches_per_sec, a.rates.ml_enters_per_sec),
+        (b.rates.switches_per_sec, b.rates.ml_enters_per_sec)
+    );
+}
+
+#[test]
+fn every_world_thread_names_a_modeled_census_site() {
+    // The Table 4 census and the dynamic models must agree: each thread
+    // the worlds create carries the name of a census entry flagged
+    // `modeled` (the runtime's own SystemDaemon is runtime machinery,
+    // not an application fork site).
+    let inv = inventory::census();
+    for sys in [System::Cedar, System::Gvx] {
+        for &b in Benchmark::suite(sys) {
+            let mut sim = runner::build(sys, b, 3);
+            sim.run(threadstudy::pcr::RunLimit::For(secs(3)));
+            for t in sim.threads() {
+                if t.name == "SystemDaemon" || t.name == "XServer" {
+                    continue; // Runtime/substrate machinery.
+                }
+                let site = inv.find(&t.name).unwrap_or_else(|| {
+                    panic!("{sys:?}/{b:?}: thread '{}' has no census entry", t.name)
+                });
+                assert!(
+                    site.modeled,
+                    "census entry '{}' not flagged modeled",
+                    t.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn census_matches_table4_exactly() {
+    let inv = inventory::census();
+    assert_eq!(inv.total(CoreSystem::Cedar), 348);
+    assert_eq!(inv.total(CoreSystem::Gvx), 234);
+    let cedar = inv.counts(CoreSystem::Cedar);
+    assert_eq!(cedar[&threadstudy::core::Paradigm::DeferWork], 108);
+    assert_eq!(cedar[&threadstudy::core::Paradigm::Sleeper], 67);
+    let gvx = inv.counts(CoreSystem::Gvx);
+    assert_eq!(gvx[&threadstudy::core::Paradigm::DeferWork], 77);
+    assert_eq!(gvx[&threadstudy::core::Paradigm::Unknown], 78);
+}
+
+#[test]
+fn cedar_and_gvx_priority_profiles_differ_as_reported() {
+    // §3: Cedar spreads long-lived threads over 1-4 and uses 7 (not 5);
+    // GVX concentrates on 3 and uses 5 (not 7).
+    let cedar = run_benchmark(System::Cedar, Benchmark::Keyboard, secs(10), 7);
+    let gvx = run_benchmark(System::Gvx, Benchmark::Keyboard, secs(10), 7);
+    let cpu = |r: &threadstudy::workloads::BenchResult, p: usize| r.cpu_by_priority[p - 1];
+    // Cedar: levels 1..4 all see CPU; level 5 sees none; level 7 some.
+    for p in 1..=4 {
+        assert!(
+            !cpu(&cedar, p).is_zero(),
+            "Cedar priority {p} idle despite even spread"
+        );
+    }
+    assert!(cpu(&cedar, 5).is_zero(), "Cedar must not use priority 5");
+    assert!(!cpu(&cedar, 7).is_zero(), "Cedar uses 7 for interrupts");
+    // GVX: 3 dominates; 7 unused; 5 used.
+    assert!(cpu(&gvx, 7).is_zero(), "GVX must not use priority 7");
+    assert!(!cpu(&gvx, 5).is_zero(), "GVX uses priority 5");
+    let total: u64 = (1..=7).map(|p| cpu(&gvx, p).as_micros()).sum();
+    assert!(
+        cpu(&gvx, 3).as_micros() * 2 > total,
+        "GVX priority 3 should dominate its CPU"
+    );
+}

@@ -1,0 +1,211 @@
+//! Cross-crate composition: several paradigms cooperating in one
+//! simulated system, and the same catalogue working on real threads.
+
+use threadstudy::paradigms::oneshot::delayed_fork;
+use threadstudy::paradigms::pump::{spawn_pump, BoundedQueue};
+use threadstudy::paradigms::rejuvenate::supervise;
+use threadstudy::paradigms::serializer::MbQueue;
+use threadstudy::paradigms::sleeper::Periodical;
+use threadstudy::pcr::{millis, secs, Priority, RunLimit, Sim, SimConfig};
+
+#[test]
+fn a_small_interactive_system_from_paradigm_parts() {
+    // Sleeper (ticker) -> pump (enricher) -> serializer (applier), with
+    // a one-shot watchdog and a supervised flaky service on the side.
+    let mut sim = Sim::new(SimConfig::default());
+    let raw: BoundedQueue<u32> = BoundedQueue::new_in_sim(&mut sim, "raw", 32, None);
+    let cooked: BoundedQueue<String> = BoundedQueue::new_in_sim(&mut sim, "cooked", 32, None);
+    let applied = sim.monitor("applied", Vec::<String>::new());
+
+    let raw_producer = raw.clone();
+    let (cooked_in, cooked_out) = (cooked.clone(), cooked);
+    let applied2 = applied.clone();
+    let h = sim.fork_root("main", Priority::of(5), move |ctx| {
+        // Sleeper: emits a tick every 100ms (quantized like PCR).
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let c2 = std::sync::Arc::clone(&counter);
+        let rp = raw_producer.clone();
+        let ticker = Periodical::spawn(ctx, "ticker", Priority::of(4), millis(90), move |ctx| {
+            let n = c2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            rp.put(ctx, n);
+        });
+        // Pump: enriches ticks into strings.
+        spawn_pump(
+            ctx,
+            "enricher",
+            Priority::of(4),
+            raw_producer,
+            cooked_in,
+            millis(1),
+            |n| Some(format!("tick-{n}")),
+        );
+        // Serializer: applies updates in order.
+        let mb = MbQueue::new(ctx, "applier", Priority::of(4), 32);
+        let ap = applied2.clone();
+        let feeder = ctx
+            .fork("feeder", move |ctx| {
+                for _ in 0..8 {
+                    let Some(s) = cooked_out.take(ctx) else { break };
+                    let ap = ap.clone();
+                    mb.enqueue(ctx, millis(1), move |ctx| {
+                        let mut g = ctx.enter(&ap);
+                        g.with_mut(|v| v.push(s));
+                    });
+                }
+                mb.stop(ctx);
+            })
+            .unwrap();
+        // One-shot: a watchdog that must NOT fire (we finish in time).
+        let watchdog = delayed_fork(ctx, "watchdog", Priority::of(6), secs(30), |_ctx| {
+            panic!("system hung");
+        });
+        // Task rejuvenation: a flaky service succeeds on attempt 2.
+        let report = supervise(ctx, "flaky", Priority::of(3), 3, millis(10), |attempt| {
+            move |ctx: &threadstudy::pcr::ThreadCtx| {
+                ctx.work(millis(2));
+                if attempt == 0 {
+                    panic!("first attempt always fails");
+                }
+            }
+        });
+        assert_eq!(report.starts, 2);
+        ctx.join(feeder).unwrap();
+        // The serializer drains asynchronously after stop(); wait for it.
+        for _ in 0..200 {
+            let done = {
+                let g = ctx.enter(&applied2);
+                g.with(|v| v.len() >= 8)
+            };
+            if done {
+                break;
+            }
+            ctx.sleep_precise(millis(10));
+        }
+        assert!(watchdog.cancel());
+        ticker.cancel();
+        let g = ctx.enter(&applied2);
+        g.with(|v| v.clone())
+    });
+    let r = sim.run(RunLimit::For(secs(20)));
+    assert!(!r.deadlocked());
+    // The pump and the cancelled watchdog linger (blocked take, 30s
+    // sleep), so the run ends at the time limit; the main thread's
+    // result must nonetheless be complete.
+    let applied = h.into_result().expect("main thread finished").unwrap();
+    assert_eq!(applied.len(), 8);
+    for (i, s) in applied.iter().enumerate() {
+        assert_eq!(s, &format!("tick-{i}"), "order violated at {i}");
+    }
+    // One panic from the flaky service's first attempt; nothing else.
+    assert_eq!(sim.stats().panics, 1);
+}
+
+#[test]
+fn the_same_catalogue_works_on_real_threads() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+    use threadstudy::mesa::{mbqueue, pool, pump, rejuvenate, sleeper};
+
+    // Pool (defer work) feeding a serializer through a bounded queue,
+    // with a periodical and a supervised service.
+    let q: pump::BoundedQueue<u32> = pump::BoundedQueue::new("q", 16);
+    let mb = Arc::new(mbqueue::MbQueue::new("applier"));
+    let total = Arc::new(AtomicU32::new(0));
+
+    let workers = pool::WorkerPool::new("pool", 2);
+    for i in 0..10 {
+        let q = q.clone();
+        workers.defer(move || {
+            q.put(i);
+        });
+    }
+    let (mb2, total2, q2) = (Arc::clone(&mb), Arc::clone(&total), q.clone());
+    let feeder = std::thread::spawn(move || {
+        for _ in 0..10 {
+            let v = q2.take().unwrap();
+            let t = Arc::clone(&total2);
+            mb2.enqueue(move || {
+                t.fetch_add(v, Ordering::Relaxed);
+            });
+        }
+    });
+    let ticks = Arc::new(AtomicU32::new(0));
+    let t2 = Arc::clone(&ticks);
+    let p = sleeper::Periodical::spawn("tick", Duration::from_millis(3), move || {
+        t2.fetch_add(1, Ordering::Relaxed);
+    });
+    let report = rejuvenate::supervise("svc", 2, Duration::from_millis(1), |attempt| {
+        move || {
+            if attempt == 0 {
+                panic!("flaky");
+            }
+        }
+    });
+    feeder.join().unwrap();
+    workers.shutdown();
+    std::thread::sleep(Duration::from_millis(30));
+    p.cancel();
+    Arc::try_unwrap(mb).ok().expect("sole owner").shutdown();
+    assert_eq!(total.load(Ordering::Relaxed), 45);
+    assert_eq!(report.starts, 2);
+    assert!(ticks.load(Ordering::Relaxed) >= 2);
+}
+
+#[test]
+fn full_cedar_world_survives_immediate_notify_mode() {
+    // Cross-cutting: run the whole Cedar keyboard world under the
+    // *unfixed* §6.1 notify mode and observe spurious conflicts appear
+    // in a realistic system, not just a microbenchmark.
+    use threadstudy::pcr::{NotifyMode, SystemDaemonConfig};
+    let cfg = SimConfig::default()
+        .with_seed(11)
+        .with_notify_mode(NotifyMode::Immediate)
+        .with_system_daemon(SystemDaemonConfig::default());
+    let mut sim = Sim::new(cfg);
+    threadstudy::workloads::cedar::install(&mut sim, threadstudy::workloads::Benchmark::Keyboard);
+    let r = sim.run(RunLimit::For(secs(10)));
+    assert!(!r.deadlocked());
+    assert!(
+        sim.stats().spurious_conflicts > 0,
+        "immediate notify should waste dispatches somewhere in a full world"
+    );
+    // And the fixed mode wastes none.
+    let cfg = SimConfig::default()
+        .with_seed(11)
+        .with_system_daemon(SystemDaemonConfig::default());
+    let mut sim = Sim::new(cfg);
+    threadstudy::workloads::cedar::install(&mut sim, threadstudy::workloads::Benchmark::Keyboard);
+    let r = sim.run(RunLimit::For(secs(10)));
+    assert!(!r.deadlocked());
+    assert_eq!(sim.stats().spurious_conflicts, 0);
+}
+
+#[test]
+fn concurrency_exploiters_gain_on_the_mp_scheduler() {
+    // §4.7: the very paradigm the uniprocessor could not reward. The
+    // unchanged paradigms::exploit helpers, run on MpSim, now show real
+    // virtual-time speedup.
+    use threadstudy::paradigms::exploit::parallel_map;
+    use threadstudy::pcr::MpSim;
+    let run = |cpus: usize| {
+        let mut sim = MpSim::new(SimConfig::default(), cpus);
+        let h = sim.fork_root("driver", Priority::of(5), |ctx| {
+            let t0 = ctx.now();
+            let out = parallel_map(ctx, "sq", (0..8).collect(), millis(20), |_ctx, x: u32| {
+                x * x
+            });
+            (out, ctx.now().since(t0))
+        });
+        sim.run(RunLimit::For(secs(60)));
+        h.into_result().unwrap().unwrap()
+    };
+    let (out1, t1) = run(1);
+    let (out4, t4) = run(4);
+    assert_eq!(out1, out4);
+    assert_eq!(out4, (0..8).map(|x| x * x).collect::<Vec<_>>());
+    assert!(
+        t4.as_micros() * 3 < t1.as_micros(),
+        "4 CPUs ({t4}) should be well under a third of 1 CPU ({t1})"
+    );
+}
