@@ -2,128 +2,91 @@
 //! one target per experiment so `cargo bench` exercises every
 //! reproduction code path (E5, E6, E7, E12 run shortened here; the full
 //! measurements come from `repro experiments`).
+//!
+//! Plain `main()` harness (no external bench framework is available
+//! offline): each target runs a fixed iteration count after a warmup and
+//! reports mean wall time per iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use pcr::{micros, millis, NotifyMode, Priority, RunLimit, Sim, SimConfig};
 
-fn bench_mbqueue(c: &mut Criterion) {
-    c.bench_function("paradigm_mbqueue_500_actions", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(SimConfig::default());
-            let _ = sim.fork_root("driver", Priority::of(5), |ctx| {
-                let mb = paradigms::serializer::MbQueue::new(ctx, "mb", Priority::of(4), 64);
-                for _ in 0..500 {
-                    mb.enqueue(ctx, micros(10), |_| {});
-                }
-                mb.stop(ctx);
-            });
-            sim.run(RunLimit::For(pcr::secs(30)))
-        })
-    });
-    c.bench_function("mesa_mbqueue_5000_actions", |b| {
-        b.iter(|| {
-            let mb = mesa::mbqueue::MbQueue::new("mb");
-            for _ in 0..5000 {
-                mb.enqueue(|| {});
-            }
-            mb.shutdown();
-        })
-    });
+fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    f(); // Warmup.
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{name:40} {per:>12.2?}/iter  ({iters} iters)");
 }
 
-fn bench_slack_experiment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("slack_e5");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+fn main() {
+    bench("paradigm_mbqueue_500_actions", 5, || {
+        let mut sim = Sim::new(SimConfig::default());
+        let _ = sim.fork_root("driver", Priority::of(5), |ctx| {
+            let mb = paradigms::serializer::MbQueue::new(ctx, "mb", Priority::of(4), 64);
+            for _ in 0..500 {
+                mb.enqueue(ctx, micros(10), |_| {});
+            }
+            mb.stop(ctx);
+        });
+        sim.run(RunLimit::For(pcr::secs(30)));
+    });
+    bench("mesa_mbqueue_5000_actions", 5, || {
+        let mb = mesa::mbqueue::MbQueue::new("mb");
+        for _ in 0..5000 {
+            mb.enqueue(|| {});
+        }
+        mb.shutdown();
+    });
     for policy in [
         paradigms::slack::SlackPolicy::PlainYield,
         paradigms::slack::SlackPolicy::YieldButNotToMe,
     ] {
-        group.bench_function(format!("{policy:?}"), |b| {
-            b.iter(|| {
-                xpipe::slackbench::run_slack(xpipe::slackbench::SlackConfig {
-                    policy,
-                    requests: 300,
-                    ..Default::default()
-                })
-            })
-        });
-    }
-    group.finish();
-}
-
-fn bench_spurious_experiment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("notify_e6");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    for mode in [NotifyMode::Immediate, NotifyMode::DeferredReschedule] {
-        group.bench_function(format!("{mode:?}"), |b| {
-            b.iter(|| xpipe::spurious::run_notify_bench(mode, 200))
-        });
-    }
-    group.finish();
-}
-
-fn bench_xlib_experiment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("xlib_e12");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("modified_xlib", |b| b.iter(xpipe::xlib::run_modified_xlib));
-    group.bench_function("x1", |b| b.iter(xpipe::xlib::run_x1));
-    group.finish();
-}
-
-fn bench_exploiters_e13(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exploiters_e13");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    for cpus in [1usize, 4] {
-        group.bench_function(format!("fork_join_16x25ms_{cpus}cpu"), |b| {
-            b.iter(|| xpipe::exploiters::fork_join_makespan(cpus, 16, millis(25)))
-        });
-    }
-    group.finish();
-}
-
-fn bench_pool(c: &mut Criterion) {
-    c.bench_function("mesa_pool_10000_jobs", |b| {
-        b.iter(|| {
-            let pool = mesa::pool::WorkerPool::new("p", 4);
-            for _ in 0..10_000 {
-                pool.defer(|| {});
-            }
-            pool.shutdown();
-        })
-    });
-}
-
-fn bench_guarded_button(c: &mut Criterion) {
-    c.bench_function("paradigm_guarded_button_cycle", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(SimConfig::default());
-            let _ = sim.fork_root("ui", Priority::of(5), |ctx| {
-                let button = paradigms::oneshot::GuardedButton::new(millis(100), millis(400));
-                let _ = button.press(ctx);
-                ctx.sleep_precise(millis(200));
-                assert!(button.press(ctx));
+        bench(&format!("slack_e5_{policy:?}"), 3, || {
+            xpipe::slackbench::run_slack(xpipe::slackbench::SlackConfig {
+                policy,
+                requests: 300,
+                ..Default::default()
             });
-            sim.run(RunLimit::For(pcr::secs(5)))
-        })
+        });
+    }
+    for mode in [NotifyMode::Immediate, NotifyMode::DeferredReschedule] {
+        bench(&format!("notify_e6_{mode:?}"), 3, || {
+            xpipe::spurious::run_notify_bench(mode, 200);
+        });
+    }
+    bench("xlib_e12_modified_xlib", 3, || {
+        xpipe::xlib::run_modified_xlib();
+    });
+    bench("xlib_e12_x1", 3, || {
+        xpipe::xlib::run_x1();
+    });
+    for cpus in [1usize, 4] {
+        bench(
+            &format!("exploiters_e13_fork_join_16x25ms_{cpus}cpu"),
+            3,
+            || {
+                xpipe::exploiters::fork_join_makespan(cpus, 16, millis(25));
+            },
+        );
+    }
+    bench("mesa_pool_10000_jobs", 5, || {
+        let pool = mesa::pool::WorkerPool::new("p", 4);
+        for _ in 0..10_000 {
+            pool.defer(|| {});
+        }
+        pool.shutdown();
+    });
+    bench("paradigm_guarded_button_cycle", 10, || {
+        let mut sim = Sim::new(SimConfig::default());
+        let _ = sim.fork_root("ui", Priority::of(5), |ctx| {
+            let button = paradigms::oneshot::GuardedButton::new(millis(100), millis(400));
+            let _ = button.press(ctx);
+            ctx.sleep_precise(millis(200));
+            assert!(button.press(ctx));
+        });
+        sim.run(RunLimit::For(pcr::secs(5)));
     });
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_mbqueue, bench_slack_experiment, bench_spurious_experiment,
-              bench_xlib_experiment, bench_exploiters_e13, bench_pool,
-              bench_guarded_button
-);
-criterion_main!(benches);

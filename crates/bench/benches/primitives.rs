@@ -4,102 +4,94 @@
 //! measure the *simulator's* real-time costs per simulated primitive,
 //! i.e. how expensive reproduction experiments are to run, alongside the
 //! real-thread `mesa` monitor for comparison.
+//!
+//! Plain `main()` harness (no external bench framework is available
+//! offline): each target runs a fixed iteration count after a short
+//! warmup and reports mean wall time per iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use pcr::{micros, millis, Priority, RunLimit, Sim, SimConfig};
 
-fn bench_fork_join(c: &mut Criterion) {
-    c.bench_function("sim_fork_join_100", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(SimConfig::default());
-            let _ = sim.fork_root("main", Priority::DEFAULT, |ctx| {
-                for i in 0..100 {
-                    let h = ctx.fork(&format!("c{i}"), |_| 1u32).unwrap();
-                    ctx.join(h).unwrap();
-                }
-            });
-            sim.run(RunLimit::ToCompletion)
-        })
-    });
+fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    for _ in 0..2 {
+        f(); // Warmup.
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{name:40} {per:>12.2?}/iter  ({iters} iters)");
 }
 
-fn bench_monitor_cycle(c: &mut Criterion) {
-    c.bench_function("sim_monitor_enter_exit_1000", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(SimConfig::default());
-            let m = sim.monitor("m", 0u64);
-            let _ = sim.fork_root("main", Priority::DEFAULT, move |ctx| {
-                for _ in 0..1000 {
-                    let mut g = ctx.enter(&m);
-                    g.with_mut(|v| *v += 1);
-                }
-            });
-            sim.run(RunLimit::ToCompletion)
-        })
+fn sim_fork_join() {
+    let mut sim = Sim::new(SimConfig::default());
+    let _ = sim.fork_root("main", Priority::DEFAULT, |ctx| {
+        for i in 0..100 {
+            let h = ctx.fork(&format!("c{i}"), |_| 1u32).unwrap();
+            ctx.join(h).unwrap();
+        }
     });
+    sim.run(RunLimit::ToCompletion);
 }
 
-fn bench_notify_wait(c: &mut Criterion) {
-    c.bench_function("sim_notify_wait_pingpong_500", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(SimConfig::default());
-            let m = sim.monitor("m", 0u32);
-            let cv = sim.condition(&m, "cv", Some(millis(50)));
-            let (m2, cv2) = (m.clone(), cv.clone());
-            let _ = sim.fork_root("a", Priority::of(4), move |ctx| {
-                let mut g = ctx.enter(&m2);
-                for _ in 0..500 {
-                    g.with_mut(|v| *v += 1);
-                    g.notify(&cv2);
-                    let _ = g.wait(&cv2);
-                }
-            });
-            let _ = sim.fork_root("b", Priority::of(4), move |ctx| {
-                let mut g = ctx.enter(&m);
-                for _ in 0..500 {
-                    g.with_mut(|v| *v += 1);
-                    g.notify(&cv);
-                    let _ = g.wait(&cv);
-                }
-            });
-            sim.run(RunLimit::For(pcr::secs(60)))
-        })
+fn sim_monitor_cycle() {
+    let mut sim = Sim::new(SimConfig::default());
+    let m = sim.monitor("m", 0u64);
+    let _ = sim.fork_root("main", Priority::DEFAULT, move |ctx| {
+        for _ in 0..1000 {
+            let mut g = ctx.enter(&m);
+            g.with_mut(|v| *v += 1);
+        }
     });
+    sim.run(RunLimit::ToCompletion);
 }
 
-fn bench_work_and_preemption(c: &mut Criterion) {
-    c.bench_function("sim_timeslicing_1s_virtual", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(SimConfig::default());
-            for i in 0..4 {
-                let _ = sim.fork_root(&format!("hog{i}"), Priority::DEFAULT, |ctx| loop {
-                    ctx.work(micros(500));
-                });
-            }
-            sim.run(RunLimit::For(pcr::secs(1)))
-        })
+fn sim_notify_wait() {
+    let mut sim = Sim::new(SimConfig::default());
+    let m = sim.monitor("m", 0u32);
+    let cv = sim.condition(&m, "cv", Some(millis(50)));
+    let (m2, cv2) = (m.clone(), cv.clone());
+    let _ = sim.fork_root("a", Priority::of(4), move |ctx| {
+        let mut g = ctx.enter(&m2);
+        for _ in 0..500 {
+            g.with_mut(|v| *v += 1);
+            g.notify(&cv2);
+            let _ = g.wait(&cv2);
+        }
     });
+    let _ = sim.fork_root("b", Priority::of(4), move |ctx| {
+        let mut g = ctx.enter(&m);
+        for _ in 0..500 {
+            g.with_mut(|v| *v += 1);
+            g.notify(&cv);
+            let _ = g.wait(&cv);
+        }
+    });
+    sim.run(RunLimit::For(pcr::secs(60)));
 }
 
-fn bench_real_monitor(c: &mut Criterion) {
-    c.bench_function("mesa_monitor_enter_exit_1000", |b| {
-        let m = mesa::Monitor::new("m", 0u64);
-        b.iter(|| {
-            for _ in 0..1000 {
-                let mut g = m.enter();
-                *g.data() += 1;
-            }
-        })
-    });
+fn sim_timeslicing() {
+    let mut sim = Sim::new(SimConfig::default());
+    for i in 0..4 {
+        let _ = sim.fork_root(&format!("hog{i}"), Priority::DEFAULT, |ctx| loop {
+            ctx.work(micros(500));
+        });
+    }
+    sim.run(RunLimit::For(pcr::secs(1)));
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_fork_join, bench_monitor_cycle, bench_notify_wait,
-              bench_work_and_preemption, bench_real_monitor
-);
-criterion_main!(benches);
+fn main() {
+    bench("sim_fork_join_100", 20, sim_fork_join);
+    bench("sim_monitor_enter_exit_1000", 20, sim_monitor_cycle);
+    bench("sim_notify_wait_pingpong_500", 20, sim_notify_wait);
+    bench("sim_timeslicing_1s_virtual", 10, sim_timeslicing);
+    let m = mesa::Monitor::new("m", 0u64);
+    bench("mesa_monitor_enter_exit_1000", 50, || {
+        for _ in 0..1000 {
+            let mut g = m.enter();
+            *g.data() += 1;
+        }
+    });
+}

@@ -6,69 +6,63 @@
 //!
 //! The full-length (30 s window) regeneration is `cargo run --release -p
 //! bench --bin repro`.
+//!
+//! Plain `main()` harness (no external bench framework is available
+//! offline): each target runs a fixed iteration count after a warmup and
+//! reports mean wall time per iteration.
 
-use std::sync::Once;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pcr::secs;
 use workloads::{run_benchmark, Benchmark, System};
 
-fn row_once(sys: System, bench: Benchmark, printed: &Once) {
-    printed.call_once(|| {
-        let r = run_benchmark(sys, bench, secs(10), 0xBEEF);
-        eprintln!(
-            "row {:24} forks/s {:5.1}  switches/s {:6.0}  waits/s {:5.0} ({:3.0}% t/o)  ML/s {:6.0}  CVs {:3} MLs {:4}",
-            r.rates.name,
-            r.rates.forks_per_sec,
-            r.rates.switches_per_sec,
-            r.rates.waits_per_sec,
-            r.rates.timeout_pct,
-            r.rates.ml_enters_per_sec,
-            r.rates.distinct_cvs,
-            r.rates.distinct_mls,
-        );
-    });
+fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    f(); // Warmup.
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{name:40} {per:>12.2?}/iter  ({iters} iters)");
 }
 
-fn bench_rows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table_rows");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
+fn print_row(sys: System, bench: Benchmark) {
+    let r = run_benchmark(sys, bench, secs(10), 0xBEEF);
+    eprintln!(
+        "row {:24} forks/s {:5.1}  switches/s {:6.0}  waits/s {:5.0} ({:3.0}% t/o)  ML/s {:6.0}  CVs {:3} MLs {:4}",
+        r.rates.name,
+        r.rates.forks_per_sec,
+        r.rates.switches_per_sec,
+        r.rates.waits_per_sec,
+        r.rates.timeout_pct,
+        r.rates.ml_enters_per_sec,
+        r.rates.distinct_cvs,
+        r.rates.distinct_mls,
+    );
+}
+
+fn main() {
     for (sys, benches) in [
         (System::Cedar, &Benchmark::CEDAR[..]),
         (System::Gvx, &Benchmark::GVX[..]),
     ] {
-        for &bench in benches {
-            let printed = Once::new();
-            let id = format!("{}_{bench:?}", sys.name());
-            group.bench_function(&id, |b| {
-                row_once(sys, bench, &printed);
-                b.iter(|| run_benchmark(sys, bench, secs(2), 0xBEEF));
+        for &b in benches {
+            print_row(sys, b);
+            let id = format!("{}_{b:?}", sys.name());
+            bench(&id, 3, || {
+                run_benchmark(sys, b, secs(2), 0xBEEF);
             });
         }
     }
-    group.finish();
-}
-
-fn bench_interval_figure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("execution_interval_histogram_compile", |b| {
-        b.iter(|| {
-            let r = run_benchmark(System::Cedar, Benchmark::Compile, secs(2), 0xBEEF);
-            (
-                r.intervals.fraction_between(pcr::millis(0), pcr::millis(5)),
-                r.intervals
-                    .time_fraction_between(pcr::millis(44), pcr::millis(51)),
-            )
-        })
+    bench("execution_interval_histogram_compile", 3, || {
+        let r = run_benchmark(System::Cedar, Benchmark::Compile, secs(2), 0xBEEF);
+        let _ = (
+            r.intervals.fraction_between(pcr::millis(0), pcr::millis(5)),
+            r.intervals
+                .time_fraction_between(pcr::millis(44), pcr::millis(51)),
+        );
     });
-    group.bench_function("table4_census", |b| b.iter(workloads::inventory::census));
-    group.finish();
+    bench("table4_census", 10, || {
+        let _ = workloads::inventory::census();
+    });
 }
-
-criterion_group!(benches, bench_rows, bench_interval_figure);
-criterion_main!(benches);

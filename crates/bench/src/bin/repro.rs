@@ -8,12 +8,34 @@
 //!   repro slack|spurious|inversion|quantum|mistakes|forkfail|weakmem|xlib
 //!   repro history                    # a 100ms event history of Cedar typing
 //!   repro contention                 # hottest monitors (GVX scroll, Cedar typing)
+//!   repro chaos    [--window SECS]   # fault-injected runs, replayed twice:
+//!                                    # asserts byte-identical traces + hazard table
 //!   repro markdown [--window SECS]   # Tables 1-4 as Markdown (for EXPERIMENTS.md)
 //!   repro all      [--window SECS] [--json PATH]   # everything
+//!
+//! Exits non-zero if any run deadlocks, any hazard is detected outside
+//! chaos mode, or a chaos replay diverges.
 
 use pcr::secs;
 
-fn history() {
+/// Reports a failed run. Returns `true` when the run deadlocked or the
+/// hazard detectors (when enabled) caught something, so callers can
+/// accumulate an exit code.
+fn check_run(label: &str, report: &pcr::RunReport) -> bool {
+    let mut failed = false;
+    if report.deadlocked() {
+        eprintln!("FAIL {label}: deadlocked ({:?})", report.reason);
+        failed = true;
+    }
+    if report.hazardous() {
+        eprintln!("FAIL {label}: {} hazards detected", report.hazards.total());
+        eprintln!("{}", trace::hazard_table(&report.hazards).to_text());
+        failed = true;
+    }
+    failed
+}
+
+fn history() -> bool {
     use trace::Timeline;
     let mut sim = workloads::runner::build(
         workloads::System::Cedar,
@@ -21,7 +43,7 @@ fn history() {
         0xE7E27,
     );
     sim.set_sink(Box::new(Timeline::new()));
-    sim.run(pcr::RunLimit::For(secs(5)));
+    let report = sim.run(pcr::RunLimit::For(secs(5)));
     let infos = sim.threads();
     let mut tl = *trace::take_collector::<Timeline>(&mut sim).expect("timeline");
     tl.name_threads(&infos);
@@ -30,17 +52,20 @@ fn history() {
         tl.render(pcr::SimTime::from_micros(3_000_000), pcr::millis(100), 80)
     );
     println!("{}", trace::thread_table(&infos).to_text());
+    check_run("history Cedar/Keyboard", &report)
 }
 
-fn contention() {
+fn contention() -> bool {
     use trace::ContentionCollector;
+    let mut failed = false;
     for (sys, bench) in [
         (workloads::System::Gvx, workloads::Benchmark::Scroll),
         (workloads::System::Cedar, workloads::Benchmark::Keyboard),
     ] {
         let mut sim = workloads::runner::build(sys, bench, 0xCEDA_2026);
         sim.set_sink(Box::new(ContentionCollector::new()));
-        sim.run(pcr::RunLimit::For(secs(30)));
+        let report = sim.run(pcr::RunLimit::For(secs(30)));
+        failed |= check_run(&format!("contention {}/{bench:?}", sys.name()), &report);
         let coll = trace::take_collector::<ContentionCollector>(&mut sim).expect("collector");
         println!(
             "{} / {bench:?}: {} of {} entries contended ({:.3}%)",
@@ -59,6 +84,71 @@ fn contention() {
         }
         println!();
     }
+    failed
+}
+
+/// Chaos-mode smoke: one Cedar and one GVX benchmark with the standard
+/// fault mix injected, each run twice from the same seed. The two
+/// replays must produce byte-identical JSONL event traces and identical
+/// hazard tallies — the acceptance bar for deterministic injection.
+fn chaos(window: pcr::SimDuration) -> bool {
+    let preset = workloads::chaos_preset();
+    let mut failed = false;
+    for (sys, bench) in [
+        (workloads::System::Cedar, workloads::Benchmark::Keyboard),
+        (workloads::System::Gvx, workloads::Benchmark::Scroll),
+    ] {
+        let label = format!("chaos {}/{bench:?}", sys.name());
+        let run = || {
+            let mut sim = workloads::build_chaos(sys, bench, 0xCEDA_2026, preset.clone());
+            sim.set_sink(Box::new(pcr::VecSink::default()));
+            let report = sim.run(pcr::RunLimit::For(window));
+            let events = trace::take_collector::<pcr::VecSink>(&mut sim)
+                .expect("vec sink")
+                .events;
+            let mut buf = Vec::new();
+            trace::write_jsonl(&events, &mut buf).expect("serialize trace");
+            (buf, report)
+        };
+        let (trace_a, report_a) = run();
+        let (trace_b, report_b) = run();
+        println!(
+            "{label}: {} trace events, {} hazards",
+            trace_a.iter().filter(|b| **b == b'\n').count(),
+            report_a.hazards.total(),
+        );
+        println!("{}", trace::hazard_table(&report_a.hazards).to_text());
+        let mut ok = true;
+        if report_a.deadlocked() {
+            eprintln!("FAIL {label}: deadlocked ({:?})", report_a.reason);
+            ok = false;
+        }
+        if trace_a != trace_b {
+            let first_diff = trace_a
+                .iter()
+                .zip(trace_b.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(trace_a.len().min(trace_b.len()));
+            eprintln!(
+                "FAIL {label}: same-seed replay diverged (lengths {} vs {}, first diff at byte {first_diff})",
+                trace_a.len(),
+                trace_b.len(),
+            );
+            ok = false;
+        }
+        if report_a.hazards != report_b.hazards {
+            eprintln!(
+                "FAIL {label}: hazard tallies diverged across replays:\n{:?}\n{:?}",
+                report_a.hazards, report_b.hazards
+            );
+            ok = false;
+        }
+        if ok {
+            println!("{label}: replay byte-identical, hazard tallies stable");
+        }
+        failed |= !ok;
+    }
+    failed
 }
 
 fn main() {
@@ -78,6 +168,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
+    let mut failed = false;
     match what {
         "table4" => println!("{}", bench::tables::table4().to_text()),
         "experiments" => {
@@ -88,10 +179,12 @@ fn main() {
         exp if bench::experiments::report_by_name(exp).is_some() => {
             println!("{}", bench::experiments::report_by_name(exp).unwrap());
         }
-        "history" => history(),
-        "contention" => contention(),
+        "history" => failed |= history(),
+        "contention" => failed |= contention(),
+        "chaos" => failed |= chaos(window),
         "markdown" => {
             let results = bench::tables::run_all(window, seed);
+            failed |= any_hazardous(&results);
             println!("{}", bench::tables::table1(&results).to_markdown());
             println!("{}", bench::tables::table2(&results).to_markdown());
             println!("{}", bench::tables::table3(&results).to_markdown());
@@ -104,10 +197,10 @@ fn main() {
                 }
             }
             let results = bench::tables::run_all(window, seed);
+            failed |= any_hazardous(&results);
             if let Some(path) = &json_path {
                 let v = bench::tables::json_summary(&results);
-                std::fs::write(path, serde_json::to_string_pretty(&v).expect("serialize"))
-                    .expect("write json");
+                std::fs::write(path, v.pretty()).expect("write json");
                 eprintln!("wrote {path}");
             }
             if what != "figures" {
@@ -131,4 +224,25 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// True (after reporting) if any benchmark run surfaced hazards.
+fn any_hazardous(results: &[workloads::BenchResult]) -> bool {
+    let mut failed = false;
+    for r in results {
+        if r.hazards.total() > 0 {
+            eprintln!(
+                "FAIL {}/{:?}: {} hazards detected",
+                r.system.name(),
+                r.benchmark,
+                r.hazards.total()
+            );
+            eprintln!("{}", trace::hazard_table(&r.hazards).to_text());
+            failed = true;
+        }
+    }
+    failed
 }

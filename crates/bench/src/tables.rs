@@ -1,7 +1,7 @@
 //! Regenerating the paper's Tables 1–4.
 
 use pcr::SimDuration;
-use trace::{f0, f1, pct, Table};
+use trace::{f0, f1, pct, Json, Table};
 use workloads::{paper_row, run_benchmark, BenchResult, Benchmark, System};
 
 /// All twelve benchmark runs (eight Cedar + four GVX), in table order.
@@ -136,49 +136,66 @@ pub fn table4() -> Table {
 
 /// Machine-readable summary of all runs: the table rows, the paper's
 /// values, figure scalars, and the census counts.
-pub fn json_summary(results: &[BenchResult]) -> serde_json::Value {
-    let rows: Vec<serde_json::Value> = results
-        .iter()
-        .map(|r| {
-            let p = paper_row(r.system, r.benchmark);
-            serde_json::json!({
-                "system": r.system.name(),
-                "benchmark": format!("{:?}", r.benchmark),
-                "measured": r.rates,
-                "paper": {
-                    "forks_per_sec": p.forks_per_sec,
-                    "switches_per_sec": p.switches_per_sec,
-                    "waits_per_sec": p.waits_per_sec,
-                    "timeout_pct": p.timeout_pct,
-                    "ml_enters_per_sec": p.ml_enters_per_sec,
-                    "distinct_cvs": p.distinct_cvs,
-                    "distinct_mls": p.distinct_mls,
-                },
-                "figures": {
-                    "short_interval_fraction":
-                        r.intervals.fraction_between(pcr::millis(0), pcr::millis(5)),
-                    "quantum_interval_cpu_share":
-                        r.intervals.time_fraction_between(pcr::millis(44), pcr::millis(51)),
-                    "max_generation": r.max_generation,
-                    "max_live_threads": r.max_live_threads,
-                    "cpu_by_priority_us":
-                        r.cpu_by_priority.iter().map(|d| d.as_micros()).collect::<Vec<_>>(),
-                },
-            })
-        })
-        .collect();
+pub fn json_summary(results: &[BenchResult]) -> Json {
+    let rows = results.iter().map(|r| {
+        let p = paper_row(r.system, r.benchmark);
+        Json::obj([
+            ("system", Json::from(r.system.name())),
+            ("benchmark", Json::from(format!("{:?}", r.benchmark))),
+            ("measured", r.rates.to_json()),
+            (
+                "paper",
+                Json::obj([
+                    ("forks_per_sec", Json::from(p.forks_per_sec)),
+                    ("switches_per_sec", Json::from(p.switches_per_sec)),
+                    ("waits_per_sec", Json::from(p.waits_per_sec)),
+                    ("timeout_pct", Json::from(p.timeout_pct)),
+                    ("ml_enters_per_sec", Json::from(p.ml_enters_per_sec)),
+                    ("distinct_cvs", Json::from(p.distinct_cvs)),
+                    ("distinct_mls", Json::from(p.distinct_mls)),
+                ]),
+            ),
+            (
+                "figures",
+                Json::obj([
+                    (
+                        "short_interval_fraction",
+                        Json::from(r.intervals.fraction_between(pcr::millis(0), pcr::millis(5))),
+                    ),
+                    (
+                        "quantum_interval_cpu_share",
+                        Json::from(
+                            r.intervals
+                                .time_fraction_between(pcr::millis(44), pcr::millis(51)),
+                        ),
+                    ),
+                    ("max_generation", Json::from(r.max_generation)),
+                    ("max_live_threads", Json::from(r.max_live_threads)),
+                    (
+                        "cpu_by_priority_us",
+                        Json::from(
+                            r.cpu_by_priority
+                                .iter()
+                                .map(|d| d.as_micros())
+                                .collect::<Vec<_>>(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    });
     let inv = workloads::inventory::census();
-    let census: Vec<serde_json::Value> = threadstudy_core::Paradigm::ALL
-        .iter()
-        .map(|&p| {
-            serde_json::json!({
-                "paradigm": p.table_label(),
-                "cedar": inv.counts(System::Cedar)[&p],
-                "gvx": inv.counts(System::Gvx)[&p],
-            })
-        })
-        .collect();
-    serde_json::json!({ "benchmarks": rows, "table4": census })
+    let census = threadstudy_core::Paradigm::ALL.iter().map(|&p| {
+        Json::obj([
+            ("paradigm", Json::from(p.table_label())),
+            ("cedar", Json::from(inv.counts(System::Cedar)[&p])),
+            ("gvx", Json::from(inv.counts(System::Gvx)[&p])),
+        ])
+    });
+    Json::obj([
+        ("benchmarks", Json::arr(rows)),
+        ("table4", Json::arr(census)),
+    ])
 }
 
 /// Figure: execution-interval distribution for one run (§3's bimodal

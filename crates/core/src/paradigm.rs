@@ -2,11 +2,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A thread-usage paradigm from the paper's classification of ~650 fork
 /// sites in Cedar and GVX (§4, Table 4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Paradigm {
     /// §4.1 — fork work not needed for the caller's return value, to
     /// reduce latency seen by the client (the single most common use).
@@ -58,6 +56,11 @@ impl Paradigm {
         Paradigm::ConcurrencyExploiter,
         Paradigm::Unknown,
     ];
+
+    /// Parses a Table 4 row label back into a paradigm.
+    pub fn from_table_label(label: &str) -> Option<Paradigm> {
+        Paradigm::ALL.into_iter().find(|p| p.table_label() == label)
+    }
 
     /// The row label used in Table 4.
     pub fn table_label(self) -> &'static str {
@@ -186,11 +189,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn label_roundtrip() {
         for p in Paradigm::ALL {
-            let json = serde_json::to_string(&p).unwrap();
-            let back: Paradigm = serde_json::from_str(&json).unwrap();
-            assert_eq!(p, back);
+            assert_eq!(Paradigm::from_table_label(p.table_label()), Some(p));
         }
+        assert_eq!(Paradigm::from_table_label("nonsense"), None);
     }
 }

@@ -18,10 +18,11 @@ pub enum CallbackMode {
 }
 
 type Callback<E> = Arc<dyn Fn(&E) + Send + Sync + 'static>;
+type Entries<E> = Arc<Mutex<Vec<(Callback<E>, CallbackMode)>>>;
 
 /// A registry of client callbacks with per-registration fork control.
 pub struct CallbackRegistry<E: Clone + Send + Sync + 'static> {
-    entries: Arc<Mutex<Vec<(Callback<E>, CallbackMode)>>>,
+    entries: Entries<E>,
 }
 
 impl<E: Clone + Send + Sync + 'static> Clone for CallbackRegistry<E> {

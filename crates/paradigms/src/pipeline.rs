@@ -100,6 +100,7 @@ pub struct Pipeline<In: Send + 'static, Out: Send + 'static> {
 }
 
 /// Builds a two-stage pipeline in one call (the common case).
+#[allow(clippy::too_many_arguments)] // stage cost/fn pairs read best flat
 pub fn two_stage<In, Mid, Out, F1, F2>(
     ctx: &ThreadCtx,
     name: &str,
@@ -133,7 +134,7 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let h = sim.fork_root("driver", Priority::of(5), move |ctx| {
             let p = pipeline::<u32>(ctx, "p", 8, Priority::of(4))
-                .stage(millis(1), |x: u32| (x % 2 == 0).then_some(x)) // Filter odds.
+                .stage(millis(1), |x: u32| x.is_multiple_of(2).then_some(x)) // Filter odds.
                 .stage(millis(1), |x: u32| Some(x * 10))
                 .stage(millis(1), |x: u32| Some(format!("v{x}")))
                 .build();

@@ -8,7 +8,11 @@
 //! warning that "its ability to mask underlying design problems suggests
 //! that it be used with caution."
 
-use pcr::{JoinError, Priority, SimDuration, ThreadCtx};
+use pcr::{ForkError, JoinError, JoinHandle, Priority, SimDuration, ThreadCtx};
+
+/// Fork attempts [`fork_retry`] makes on behalf of the supervisors here
+/// before giving up (initial try + 3 backed-off retries).
+const FORK_RETRY_ATTEMPTS: u32 = 4;
 
 /// Why a supervised service finally stopped.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,6 +30,51 @@ pub struct RejuvenationReport {
     pub starts: u32,
     /// How it ended.
     pub end: ServiceEnd,
+}
+
+/// FORKs with a retry budget — the simulated-thread counterpart of the
+/// recovery the paper implies for §5.4's fork errors: when FORK fails
+/// (thread table exhausted under [`pcr::ForkPolicy::Error`], a
+/// resource-exhaustion window, or an injected chaos failure), the
+/// caller backs off and tries again rather than dying.
+///
+/// The factory receives the attempt number (0-based) so the body can be
+/// rebuilt per try. Sleeps `backoff` between tries, doubling each time
+/// (no sleep when `backoff` is zero); after `attempts` consecutive
+/// failures the last error is returned.
+///
+/// # Panics
+///
+/// Panics if `attempts` is zero.
+pub fn fork_retry<F, B, T>(
+    ctx: &ThreadCtx,
+    name: &str,
+    priority: Priority,
+    attempts: u32,
+    backoff: SimDuration,
+    factory: F,
+) -> Result<JoinHandle<T>, ForkError>
+where
+    F: Fn(u32) -> B,
+    B: FnOnce(&ThreadCtx) -> T + Send + 'static,
+    T: Send + 'static,
+{
+    assert!(attempts > 0, "fork_retry needs at least one attempt");
+    let mut delay = backoff;
+    let mut last = ForkError::ResourcesExhausted;
+    for attempt in 0..attempts {
+        match ctx.fork_prio(name, priority, factory(attempt)) {
+            Ok(handle) => return Ok(handle),
+            Err(e) => {
+                last = e;
+                if attempt + 1 < attempts && !delay.is_zero() {
+                    ctx.sleep(delay);
+                    delay = delay + delay;
+                }
+            }
+        }
+    }
+    Err(last)
 }
 
 /// Runs `service` under a rejuvenating supervisor: on panic, a fresh
@@ -48,11 +97,26 @@ where
 {
     let mut starts = 0;
     loop {
-        let body = factory(starts);
+        let attempt = starts;
         starts += 1;
-        let handle = ctx
-            .fork_prio(&format!("{name}#{}", starts - 1), priority, body)
-            .expect("fork supervised service");
+        let handle = match fork_retry(
+            ctx,
+            &format!("{name}#{attempt}"),
+            priority,
+            FORK_RETRY_ATTEMPTS,
+            backoff,
+            |_| factory(attempt),
+        ) {
+            Ok(handle) => handle,
+            // Even with retries the runtime cannot host the service:
+            // report that as the end instead of killing the supervisor.
+            Err(e) => {
+                return RejuvenationReport {
+                    starts,
+                    end: ServiceEnd::GaveUp(e.to_string()),
+                }
+            }
+        };
         match ctx.join(handle) {
             Ok(()) => {
                 return RejuvenationReport {
@@ -102,16 +166,30 @@ where
     loop {
         let ne = next_event.clone();
         let dp = dispatch.clone();
-        let handle = ctx
-            .fork_prio(&format!("{name}#{restarts}"), priority, move |ctx| {
-                let mut n: u64 = 0;
-                while let Some(ev) = ne(ctx) {
-                    dp(ctx, ev); // Unforked callback: fast but vulnerable.
-                    n += 1;
+        let handle = match fork_retry(
+            ctx,
+            &format!("{name}#{restarts}"),
+            priority,
+            FORK_RETRY_ATTEMPTS,
+            pcr::millis(1),
+            move |_| {
+                let ne = ne.clone();
+                let dp = dp.clone();
+                move |ctx: &ThreadCtx| {
+                    let mut n: u64 = 0;
+                    while let Some(ev) = ne(ctx) {
+                        dp(ctx, ev); // Unforked callback: fast but vulnerable.
+                        n += 1;
+                    }
+                    n
                 }
-                n
-            })
-            .expect("fork dispatcher");
+            },
+        ) {
+            Ok(handle) => handle,
+            // The dispatcher cannot be re-hosted: surface what was
+            // delivered so far rather than killing the caller.
+            Err(_) => return (total, restarts),
+        };
         match ctx.join(handle) {
             Ok(n) => return (total + n, restarts),
             Err(JoinError::Panicked(_)) => {
@@ -179,6 +257,89 @@ mod tests {
         let report = h.into_result().unwrap().unwrap();
         assert_eq!(report.starts, 3); // Initial + 2 restarts.
         assert_eq!(report.end, ServiceEnd::GaveUp("always broken".to_string()));
+    }
+
+    #[test]
+    fn fork_retry_rides_out_fork_outage() {
+        // §5.4 resource exhaustion, injected: every FORK before t=20ms
+        // fails. With backoff the retry loop lands past the window.
+        let chaos = pcr::ChaosConfig::none().fork_outage(
+            pcr::SimTime::from_micros(0),
+            pcr::SimTime::from_micros(20_000),
+        );
+        let mut sim = Sim::new(SimConfig::default().with_chaos(chaos));
+        let h = sim.fork_root("forker", Priority::DEFAULT, move |ctx| {
+            let handle = fork_retry(ctx, "svc", Priority::DEFAULT, 4, millis(8), |_| {
+                |ctx: &ThreadCtx| {
+                    ctx.work(millis(1));
+                    7u32
+                }
+            })
+            .expect("retries outlast the outage");
+            ctx.join(handle).unwrap()
+        });
+        sim.run(RunLimit::For(secs(2)));
+        assert_eq!(h.into_result().unwrap().unwrap(), 7);
+        assert!(
+            sim.stats().chaos_fork_failures > 0,
+            "the outage never bit — the retry path was not exercised"
+        );
+    }
+
+    #[test]
+    fn fork_retry_exhausts_budget() {
+        let chaos = pcr::ChaosConfig::none().fail_forks(1.0);
+        let mut sim = Sim::new(SimConfig::default().with_chaos(chaos));
+        let h = sim.fork_root("forker", Priority::DEFAULT, move |ctx| {
+            fork_retry(ctx, "svc", Priority::DEFAULT, 3, millis(1), |_| {
+                |_ctx: &ThreadCtx| ()
+            })
+            .err()
+        });
+        sim.run(RunLimit::For(secs(2)));
+        assert_eq!(
+            h.into_result().unwrap().unwrap(),
+            Some(ForkError::ResourcesExhausted)
+        );
+    }
+
+    #[test]
+    fn supervise_survives_fork_outage() {
+        // The supervisor's forks themselves hit the outage; fork_retry
+        // absorbs it and the service still completes on its first start.
+        let chaos = pcr::ChaosConfig::none().fork_outage(
+            pcr::SimTime::from_micros(0),
+            pcr::SimTime::from_micros(20_000),
+        );
+        let mut sim = Sim::new(SimConfig::default().with_chaos(chaos));
+        let h = sim.fork_root("sup", Priority::DEFAULT, move |ctx| {
+            supervise(ctx, "svc", Priority::DEFAULT, 3, millis(8), |_attempt| {
+                |ctx: &ThreadCtx| ctx.work(millis(1))
+            })
+        });
+        sim.run(RunLimit::For(secs(2)));
+        let report = h.into_result().unwrap().unwrap();
+        assert_eq!(report.starts, 1);
+        assert_eq!(report.end, ServiceEnd::Completed);
+    }
+
+    #[test]
+    fn supervise_gives_up_when_forks_never_succeed() {
+        let chaos = pcr::ChaosConfig::none().fail_forks(1.0);
+        let mut sim = Sim::new(SimConfig::default().with_chaos(chaos));
+        let h = sim.fork_root("sup", Priority::DEFAULT, move |ctx| {
+            supervise(ctx, "svc", Priority::DEFAULT, 3, millis(1), |_attempt| {
+                |ctx: &ThreadCtx| ctx.work(millis(1))
+            })
+        });
+        sim.run(RunLimit::For(secs(2)));
+        let report = h.into_result().unwrap().unwrap();
+        assert_eq!(report.starts, 1);
+        assert!(
+            matches!(&report.end, ServiceEnd::GaveUp(msg) if msg.contains("exhausted")),
+            "end = {:?}",
+            report.end
+        );
     }
 
     #[test]

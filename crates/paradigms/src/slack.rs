@@ -104,6 +104,7 @@ impl SlackHandle {
 /// processor according to `policy` to let more input accumulate, then
 /// hands the batch to `emit` (charged `cost_per_batch`). Exits when the
 /// input closes.
+#[allow(clippy::too_many_arguments)] // the paper's knobs, spelled out
 pub fn spawn_slack<T, M, E>(
     ctx: &ThreadCtx,
     name: &str,

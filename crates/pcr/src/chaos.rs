@@ -1,0 +1,210 @@
+//! Fault injection: deterministic chaos for the simulated runtime.
+//!
+//! The paper's engineering sections are a catalogue of ways threaded
+//! interactive systems go wrong: monitor-discipline mistakes (§5.3),
+//! fork failure (§5.4), components that stop responding (§5.2's slow X
+//! server), spurious lock conflicts (§6.1), and priority inversions
+//! (§6.2). A [`ChaosConfig`] attached to [`crate::SimConfig`] provokes
+//! those failure modes on purpose:
+//!
+//! * **FORK failure** — probabilistic failures and resource-exhaustion
+//!   windows beyond the static [`crate::ForkPolicy`] (§5.4);
+//! * **condition-variable abuse** — spurious wakeups, dropped notifies,
+//!   and duplicated notifies, stressing the "WAIT only in a loop"
+//!   discipline of §5.3;
+//! * **thread stalls** — a named thread stops being scheduled for a
+//!   while, modelling the unresponsive X server of §5.2 or a preempted
+//!   metalock holder of §6.2;
+//! * **timer perturbation** — extra delay on timeout firings, widening
+//!   the timeout races of §6.3.
+//!
+//! Every injection decision is drawn from a dedicated [`crate::SplitMix64`]
+//! stream derived from the run seed, at deterministic scheduler points,
+//! so a given `(SimConfig, ChaosConfig)` replays **byte-identically**:
+//! chaos runs are as reproducible as clean ones. The
+//! [`crate::HazardMonitor`] is the matching detection half.
+
+use crate::time::{millis, SimDuration, SimTime};
+
+/// A scheduled stall of one named thread: from `at`, the first thread
+/// whose name matches stops being scheduled for `duration` of virtual
+/// time. If the thread is running or blocked when the stall fires, it is
+/// stalled at the next point it would have become ready.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StallSpec {
+    /// Name of the thread to stall (first live match wins).
+    pub thread: String,
+    /// Virtual time at which the stall begins.
+    pub at: SimTime,
+    /// How long the thread stays unschedulable.
+    pub duration: SimDuration,
+}
+
+/// Fault-injection configuration. The default injects nothing.
+///
+/// Attach with [`crate::SimConfig::with_chaos`]; all decisions are
+/// deterministic in the run seed (see the module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability that any FORK fails with
+    /// [`crate::ForkError::ResourcesExhausted`], regardless of the
+    /// thread-table state or [`crate::ForkPolicy`] (§5.4).
+    pub fork_fail_prob: f64,
+    /// A window of virtual time during which *every* FORK fails, as if
+    /// thread resources were exhausted (§5.4's "scarce resource").
+    pub fork_outage: Option<(SimTime, SimTime)>,
+    /// Probability that a CV wait additionally receives one spurious
+    /// wakeup: the waiter resumes with [`crate::WaitOutcome::Spurious`]
+    /// although nobody notified and no timeout fired (§5.3).
+    pub spurious_wakeup_prob: f64,
+    /// Upper bound on the (uniform, seeded) delay between a wait's start
+    /// and its injected spurious wakeup.
+    pub spurious_delay: SimDuration,
+    /// Probability that a NOTIFY with at least one waiter is silently
+    /// dropped: no waiter wakes, and the waiter must be rescued by its
+    /// timeout — or deadlock, if the CV has none (§5.3's lost wakeup).
+    pub drop_notify_prob: f64,
+    /// Probability that a NOTIFY wakes a *second* waiter as well,
+    /// violating "exactly one waiter wakens"; correct Mesa code survives
+    /// because the extra waiter re-checks its predicate (§5.3).
+    pub duplicate_notify_prob: f64,
+    /// Upper bound on extra (uniform, seeded) delay added to each CV
+    /// timeout deadline and sleep wakeup, widening timeout races (§6.3).
+    pub timer_jitter: SimDuration,
+    /// Scheduled stalls of named threads (§5.2, §6.2).
+    pub stalls: Vec<StallSpec>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            fork_fail_prob: 0.0,
+            fork_outage: None,
+            spurious_wakeup_prob: 0.0,
+            spurious_delay: millis(5),
+            drop_notify_prob: 0.0,
+            duplicate_notify_prob: 0.0,
+            timer_jitter: SimDuration::ZERO,
+            stalls: Vec::new(),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A configuration that injects nothing (same as `Default`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if any injection is enabled.
+    pub fn is_active(&self) -> bool {
+        self.fork_fail_prob > 0.0
+            || self.fork_outage.is_some()
+            || self.spurious_wakeup_prob > 0.0
+            || self.drop_notify_prob > 0.0
+            || self.duplicate_notify_prob > 0.0
+            || !self.timer_jitter.is_zero()
+            || !self.stalls.is_empty()
+    }
+
+    /// Sets the probabilistic FORK failure rate (§5.4).
+    pub fn fail_forks(mut self, prob: f64) -> Self {
+        self.fork_fail_prob = check_prob(prob);
+        self
+    }
+
+    /// Sets a window during which every FORK fails (§5.4).
+    pub fn fork_outage(mut self, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "fork_outage: empty window");
+        self.fork_outage = Some((from, until));
+        self
+    }
+
+    /// Sets the spurious-wakeup rate (§5.3).
+    pub fn spurious_wakeups(mut self, prob: f64) -> Self {
+        self.spurious_wakeup_prob = check_prob(prob);
+        self
+    }
+
+    /// Sets the maximum delay before an injected spurious wakeup.
+    pub fn spurious_delay(mut self, d: SimDuration) -> Self {
+        assert!(!d.is_zero(), "spurious_delay must be positive");
+        self.spurious_delay = d;
+        self
+    }
+
+    /// Sets the dropped-notify rate (§5.3).
+    pub fn drop_notifies(mut self, prob: f64) -> Self {
+        self.drop_notify_prob = check_prob(prob);
+        self
+    }
+
+    /// Sets the duplicated-notify rate (§5.3).
+    pub fn duplicate_notifies(mut self, prob: f64) -> Self {
+        self.duplicate_notify_prob = check_prob(prob);
+        self
+    }
+
+    /// Sets the maximum jitter added to timer firings (§6.3).
+    pub fn jitter_timers(mut self, max: SimDuration) -> Self {
+        self.timer_jitter = max;
+        self
+    }
+
+    /// Schedules a stall of the named thread (§5.2, §6.2).
+    pub fn stall(mut self, thread: &str, at: SimTime, duration: SimDuration) -> Self {
+        assert!(!duration.is_zero(), "stall duration must be positive");
+        self.stalls.push(StallSpec {
+            thread: thread.to_string(),
+            at,
+            duration,
+        });
+        self
+    }
+}
+
+fn check_prob(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inactive() {
+        assert!(!ChaosConfig::default().is_active());
+        assert!(!ChaosConfig::none().is_active());
+    }
+
+    #[test]
+    fn each_knob_activates() {
+        let t0 = SimTime::ZERO;
+        let cases = [
+            ChaosConfig::default().fail_forks(0.1),
+            ChaosConfig::default().fork_outage(t0, t0 + millis(10)),
+            ChaosConfig::default().spurious_wakeups(0.5),
+            ChaosConfig::default().drop_notifies(0.5),
+            ChaosConfig::default().duplicate_notifies(0.5),
+            ChaosConfig::default().jitter_timers(millis(3)),
+            ChaosConfig::default().stall("x", t0, millis(1)),
+        ];
+        for c in cases {
+            assert!(c.is_active(), "{c:?} should be active");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn probability_out_of_range_panics() {
+        let _ = ChaosConfig::default().fail_forks(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_outage_window_panics() {
+        let t = SimTime::from_micros(5);
+        let _ = ChaosConfig::default().fork_outage(t, t);
+    }
+}

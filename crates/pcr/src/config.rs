@@ -4,6 +4,8 @@
 //! SPARCstation-2: a 50 ms timeslice, condition-variable timeout
 //! granularity equal to the timeslice, and a sub-50 µs thread switch.
 
+use crate::chaos::ChaosConfig;
+use crate::hazard::HazardConfig;
 use crate::time::{micros, millis, SimDuration};
 
 /// How NOTIFY schedules the awakened thread (§6.1).
@@ -88,6 +90,16 @@ pub struct SimConfig {
     /// Seed for all randomized decisions (daemon donation targets and any
     /// workload jitter derived through [`crate::ThreadCtx::rng`]).
     pub seed: u64,
+    /// Fault injection (default: inject nothing). Chaos draws come from a
+    /// dedicated stream derived from `seed`, so enabling injection does
+    /// not perturb the scheduler's own random decisions and a given
+    /// `(seed, chaos)` pair replays byte-identically.
+    pub chaos: ChaosConfig,
+    /// Run an online [`crate::HazardMonitor`] over the event stream and
+    /// carry its tallies on [`crate::RunReport`]. `None` disables
+    /// detection (the default; it costs a shadow bookkeeping pass per
+    /// event).
+    pub hazard_detection: Option<HazardConfig>,
 }
 
 impl Default for SimConfig {
@@ -105,6 +117,8 @@ impl Default for SimConfig {
             max_threads: 4096,
             system_daemon: None,
             seed: 0x5EED_CEDA,
+            chaos: ChaosConfig::default(),
+            hazard_detection: None,
         }
     }
 }
@@ -175,6 +189,18 @@ impl SimConfig {
         self.switch_cost = c;
         self
     }
+
+    /// Enables fault injection.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Enables online hazard detection with the given thresholds.
+    pub fn with_hazard_detection(mut self, cfg: HazardConfig) -> Self {
+        self.hazard_detection = Some(cfg);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -212,8 +238,12 @@ mod tests {
             .with_max_threads(10)
             .with_fork_policy(ForkPolicy::Error)
             .with_notify_mode(NotifyMode::Immediate)
-            .with_system_daemon(SystemDaemonConfig::default());
+            .with_system_daemon(SystemDaemonConfig::default())
+            .with_chaos(ChaosConfig::default().spurious_wakeups(0.25))
+            .with_hazard_detection(HazardConfig::default());
         assert_eq!(c.seed, 7);
+        assert!(c.chaos.is_active());
+        assert!(c.hazard_detection.is_some());
         assert_eq!(c.max_threads, 10);
         assert_eq!(c.fork_policy, ForkPolicy::Error);
         assert_eq!(c.notify_mode, NotifyMode::Immediate);

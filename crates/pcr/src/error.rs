@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use crate::hazard::HazardCounts;
 use crate::thread::ThreadId;
 use crate::time::{SimDuration, SimTime};
 
@@ -26,12 +27,21 @@ pub struct RunReport {
     pub now: SimTime,
     /// Virtual time that elapsed during this `run` call.
     pub elapsed: SimDuration,
+    /// Hazards detected so far, when
+    /// [`crate::SimConfig::with_hazard_detection`] is enabled (all zero
+    /// otherwise). Cumulative across successive `run` calls on one sim.
+    pub hazards: HazardCounts,
 }
 
 impl RunReport {
     /// Returns true if the run ended in deadlock.
     pub fn deadlocked(&self) -> bool {
         matches!(self.reason, StopReason::Deadlock(_))
+    }
+
+    /// Returns true if any hazard was detected.
+    pub fn hazardous(&self) -> bool {
+        self.hazards.total() > 0
     }
 }
 

@@ -29,6 +29,11 @@ pub enum WaitOutcome {
     /// The CV's timeout expired first. Table 2 shows 48–82 % of Cedar
     /// waits and 42–99 % of GVX waits ended this way.
     TimedOut,
+    /// The waiter resumed although nobody notified and no timeout fired —
+    /// only produced by chaos injection
+    /// ([`crate::ChaosConfig::spurious_wakeups`], §5.3). Correct Mesa
+    /// code treats this exactly like `Notified`: re-check the predicate.
+    Spurious,
 }
 
 /// Which yield primitive a thread invoked.
@@ -205,6 +210,56 @@ pub enum EventKind {
         monitor: MonitorId,
         /// The preempted holder.
         holder: ThreadId,
+    },
+    /// Chaos injection woke a waiter spuriously (§5.3); the waiter's
+    /// subsequent [`EventKind::CvWake`] carries
+    /// [`WaitOutcome::Spurious`].
+    SpuriousWakeup {
+        /// The spuriously awakened waiter.
+        tid: ThreadId,
+        /// The condition it was waiting on.
+        cv: CondId,
+    },
+    /// Chaos injection silently discarded a NOTIFY that had at least one
+    /// waiter — a synthetic §5.3 lost wakeup.
+    NotifyDropped {
+        /// The notifying thread (which believes the notify happened).
+        tid: ThreadId,
+        /// The condition variable.
+        cv: CondId,
+    },
+    /// Chaos injection made a NOTIFY wake a second waiter (§5.3's
+    /// "exactly one" guarantee violated on purpose).
+    NotifyDuplicated {
+        /// The notifying thread.
+        tid: ThreadId,
+        /// The condition variable.
+        cv: CondId,
+        /// The extra waiter awakened beyond the legitimate one.
+        extra: ThreadId,
+    },
+    /// Chaos injection stalled a thread: it cannot be scheduled until
+    /// `until` (models §5.2's unresponsive server / §6.2's preempted
+    /// holder).
+    ChaosStall {
+        /// The stalled thread.
+        tid: ThreadId,
+        /// When it becomes schedulable again.
+        until: SimTime,
+    },
+    /// Chaos injection failed a FORK (§5.4) that policy alone would have
+    /// allowed.
+    ChaosForkFail {
+        /// The forking thread that received the error.
+        tid: ThreadId,
+    },
+    /// A JOIN blocked because the target had not yet exited. The
+    /// matching [`EventKind::Join`] is emitted when it completes.
+    JoinBlocked {
+        /// The blocked joining thread.
+        joiner: ThreadId,
+        /// The thread being joined.
+        target: ThreadId,
     },
 }
 

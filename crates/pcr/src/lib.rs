@@ -65,11 +65,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod condition;
 mod config;
 mod ctx;
 mod error;
 mod event;
+mod hazard;
 mod monitor;
 pub mod mp;
 mod rendezvous;
@@ -80,6 +82,7 @@ mod time;
 mod timer;
 pub mod weakmem;
 
+pub use chaos::{ChaosConfig, StallSpec};
 pub use condition::Condition;
 pub use config::{ForkPolicy, NotifyMode, SimConfig, SystemDaemonConfig};
 pub use ctx::{ForkOpts, ThreadCtx};
@@ -87,6 +90,7 @@ pub use error::{BlockedThread, DeadlockReport, ForkError, JoinError, RunReport, 
 pub use event::{
     CondId, Event, EventKind, MultiSink, NullSink, TraceSink, VecSink, WaitOutcome, YieldKind,
 };
+pub use hazard::{Hazard, HazardConfig, HazardCounts, HazardKind, HazardMonitor};
 pub use monitor::{Monitor, MonitorGuard, MonitorId};
 pub use mp::MpSim;
 pub use rng::SplitMix64;

@@ -451,6 +451,10 @@ impl MpSim {
                         self.push_ready(tid);
                     }
                 }
+                // MpSim never schedules chaos timers (no injection support).
+                TimerKind::ChaosSpuriousWake { .. }
+                | TimerKind::ChaosStallStart { .. }
+                | TimerKind::ChaosStallEnd(_) => {}
             }
         }
     }
@@ -464,8 +468,7 @@ impl MpSim {
             self.rebalance();
             let mut progressed = false;
             for cpu in 0..self.cpus {
-                loop {
-                    let Some(tid) = self.running[cpu] else { break };
+                while let Some(tid) = self.running[cpu] {
                     let t = &mut self.threads[tid.0 as usize];
                     if !t.debt.is_zero() {
                         break;
@@ -824,6 +827,8 @@ impl MpSim {
             reason,
             now: self.clock,
             elapsed: self.clock.saturating_since(start),
+            // MpSim does not support chaos/hazard detection (yet).
+            hazards: crate::HazardCounts::default(),
         }
     }
 

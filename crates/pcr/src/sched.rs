@@ -17,12 +17,18 @@ use crate::config::{ForkPolicy, NotifyMode, SimConfig};
 use crate::ctx::{wrap_body, ThreadCtx};
 use crate::error::{BlockedThread, DeadlockReport, RunReport, StopReason};
 use crate::event::{CondId, Event, EventKind, TraceSink, WaitOutcome, YieldKind};
+use crate::hazard::HazardMonitor;
 use crate::monitor::{Monitor, MonitorId};
 use crate::rendezvous::{reply_channel, ForkSpec, Reply, Request, ThreadChannels};
 use crate::rng::SplitMix64;
 use crate::thread::{JoinHandle, Priority, ResultSlot, ThreadId, ThreadInfo};
-use crate::time::{SimDuration, SimTime};
+use crate::time::{micros, SimDuration, SimTime};
 use crate::timer::{TimerKind, TimerWheel};
+
+/// Salt folded into the seed for the dedicated chaos RNG stream, so
+/// enabling injection leaves the scheduler's own random decisions (e.g.
+/// SystemDaemon donation targets) untouched.
+const CHAOS_SEED_SALT: u64 = 0xC4A0_5EED_1B5A_93D7;
 
 /// Aggregate counters maintained by the runtime, mirroring the metrics in
 /// the paper's Tables 1–3.
@@ -64,6 +70,16 @@ pub struct SimStats {
     pub fork_failures: u64,
     /// Stalls behind a preempted metalock holder (§6.2, donation off).
     pub metalock_stalls: u64,
+    /// FORKs failed by chaos injection (§5.4).
+    pub chaos_fork_failures: u64,
+    /// Spurious CV wakeups injected by chaos (§5.3).
+    pub chaos_spurious_wakeups: u64,
+    /// NOTIFYs silently dropped by chaos (§5.3).
+    pub chaos_dropped_notifies: u64,
+    /// NOTIFYs that chaos made wake a second waiter (§5.3).
+    pub chaos_duplicated_notifies: u64,
+    /// Thread stalls applied by chaos (§5.2, §6.2).
+    pub chaos_stalls: u64,
     /// High-water mark of live threads (paper: never exceeded 41 in the
     /// benchmarks).
     pub max_live_threads: usize,
@@ -120,6 +136,9 @@ enum TState {
     Sleeping,
     JoinWait(ThreadId),
     ForkWait,
+    /// Removed from scheduling by chaos injection until a
+    /// [`TimerKind::ChaosStallEnd`] timer fires.
+    Stalled,
     Exited,
 }
 
@@ -151,6 +170,10 @@ struct Tcb {
     acquire_on_dispatch: Option<MonitorId>,
     reacquire_outcome: Option<WaitOutcome>,
     reacquire_cv: Option<CondId>,
+    /// A chaos stall that fired while the thread could not be removed
+    /// from scheduling (running or blocked); applied the next time it
+    /// would become ready.
+    stall_pending: Option<SimDuration>,
 }
 
 struct MonitorState {
@@ -230,6 +253,12 @@ pub struct Sim {
     stats: SimStats,
     pending_forks: VecDeque<(ThreadId, ForkSpec)>,
     live_threads: usize,
+    /// Dedicated RNG stream for fault injection (seed ⊕ salt), so chaos
+    /// draws never perturb `rng`.
+    chaos_rng: SplitMix64,
+    /// Online hazard detector, when enabled; sees every event before the
+    /// user sink.
+    hazards: Option<HazardMonitor>,
 }
 
 impl Sim {
@@ -262,7 +291,16 @@ impl Sim {
             stats: SimStats::default(),
             pending_forks: VecDeque::new(),
             live_threads: 0,
+            chaos_rng: SplitMix64::new(seed ^ CHAOS_SEED_SALT),
+            hazards: None,
         };
+        if let Some(hc) = sim.cfg.hazard_detection.clone() {
+            sim.hazards = Some(HazardMonitor::new(hc));
+        }
+        for (i, spec) in sim.cfg.chaos.stalls.iter().enumerate() {
+            sim.timers
+                .schedule(spec.at, TimerKind::ChaosStallStart { spec: i as u32 });
+        }
         if let Some(d) = daemon {
             let (period, slice) = (d.period, d.slice);
             let h = sim.fork_root_with(
@@ -307,6 +345,18 @@ impl Sim {
     /// Removes and returns the trace sink.
     pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.sink.take()
+    }
+
+    /// The online hazard monitor, when
+    /// [`SimConfig::with_hazard_detection`](crate::SimConfig::with_hazard_detection)
+    /// enabled one.
+    pub fn hazards(&self) -> Option<&HazardMonitor> {
+        self.hazards.as_ref()
+    }
+
+    /// Removes and returns the hazard monitor (detection stops).
+    pub fn take_hazards(&mut self) -> Option<HazardMonitor> {
+        self.hazards.take()
     }
 
     /// Post-run summary of every thread ever created.
@@ -439,9 +489,8 @@ impl Sim {
             .spawn(move || {
                 // Wait for the first dispatch; anything but the go-ahead
                 // means the simulation is tearing down before we started.
-                match ctx.channels.reply_rx.recv() {
-                    Ok(Reply::Ok) => body(&ctx),
-                    _ => {}
+                if let Ok(Reply::Ok) = ctx.channels.reply_rx.recv() {
+                    body(&ctx)
                 }
             })
             .expect("failed to spawn OS thread for simulated thread");
@@ -465,6 +514,7 @@ impl Sim {
             acquire_on_dispatch: None,
             reacquire_outcome: None,
             reacquire_cv: None,
+            stall_pending: None,
         });
         self.live_threads += 1;
         self.stats.max_live_threads = self.stats.max_live_threads.max(self.live_threads);
@@ -482,11 +532,15 @@ impl Sim {
     // ---- event emission ---------------------------------------------------
 
     fn emit(&mut self, kind: EventKind) {
+        let ev = Event {
+            t: self.clock,
+            kind,
+        };
+        if let Some(h) = &mut self.hazards {
+            h.record(&ev);
+        }
         if let Some(sink) = &mut self.sink {
-            sink.record(&Event {
-                t: self.clock,
-                kind,
-            });
+            sink.record(&ev);
         }
     }
 
@@ -499,15 +553,62 @@ impl Sim {
     // ---- ready-queue helpers ----------------------------------------------
 
     fn push_ready_back(&mut self, tid: ThreadId) {
+        if self.apply_pending_stall(tid) {
+            return;
+        }
         let p = self.threads[tid.0 as usize].priority;
         self.threads[tid.0 as usize].state = TState::Ready;
         self.ready[p.index()].push_back(tid);
     }
 
     fn push_ready_front(&mut self, tid: ThreadId) {
+        if self.apply_pending_stall(tid) {
+            return;
+        }
         let p = self.threads[tid.0 as usize].priority;
         self.threads[tid.0 as usize].state = TState::Ready;
         self.ready[p.index()].push_front(tid);
+    }
+
+    // ---- chaos injection --------------------------------------------------
+
+    /// Consumes a deferred chaos stall at the moment the thread would
+    /// have become ready. Returns true if the thread was stalled instead.
+    fn apply_pending_stall(&mut self, tid: ThreadId) -> bool {
+        let Some(d) = self.threads[tid.0 as usize].stall_pending.take() else {
+            return false;
+        };
+        self.stall_thread(tid, d);
+        true
+    }
+
+    /// Takes `tid` (not currently in any queue) out of scheduling for `d`.
+    fn stall_thread(&mut self, tid: ThreadId, d: SimDuration) {
+        let until = self.clock + d;
+        self.threads[tid.0 as usize].state = TState::Stalled;
+        self.stats.chaos_stalls += 1;
+        self.emit(EventKind::ChaosStall { tid, until });
+        self.timers.schedule(until, TimerKind::ChaosStallEnd(tid));
+    }
+
+    /// One seeded decision: fail this FORK? (§5.4 injection.)
+    fn chaos_fork_should_fail(&mut self) -> bool {
+        if let Some((from, until)) = self.cfg.chaos.fork_outage {
+            if self.clock >= from && self.clock < until {
+                return true;
+            }
+        }
+        let p = self.cfg.chaos.fork_fail_prob;
+        p > 0.0 && self.chaos_rng.next_f64() < p
+    }
+
+    /// Extra seeded delay applied to a timer deadline (§6.3 injection).
+    fn chaos_timer_jitter(&mut self) -> SimDuration {
+        let max = self.cfg.chaos.timer_jitter;
+        if max.is_zero() {
+            return SimDuration::ZERO;
+        }
+        micros(self.chaos_rng.next_below(max.as_micros() + 1))
     }
 
     fn pop_ready_excluding(&mut self, excluded: Option<ThreadId>) -> Option<ThreadId> {
@@ -600,6 +701,49 @@ impl Sim {
                         t.acquire_on_dispatch = Some(mid);
                         t.reacquire_outcome = Some(WaitOutcome::TimedOut);
                         t.reacquire_cv = Some(cv);
+                        self.push_ready_back(tid);
+                    }
+                }
+                TimerKind::ChaosSpuriousWake { tid, cv, seq } => {
+                    // Same lazy-cancellation guard as CvTimeout: only a
+                    // still-waiting thread can wake spuriously.
+                    let idx = tid.0 as usize;
+                    let live = self.threads[idx].wait_seq == seq
+                        && self.threads[idx].state == TState::CvWait(cv);
+                    if live {
+                        self.threads[idx].wait_seq += 1;
+                        let mid = self.conds[cv.0 as usize].monitor;
+                        self.conds[cv.0 as usize].queue.retain(|&w| w != tid);
+                        self.stats.chaos_spurious_wakeups += 1;
+                        self.emit(EventKind::SpuriousWakeup { tid, cv });
+                        let t = &mut self.threads[idx];
+                        t.acquire_on_dispatch = Some(mid);
+                        t.reacquire_outcome = Some(WaitOutcome::Spurious);
+                        t.reacquire_cv = Some(cv);
+                        self.push_ready_back(tid);
+                    }
+                }
+                TimerKind::ChaosStallStart { spec } => {
+                    let name = self.cfg.chaos.stalls[spec as usize].thread.clone();
+                    let duration = self.cfg.chaos.stalls[spec as usize].duration;
+                    let target = self
+                        .threads
+                        .iter()
+                        .position(|t| !t.exited && t.name == name)
+                        .map(|i| ThreadId(i as u32));
+                    if let Some(tid) = target {
+                        if self.threads[tid.0 as usize].state == TState::Ready {
+                            self.remove_from_ready(tid);
+                            self.stall_thread(tid, duration);
+                        } else {
+                            // Running or blocked: stall at the next point
+                            // it would become ready.
+                            self.threads[tid.0 as usize].stall_pending = Some(duration);
+                        }
+                    }
+                }
+                TimerKind::ChaosStallEnd(tid) => {
+                    if self.threads[tid.0 as usize].state == TState::Stalled {
                         self.push_ready_back(tid);
                     }
                 }
@@ -702,7 +846,10 @@ impl Sim {
         // The holder finishes its enqueue-and-block immediately; it was
         // Ready (preempted), so pull it from the ready queue first.
         let was_ready = self.remove_from_ready(holder);
-        debug_assert!(was_ready, "metalock holder must be preempted/ready");
+        debug_assert!(
+            was_ready || self.threads[holder.0 as usize].state == TState::Stalled,
+            "metalock holder must be preempted/ready (or chaos-stalled)"
+        );
         self.finish_block_on_mutex(holder, mid);
     }
 
@@ -792,6 +939,11 @@ impl Sim {
             reason,
             now: self.clock,
             elapsed: self.clock.saturating_since(start),
+            hazards: self
+                .hazards
+                .as_ref()
+                .map(|h| h.counts())
+                .unwrap_or_default(),
         }
     }
 
@@ -943,6 +1095,7 @@ impl Sim {
                 if !precise {
                     until = until.round_up_to(self.cfg.granularity());
                 }
+                until += self.chaos_timer_jitter();
                 self.emit(EventKind::Sleep { tid, until });
                 self.timers.schedule(until, TimerKind::Wake(tid));
                 let t = &mut self.threads[tid.0 as usize];
@@ -1039,6 +1192,18 @@ impl Sim {
     }
 
     fn handle_fork(&mut self, tid: ThreadId, spec: ForkSpec) {
+        // Chaos first (§5.4): an injected failure overrides the fork
+        // policy — it models resource exhaustion the policy can't see.
+        if self.chaos_fork_should_fail() {
+            self.stats.chaos_fork_failures += 1;
+            self.stats.fork_failures += 1;
+            self.emit(EventKind::ChaosForkFail { tid });
+            let t = &mut self.threads[tid.0 as usize];
+            t.pending_reply = Some(Reply::ForkFailed);
+            t.debt = self.cfg.primitive_cost;
+            t.after_debt = AfterDebt::Reply;
+            return;
+        }
         if self.live_threads >= self.cfg.max_threads {
             match self.cfg.fork_policy {
                 ForkPolicy::Error => {
@@ -1078,6 +1243,10 @@ impl Sim {
                 return;
             }
             self.threads[target.0 as usize].joiner = Some(tid);
+            self.emit(EventKind::JoinBlocked {
+                joiner: tid,
+                target,
+            });
             self.threads[tid.0 as usize].state = TState::JoinWait(target);
         }
     }
@@ -1174,9 +1343,21 @@ impl Sim {
         let seq = t.wait_seq;
         t.state = TState::CvWait(cv);
         if let Some(timeout) = self.conds[cv.0 as usize].timeout {
-            let deadline = (self.clock + timeout).round_up_to(self.cfg.granularity());
+            let deadline = (self.clock + timeout).round_up_to(self.cfg.granularity())
+                + self.chaos_timer_jitter();
             self.timers
                 .schedule(deadline, TimerKind::CvTimeout { tid, cv, seq });
+        }
+        let sp = self.cfg.chaos.spurious_wakeup_prob;
+        if sp > 0.0 && self.chaos_rng.next_f64() < sp {
+            // Schedule a spurious wakeup 1..=spurious_delay µs into the
+            // wait; lazily cancelled if the wait ends first.
+            let max = self.cfg.chaos.spurious_delay.as_micros();
+            let delay = micros(self.chaos_rng.next_below(max) + 1);
+            self.timers.schedule(
+                self.clock + delay,
+                TimerKind::ChaosSpuriousWake { tid, cv, seq },
+            );
         }
         self.conds[cv.0 as usize].queue.push_back(tid);
         self.emit(EventKind::MlExit { tid, monitor: mid });
@@ -1192,31 +1373,42 @@ impl Sim {
             );
             return;
         }
+        // Chaos (§5.3): silently discard a NOTIFY that has a waiter. The
+        // waiter keeps waiting; only its timeout (if any) can rescue it.
+        if !broadcast && !self.conds[cv.0 as usize].queue.is_empty() {
+            let p = self.cfg.chaos.drop_notify_prob;
+            if p > 0.0 && self.chaos_rng.next_f64() < p {
+                self.stats.cv_notifies += 1;
+                self.stats.chaos_dropped_notifies += 1;
+                self.emit(EventKind::NotifyDropped { tid, cv });
+                self.reply_ok(tid);
+                return;
+            }
+        }
         let mut woken = 0u32;
         let mut first_woken = None;
-        loop {
-            let Some(w) = self.conds[cv.0 as usize].queue.pop_front() else {
-                break;
-            };
+        while let Some(w) = self.conds[cv.0 as usize].queue.pop_front() {
             woken += 1;
             first_woken.get_or_insert(w);
-            let wt = &mut self.threads[w.0 as usize];
-            wt.wait_seq += 1; // Lazily cancels the timeout timer.
-            match self.cfg.notify_mode {
-                NotifyMode::Immediate => {
-                    wt.acquire_on_dispatch = Some(mid);
-                    wt.reacquire_outcome = Some(WaitOutcome::Notified);
-                    wt.reacquire_cv = Some(cv);
-                    self.push_ready_back(w);
-                }
-                NotifyMode::DeferredReschedule => {
-                    self.monitors[mid.0 as usize]
-                        .deferred
-                        .push((w, WaitOutcome::Notified, cv));
-                }
-            }
+            self.wake_waiter(w, mid, cv);
             if !broadcast {
                 break;
+            }
+        }
+        // Chaos (§5.3): wake a second waiter too, violating "exactly one
+        // waiter wakens". Correct Mesa code re-checks its predicate and
+        // survives; code that doesn't is what this fault flushes out.
+        let mut extra = None;
+        if !broadcast && first_woken.is_some() && !self.conds[cv.0 as usize].queue.is_empty() {
+            let p = self.cfg.chaos.duplicate_notify_prob;
+            if p > 0.0 && self.chaos_rng.next_f64() < p {
+                let w = self.conds[cv.0 as usize]
+                    .queue
+                    .pop_front()
+                    .expect("non-empty queue");
+                self.wake_waiter(w, mid, cv);
+                self.stats.chaos_duplicated_notifies += 1;
+                extra = Some(w);
             }
         }
         if broadcast {
@@ -1229,8 +1421,30 @@ impl Sim {
                 cv,
                 woken: first_woken,
             });
+            if let Some(extra) = extra {
+                self.emit(EventKind::NotifyDuplicated { tid, cv, extra });
+            }
         }
         self.reply_ok(tid);
+    }
+
+    /// Wakes one CV waiter according to the configured NOTIFY mode.
+    fn wake_waiter(&mut self, w: ThreadId, mid: MonitorId, cv: CondId) {
+        let wt = &mut self.threads[w.0 as usize];
+        wt.wait_seq += 1; // Lazily cancels the timeout timer.
+        match self.cfg.notify_mode {
+            NotifyMode::Immediate => {
+                wt.acquire_on_dispatch = Some(mid);
+                wt.reacquire_outcome = Some(WaitOutcome::Notified);
+                wt.reacquire_cv = Some(cv);
+                self.push_ready_back(w);
+            }
+            NotifyMode::DeferredReschedule => {
+                self.monitors[mid.0 as usize]
+                    .deferred
+                    .push((w, WaitOutcome::Notified, cv));
+            }
+        }
     }
 
     fn handle_exit(&mut self, tid: ThreadId, panicked: bool) {
@@ -1302,7 +1516,13 @@ impl Sim {
                 }
                 TState::JoinWait(target) => (format!("join of {target:?}"), Some(target)),
                 TState::ForkWait => ("fork resources".to_string(), None),
-                TState::Sleeping | TState::Ready | TState::Running | TState::Exited => continue,
+                // A chaos-stalled thread always has a ChaosStallEnd timer
+                // pending, so a deadlock is never declared while one exists.
+                TState::Stalled
+                | TState::Sleeping
+                | TState::Ready
+                | TState::Running
+                | TState::Exited => continue,
             };
             blocked.push(BlockedThread {
                 tid,

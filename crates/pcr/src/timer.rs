@@ -21,6 +21,13 @@ pub(crate) enum TimerKind {
     /// sequence number or the timer is stale and ignored (lazy
     /// cancellation).
     CvTimeout { tid: ThreadId, cv: CondId, seq: u64 },
+    /// Chaos: wake a CV waiter spuriously. Lazily cancelled by `seq`
+    /// exactly like `CvTimeout`.
+    ChaosSpuriousWake { tid: ThreadId, cv: CondId, seq: u64 },
+    /// Chaos: begin the stall described by `ChaosConfig.stalls[spec]`.
+    ChaosStallStart { spec: u32 },
+    /// Chaos: the stalled thread becomes schedulable again.
+    ChaosStallEnd(ThreadId),
 }
 
 #[derive(PartialEq, Eq)]

@@ -2,36 +2,59 @@
 //!
 //! The authors built ad-hoc tools over their event logs; this module
 //! provides the modern equivalent: JSON Lines export of the event
-//! stream and serde-serializable measurement records, so external
-//! tooling (plots, diffing runs) can consume the reproduction's output.
+//! stream as flattened records, so external tooling (plots, diffing
+//! runs) can consume the reproduction's output.
 
 use std::io::Write;
 
 use pcr::{Event, EventKind};
-use serde::Serialize;
+
+use crate::json::Json;
 
 /// A flattened, serializable view of one runtime event.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EventRecord {
     /// Microseconds since simulation start.
     pub t_us: u64,
     /// Event kind tag (e.g. "switch", "ml_enter").
     pub kind: &'static str,
     /// Primary thread involved.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub tid: Option<u32>,
     /// Secondary thread (fork child, switch target, notify wakee...).
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub other: Option<u32>,
     /// Monitor id, when relevant.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub monitor: Option<u32>,
     /// Condition id, when relevant.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub cv: Option<u32>,
     /// Extra detail (priority, contended flag, outcome...).
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub detail: Option<String>,
+}
+
+impl EventRecord {
+    /// The record as a JSON object; `None` fields are omitted, matching
+    /// the previous serde `skip_serializing_if` layout.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj([
+            ("t_us", Json::from(self.t_us)),
+            ("kind", Json::from(self.kind)),
+        ]);
+        if let Some(tid) = self.tid {
+            obj.push("tid", Json::from(tid));
+        }
+        if let Some(other) = self.other {
+            obj.push("other", Json::from(other));
+        }
+        if let Some(monitor) = self.monitor {
+            obj.push("monitor", Json::from(monitor));
+        }
+        if let Some(cv) = self.cv {
+            obj.push("cv", Json::from(cv));
+        }
+        if let Some(detail) = &self.detail {
+            obj.push("detail", Json::from(detail.clone()));
+        }
+        obj
+    }
 }
 
 impl From<&Event> for EventRecord {
@@ -166,6 +189,36 @@ impl From<&Event> for EventRecord {
                 r.monitor = Some(monitor.as_u32());
                 r.other = Some(holder.as_u32());
             }
+            EventKind::SpuriousWakeup { tid, cv } => {
+                r.kind = "spurious_wakeup";
+                r.tid = Some(tid.as_u32());
+                r.cv = Some(cv.as_u32());
+            }
+            EventKind::NotifyDropped { tid, cv } => {
+                r.kind = "notify_dropped";
+                r.tid = Some(tid.as_u32());
+                r.cv = Some(cv.as_u32());
+            }
+            EventKind::NotifyDuplicated { tid, cv, extra } => {
+                r.kind = "notify_duplicated";
+                r.tid = Some(tid.as_u32());
+                r.cv = Some(cv.as_u32());
+                r.other = Some(extra.as_u32());
+            }
+            EventKind::ChaosStall { tid, until } => {
+                r.kind = "chaos_stall";
+                r.tid = Some(tid.as_u32());
+                r.detail = Some(format!("until={}", until.as_micros()));
+            }
+            EventKind::ChaosForkFail { tid } => {
+                r.kind = "chaos_fork_fail";
+                r.tid = Some(tid.as_u32());
+            }
+            EventKind::JoinBlocked { joiner, target } => {
+                r.kind = "join_blocked";
+                r.tid = Some(joiner.as_u32());
+                r.other = Some(target.as_u32());
+            }
         }
         r
     }
@@ -178,8 +231,7 @@ pub fn write_jsonl<'a, W: Write>(
 ) -> std::io::Result<usize> {
     let mut n = 0;
     for ev in events {
-        let rec = EventRecord::from(ev);
-        let line = serde_json::to_string(&rec).expect("event serializes");
+        let line = EventRecord::from(ev).to_json();
         writeln!(w, "{line}")?;
         n += 1;
     }
@@ -229,9 +281,8 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), samples.len());
         for line in text.lines() {
-            let v: serde_json::Value = serde_json::from_str(line).unwrap();
-            assert_eq!(v["t_us"], 123);
-            assert!(v["kind"].is_string());
+            assert!(line.starts_with("{\"t_us\":123,\"kind\":\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
         }
         assert!(text.contains("\"fork\""));
         assert!(text.contains("panicked"));

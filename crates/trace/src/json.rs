@@ -1,0 +1,270 @@
+//! A minimal JSON value type and serializer.
+//!
+//! The offline build environment cannot fetch `serde`/`serde_json`, so
+//! the trace and bench crates emit JSON through this hand-rolled tree:
+//! insertion-ordered objects, compact `Display`, and a `pretty` renderer
+//! for human-facing summary files. Only what export needs — no parser.
+
+use std::fmt;
+
+/// A JSON document node. Object keys keep insertion order so exported
+/// records are stable across runs (a determinism requirement for the
+/// byte-identical-trace checks).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any integer (serialized without a decimal point).
+    Int(i64),
+    /// An unsigned integer wider than `i64` allows.
+    UInt(u64),
+    /// A float; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Appends a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Renders with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth + 1);
+        let close = "  ".repeat(depth);
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    v.write_pretty(out, depth + 1);
+                }
+                let _ = write!(out, "\n{close}]");
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    let _ = write!(out, "{pad}{}: ", Escaped(k));
+                    v.write_pretty(out, depth + 1);
+                }
+                let _ = write!(out, "\n{close}}}");
+            }
+            other => {
+                let _ = write!(out, "{other}");
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map(Into::into).unwrap_or(Json::Null)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+struct Escaped<'a>(&'a str);
+
+impl fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("\"")?;
+        for c in self.0.chars() {
+            match c {
+                '"' => f.write_str("\\\"")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\r' => f.write_str("\\r")?,
+                '\t' => f.write_str("\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => f.write_char(c)?,
+            }
+        }
+        f.write_str("\"")
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact (single-line) JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::UInt(n) => write!(f, "{n}"),
+            Json::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Float(_) => f.write_str("null"),
+            Json::Str(s) => write!(f, "{}", Escaped(s)),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Escaped(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+use std::fmt::Write as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::obj([
+            ("a", Json::Int(1)),
+            ("b", Json::from("x\"y")),
+            ("c", Json::arr([Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":"x\"y","c":[true,null]}"#);
+    }
+
+    #[test]
+    fn floats_and_ints_distinct() {
+        assert_eq!(Json::Float(1.5).to_string(), "1.5");
+        assert_eq!(Json::Float(2.0).to_string(), "2");
+        assert_eq!(Json::Int(-3).to_string(), "-3");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::UInt(u64::MAX).to_string(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn escaping_control_chars() {
+        let v = Json::from("line\nbreak\ttab \u{1}");
+        assert_eq!(v.to_string(), "\"line\\nbreak\\ttab \\u0001\"");
+    }
+
+    #[test]
+    fn pretty_indents_nested_structures() {
+        let v = Json::obj([("xs", Json::arr([Json::Int(1), Json::Int(2)]))]);
+        let p = v.pretty();
+        assert_eq!(p, "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_in_pretty() {
+        let v = Json::obj([("a", Json::Arr(vec![])), ("b", Json::Obj(vec![]))]);
+        assert_eq!(v.pretty(), "{\n  \"a\": [],\n  \"b\": {}\n}");
+    }
+
+    #[test]
+    fn option_and_vec_conversions() {
+        assert_eq!(Json::from(None::<u32>), Json::Null);
+        assert_eq!(Json::from(Some(3u32)).to_string(), "3");
+        assert_eq!(Json::from(vec![1u64, 2]).to_string(), "[1,2]");
+    }
+
+    #[test]
+    fn ordered_object_keys() {
+        let mut v = Json::obj([("z", Json::Int(1))]);
+        v.push("a", Json::Int(2));
+        assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+    }
+}

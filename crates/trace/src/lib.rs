@@ -21,6 +21,7 @@ mod contention;
 mod export;
 mod genealogy;
 mod intervals;
+mod json;
 mod rates;
 mod tables;
 mod timeline;
@@ -29,8 +30,9 @@ pub use contention::{ContentionCollector, MonitorContention};
 pub use export::{write_jsonl, EventRecord};
 pub use genealogy::{GenealogyCollector, LifetimeClass};
 pub use intervals::{IntervalCollector, IntervalHistogram};
+pub use json::Json;
 pub use rates::BenchmarkRates;
-pub use tables::{f0, f1, pct, thread_table, Align, Table};
+pub use tables::{f0, f1, hazard_table, pct, thread_table, Align, Table};
 pub use timeline::Timeline;
 
 use pcr::{Event, TraceSink};

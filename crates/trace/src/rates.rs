@@ -1,12 +1,13 @@
 //! Per-benchmark rate summaries — the rows of the paper's Tables 1–3.
 
 use pcr::{SimDuration, SimStats};
-use serde::Serialize;
+
+use crate::json::Json;
 
 /// The measurements the paper reports per benchmark:
 /// Table 1 (forks/sec, switches/sec), Table 2 (waits/sec, % timeouts,
 /// ML-enters/sec, contention), Table 3 (# distinct CVs and MLs).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BenchmarkRates {
     /// Benchmark label, e.g. "Keyboard input".
     pub name: String,
@@ -33,6 +34,23 @@ pub struct BenchmarkRates {
 }
 
 impl BenchmarkRates {
+    /// The rates as a JSON object (field order matches declaration).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.clone())),
+            ("elapsed_secs", Json::from(self.elapsed_secs)),
+            ("forks_per_sec", Json::from(self.forks_per_sec)),
+            ("switches_per_sec", Json::from(self.switches_per_sec)),
+            ("waits_per_sec", Json::from(self.waits_per_sec)),
+            ("timeout_pct", Json::from(self.timeout_pct)),
+            ("ml_enters_per_sec", Json::from(self.ml_enters_per_sec)),
+            ("contention_pct", Json::from(self.contention_pct)),
+            ("distinct_cvs", Json::from(self.distinct_cvs)),
+            ("distinct_mls", Json::from(self.distinct_mls)),
+            ("max_live_threads", Json::from(self.max_live_threads)),
+        ])
+    }
+
     /// Summarizes a run's statistics over `elapsed` virtual time.
     ///
     /// # Panics
@@ -96,13 +114,14 @@ mod tests {
     use pcr::secs;
 
     fn stats(forks: u64, switches: u64, waits: u64, touts: u64, enters: u64) -> SimStats {
-        let mut s = SimStats::default();
-        s.forks = forks;
-        s.switches = switches;
-        s.cv_waits = waits;
-        s.cv_timeouts = touts;
-        s.ml_enters = enters;
-        s
+        SimStats {
+            forks,
+            switches,
+            cv_waits: waits,
+            cv_timeouts: touts,
+            ml_enters: enters,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -147,7 +147,7 @@ impl Table {
 pub fn thread_table(infos: &[pcr::ThreadInfo]) -> Table {
     let mut t = Table::new("Threads", &["Thread", "Prio", "CPU", "Gen", "State"]);
     let mut sorted: Vec<&pcr::ThreadInfo> = infos.iter().collect();
-    sorted.sort_by(|a, b| b.cpu.cmp(&a.cpu));
+    sorted.sort_by_key(|t| std::cmp::Reverse(t.cpu));
     for info in sorted {
         let state = if info.panicked {
             "panicked"
@@ -164,6 +164,35 @@ pub fn thread_table(infos: &[pcr::ThreadInfo]) -> Table {
             state.to_string(),
         ]);
     }
+    t
+}
+
+/// Renders the per-kind hazard tallies from a run as a table: one row
+/// per detector plus a total, so chaos runs can surface what the
+/// [`pcr::HazardMonitor`] caught next to the benchmark tables.
+pub fn hazard_table(counts: &pcr::HazardCounts) -> Table {
+    let mut t = Table::new("Hazards", &["Hazard", "Count"]);
+    t.row(vec![
+        "naked notify (§5.3)".to_string(),
+        counts.naked_notifies.to_string(),
+    ]);
+    t.row(vec![
+        "wait without re-check (§5.3)".to_string(),
+        counts.wait_without_recheck.to_string(),
+    ]);
+    t.row(vec![
+        "starvation / inversion (§6.2)".to_string(),
+        counts.starvations.to_string(),
+    ]);
+    t.row(vec![
+        "livelock (§5.2)".to_string(),
+        counts.livelocks.to_string(),
+    ]);
+    t.row(vec![
+        "spurious-conflict storm (§6.1)".to_string(),
+        counts.spurious_conflict_storms.to_string(),
+    ]);
+    t.row(vec!["total".to_string(), counts.total().to_string()]);
     t
 }
 
@@ -219,7 +248,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(f1(3.14159), "3.1");
+        assert_eq!(f1(3.16), "3.2");
         assert_eq!(f0(131.7), "132");
         assert_eq!(pct(81.9), "82%");
     }
@@ -237,6 +266,22 @@ mod tests {
         let small_pos = text.find("small").unwrap();
         assert!(big_pos < small_pos, "rows not CPU-sorted:\n{text}");
         assert!(text.contains("exited"));
+    }
+
+    #[test]
+    fn hazard_table_rows_and_total() {
+        let counts = pcr::HazardCounts {
+            naked_notifies: 2,
+            livelocks: 1,
+            ..Default::default()
+        };
+        let t = hazard_table(&counts);
+        assert_eq!(t.len(), 6);
+        let text = t.to_text();
+        assert!(text.contains("naked notify"));
+        let last = text.lines().last().unwrap();
+        assert!(last.starts_with("total"), "{last}");
+        assert!(last.ends_with('3'), "{last}");
     }
 
     #[test]

@@ -299,7 +299,7 @@ fn install_repaint_threads(
                 let pending = {
                     let mut g = ctx.enter(&m);
                     g.wait_until(&cv, |&p| p > 0);
-                    g.with_mut(|p| std::mem::take(p))
+                    g.with_mut(std::mem::take)
                 };
                 for _ in 0..pending {
                     // Scrolling a text window re-renders heavily: the

@@ -222,9 +222,9 @@ pub fn install(sim: &mut Sim, bench: Benchmark) {
         let pending = {
             let mut g = ctx.enter(&echo_m2);
             let _ = g.wait(&echo_cv2);
-            g.with_mut(|v| std::mem::take(v))
+            g.with_mut(std::mem::take)
         };
-        for _ in 0..pending.max(0) {
+        for _ in 0..pending {
             ctx.work(millis(1));
             echo_cursor.touch_n(ctx, 6, micros(10));
         }

@@ -24,5 +24,8 @@ pub mod session;
 pub mod spec;
 pub mod world;
 
-pub use runner::{probe, run_benchmark, BenchResult, DEFAULT_WINDOW};
+pub use runner::{
+    build_chaos, chaos_preset, probe, run_benchmark, run_benchmark_chaos, BenchResult,
+    DEFAULT_WINDOW,
+};
 pub use spec::{paper_row, Benchmark, PaperRow, System};

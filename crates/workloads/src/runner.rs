@@ -1,6 +1,9 @@
 //! Running a benchmark and harvesting the paper's measurements.
 
-use pcr::{secs, Priority, RunLimit, Sim, SimConfig, SimDuration, SystemDaemonConfig};
+use pcr::{
+    millis, secs, ChaosConfig, HazardConfig, HazardCounts, Priority, RunLimit, Sim, SimConfig,
+    SimDuration, SystemDaemonConfig,
+};
 use threadstudy_core::System;
 use trace::{BenchmarkRates, Collector, IntervalHistogram};
 
@@ -27,6 +30,10 @@ pub struct BenchResult {
     pub cpu_by_priority: [SimDuration; 7],
     /// Mean lifetime of threads that exited (§3: "well under 1 second").
     pub mean_transient_lifetime: Option<SimDuration>,
+    /// Hazards the [`pcr::HazardMonitor`] reported over the whole run
+    /// (warm-up included). All-zero when hazard detection was off, as it
+    /// is for [`run_benchmark`].
+    pub hazards: HazardCounts,
 }
 
 /// Default virtual measurement window.
@@ -34,6 +41,25 @@ pub const DEFAULT_WINDOW: SimDuration = secs(30);
 
 /// Builds the world for `(system, benchmark)` in a fresh simulator.
 pub fn build(system: System, benchmark: Benchmark, seed: u64) -> Sim {
+    build_chaos(system, benchmark, seed, ChaosConfig::none())
+}
+
+/// The fault mix used for chaos-mode benchmark runs: spurious CV
+/// wakeups, duplicated notifies, and timer jitter (§5.3's hazards plus
+/// widened timeout races). Dropped notifies and fork failures are
+/// deliberately excluded — the worlds' eternal threads assume forks
+/// succeed and notifies arrive, so those faults would wedge the world
+/// rather than stress its Mesa discipline.
+pub fn chaos_preset() -> ChaosConfig {
+    ChaosConfig::none()
+        .spurious_wakeups(0.05)
+        .duplicate_notifies(0.05)
+        .jitter_timers(millis(5))
+}
+
+/// Builds the world for `(system, benchmark)` with fault injection per
+/// `chaos` and hazard detection enabled whenever injection is active.
+pub fn build_chaos(system: System, benchmark: Benchmark, seed: u64, chaos: ChaosConfig) -> Sim {
     // The SystemDaemon's pace is tuned per system so its wakeups sit
     // inside each system's measured switch budget.
     let daemon = match system {
@@ -46,9 +72,14 @@ pub fn build(system: System, benchmark: Benchmark, seed: u64) -> Sim {
             slice: pcr::millis(5),
         },
     };
-    let cfg = SimConfig::default()
+    let mut cfg = SimConfig::default()
         .with_seed(seed)
         .with_system_daemon(daemon);
+    if chaos.is_active() {
+        cfg = cfg
+            .with_chaos(chaos)
+            .with_hazard_detection(HazardConfig::default());
+    }
     let mut sim = Sim::new(cfg);
     match system {
         System::Cedar => crate::cedar::install(&mut sim, benchmark),
@@ -70,7 +101,26 @@ pub fn run_benchmark(
     window: SimDuration,
     seed: u64,
 ) -> BenchResult {
-    let mut sim = build(system, benchmark, seed);
+    run_benchmark_chaos(system, benchmark, window, seed, ChaosConfig::none())
+}
+
+/// Like [`run_benchmark`], but with fault injection per `chaos` and the
+/// [`pcr::HazardMonitor`] watching the whole run; the tallies land in
+/// [`BenchResult::hazards`].
+///
+/// # Panics
+///
+/// Panics if the world deadlocks — which an aggressive `chaos` (dropped
+/// notifies, fork failures) can legitimately cause; [`chaos_preset`]
+/// stays within what the worlds tolerate.
+pub fn run_benchmark_chaos(
+    system: System,
+    benchmark: Benchmark,
+    window: SimDuration,
+    seed: u64,
+    chaos: ChaosConfig,
+) -> BenchResult {
+    let mut sim = build_chaos(system, benchmark, seed, chaos);
     // Warm-up: let queues and sleepers reach steady state.
     let warmup = sim.run(RunLimit::For(secs(2)));
     assert!(
@@ -108,6 +158,7 @@ pub fn run_benchmark(
         max_live_threads: end_stats.max_live_threads,
         cpu_by_priority,
         mean_transient_lifetime: collector.genealogy.mean_lifetime_of_exited(),
+        hazards: report.hazards,
     }
 }
 
@@ -188,6 +239,38 @@ mod tests {
             let r = probe(System::Gvx, b);
             assert_eq!(r.rates.forks_per_sec, 0.0, "GVX {b} forked");
         }
+    }
+
+    #[test]
+    fn chaos_preset_runs_and_is_deterministic() {
+        let run = || {
+            run_benchmark_chaos(
+                System::Cedar,
+                Benchmark::Keyboard,
+                secs(5),
+                0xC0FFEE,
+                chaos_preset(),
+            )
+        };
+        let a = run();
+        let b = run();
+        // Injection actually happened and the detectors were live.
+        assert!(
+            a.rates.waits_per_sec > 0.0,
+            "keyboard world stopped waiting under chaos"
+        );
+        assert_eq!(a.hazards, b.hazards, "hazard tallies diverged");
+        assert_eq!(
+            a.rates.switches_per_sec, b.rates.switches_per_sec,
+            "same seed + same chaos must replay identically"
+        );
+        assert_eq!(a.max_live_threads, b.max_live_threads);
+    }
+
+    #[test]
+    fn clean_runs_report_no_hazards() {
+        let r = probe(System::Gvx, Benchmark::Idle);
+        assert_eq!(r.hazards, pcr::HazardCounts::default());
     }
 
     #[test]

@@ -38,11 +38,11 @@ pub struct ServerStats {
 impl ServerStats {
     /// Mean produce-to-paint latency.
     pub fn mean_latency(&self) -> SimDuration {
-        if self.requests == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(self.total_latency_us / self.requests)
-        }
+        SimDuration::from_micros(
+            self.total_latency_us
+                .checked_div(self.requests)
+                .unwrap_or(0),
+        )
     }
 
     /// Worst produce-to-paint latency.

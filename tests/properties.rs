@@ -1,23 +1,46 @@
 //! Property-based tests on the core invariants: mutual exclusion, FIFO
-//! delivery, timer quantization arithmetic, and histogram conservation.
+//! delivery, timer quantization arithmetic, histogram conservation, and
+//! the NOTIFY/spurious-wakeup contracts from §5.3.
+//!
+//! The build environment has no registry access, so instead of a
+//! property-testing framework each test draws its own random cases from
+//! a seeded [`SplitMix64`] stream: same coverage shape (ranged inputs,
+//! many cases), fully deterministic, trivially reproducible from the
+//! printed case seed on failure.
 
-use proptest::prelude::*;
 use threadstudy::paradigms::pump::BoundedQueue;
-use threadstudy::pcr::{micros, millis, Priority, RunLimit, Sim, SimConfig, SimDuration, SimTime};
+use threadstudy::pcr::{
+    micros, millis, secs, ChaosConfig, EventKind, Priority, RunLimit, Sim, SimConfig, SimDuration,
+    SimTime, SplitMix64, VecSink, WaitOutcome,
+};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Runs `f` once per case with a per-case RNG derived from a fixed
+/// base seed, printing the case seed on entry so a failing case can be
+/// replayed in isolation.
+fn for_cases(cases: u64, mut f: impl FnMut(&mut SplitMix64)) {
+    for case in 0..cases {
+        let seed = 0x5EED_CA5E_0000_0000 ^ case;
+        let mut rng = SplitMix64::new(seed);
+        f(&mut rng);
+    }
+}
 
-    /// Monitors provide mutual exclusion under arbitrary thread mixes:
-    /// a non-atomic read-work-write critical section never loses an
-    /// update, and no two threads are ever inside simultaneously.
-    #[test]
-    fn monitor_mutual_exclusion(
-        threads in 2usize..6,
-        iters in 1u32..12,
-        hold_us in 1u64..2000,
-        seed in any::<u64>(),
-    ) {
+/// Uniform draw from the half-open range `lo..hi`.
+fn pick(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi);
+    lo + rng.next_below(hi - lo)
+}
+
+/// Monitors provide mutual exclusion under arbitrary thread mixes: a
+/// non-atomic read-work-write critical section never loses an update,
+/// and no two threads are ever inside simultaneously.
+#[test]
+fn monitor_mutual_exclusion() {
+    for_cases(12, |rng| {
+        let threads = pick(rng, 2, 6) as usize;
+        let iters = pick(rng, 1, 12) as u32;
+        let hold_us = pick(rng, 1, 2000);
+        let seed = rng.next_u64();
         let mut sim = Sim::new(SimConfig::default().with_seed(seed));
         let cell = sim.monitor("cell", (0u64, false));
         for t in 0..threads {
@@ -41,31 +64,30 @@ proptest! {
                 }
             });
         }
-        let r = sim.run(RunLimit::For(pcr_secs(60)));
-        prop_assert!(!r.deadlocked());
-        let mut check = Sim::new(SimConfig::default());
-        drop(check.monitor("unused", ())); // Keep check sim trivial.
+        let r = sim.run(RunLimit::For(secs(60)));
+        assert!(!r.deadlocked());
         let final_value = {
             let mut sim2 = sim; // Read back through a probe thread.
             let h = sim2.fork_root("probe", Priority::of(6), move |ctx| {
                 let g = ctx.enter(&cell);
                 g.with(|(v, _)| *v)
             });
-            sim2.run(RunLimit::For(pcr_secs(1)));
+            sim2.run(RunLimit::For(secs(1)));
             h.into_result().unwrap().unwrap()
         };
-        prop_assert_eq!(final_value, threads as u64 * iters as u64);
-    }
+        assert_eq!(final_value, threads as u64 * u64::from(iters));
+    });
+}
 
-    /// Bounded queues deliver exactly the items put, preserving each
-    /// producer's order, for any capacity and producer mix.
-    #[test]
-    fn bounded_queue_no_loss_no_dup(
-        producers in 1usize..4,
-        per_producer in 0usize..16,
-        capacity in 1usize..8,
-        seed in any::<u64>(),
-    ) {
+/// Bounded queues deliver exactly the items put, preserving each
+/// producer's order, for any capacity and producer mix.
+#[test]
+fn bounded_queue_no_loss_no_dup() {
+    for_cases(12, |rng| {
+        let producers = pick(rng, 1, 4) as usize;
+        let per_producer = pick(rng, 0, 16) as usize;
+        let capacity = pick(rng, 1, 8) as usize;
+        let seed = rng.next_u64();
         let mut sim = Sim::new(SimConfig::default().with_seed(seed));
         let q: BoundedQueue<(usize, usize)> =
             BoundedQueue::new_in_sim(&mut sim, "q", capacity, None);
@@ -88,24 +110,28 @@ proptest! {
             }
             got
         });
-        let r = sim.run(RunLimit::For(pcr_secs(30)));
-        prop_assert!(!r.deadlocked());
+        let r = sim.run(RunLimit::For(secs(30)));
+        assert!(!r.deadlocked());
         let got = h.into_result().unwrap().unwrap();
-        prop_assert_eq!(got.len(), total);
+        assert_eq!(got.len(), total);
         for p in 0..producers {
-            let seq: Vec<usize> = got.iter().filter(|(pp, _)| *pp == p).map(|(_, i)| *i).collect();
-            prop_assert_eq!(seq, (0..per_producer).collect::<Vec<_>>());
+            let seq: Vec<usize> = got
+                .iter()
+                .filter(|(pp, _)| *pp == p)
+                .map(|(_, i)| *i)
+                .collect();
+            assert_eq!(seq, (0..per_producer).collect::<Vec<_>>());
         }
-    }
+    });
+}
 
-    /// Sleep quantization: a plain sleep wakes at a timer tick, at or
-    /// after the requested interval, and strictly less than one
-    /// granularity late.
-    #[test]
-    fn sleep_quantization_bounds(
-        offset_us in 0u64..200_000,
-        sleep_us in 1u64..200_000,
-    ) {
+/// Sleep quantization: a plain sleep wakes at a timer tick, at or after
+/// the requested interval, and strictly less than one granularity late.
+#[test]
+fn sleep_quantization_bounds() {
+    for_cases(24, |rng| {
+        let offset_us = pick(rng, 0, 200_000);
+        let sleep_us = pick(rng, 1, 200_000);
         let mut sim = Sim::new(SimConfig::default());
         let g = sim.config().granularity();
         let h = sim.fork_root("s", Priority::DEFAULT, move |ctx| {
@@ -117,75 +143,76 @@ proptest! {
         sim.run(RunLimit::ToCompletion);
         let (before, after) = h.into_result().unwrap().unwrap();
         let slept = after.since(before);
-        prop_assert!(slept >= micros(sleep_us), "slept {slept} < {sleep_us}us");
-        prop_assert!(
+        assert!(slept >= micros(sleep_us), "slept {slept} < {sleep_us}us");
+        assert!(
             slept.as_micros() < sleep_us + g.as_micros(),
             "slept {slept}, requested {sleep_us}us, granularity {g}"
         );
-        prop_assert_eq!(after.as_micros() % g.as_micros(), 0, "woke off-tick");
-    }
+        assert_eq!(after.as_micros() % g.as_micros(), 0, "woke off-tick");
+    });
+}
 
-    /// round_up_to: result is a multiple of g, >= input, < input + g.
-    #[test]
-    fn round_up_properties(t in 0u64..10_000_000, g in 1u64..100_000) {
+/// round_up_to: result is a multiple of g, >= input, < input + g.
+#[test]
+fn round_up_properties() {
+    for_cases(200, |rng| {
+        let t = pick(rng, 0, 10_000_000);
+        let g = pick(rng, 1, 100_000);
         let rounded = SimTime::from_micros(t).round_up_to(micros(g));
-        prop_assert_eq!(rounded.as_micros() % g, 0);
-        prop_assert!(rounded.as_micros() >= t);
-        prop_assert!(rounded.as_micros() < t + g);
-    }
+        assert_eq!(rounded.as_micros() % g, 0);
+        assert!(rounded.as_micros() >= t);
+        assert!(rounded.as_micros() < t + g);
+    });
+}
 
-    /// Interval histograms conserve counts and total time.
-    #[test]
-    fn histogram_conservation(intervals in proptest::collection::vec(0u64..200_000, 0..200)) {
-        let mut h = trace_hist();
+/// Interval histograms conserve counts and total time.
+#[test]
+fn histogram_conservation() {
+    for_cases(24, |rng| {
+        let n = pick(rng, 0, 200) as usize;
+        let intervals: Vec<u64> = (0..n).map(|_| rng.next_below(200_000)).collect();
+        let mut h = threadstudy::trace::IntervalHistogram::paper_default();
         let mut total = 0u64;
         for &us in &intervals {
             h.record(micros(us));
             total += us;
         }
-        prop_assert_eq!(h.count(), intervals.len() as u64);
-        prop_assert_eq!(h.total_time(), micros(total));
+        assert_eq!(h.count(), intervals.len() as u64);
+        assert_eq!(h.total_time(), micros(total));
         let f = h.fraction_between(SimDuration::ZERO, millis(5));
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f));
         let rows = h.rows();
         let sum: u64 = rows.iter().map(|(_, n, _, _)| n).sum();
-        prop_assert_eq!(sum, intervals.len() as u64);
-    }
+        assert_eq!(sum, intervals.len() as u64);
+    });
+}
 
-    /// The deterministic RNG respects bounds and reproduces streams.
-    #[test]
-    fn rng_bounds_and_determinism(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut a = threadstudy::pcr::SplitMix64::new(seed);
-        let mut b = threadstudy::pcr::SplitMix64::new(seed);
+/// The deterministic RNG respects bounds and reproduces streams.
+#[test]
+fn rng_bounds_and_determinism() {
+    for_cases(50, |rng| {
+        let seed = rng.next_u64();
+        let bound = pick(rng, 1, 1_000_000);
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
         for _ in 0..50 {
             let x = a.next_below(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.next_below(bound));
+            assert!(x < bound);
+            assert_eq!(x, b.next_below(bound));
         }
-    }
+    });
 }
 
-fn pcr_secs(s: u64) -> SimDuration {
-    threadstudy::pcr::secs(s)
-}
-
-fn trace_hist() -> threadstudy::trace::IntervalHistogram {
-    threadstudy::trace::IntervalHistogram::paper_default()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The multiprocessor scheduler delivers exactly the same results
-    /// and (for a fixed seed) identical statistics on every rerun, for
-    /// any CPU count.
-    #[test]
-    fn mp_determinism(cpus in 1usize..5, seed in any::<u64>()) {
+/// The multiprocessor scheduler delivers exactly the same results and
+/// (for a fixed seed) identical statistics on every rerun, for any CPU
+/// count.
+#[test]
+fn mp_determinism() {
+    for_cases(8, |rng| {
+        let cpus = pick(rng, 1, 5) as usize;
+        let seed = rng.next_u64();
         let run = || {
-            let mut sim = threadstudy::pcr::MpSim::new(
-                SimConfig::default().with_seed(seed),
-                cpus,
-            );
+            let mut sim = threadstudy::pcr::MpSim::new(SimConfig::default().with_seed(seed), cpus);
             let m = sim.monitor("m", 0u64);
             for t in 0..4 {
                 let m = m.clone();
@@ -202,25 +229,26 @@ proptest! {
                     },
                 );
             }
-            let r = sim.run(RunLimit::For(pcr_secs(30)));
-            prop_assert!(!r.deadlocked());
-            Ok((
+            let r = sim.run(RunLimit::For(secs(30)));
+            assert!(!r.deadlocked());
+            (
                 sim.now().as_micros(),
                 sim.stats().switches,
                 sim.stats().ml_contended,
-            ))
+            )
         };
-        prop_assert_eq!(run()?, run()?);
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    /// The real-thread bounded queue loses and duplicates nothing under
-    /// genuinely concurrent producers.
-    #[test]
-    fn mesa_queue_no_loss_no_dup(
-        producers in 1usize..4,
-        per_producer in 0usize..32,
-        capacity in 1usize..8,
-    ) {
+/// The real-thread bounded queue loses and duplicates nothing under
+/// genuinely concurrent producers.
+#[test]
+fn mesa_queue_no_loss_no_dup() {
+    for_cases(8, |rng| {
+        let producers = pick(rng, 1, 4) as usize;
+        let per_producer = pick(rng, 0, 32) as usize;
+        let capacity = pick(rng, 1, 8) as usize;
         use threadstudy::mesa::pump::BoundedQueue;
         let q: BoundedQueue<(usize, usize)> = BoundedQueue::new("q", capacity);
         let handles: Vec<_> = (0..producers)
@@ -241,21 +269,26 @@ proptest! {
         for h in handles {
             h.join().unwrap();
         }
-        prop_assert_eq!(got.len(), total);
+        assert_eq!(got.len(), total);
         for p in 0..producers {
-            let seq: Vec<usize> =
-                got.iter().filter(|(pp, _)| *pp == p).map(|(_, i)| *i).collect();
-            prop_assert_eq!(seq, (0..per_producer).collect::<Vec<_>>());
+            let seq: Vec<usize> = got
+                .iter()
+                .filter(|(pp, _)| *pp == p)
+                .map(|(_, i)| *i)
+                .collect();
+            assert_eq!(seq, (0..per_producer).collect::<Vec<_>>());
         }
-    }
+    });
+}
 
-    /// The guarded button's state machine: any press sequence with gaps
-    /// ends in a consistent state, and a fire happens only from Armed.
-    #[test]
-    fn guarded_button_state_machine(
-        gaps_ms in proptest::collection::vec(0u64..400, 1..10),
-    ) {
-        use threadstudy::paradigms::oneshot::{GuardedButton, GuardState};
+/// The guarded button's state machine: any press sequence with gaps
+/// ends in a consistent state, and a fire happens only from Armed.
+#[test]
+fn guarded_button_state_machine() {
+    for_cases(12, |rng| {
+        let n = pick(rng, 1, 10) as usize;
+        let gaps_ms: Vec<u64> = (0..n).map(|_| rng.next_below(400)).collect();
+        use threadstudy::paradigms::oneshot::{GuardState, GuardedButton};
         let mut sim = Sim::new(SimConfig::default());
         let h = sim.fork_root("ui", Priority::of(5), move |ctx| {
             let b = GuardedButton::new(millis(100), millis(200));
@@ -273,21 +306,21 @@ proptest! {
             }
             fires
         });
-        let r = sim.run(RunLimit::For(pcr_secs(30)));
-        prop_assert!(!r.deadlocked());
+        let r = sim.run(RunLimit::For(secs(30)));
+        assert!(!r.deadlocked());
         let _fires = h.into_result().unwrap().unwrap();
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Slack merging: after merging any item stream, batch keys are
-    /// unique and each key carries the latest version fed for it.
-    #[test]
-    fn slack_merge_by_key_invariants(
-        items in proptest::collection::vec((0u32..8, 0u32..1000), 0..100),
-    ) {
+/// Slack merging: after merging any item stream, batch keys are unique
+/// and each key carries the latest version fed for it.
+#[test]
+fn slack_merge_by_key_invariants() {
+    for_cases(32, |rng| {
+        let n = pick(rng, 0, 100) as usize;
+        let items: Vec<(u32, u32)> = (0..n)
+            .map(|_| (rng.next_below(8) as u32, rng.next_below(1000) as u32))
+            .collect();
         use threadstudy::paradigms::slack::merge_by_key;
         let mut merge = merge_by_key(|r: &(u32, u32)| r.0);
         let mut batch = Vec::new();
@@ -299,24 +332,25 @@ proptest! {
         let before = keys.len();
         keys.sort_unstable();
         keys.dedup();
-        prop_assert_eq!(keys.len(), before, "duplicate keys in batch");
+        assert_eq!(keys.len(), before, "duplicate keys in batch");
         // Latest version per key; every fed key present.
         for &(k, _) in &items {
             let latest = items.iter().rev().find(|(kk, _)| *kk == k).unwrap().1;
             let in_batch = batch.iter().find(|(kk, _)| *kk == k).unwrap().1;
-            prop_assert_eq!(in_batch, latest, "key {} stale", k);
+            assert_eq!(in_batch, latest, "key {k} stale");
         }
-        prop_assert!(batch.len() <= items.len());
-    }
+        assert!(batch.len() <= items.len());
+    });
+}
 
-    /// A timeline renders any event window without panicking and names
-    /// every thread that appears.
-    #[test]
-    fn timeline_renders_any_window(
-        start_ms in 0u64..5_000,
-        span_ms in 1u64..500,
-        cols in 1usize..200,
-    ) {
+/// A timeline renders any event window without panicking and names
+/// every thread that appears.
+#[test]
+fn timeline_renders_any_window() {
+    for_cases(12, |rng| {
+        let start_ms = pick(rng, 0, 5_000);
+        let span_ms = pick(rng, 1, 500);
+        let cols = pick(rng, 1, 200) as usize;
         use threadstudy::trace::Timeline;
         let mut sim = Sim::new(SimConfig::default().with_seed(9));
         sim.set_sink(Box::new(Timeline::new()));
@@ -328,15 +362,139 @@ proptest! {
             g.notify(&cv);
             let _ = g.wait(&cv);
         });
-        sim.run(RunLimit::For(pcr_secs(2)));
+        sim.run(RunLimit::For(secs(2)));
         let infos = sim.threads();
         let mut tl = *threadstudy::trace::take_collector::<Timeline>(&mut sim).unwrap();
         tl.name_threads(&infos);
-        let text = tl.render(
-            SimTime::from_micros(start_ms * 1000),
-            millis(span_ms),
-            cols,
-        );
-        prop_assert!(text.contains("legend"));
-    }
+        let text = tl.render(SimTime::from_micros(start_ms * 1000), millis(span_ms), cols);
+        assert!(text.contains("legend"));
+    });
+}
+
+/// §5.3: NOTIFY wakes exactly one waiter. With every waiter already
+/// blocked on the CV (waiters run at higher priority than the
+/// notifier), each of the N notifies names exactly one distinct wakee
+/// in the event stream, every wait ends `Notified`, and every waiter
+/// consumes exactly one token.
+#[test]
+fn notify_wakes_exactly_one_waiter() {
+    for_cases(10, |rng| {
+        let waiters = pick(rng, 2, 7) as usize;
+        let seed = rng.next_u64();
+        let mut sim = Sim::new(SimConfig::default().with_seed(seed));
+        sim.set_sink(Box::new(VecSink::default()));
+        let m = sim.monitor("m", 0u32);
+        let cv = sim.condition(&m, "cv", None);
+        for w in 0..waiters {
+            let (m, cv) = (m.clone(), cv.clone());
+            let _ = sim.fork_root(&format!("w{w}"), Priority::of(5), move |ctx| {
+                let mut g = ctx.enter(&m);
+                while g.with(|tokens| *tokens == 0) {
+                    g.wait(&cv);
+                }
+                g.with_mut(|tokens| *tokens -= 1);
+            });
+        }
+        // Lower priority: runs only once every waiter is blocked.
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let _ = sim.fork_root("notifier", Priority::of(3), move |ctx| {
+            for _ in 0..waiters {
+                let mut g = ctx.enter(&m2);
+                g.with_mut(|tokens| *tokens += 1);
+                g.notify(&cv2);
+                drop(g);
+                ctx.work(micros(200));
+            }
+        });
+        let r = sim.run(RunLimit::For(secs(30)));
+        assert!(!r.deadlocked());
+        let sink = sim.take_sink().unwrap();
+        let events = sink.into_any().downcast::<VecSink>().unwrap().events;
+        let mut woken = Vec::new();
+        let mut wake_outcomes = Vec::new();
+        for ev in &events {
+            match ev.kind {
+                EventKind::Notify { woken: w, .. } => woken.push(w),
+                EventKind::CvWake { outcome, .. } => wake_outcomes.push(outcome),
+                _ => {}
+            }
+        }
+        assert_eq!(woken.len(), waiters, "one NOTIFY per token");
+        let mut wakees: Vec<u32> = woken
+            .iter()
+            .map(|w| {
+                w.expect("NOTIFY with a populated queue wakes someone")
+                    .as_u32()
+            })
+            .collect();
+        wakees.sort_unstable();
+        wakees.dedup();
+        assert_eq!(wakees.len(), waiters, "each NOTIFY woke a distinct waiter");
+        assert_eq!(wake_outcomes.len(), waiters, "exactly one wake per NOTIFY");
+        assert!(wake_outcomes.iter().all(|o| *o == WaitOutcome::Notified));
+        // Every waiter consumed exactly one token.
+        let h = sim.fork_root("probe", Priority::of(6), move |ctx| {
+            let g = ctx.enter(&m);
+            g.with(|tokens| *tokens)
+        });
+        sim.run(RunLimit::For(secs(1)));
+        assert_eq!(h.into_result().unwrap().unwrap(), 0);
+    });
+}
+
+/// §5.3: waiters written Mesa-style (re-check the predicate in a loop)
+/// survive injected spurious wakeups with predicates intact — no token
+/// is consumed that was never produced, everything still completes, and
+/// the injection actually fired.
+#[test]
+fn waiters_survive_spurious_wakeups() {
+    let mut total_spurious = 0u64;
+    for_cases(10, |rng| {
+        let waiters = pick(rng, 2, 6) as usize;
+        let seed = rng.next_u64();
+        let chaos = ChaosConfig::none()
+            .spurious_wakeups(0.9)
+            .spurious_delay(millis(2));
+        let mut sim = Sim::new(SimConfig::default().with_seed(seed).with_chaos(chaos));
+        let m = sim.monitor("m", 0i64);
+        let cv = sim.condition(&m, "cv", None);
+        let mut handles = Vec::new();
+        for w in 0..waiters {
+            let (m, cv) = (m.clone(), cv.clone());
+            handles.push(
+                sim.fork_root(&format!("w{w}"), Priority::of(5), move |ctx| {
+                    let mut g = ctx.enter(&m);
+                    // Mesa discipline: the predicate guards the consume, so a
+                    // spurious resume just loops back into WAIT.
+                    g.wait_until(&cv, |tokens| *tokens > 0);
+                    g.with_mut(|tokens| {
+                        assert!(*tokens > 0, "consumed a token that was never produced");
+                        *tokens -= 1;
+                    });
+                }),
+            );
+        }
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let _ = sim.fork_root("notifier", Priority::of(3), move |ctx| {
+            for _ in 0..waiters {
+                ctx.work(millis(10)); // Leave room for injected wakeups to land.
+                let mut g = ctx.enter(&m2);
+                g.with_mut(|tokens| *tokens += 1);
+                g.notify(&cv2);
+            }
+        });
+        let r = sim.run(RunLimit::For(secs(60)));
+        assert!(!r.deadlocked(), "spurious wakeups must not wedge waiters");
+        for h in handles {
+            assert!(h.into_result().unwrap().is_ok(), "waiter survived");
+        }
+        total_spurious += sim.stats().chaos_spurious_wakeups;
+        let h = sim.fork_root("probe", Priority::of(6), move |ctx| {
+            let g = ctx.enter(&m);
+            g.with(|tokens| *tokens)
+        });
+        sim.run(RunLimit::For(secs(1)));
+        assert_eq!(h.into_result().unwrap().unwrap(), 0, "tokens conserved");
+    });
+    assert!(total_spurious > 0, "injection never fired at p=0.9");
 }
