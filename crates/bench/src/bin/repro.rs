@@ -1,22 +1,31 @@
 //! Regenerates the paper's tables, figures, and experiments.
 //!
-//! Usage:
-//!   repro tables   [--window SECS]   # Tables 1-3 (runs all 12 benchmarks)
-//!   repro table4                     # Table 4 (static census)
-//!   repro figures  [--window SECS]   # interval/priority/generation figures
-//!   repro experiments                # the §5/§6 experiments (E5-E12)
-//!   repro slack|spurious|inversion|quantum|mistakes|forkfail|weakmem|xlib
-//!   repro history                    # a 100ms event history of Cedar typing
-//!   repro contention                 # hottest monitors (GVX scroll, Cedar typing)
-//!   repro chaos    [--window SECS]   # fault-injected runs, replayed twice:
-//!                                    # asserts byte-identical traces + hazard table
-//!   repro markdown [--window SECS]   # Tables 1-4 as Markdown (for EXPERIMENTS.md)
-//!   repro all      [--window SECS] [--json PATH]   # everything
-//!
 //! Exits non-zero if any run deadlocks, any hazard is detected outside
-//! chaos mode, or a chaos replay diverges.
+//! chaos mode, a chaos replay diverges, or `lint` finds an unallowed
+//! discipline violation.
 
 use pcr::secs;
+
+/// The usage text; printed on `help` and (to stderr) on a bad command.
+const USAGE: &str = "\
+usage: repro <command> [options]
+
+commands:
+  tables   [--window SECS]   Tables 1-3 (runs all 12 benchmarks)
+  table4                     Table 4 (static census)
+  figures  [--window SECS]   interval/priority/generation figures
+  experiments                the §5/§6 experiments (E5-E12)
+  slack|spurious|inversion|quantum|mistakes|forkfail|weakmem|xlib
+                             one experiment by name
+  history                    a 100ms event history of Cedar typing
+  contention                 hottest monitors (GVX scroll, Cedar typing)
+  chaos    [--window SECS]   fault-injected runs, replayed twice:
+                             asserts byte-identical traces + hazard table
+  lint     [--json PATH]     threadlint: static discipline lints and the
+                             fork-site self-census over this workspace
+  markdown [--window SECS]   Tables 1-4 as Markdown (for EXPERIMENTS.md)
+  all      [--window SECS] [--json PATH]   everything
+  help                       this text";
 
 /// Reports a failed run. Returns `true` when the run deadlocked or the
 /// hazard detectors (when enabled) caught something, so callers can
@@ -153,7 +162,13 @@ fn chaos(window: pcr::SimDuration) -> bool {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    // A leading `--flag` means "all the default work, with options".
+    let what = match args.first().map(String::as_str) {
+        None => "all",
+        Some("-h") | Some("--help") => "help",
+        Some(first) if first.starts_with("--") => "all",
+        Some(first) => first,
+    };
     let window = args
         .iter()
         .position(|a| a == "--window")
@@ -179,9 +194,11 @@ fn main() {
         exp if bench::experiments::report_by_name(exp).is_some() => {
             println!("{}", bench::experiments::report_by_name(exp).unwrap());
         }
+        "help" => println!("{USAGE}"),
         "history" => failed |= history(),
         "contention" => failed |= contention(),
         "chaos" => failed |= chaos(window),
+        "lint" => failed |= bench::lint::run(json_path.as_deref()),
         "markdown" => {
             let results = bench::tables::run_all(window, seed);
             failed |= any_hazardous(&results);
@@ -220,7 +237,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown command: {other}");
+            eprintln!("unknown command: {other}\n{USAGE}");
             std::process::exit(2);
         }
     }

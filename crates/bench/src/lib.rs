@@ -7,4 +7,5 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod lint;
 pub mod tables;

@@ -1,0 +1,108 @@
+//! `repro lint`: runs the `threadlint` static analyzer over the
+//! workspace's own sources and cross-checks the self-census against the
+//! hand-transcribed `core::inventory` catalog.
+//!
+//! This is the paper's Table-4 methodology turned back on the
+//! reproduction itself: the same static sweep the authors ran over
+//! 2.5 MLoC of Mesa, here over the crates that model it, plus the
+//! §5.3/§5.4/§2.6 discipline lints Mesa's compiler would have enforced.
+
+use threadlint::{analyze_workspace, workspace_root, Lint};
+
+/// Runs the analyzer, prints the census and findings, optionally writes
+/// the JSON artifact, and returns `true` on failure (any unallowed
+/// finding, or a `modeled` inventory site with no real fork site).
+pub fn run(json_path: Option<&str>) -> bool {
+    let root = workspace_root();
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "FAIL lint: cannot scan workspace at {}: {e}",
+                root.display()
+            );
+            return true;
+        }
+    };
+    let mut failed = false;
+
+    println!("{}", threadlint::census_table(&analysis).to_text());
+    if analysis.findings.is_empty() {
+        println!("Discipline findings: none");
+    } else {
+        println!("{}", threadlint::findings_table(&analysis).to_text());
+    }
+    let unallowed: Vec<_> = analysis.unallowed().collect();
+    if !unallowed.is_empty() {
+        for f in &unallowed {
+            eprintln!(
+                "FAIL {} ({}) {}:{} {}",
+                f.lint,
+                f.lint.paper_section(),
+                f.file,
+                f.line,
+                f.message
+            );
+        }
+        failed = true;
+    }
+
+    // Every lint must still be *exercised* by the deliberate mistakes:
+    // an analyzer that stops firing is as wrong as one that over-fires.
+    for lint in Lint::ALL {
+        let fired = analysis
+            .findings_in("crates/paradigms/src/mistakes.rs")
+            .iter()
+            .any(|f| f.lint == lint);
+        if !fired {
+            eprintln!(
+                "FAIL lint self-test: {lint} found nothing in paradigms::mistakes — \
+                 the lint has gone blind"
+            );
+            failed = true;
+        }
+    }
+
+    // Census cross-check: every `modeled` site in the inventory must be
+    // traceable to a real fork call site in the workspace sources.
+    let modeled: Vec<String> = workloads::inventory::census()
+        .modeled_sites()
+        .map(|s| s.name.clone())
+        .collect();
+    let unmapped = threadlint::census_unmapped(&modeled, &analysis);
+    if unmapped.is_empty() {
+        println!(
+            "Census cross-check: all {} modeled inventory sites map to fork call sites",
+            modeled.len()
+        );
+    } else {
+        for name in &unmapped {
+            eprintln!("FAIL census: modeled inventory site {name:?} has no fork call site");
+        }
+        failed = true;
+    }
+
+    if let Some(path) = json_path {
+        let mut doc = threadlint::to_json(&analysis);
+        doc.push(
+            "census_cross_check",
+            trace::Json::obj([
+                ("modeled_sites", trace::Json::from(modeled.len())),
+                ("unmapped", trace::Json::from(unmapped.clone())),
+            ]),
+        );
+        std::fs::write(path, doc.pretty()).expect("write lint json");
+        eprintln!("wrote {path}");
+    }
+
+    let allowed = analysis.findings.len() - unallowed.len();
+    println!(
+        "threadlint: {} files, {} primitive sites, {} findings ({} allowed, {} unallowed)",
+        analysis.files.len(),
+        analysis.sites.len(),
+        analysis.findings.len(),
+        allowed,
+        unallowed.len()
+    );
+    failed
+}

@@ -1,0 +1,51 @@
+//! Black-box tests of the `repro` binary's argument handling.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_command_prints_usage_and_exits_nonzero() {
+    let out = repro()
+        .arg("no-such-command")
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2), "exit code: {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown command: no-such-command"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("usage: repro"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    for arg in ["help", "--help", "-h"] {
+        let out = repro().arg(arg).output().expect("spawn repro");
+        assert!(out.status.success(), "{arg}: {:?}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage: repro"), "{arg}: {stdout}");
+        assert!(stdout.contains("lint"), "{arg}: {stdout}");
+    }
+}
+
+#[test]
+fn lint_subcommand_is_clean_and_writes_json() {
+    let json = std::env::temp_dir().join(format!("threadlint-{}.json", std::process::id()));
+    let out = repro()
+        .args(["lint", "--json"])
+        .arg(&json)
+        .output()
+        .expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("self-census"), "{stdout}");
+    assert!(stdout.contains("0 unallowed"), "{stdout}");
+    let doc = std::fs::read_to_string(&json).expect("json artifact");
+    std::fs::remove_file(&json).ok();
+    assert!(doc.contains("\"ok\": true"), "{doc:.>200}");
+}

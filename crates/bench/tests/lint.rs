@@ -1,0 +1,41 @@
+//! The census cross-check as a test: the hand-transcribed inventory
+//! and the static self-census must agree, and the workspace must be
+//! lint-clean. (threadlint's own `selfcheck` suite covers the lints in
+//! isolation; this suite closes the loop against `core::inventory`.)
+
+use threadlint::{analyze_workspace, workspace_root};
+
+#[test]
+fn modeled_inventory_sites_all_map_to_fork_call_sites() {
+    let analysis = analyze_workspace(&workspace_root()).expect("workspace scan");
+    let census = workloads::inventory::census();
+    let modeled: Vec<String> = census.modeled_sites().map(|s| s.name.clone()).collect();
+    assert!(
+        !modeled.is_empty(),
+        "inventory claims no modeled sites at all"
+    );
+    let unmapped = threadlint::census_unmapped(&modeled, &analysis);
+    assert!(
+        unmapped.is_empty(),
+        "modeled inventory sites with no fork call site: {unmapped:?}"
+    );
+}
+
+#[test]
+fn lint_run_reports_success() {
+    // The full CLI path, minus the process boundary: census, lints,
+    // self-test, cross-check. `false` means "nothing failed".
+    assert!(!bench::lint::run(None));
+}
+
+#[test]
+fn lint_json_artifact_is_well_formed() {
+    let analysis = analyze_workspace(&workspace_root()).expect("workspace scan");
+    let doc = threadlint::to_json(&analysis).to_string();
+    assert!(doc.contains("\"tool\":\"threadlint\""), "{doc:.>120}");
+    assert!(doc.contains("\"ok\":true"), "workspace should be clean");
+    // Every deliberate-mistake lint shows up in the export.
+    for lint in threadlint::Lint::ALL {
+        assert!(doc.contains(lint.name()), "missing {lint} in JSON export");
+    }
+}

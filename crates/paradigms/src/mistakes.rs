@@ -11,7 +11,17 @@
 //!    for missing NOTIFYs (bugs), instead of fixing the underlying
 //!    problem. ... the system can become timeout driven — it apparently
 //!    works correctly but slowly." [`LossyNotifyQueue`] is a queue whose
-//!    producer drops a configurable fraction of its NOTIFYs.
+//!    producer drops a configurable fraction of its NOTIFYs;
+//!    [`PolledFlag`] is the end state, a CV nobody notifies at all.
+//!
+//! The module also hosts the rest of the deliberate-mistake menagerie
+//! that `threadlint` (the static analyzer) must catch: a naked NOTIFY
+//! ([`drive_by_notify`], §5.3), a discarded FORK result
+//! ([`fire_and_forget_fork`], §5.4), and an ABBA lock-order cycle
+//! ([`transfer_ab`]/[`transfer_ba`], §2.6). Every site carries a
+//! `// threadlint: allow(…)` annotation: the analyzer still reports
+//! them (its self-test demands one finding per lint here) but they do
+//! not fail the build.
 
 use pcr::{Condition, Monitor, MonitorGuard, ThreadCtx, WaitOutcome};
 
@@ -28,9 +38,94 @@ pub fn wait_if<T: Send + 'static>(
     pred: impl Fn(&T) -> bool,
 ) -> bool {
     if !guard.with(&pred) {
+        // threadlint: allow(wait-not-in-loop)
         let _ = guard.wait(cv);
     }
     guard.with(&pred)
+}
+
+/// The §5.3 "naked NOTIFY": the wakeup is issued through a transient
+/// guard, outside the critical section that established the predicate.
+/// A waiter scheduled between the state change and this NOTIFY (or the
+/// reverse) can miss its wakeup entirely — the runtime's
+/// [`pcr::HazardMonitor`] flags the dynamic form; `threadlint` flags
+/// this static form.
+pub fn drive_by_notify<T: Send + 'static>(ctx: &ThreadCtx, m: &Monitor<T>, cv: &Condition) {
+    // threadlint: allow(naked-notify)
+    ctx.enter(m).notify(cv);
+}
+
+/// The §5.4 mistake: FORK's result dropped on the floor. If the fork
+/// fails (address-space exhaustion in the paper; injected
+/// [`pcr::ChaosConfig::fail_forks`] here) nothing notices, and on
+/// success nobody ever joins the child.
+pub fn fire_and_forget_fork(ctx: &ThreadCtx, name: &str, work: pcr::SimDuration) {
+    // threadlint: allow(fork-result-discarded)
+    let _ = ctx.fork(name, move |ctx| ctx.work(work));
+}
+
+/// The end state of §5.3's timeout abuse: a flag whose watcher has a
+/// timeout but whose setter never NOTIFYs, so the watcher makes
+/// progress only when the timeout fires. "The system can become timeout
+/// driven — it apparently works correctly but slowly."
+#[derive(Clone)]
+pub struct PolledFlag {
+    monitor: Monitor<bool>,
+    tick_never_notified: Condition,
+}
+
+impl PolledFlag {
+    /// Creates the flag; `period` is the watcher's polling timeout.
+    pub fn new(ctx: &ThreadCtx, name: &str, period: pcr::SimDuration) -> Self {
+        let monitor = ctx.new_monitor(name, false);
+        let tick_never_notified =
+            ctx.new_condition(&monitor, &format!("{name}.tick"), Some(period));
+        PolledFlag {
+            monitor,
+            tick_never_notified,
+        }
+    }
+
+    /// Sets the flag — and "forgets" the NOTIFY. That is the bug.
+    pub fn set(&self, ctx: &ThreadCtx) {
+        let mut g = ctx.enter(&self.monitor);
+        g.with_mut(|v| *v = true);
+    }
+
+    /// Waits until the flag is set; returns how many timeout laps the
+    /// wait needed (always ≥ 1 once the setter runs after us).
+    pub fn await_set(&self, ctx: &ThreadCtx) -> u64 {
+        let mut laps = 0;
+        let mut g = ctx.enter(&self.monitor);
+        loop {
+            if g.with(|v| *v) {
+                return laps;
+            }
+            // threadlint: allow(timeout-no-notify)
+            let _ = g.wait(&self.tick_never_notified);
+            laps += 1;
+        }
+    }
+}
+
+/// One half of §2.6's ABBA deadlock: acquires `a`, then `b`.
+/// Run concurrently with [`transfer_ba`] and the system can deadlock;
+/// the static acquisition-order graph has the cycle either way.
+pub fn transfer_ab(ctx: &ThreadCtx, a: &Monitor<u64>, b: &Monitor<u64>, amount: u64) {
+    let mut ga = ctx.enter(a);
+    // threadlint: allow(lock-order-cycle)
+    let mut gb = ctx.enter(b);
+    ga.with_mut(|v| *v -= amount);
+    gb.with_mut(|v| *v += amount);
+}
+
+/// The other half of §2.6's ABBA deadlock: acquires `b`, then `a`.
+pub fn transfer_ba(ctx: &ThreadCtx, a: &Monitor<u64>, b: &Monitor<u64>, amount: u64) {
+    let mut gb = ctx.enter(b);
+    // threadlint: allow(lock-order-cycle)
+    let mut ga = ctx.enter(a);
+    gb.with_mut(|v| *v -= amount);
+    ga.with_mut(|v| *v += amount);
 }
 
 /// A bounded queue whose producer "forgets" its NOTIFY every
@@ -203,39 +298,43 @@ mod tests {
     /// All NOTIFYs dropped: the system still "works", clocked entirely by
     /// the CV timeout — correct but slow (per-item latency jumps from
     /// microseconds to tens of milliseconds).
+    /// Drives a [`LossyNotifyQueue`] through ten puts at a 60 ms cadence
+    /// with a 50 ms consumer timeout; returns (mean put-to-take latency,
+    /// total timed-out waits).
+    fn run_lossy(drop_every: u64) -> (pcr::SimDuration, u64) {
+        let mut sim = Sim::new(SimConfig::default());
+        let h = sim.fork_root("driver", Priority::of(4), move |ctx| {
+            // Items carry their put time so the consumer can measure
+            // put-to-take latency.
+            let q: LossyNotifyQueue<pcr::SimTime> =
+                LossyNotifyQueue::new(ctx, "lossy", drop_every, Some(millis(50)));
+            let qc = q.clone();
+            let consumer = ctx
+                .fork_prio("consumer", Priority::of(5), move |ctx| {
+                    let mut timeouts = 0;
+                    let mut latency = pcr::SimDuration::ZERO;
+                    for _ in 0..10 {
+                        let (put_at, t) = qc.take(ctx);
+                        latency += ctx.now().saturating_since(put_at);
+                        timeouts += t;
+                    }
+                    (latency / 10, timeouts)
+                })
+                .unwrap();
+            for _ in 0..10 {
+                ctx.sleep_precise(millis(60));
+                q.put(ctx, ctx.now());
+            }
+            ctx.join(consumer).unwrap()
+        });
+        sim.run(RunLimit::For(secs(10)));
+        h.into_result().unwrap().unwrap()
+    }
+
     #[test]
     fn timeout_masked_queue_works_slowly() {
-        let run = |drop_every: u64| -> (pcr::SimDuration, u64) {
-            let mut sim = Sim::new(SimConfig::default());
-            let h = sim.fork_root("driver", Priority::of(4), move |ctx| {
-                // Items carry their put time so the consumer can measure
-                // put-to-take latency.
-                let q: LossyNotifyQueue<pcr::SimTime> =
-                    LossyNotifyQueue::new(ctx, "lossy", drop_every, Some(millis(50)));
-                let qc = q.clone();
-                let consumer = ctx
-                    .fork_prio("consumer", Priority::of(5), move |ctx| {
-                        let mut timeouts = 0;
-                        let mut latency = pcr::SimDuration::ZERO;
-                        for _ in 0..10 {
-                            let (put_at, t) = qc.take(ctx);
-                            latency += ctx.now().saturating_since(put_at);
-                            timeouts += t;
-                        }
-                        (latency / 10, timeouts)
-                    })
-                    .unwrap();
-                for _ in 0..10 {
-                    ctx.sleep_precise(millis(60));
-                    q.put(ctx, ctx.now());
-                }
-                ctx.join(consumer).unwrap()
-            });
-            sim.run(RunLimit::For(secs(10)));
-            h.into_result().unwrap().unwrap()
-        };
-        let (healthy_latency, _healthy_timeouts) = run(0);
-        let (buggy_latency, buggy_timeouts) = run(1);
+        let (healthy_latency, _healthy_timeouts) = run_lossy(0);
+        let (buggy_latency, buggy_timeouts) = run_lossy(1);
         // Note timeouts also occur in the healthy system — waits simply
         // outlasting a quiet queue (the paper measures 48-82% of waits
         // timing out in normal operation). The discriminator is latency.
@@ -249,6 +348,86 @@ mod tests {
         assert!(
             buggy_latency >= millis(10),
             "buggy latency {buggy_latency} should be timeout-scale"
+        );
+    }
+
+    /// At `drop_every = 2` half the NOTIFYs vanish: progress for those
+    /// items is timeout-driven, and the degradation sits strictly
+    /// between the healthy and fully-lossy systems.
+    #[test]
+    fn half_lossy_queue_degrades_proportionally() {
+        let (healthy_latency, _) = run_lossy(0);
+        let (half_latency, half_timeouts) = run_lossy(2);
+        let (dead_latency, dead_timeouts) = run_lossy(1);
+        // Every second put arrives notify-less, so the consumer rides
+        // its timeout for those items.
+        assert!(half_timeouts >= 3, "timeouts: {half_timeouts}");
+        assert!(
+            half_timeouts <= dead_timeouts,
+            "half ({half_timeouts}) cannot out-timeout fully lossy ({dead_timeouts})"
+        );
+        assert!(
+            half_latency > healthy_latency && half_latency >= millis(5),
+            "half-lossy latency {half_latency} should exceed healthy {healthy_latency}"
+        );
+        assert!(
+            half_latency <= dead_latency,
+            "half-lossy {half_latency} cannot be slower than fully lossy {dead_latency}"
+        );
+    }
+
+    /// Under injected spurious wakeups (`pcr::chaos`), [`wait_if`]
+    /// returns with a false predicate even with *no* other thread
+    /// touching the monitor — the precise failure mode that makes the
+    /// `WHILE` convention mandatory on Mesa semantics.
+    #[test]
+    fn spurious_wakeup_exposes_if_wait() {
+        let cfg = SimConfig::default().with_chaos(pcr::ChaosConfig::none().spurious_wakeups(1.0));
+        let mut sim = Sim::new(cfg);
+        let m: Monitor<Vec<u32>> = sim.monitor("q", Vec::new());
+        let cv = sim.condition(&m, "nonempty", None);
+        let h = sim.fork_root("victim", Priority::of(5), move |ctx| {
+            let mut g = ctx.enter(&m);
+            wait_if(&mut g, &cv, |q| !q.is_empty())
+        });
+        let r = sim.run(RunLimit::For(secs(2)));
+        assert_eq!(r.reason, StopReason::AllExited);
+        // No producer exists: the only wakeup was chaos-injected, and
+        // the IF-based wait proceeded on a false predicate.
+        assert!(
+            !h.into_result().unwrap().unwrap(),
+            "wait_if must report the predicate false after a spurious wakeup"
+        );
+        assert!(sim.stats().chaos_spurious_wakeups >= 1);
+    }
+
+    /// [`PolledFlag`]: the watcher only advances when its timeout
+    /// fires, so observing the flag takes at least one full period.
+    #[test]
+    fn polled_flag_progress_is_timeout_paced() {
+        let mut sim = Sim::new(SimConfig::default());
+        let h = sim.fork_root("driver", Priority::of(4), move |ctx| {
+            let flag = PolledFlag::new(ctx, "polled", millis(40));
+            let fc = flag.clone();
+            let watcher = ctx
+                .fork_prio("watcher", Priority::of(5), move |ctx| {
+                    let start = ctx.now();
+                    let laps = fc.await_set(ctx);
+                    (laps, ctx.now().saturating_since(start))
+                })
+                .unwrap();
+            ctx.sleep_precise(millis(5));
+            flag.set(ctx); // No NOTIFY happens here — that is the bug.
+            ctx.join(watcher).unwrap()
+        });
+        sim.run(RunLimit::For(secs(2)));
+        let (laps, waited) = h.into_result().unwrap().unwrap();
+        assert!(laps >= 1, "watcher should have ridden the timeout");
+        // The flag was set 5 ms in, but the watcher only noticed at the
+        // next 40 ms timeout lap.
+        assert!(
+            waited >= millis(40),
+            "timeout-paced detection, waited {waited}"
         );
     }
 }

@@ -41,7 +41,9 @@ fn recursive_monitor_entry_panics_the_thread_not_the_sim() {
     let m = s.monitor("m", ());
     let h = s.fork_root("recursive", Priority::DEFAULT, move |ctx| {
         let _g1 = ctx.enter(&m);
-        let _g2 = ctx.enter(&m); // Mesa monitors are not re-entrant.
+        // Mesa monitors are not re-entrant; this provokes the fault on
+        // purpose. threadlint: allow(lock-order-cycle)
+        let _g2 = ctx.enter(&m);
     });
     let _ = s.fork_root("bystander", Priority::DEFAULT, |ctx| ctx.work(millis(1)));
     let r = s.run(RunLimit::For(secs(2)));

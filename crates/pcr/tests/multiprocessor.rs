@@ -101,6 +101,8 @@ fn recursive_enter_faults_the_thread_only() {
     let m = s.monitor("m", ());
     let h = s.fork_root("recursive", Priority::DEFAULT, move |ctx| {
         let _a = ctx.enter(&m);
+        // Deliberate re-entry: the runtime must fault only this thread.
+        // threadlint: allow(lock-order-cycle)
         let _b = ctx.enter(&m);
     });
     let _ = s.fork_root("bystander", Priority::DEFAULT, |ctx| ctx.work(millis(5)));

@@ -1,0 +1,356 @@
+//! A lightweight Rust lexer: comment and literal stripping.
+//!
+//! The analyzer works on a *cleaned* copy of each source file in which
+//! comments, string/char literals, and raw strings are blanked out with
+//! spaces. Blanking (rather than deleting) keeps every byte offset and
+//! line number identical to the original file, so later passes can scan
+//! with naive substring searches and still report exact locations.
+//!
+//! Two things are preserved on the side: the string literals themselves
+//! (the census needs fork-site name literals) and `threadlint:
+//! allow(...)` annotations found in comments (the allowlist mechanism).
+
+/// One string literal from the original source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrLit {
+    /// Byte offset of the opening quote.
+    pub offset: usize,
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// The literal's content (escapes left as written).
+    pub value: String,
+}
+
+/// One `// threadlint: allow(lint-a, lint-b)` annotation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the annotation appears on. An annotation covers
+    /// findings on its own line and on the following line, so it can
+    /// trail the offending statement or sit on the line above it.
+    pub line: usize,
+    /// The allowed lint names, as written.
+    pub lints: Vec<String>,
+}
+
+/// A source file after comment/literal stripping.
+#[derive(Clone, Debug, Default)]
+pub struct CleanSource {
+    /// The cleaned text: same length as the input, with comments and
+    /// literal bodies replaced by spaces (newlines kept).
+    pub text: String,
+    /// Every string literal, in order of appearance.
+    pub strings: Vec<StrLit>,
+    /// Every allowlist annotation.
+    pub allows: Vec<Allow>,
+}
+
+impl CleanSource {
+    /// 1-based line number of a byte offset in the cleaned text.
+    pub fn line_of(&self, offset: usize) -> usize {
+        1 + self.text.as_bytes()[..offset.min(self.text.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+
+    /// True if `lint` is allowed on `line` (annotation on the same line
+    /// or the line above).
+    pub fn is_allowed(&self, lint: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| (a.line == line || a.line + 1 == line) && a.lints.iter().any(|l| l == lint))
+    }
+}
+
+/// Parses lint names out of a comment body if it carries an annotation.
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let idx = comment.find("threadlint:")?;
+    let rest = comment[idx + "threadlint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    Some(
+        rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+    )
+}
+
+/// Strips comments and literals from Rust source.
+///
+/// Handles line comments, (nested) block comments, string literals with
+/// escapes, raw strings `r#"…"#`, byte strings, and char literals
+/// (disambiguated from lifetimes). This is a lexer, not a parser: it
+/// only needs to be right about where code stops and text begins.
+pub fn clean(src: &str) -> CleanSource {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut strings = Vec::new();
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Keep newlines everywhere so offsets/lines survive blanking.
+    macro_rules! blank_advance {
+        ($n:expr) => {{
+            for k in i..(i + $n).min(b.len()) {
+                if b[k] == b'\n' {
+                    out[k] = b'\n';
+                    line += 1;
+                }
+            }
+            i += $n;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map(|k| i + k).unwrap_or(b.len());
+                if let Some(lints) = parse_allow(&src[i..end]) {
+                    allows.push(Allow { line, lints });
+                }
+                blank_advance!(end - i);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comments, per Rust.
+                let start = i;
+                let mut depth = 0usize;
+                let mut j = i;
+                while j < b.len() {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        j += 1;
+                    }
+                }
+                if let Some(lints) = parse_allow(&src[start..j.min(b.len())]) {
+                    allows.push(Allow { line, lints });
+                }
+                blank_advance!(j - i);
+            }
+            b'"' => {
+                let (value, len) = scan_string(&src[i..]);
+                strings.push(StrLit {
+                    offset: i,
+                    line,
+                    value,
+                });
+                blank_advance!(len);
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let (skip, value, len) = scan_raw_or_byte(&src[i..]);
+                // Keep the prefix (`r`, `b`, hashes) blanked too.
+                strings.push(StrLit {
+                    offset: i + skip,
+                    line,
+                    value,
+                });
+                blank_advance!(len);
+            }
+            b'\'' => {
+                let len = scan_char_or_lifetime(b, i);
+                if len > 1 {
+                    blank_advance!(len);
+                } else {
+                    // A lifetime tick: copy it through.
+                    out[i] = c;
+                    i += 1;
+                }
+            }
+            _ => {
+                if c == b'\n' {
+                    line += 1;
+                }
+                // Skip the rest of a multi-byte UTF-8 scalar in one go so
+                // we never split a char (out already holds spaces there).
+                let width = utf8_width(c);
+                out[i] = if width == 1 { c } else { b' ' };
+                i += width.max(1);
+            }
+        }
+    }
+    CleanSource {
+        text: String::from_utf8(out).expect("blanked source is ASCII-compatible"),
+        strings,
+        allows,
+    }
+}
+
+fn utf8_width(b0: u8) -> usize {
+    match b0 {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Is `r"`, `r#"`, `b"`, `br"`, … at `i` the start of a literal (and not
+/// just an identifier ending in r/b)?
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // Must not be preceded by an identifier char.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == b'"' && j > i
+}
+
+/// Scans a plain string literal starting at a `"`. Returns (content,
+/// total length including quotes).
+fn scan_string(s: &str) -> (String, usize) {
+    let b = s.as_bytes();
+    let mut j = 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (s[1..j].to_string(), j + 1),
+            _ => j += utf8_width(b[j]),
+        }
+    }
+    (s[1..].to_string(), b.len())
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`. Returns (offset of the
+/// opening quote, content, total length).
+fn scan_raw_or_byte(s: &str) -> (usize, String, usize) {
+    let b = s.as_bytes();
+    let mut j = 0;
+    let mut raw = false;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(b[j] == b'"');
+    let quote = j;
+    j += 1;
+    if raw {
+        let closer: String = std::iter::once('"')
+            .chain("#".repeat(hashes).chars())
+            .collect();
+        if let Some(k) = s[j..].find(&closer) {
+            return (quote, s[j..j + k].to_string(), j + k + closer.len());
+        }
+        (quote, s[j..].to_string(), b.len())
+    } else {
+        let (v, len) = scan_string(&s[quote..]);
+        (quote, v, quote + len)
+    }
+}
+
+/// Length of a char literal at `'`, or 1 if this is a lifetime tick.
+fn scan_char_or_lifetime(b: &[u8], i: usize) -> usize {
+    if i + 1 >= b.len() {
+        return 1;
+    }
+    if b[i + 1] == b'\\' {
+        // Escape: scan to the closing quote.
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return j + 1 - i;
+    }
+    let w = utf8_width(b[i + 1]);
+    if i + 1 + w < b.len() && b[i + 1 + w] == b'\'' {
+        return w + 2; // 'x'
+    }
+    1 // lifetime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings_preserving_offsets() {
+        let src = "let a = \"fork(\"; // fork(\nwait();";
+        let c = clean(src);
+        assert_eq!(c.text.len(), src.len());
+        assert!(!c.text.contains("fork"), "{:?}", c.text);
+        assert!(c.text.contains("wait();"));
+        assert_eq!(c.strings.len(), 1);
+        assert_eq!(c.strings[0].value, "fork(");
+        assert_eq!(c.strings[0].line, 1);
+    }
+
+    #[test]
+    fn parses_allow_annotations() {
+        let src = "x(); // threadlint: allow(naked-notify, wait-not-in-loop)\ny();";
+        let c = clean(src);
+        assert_eq!(c.allows.len(), 1);
+        assert_eq!(c.allows[0].line, 1);
+        assert_eq!(c.allows[0].lints, vec!["naked-notify", "wait-not-in-loop"]);
+        assert!(c.is_allowed("naked-notify", 1));
+        assert!(c.is_allowed("naked-notify", 2)); // next line covered
+        assert!(!c.is_allowed("naked-notify", 3));
+        assert!(!c.is_allowed("fork-result-discarded", 1));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* a /* b */ c */ code(r#\"lit \" inside\"#) 'x' 'a";
+        let c = clean(src);
+        assert!(c.text.contains("code("));
+        assert!(!c.text.contains("inside"));
+        assert_eq!(c.strings[0].value, "lit \" inside");
+        // Lifetime tick survives; char literal is blanked.
+        assert!(c.text.contains('\''));
+        assert!(!c.text.contains("'x'"));
+    }
+
+    #[test]
+    fn char_escape_and_byte_strings() {
+        let src = "m('\\n'); b\"bytes\" r\"raw\"";
+        let c = clean(src);
+        assert!(!c.text.contains("\\n"));
+        assert_eq!(c.strings.len(), 2);
+        assert_eq!(c.strings[0].value, "bytes");
+        assert_eq!(c.strings[1].value, "raw");
+    }
+
+    #[test]
+    fn line_of_counts_newlines() {
+        let c = clean("a\nb\nc");
+        assert_eq!(c.line_of(0), 1);
+        assert_eq!(c.line_of(2), 2);
+        assert_eq!(c.line_of(4), 3);
+    }
+
+    #[test]
+    fn multibyte_chars_do_not_desync_offsets() {
+        let src = "let § = \"π\"; wait()";
+        let c = clean(src);
+        assert_eq!(c.text.len(), src.len());
+        assert!(c.text.contains("wait()"));
+        assert_eq!(c.strings[0].value, "π");
+    }
+}

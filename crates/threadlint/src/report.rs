@@ -1,0 +1,239 @@
+//! Report rendering: the Table-4-style self-census, the findings
+//! table, the JSON export, and the inventory cross-check.
+//!
+//! The paper's Table 4 classified ~650 fork sites found by a static
+//! sweep of 2.5 MLoC. Here the sweep runs over this workspace's own
+//! sources, and the cross-check closes the loop: every `modeled` site
+//! in the hand-transcribed `core::inventory` catalog must be traceable
+//! to a real fork call site in the code that claims to model it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use trace::{Json, Table};
+
+use crate::{Analysis, PrimKind};
+
+/// Renders the self-census as a Table-4-style per-crate table: one row
+/// per crate, one column per primitive kind, plus totals.
+pub fn census_table(a: &Analysis) -> Table {
+    let mut per_crate: BTreeMap<&str, BTreeMap<PrimKind, usize>> = BTreeMap::new();
+    for s in &a.sites {
+        *per_crate
+            .entry(s.krate.as_str())
+            .or_default()
+            .entry(s.kind)
+            .or_insert(0) += 1;
+    }
+    let mut headers = vec!["Crate"];
+    headers.extend(PrimKind::ALL.iter().map(|k| k.label()));
+    headers.push("Total");
+    let mut t = Table::new(
+        "Thread-primitive call sites by crate (self-census, cf. Table 4)",
+        &headers,
+    );
+    let mut totals: BTreeMap<PrimKind, usize> = BTreeMap::new();
+    for (krate, counts) in &per_crate {
+        let mut row = vec![krate.to_string()];
+        let mut sum = 0usize;
+        for k in PrimKind::ALL {
+            let n = counts.get(&k).copied().unwrap_or(0);
+            *totals.entry(k).or_insert(0) += n;
+            sum += n;
+            row.push(n.to_string());
+        }
+        row.push(sum.to_string());
+        t.row(row);
+    }
+    let mut row = vec!["total".to_string()];
+    let mut sum = 0usize;
+    for k in PrimKind::ALL {
+        let n = totals.get(&k).copied().unwrap_or(0);
+        sum += n;
+        row.push(n.to_string());
+    }
+    row.push(sum.to_string());
+    t.row(row);
+    t
+}
+
+/// Renders the findings as a table: lint, location, status, message.
+pub fn findings_table(a: &Analysis) -> Table {
+    let mut t = Table::new(
+        "Discipline findings",
+        &["Lint", "§", "Site", "Status", "Message"],
+    )
+    .with_aligns(&[trace::Align::Left; 5]);
+    for f in &a.findings {
+        t.row(vec![
+            f.lint.name().to_string(),
+            f.lint.paper_section().trim_start_matches('§').to_string(),
+            format!("{}:{}", f.file, f.line),
+            if f.allowed { "allowed" } else { "FAIL" }.to_string(),
+            f.message.clone(),
+        ]);
+    }
+    t
+}
+
+/// Exports the analysis as a JSON document: census sites, per-crate
+/// counts, findings, and summary totals — the machine-readable artifact
+/// `repro lint --json` writes and CI uploads.
+pub fn to_json(a: &Analysis) -> Json {
+    let sites = Json::arr(a.sites.iter().map(|s| {
+        Json::obj([
+            ("kind", Json::from(s.kind.label())),
+            ("callee", Json::from(s.callee.as_str())),
+            ("crate", Json::from(s.krate.as_str())),
+            ("file", Json::from(s.file.as_str())),
+            ("line", Json::from(s.line)),
+            ("name", Json::from(s.name_literal.clone())),
+        ])
+    }));
+    let findings = Json::arr(a.findings.iter().map(|f| {
+        Json::obj([
+            ("lint", Json::from(f.lint.name())),
+            ("section", Json::from(f.lint.paper_section())),
+            ("crate", Json::from(f.krate.as_str())),
+            ("file", Json::from(f.file.as_str())),
+            ("line", Json::from(f.line)),
+            ("allowed", Json::from(f.allowed)),
+            ("message", Json::from(f.message.as_str())),
+        ])
+    }));
+    let unallowed = a.unallowed().count();
+    Json::obj([
+        ("tool", Json::from("threadlint")),
+        ("files", Json::from(a.files.len())),
+        ("sites", sites),
+        ("findings", findings),
+        (
+            "summary",
+            Json::obj([
+                ("site_count", Json::from(a.sites.len())),
+                ("finding_count", Json::from(a.findings.len())),
+                ("unallowed_count", Json::from(unallowed)),
+                ("ok", Json::from(unallowed == 0)),
+            ]),
+        ),
+    ])
+}
+
+/// Cross-checks the hand-transcribed inventory against the census:
+/// returns every `modeled` site name that could **not** be traced to a
+/// real fork call site. A name maps when it appears as a string literal
+/// in a file that itself contains at least one FORK call site — this
+/// covers both direct `fork_prio("Cedar.X", …)` literals and sleeper
+/// specs whose names are forked indirectly through `SleeperBus`.
+pub fn census_unmapped(modeled: &[String], a: &Analysis) -> Vec<String> {
+    let fork_files: BTreeSet<&str> = a
+        .sites
+        .iter()
+        .filter(|s| s.kind == PrimKind::Fork)
+        .map(|s| s.file.as_str())
+        .collect();
+    let mut literals: BTreeSet<&str> = BTreeSet::new();
+    for f in &a.files {
+        if !fork_files.contains(f.path.as_str()) {
+            continue;
+        }
+        for s in &f.clean.strings {
+            literals.insert(s.value.as_str());
+        }
+    }
+    modeled
+        .iter()
+        .filter(|name| !literals.contains(name.as_str()))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_str, lints, Analysis};
+
+    fn analysis_of(files: Vec<(&str, &str, &str)>) -> Analysis {
+        let files: Vec<_> = files
+            .into_iter()
+            .map(|(k, p, s)| analyze_str(k, p, s))
+            .collect();
+        let sites = crate::collect_census(&files);
+        let findings = lints::run_all(&files);
+        Analysis {
+            files,
+            sites,
+            findings,
+        }
+    }
+
+    #[test]
+    fn census_table_counts_per_crate() {
+        let a = analysis_of(vec![
+            (
+                "w",
+                "crates/w/src/a.rs",
+                "fn f(ctx: &ThreadCtx) { let h = ctx.fork(\"W.A\", b); let g = ctx.enter(m); }",
+            ),
+            (
+                "x",
+                "crates/x/src/b.rs",
+                "fn f(g: &mut MonitorGuard<'_, u32>, cv: &Condition) { g.notify(cv); }",
+            ),
+        ]);
+        let t = census_table(&a);
+        let text = t.to_text();
+        assert!(text.contains("FORK"), "{text}");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.last().unwrap().starts_with("total"), "{text}");
+        assert_eq!(a.sites.len(), 3);
+    }
+
+    #[test]
+    fn json_summary_reflects_findings() {
+        let a = analysis_of(vec![(
+            "w",
+            "crates/w/src/a.rs",
+            "fn f(ctx: &ThreadCtx) { let _ = ctx.fork(n, b); }",
+        )]);
+        let j = to_json(&a).to_string();
+        assert!(j.contains("\"unallowed_count\":1"), "{j}");
+        assert!(j.contains("\"ok\":false"), "{j}");
+        assert!(j.contains("fork-result-discarded"), "{j}");
+    }
+
+    #[test]
+    fn unmapped_names_are_reported() {
+        let a = analysis_of(vec![(
+            "w",
+            "crates/w/src/a.rs",
+            "fn f(ctx: &ThreadCtx) { let h = ctx.fork(\"W.Real\", b); }",
+        )]);
+        let modeled = vec!["W.Real".to_string(), "W.Ghost".to_string()];
+        assert_eq!(census_unmapped(&modeled, &a), vec!["W.Ghost".to_string()]);
+    }
+
+    #[test]
+    fn literal_in_forkless_file_does_not_map() {
+        let a = analysis_of(vec![(
+            "w",
+            "crates/w/src/a.rs",
+            "fn f() { let s = \"W.NameOnly\"; }",
+        )]);
+        let modeled = vec!["W.NameOnly".to_string()];
+        assert_eq!(census_unmapped(&modeled, &a), modeled);
+    }
+
+    #[test]
+    fn findings_table_marks_status() {
+        let a = analysis_of(vec![(
+            "w",
+            "crates/w/src/a.rs",
+            "fn f(ctx: &ThreadCtx) {\n\
+             // threadlint: allow(fork-result-discarded)\n\
+             let _ = ctx.fork(n, b);\n}",
+        )]);
+        let text = findings_table(&a).to_text();
+        assert!(text.contains("allowed"), "{text}");
+        assert!(!text.contains("FAIL"), "{text}");
+    }
+}

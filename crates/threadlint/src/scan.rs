@@ -1,0 +1,651 @@
+//! Structural scan over a cleaned source file.
+//!
+//! A single forward pass over [`crate::lexer::CleanSource`] text
+//! recovers just enough structure for the lints: the brace-block tree
+//! (classified by controlling keyword — `if`, `loop`, closures, `fn`
+//! bodies, …), every call site with its argument text and receiver,
+//! every `let` statement, and the static extent of every
+//! `MonitorGuard` binding (a `let g = …enter(…)` until its block ends
+//! or `drop(g)`). No `syn`, no full parser: the workspace's own style
+//! (rustfmt-formatted, `#![forbid(unsafe_code)]`, no macros defining
+//! control flow) is regular enough for a lexical pass to be exact.
+
+use crate::lexer::CleanSource;
+
+/// What introduced a brace block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A `fn` body.
+    Fn,
+    /// A closure body (`|x| { … }`).
+    Closure,
+    /// An `if` or `else` arm.
+    If,
+    /// `loop { … }`.
+    Loop,
+    /// `while … { … }`.
+    While,
+    /// `for … { … }`.
+    For,
+    /// The body of a `match`.
+    Match,
+    /// Anything else: struct literals, bare blocks, `impl`/`mod` items.
+    Other,
+}
+
+impl BlockKind {
+    /// True for blocks that re-run their body — the re-check loops the
+    /// WAIT discipline requires.
+    pub fn is_loop(self) -> bool {
+        matches!(self, BlockKind::Loop | BlockKind::While | BlockKind::For)
+    }
+
+    /// True for blocks that start a new runtime activation: guard
+    /// scopes and loop context never propagate across these.
+    pub fn is_body(self) -> bool {
+        matches!(self, BlockKind::Fn | BlockKind::Closure)
+    }
+}
+
+/// One brace block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Byte offset of the `{`.
+    pub start: usize,
+    /// Byte offset of the matching `}` (or text end if unterminated).
+    pub end: usize,
+    /// Classification.
+    pub kind: BlockKind,
+    /// For `Fn` blocks: the `fn` keyword offset, so the signature text
+    /// is `text[sig..start]`.
+    pub sig: Option<usize>,
+}
+
+/// One call site: `callee(args)` with optional `receiver.` before it.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// The called identifier (method or function name).
+    pub callee: String,
+    /// Byte offset of the callee identifier.
+    pub off: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// Offset just after the opening `(`.
+    pub args_start: usize,
+    /// Offset of the closing `)`.
+    pub args_end: usize,
+    /// Receiver expression text (`g`, `ctx.enter(&m)`, `Monitor`), if
+    /// the call had a `.` or `::` receiver.
+    pub receiver: Option<String>,
+    /// True when this is a `fn` definition header, not a call.
+    pub is_def: bool,
+}
+
+/// One `let` statement (excluding `if let` / `while let` patterns).
+#[derive(Clone, Debug)]
+pub struct LetStmt {
+    /// Offset of the `let` keyword.
+    pub off: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// Pattern text between `let` and `=` (e.g. `mut g`, `_`, `(a, b)`).
+    pub pat: String,
+    /// Offsets of the right-hand side: after `=` up to the `;`.
+    pub rhs: (usize, usize),
+}
+
+/// The static extent of one monitor-guard binding.
+#[derive(Clone, Debug)]
+pub struct GuardScope {
+    /// The bound variable (`g` in `let mut g = ctx.enter(&m);`).
+    pub var: String,
+    /// Normalized text of the monitor argument to `enter(…)`.
+    pub monitor: String,
+    /// Line of the binding.
+    pub line: usize,
+    /// Extent: from the end of the binding statement to the end of the
+    /// enclosing block (or an explicit `drop(var)`).
+    pub start: usize,
+    /// End of the extent.
+    pub end: usize,
+    /// Index of the innermost `Fn`/`Closure` block containing the
+    /// binding, if any — guard scopes never cross these.
+    pub body: Option<usize>,
+}
+
+/// Scan result for one file.
+#[derive(Clone, Debug, Default)]
+pub struct Scan {
+    /// All brace blocks, in order of their `{`.
+    pub blocks: Vec<Block>,
+    /// All call sites, in source order.
+    pub calls: Vec<Call>,
+    /// All `let` statements.
+    pub lets: Vec<LetStmt>,
+    /// All monitor-guard extents.
+    pub guards: Vec<GuardScope>,
+}
+
+impl Scan {
+    /// Indices of blocks containing `off`, outermost first.
+    pub fn ancestors(&self, off: usize) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.start < off && off < b.end)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Innermost `Fn`/`Closure` block containing `off`.
+    pub fn body_of(&self, off: usize) -> Option<usize> {
+        self.ancestors(off)
+            .into_iter()
+            .rev()
+            .find(|&i| self.blocks[i].kind.is_body())
+    }
+
+    /// Guard scopes live at `off` within the same activation body.
+    pub fn guards_at(&self, off: usize) -> Vec<&GuardScope> {
+        let body = self.body_of(off);
+        self.guards
+            .iter()
+            .filter(|g| g.start < off && off < g.end && g.body == body)
+            .collect()
+    }
+}
+
+/// Normalizes a monitor/CV argument expression to a comparable name:
+/// strips borrows, `mut`, a leading `self.`, trailing `.clone()` and
+/// whitespace. `&self.monitor` → `monitor`, `&m` → `m`.
+pub fn normalize_arg(arg: &str) -> String {
+    let mut s = arg.trim();
+    while let Some(rest) = s.strip_prefix('&') {
+        s = rest.trim_start();
+    }
+    if let Some(rest) = s.strip_prefix("mut ") {
+        s = rest.trim_start();
+    }
+    if let Some(rest) = s.strip_prefix("self.") {
+        s = rest;
+    }
+    let mut out = s.to_string();
+    while let Some(stripped) = out.strip_suffix(".clone()") {
+        out = stripped.to_string();
+    }
+    out.trim().to_string()
+}
+
+/// Last path segment of a normalized argument: `bus.slots` → `slots`.
+pub fn last_segment(arg: &str) -> String {
+    let n = normalize_arg(arg);
+    n.rsplit(['.', ':']).next().unwrap_or(&n).trim().to_string()
+}
+
+/// Splits argument text at top-level commas (tracking `()[]{}` depth).
+pub fn split_args(args: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in args.chars() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "loop", "while", "for", "match", "fn", "impl", "trait", "struct", "enum",
+    "union", "mod",
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Runs the structural scan over a cleaned file.
+pub fn scan(clean: &CleanSource) -> Scan {
+    let text = clean.text.as_bytes();
+    let mut out = Scan::default();
+    let mut stack: Vec<usize> = Vec::new(); // indices into out.blocks
+    let mut pending: Option<(&'static str, usize)> = None; // (keyword, offset)
+
+    let mut i = 0usize;
+    while i < text.len() {
+        let c = text[i];
+        if is_ident_byte(c) && (i == 0 || !is_ident_byte(text[i - 1])) {
+            let start = i;
+            while i < text.len() && is_ident_byte(text[i]) {
+                i += 1;
+            }
+            let word = &clean.text[start..i];
+            if let Some(&kw) = KEYWORDS.iter().find(|&&k| k == word) {
+                // `impl … for … {` / `trait … for` keep their item kind.
+                let keep = matches!(pending, Some(("impl" | "trait", _))) && kw == "for";
+                if !keep {
+                    pending = Some((kw, start));
+                }
+            } else {
+                // A call site: identifier directly followed by `(`.
+                let mut j = i;
+                while j < text.len() && (text[j] == b' ' || text[j] == b'\n') {
+                    j += 1;
+                }
+                if j < text.len() && text[j] == b'(' {
+                    let (args_start, args_end) = balanced(text, j);
+                    let receiver = receiver_before(&clean.text, start);
+                    let is_def = def_before(&clean.text, start, receiver.is_some());
+                    out.calls.push(Call {
+                        callee: word.to_string(),
+                        off: start,
+                        line: clean.line_of(start),
+                        args_start,
+                        args_end,
+                        receiver,
+                        is_def,
+                    });
+                }
+                // A `let` statement: parse pattern and rhs extent.
+                if word == "let" && !preceded_by_if_or_while(&clean.text, start) {
+                    if let Some(stmt) = parse_let(&clean.text, start, clean) {
+                        out.lets.push(stmt);
+                    }
+                }
+            }
+            continue;
+        }
+        match c {
+            b'{' => {
+                let kind = classify_block(&clean.text, i, &pending);
+                let sig = match (&pending, kind) {
+                    (Some(("fn", off)), BlockKind::Fn) => Some(*off),
+                    _ => None,
+                };
+                out.blocks.push(Block {
+                    start: i,
+                    end: clean.text.len(),
+                    kind,
+                    sig,
+                });
+                stack.push(out.blocks.len() - 1);
+                pending = None;
+            }
+            b'}' => {
+                if let Some(idx) = stack.pop() {
+                    out.blocks[idx].end = i;
+                }
+                pending = None;
+            }
+            b';' => pending = None,
+            _ => {}
+        }
+        i += 1;
+    }
+
+    collect_guards(clean, &mut out);
+    out
+}
+
+/// Finds the balanced argument span for a `(` at `open`; returns
+/// (just after `(`, offset of matching `)`).
+fn balanced(text: &[u8], open: usize) -> (usize, usize) {
+    let mut depth = 0i32;
+    for (k, &b) in text.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return (open + 1, k);
+                }
+            }
+            _ => {}
+        }
+    }
+    (open + 1, text.len())
+}
+
+/// Classifies the block opened by `{` at `off`.
+fn classify_block(text: &str, off: usize, pending: &Option<(&'static str, usize)>) -> BlockKind {
+    // Closure body: `|…| {` or `move |…| {` — the last non-space char
+    // before the brace is the closing pipe of a parameter list.
+    let before = text[..off].trim_end();
+    if before.ends_with('|') {
+        return BlockKind::Closure;
+    }
+    match pending {
+        Some(("fn", _)) => BlockKind::Fn,
+        Some(("if" | "else", _)) => BlockKind::If,
+        Some(("loop", _)) => BlockKind::Loop,
+        Some(("while", _)) => BlockKind::While,
+        Some(("for", _)) => BlockKind::For,
+        Some(("match", _)) => BlockKind::Match,
+        _ => BlockKind::Other,
+    }
+}
+
+/// Extracts the receiver expression ending just before `ident_start`
+/// (which must follow a `.` or `::`). Walks back over path segments and
+/// balanced call/index groups: `ctx.enter(&m)` for `….notify(`.
+fn receiver_before(text: &str, ident_start: usize) -> Option<String> {
+    let b = text.as_bytes();
+    let mut i = ident_start;
+    // Must be preceded by `.` or `::`.
+    let sep = if i >= 1 && b[i - 1] == b'.' {
+        1
+    } else if i >= 2 && b[i - 1] == b':' && b[i - 2] == b':' {
+        2
+    } else {
+        return None;
+    };
+    i -= sep;
+    let end = i;
+    loop {
+        if i == 0 {
+            break;
+        }
+        let c = b[i - 1];
+        if is_ident_byte(c) {
+            i -= 1;
+        } else if c == b')' || c == b']' {
+            // Skip a balanced group backwards.
+            let (open, close) = if c == b')' {
+                (b'(', b')')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 0i32;
+            let mut j = i;
+            while j > 0 {
+                let d = b[j - 1];
+                if d == close {
+                    depth += 1;
+                } else if d == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        j -= 1;
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            // Include a `&` borrows inside; keep walking from before the
+            // group.
+            i = j;
+        } else if c == b'.' {
+            i -= 1;
+        } else if c == b':' && i >= 2 && b[i - 2] == b':' {
+            i -= 2;
+        } else {
+            break;
+        }
+    }
+    let recv = text[i..end].trim();
+    (!recv.is_empty()).then(|| recv.to_string())
+}
+
+/// True when `ident_start` names a `fn` being *defined* rather than
+/// called: the previous token is `fn`.
+fn def_before(text: &str, ident_start: usize, has_receiver: bool) -> bool {
+    if has_receiver {
+        return false;
+    }
+    let before = text[..ident_start].trim_end();
+    before.ends_with("fn")
+        && before[..before.len() - 2]
+            .chars()
+            .next_back()
+            .map(|c| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(true)
+}
+
+/// True when the `let` at `off` belongs to `if let` / `while let` /
+/// `else if let` — those have no `;`-terminated statement shape.
+fn preceded_by_if_or_while(text: &str, off: usize) -> bool {
+    let before = text[..off].trim_end();
+    before.ends_with("if") || before.ends_with("while")
+}
+
+/// Parses `let [mut] PAT = RHS ;` starting at the `let` keyword.
+fn parse_let(text: &str, off: usize, clean: &CleanSource) -> Option<LetStmt> {
+    let b = text.as_bytes();
+    let mut i = off + 3;
+    // Pattern: up to a top-level `=` (but not `==` / `=>`).
+    let pat_start = i;
+    let mut depth = 0i32;
+    let eq = loop {
+        if i >= b.len() {
+            return None;
+        }
+        match b[i] {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' | b'>' => depth -= 1,
+            b'=' if depth <= 0 => {
+                if i + 1 < b.len() && (b[i + 1] == b'=' || b[i + 1] == b'>') {
+                    i += 2;
+                    continue;
+                }
+                break i;
+            }
+            b';' | b'{' => return None, // `let … else`, or no initializer
+            _ => {}
+        }
+        i += 1;
+    };
+    let pat = text[pat_start..eq].trim().to_string();
+    // RHS: to the `;` at this statement's depth.
+    let mut i = eq + 1;
+    let rhs_start = i;
+    let mut depth = 0i32;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return None; // block ended before `;`
+                }
+            }
+            b';' if depth == 0 => {
+                return Some(LetStmt {
+                    off,
+                    line: clean.line_of(off),
+                    pat,
+                    rhs: (rhs_start, i),
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Derives monitor-guard extents from the lets + calls.
+fn collect_guards(clean: &CleanSource, out: &mut Scan) {
+    let mut guards = Vec::new();
+    for l in &out.lets {
+        let rhs = &clean.text[l.rhs.0..l.rhs.1];
+        // Direct acquisitions only: a block or closure in the RHS means
+        // the guard (if any) lives and dies inside the RHS.
+        if rhs.contains('{') || rhs.contains('|') {
+            continue;
+        }
+        let Some(enter) = out
+            .calls
+            .iter()
+            .find(|c| c.callee == "enter" && !c.is_def && c.off >= l.rhs.0 && c.off < l.rhs.1)
+        else {
+            continue;
+        };
+        let var = l.pat.trim_start_matches("mut ").trim().to_string();
+        if !var.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            continue; // destructuring — not a guard binding
+        }
+        let args = split_args(&clean.text[enter.args_start..enter.args_end]);
+        let monitor = args
+            .iter()
+            .find(|a| normalize_arg(a) != "ctx")
+            .map(|a| normalize_arg(a))
+            .unwrap_or_default();
+        // Extent: end of the binding statement to end of innermost block.
+        let anc = out.ancestors(l.off);
+        let block_end = anc
+            .last()
+            .map(|&i| out.blocks[i].end)
+            .unwrap_or(clean.text.len());
+        guards.push(GuardScope {
+            var,
+            monitor,
+            line: l.line,
+            start: l.rhs.1,
+            end: block_end,
+            body: out.body_of(l.off),
+        });
+    }
+    // Truncate at explicit `drop(var)`.
+    for g in &mut guards {
+        if let Some(d) = out.calls.iter().find(|c| {
+            c.callee == "drop"
+                && !c.is_def
+                && c.off > g.start
+                && c.off < g.end
+                && clean.text[c.args_start..c.args_end].trim() == g.var
+        }) {
+            g.end = d.off;
+        }
+    }
+    out.guards = guards;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::clean;
+
+    fn scan_src(src: &str) -> (CleanSource, Scan) {
+        let c = clean(src);
+        let s = scan(&c);
+        (c, s)
+    }
+
+    #[test]
+    fn classifies_blocks() {
+        let (_, s) = scan_src(
+            "fn f() { if a { loop { } } else { } while b { } for x in y { } match z { A => {} } \
+             let c = move |ctx| { }; }",
+        );
+        let kinds: Vec<BlockKind> = s.blocks.iter().map(|b| b.kind).collect();
+        assert!(kinds.contains(&BlockKind::Fn));
+        assert!(kinds.contains(&BlockKind::If));
+        assert!(kinds.contains(&BlockKind::Loop));
+        assert!(kinds.contains(&BlockKind::While));
+        assert!(kinds.contains(&BlockKind::For));
+        assert!(kinds.contains(&BlockKind::Match));
+        assert!(kinds.contains(&BlockKind::Closure));
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let (_, s) = scan_src("impl Drop for Guard { fn drop(&mut self) { } }");
+        assert_eq!(s.blocks[0].kind, BlockKind::Other);
+        assert!(s.blocks.iter().any(|b| b.kind == BlockKind::Fn));
+    }
+
+    #[test]
+    fn finds_calls_with_receivers() {
+        let (c, s) = scan_src("fn f() { g.notify(&cv); ctx.enter(&m).notify(&cv); }");
+        let notifies: Vec<&Call> = s.calls.iter().filter(|c| c.callee == "notify").collect();
+        assert_eq!(notifies.len(), 2);
+        assert_eq!(notifies[0].receiver.as_deref(), Some("g"));
+        assert_eq!(notifies[1].receiver.as_deref(), Some("ctx.enter(&m)"));
+        assert_eq!(&c.text[notifies[0].args_start..notifies[0].args_end], "&cv");
+    }
+
+    #[test]
+    fn fn_definitions_are_flagged() {
+        let (_, s) = scan_src("pub fn wait(&mut self) { other.wait(x); }");
+        let waits: Vec<&Call> = s.calls.iter().filter(|c| c.callee == "wait").collect();
+        assert_eq!(waits.len(), 2);
+        assert!(waits[0].is_def);
+        assert!(!waits[1].is_def);
+    }
+
+    #[test]
+    fn guard_scope_extends_to_block_end_or_drop() {
+        let src = "fn f() { let mut g = ctx.enter(&m); g.notify(&cv); drop(g); late(); }";
+        let (_, s) = scan_src(src);
+        assert_eq!(s.guards.len(), 1);
+        let g = &s.guards[0];
+        assert_eq!(g.var, "g");
+        assert_eq!(g.monitor, "m");
+        let notify = s.calls.iter().find(|c| c.callee == "notify").unwrap();
+        let late = s.calls.iter().find(|c| c.callee == "late").unwrap();
+        assert!(g.start < notify.off && notify.off < g.end);
+        assert!(late.off > g.end, "guard should end at drop()");
+    }
+
+    #[test]
+    fn block_rhs_is_not_a_direct_guard() {
+        // `let n = { let g = ctx.enter(&m); … };` binds n, not a guard.
+        let src = "fn f() { let n = { let g = ctx.enter(&counter); g.with(|c| *c) }; \
+                   let mut h = ctx.enter(&q); }";
+        let (_, s) = scan_src(src);
+        let vars: Vec<&str> = s.guards.iter().map(|g| g.var.as_str()).collect();
+        assert!(vars.contains(&"g"));
+        assert!(vars.contains(&"h"));
+        assert!(!vars.contains(&"n"));
+        // And g's scope ends with the inner block, before h's binding.
+        let g = s.guards.iter().find(|g| g.var == "g").unwrap();
+        let h = s.guards.iter().find(|g| g.var == "h").unwrap();
+        assert!(g.end < h.start);
+    }
+
+    #[test]
+    fn guards_do_not_cross_closure_bodies() {
+        let src = "fn f() { let g = ctx.enter(&a); fork(ctx, move |ctx| { \
+                   let h = ctx.enter(&b); }); }";
+        let (_, s) = scan_src(src);
+        let h = s.guards.iter().find(|g| g.var == "h").unwrap();
+        let inner = s
+            .calls
+            .iter()
+            .find(|c| c.callee == "enter" && c.off > h.start - 40);
+        let _ = inner;
+        // At h's binding site, the live same-body guards exclude g.
+        let live = s.guards_at(h.start + 1);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].var, "h");
+    }
+
+    #[test]
+    fn split_and_normalize_args() {
+        // Real inputs are cleaned text: string literals already blanked.
+        assert_eq!(
+            split_args("a, Some(millis(5)), [x, y]"),
+            vec!["a", "Some(millis(5))", "[x, y]"]
+        );
+        assert_eq!(normalize_arg("&self.monitor"), "monitor");
+        assert_eq!(normalize_arg("&mut q"), "q");
+        assert_eq!(normalize_arg("m.clone()"), "m");
+        assert_eq!(last_segment("&self.bus.slots"), "slots");
+    }
+
+    #[test]
+    fn if_let_is_not_a_let_statement() {
+        let (_, s) = scan_src("fn f() { if let Some(x) = y.take() { use_it(x); } }");
+        assert!(s.lets.is_empty());
+    }
+}

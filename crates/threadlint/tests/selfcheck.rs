@@ -1,0 +1,65 @@
+//! Self-hosted checks: the analyzer runs over the workspace's own
+//! sources. Disciplined code must produce zero unallowed findings;
+//! `paradigms::mistakes` must trip every lint at least once (allowed).
+
+use threadlint::{analyze_workspace, workspace_root, Lint, PrimKind};
+
+#[test]
+fn workspace_has_zero_unallowed_findings() {
+    let a = analyze_workspace(&workspace_root()).expect("workspace scan");
+    let bad: Vec<_> = a.unallowed().collect();
+    assert!(
+        bad.is_empty(),
+        "unallowed findings:\n{}",
+        bad.iter()
+            .map(|f| format!("  {} {}:{} {}", f.lint, f.file, f.line, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_lint_fires_on_the_deliberate_mistakes() {
+    let a = analyze_workspace(&workspace_root()).expect("workspace scan");
+    let in_mistakes = a.findings_in("crates/paradigms/src/mistakes.rs");
+    for lint in Lint::ALL {
+        assert!(
+            in_mistakes.iter().any(|f| f.lint == lint && f.allowed),
+            "{lint} has no (allowed) finding in paradigms::mistakes; findings there: {:#?}",
+            in_mistakes
+        );
+    }
+}
+
+#[test]
+fn census_floor_holds() {
+    let a = analyze_workspace(&workspace_root()).expect("workspace scan");
+    let count = |k: PrimKind| a.sites.iter().filter(|s| s.kind == k).count();
+    // The workspace is saturated with primitives; these floors catch a
+    // scanner regression that silently drops a whole class of sites.
+    assert!(
+        count(PrimKind::Fork) >= 50,
+        "forks: {}",
+        count(PrimKind::Fork)
+    );
+    assert!(
+        count(PrimKind::Wait) >= 10,
+        "waits: {}",
+        count(PrimKind::Wait)
+    );
+    assert!(
+        count(PrimKind::Notify) >= 10,
+        "notifies: {}",
+        count(PrimKind::Notify)
+    );
+    assert!(
+        count(PrimKind::Enter) >= 20,
+        "enters: {}",
+        count(PrimKind::Enter)
+    );
+    assert!(
+        count(PrimKind::MonitorNew) >= 10,
+        "monitors: {}",
+        count(PrimKind::MonitorNew)
+    );
+}
