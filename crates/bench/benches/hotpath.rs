@@ -1,0 +1,99 @@
+//! Regression guard for the scheduler hot path.
+//!
+//! Two worlds that live almost entirely inside the scheduler's fast
+//! paths — the ready-queue bitmask, the CV queues, and the masked
+//! `emit` — reported as simulated events per wall-clock second (the same
+//! metric `repro bench` tracks). Plain `main()` harness, like the other
+//! benches in this directory.
+//!
+//! Each target also asserts a *floor* chosen three orders of magnitude
+//! below typical rates on any development machine: the assertion is a
+//! smoke check that only trips on a catastrophic regression (an
+//! accidentally quadratic scan, a deadlock), never on CI noise.
+
+use std::time::Instant;
+
+use pcr::{millis, secs, Priority, RunLimit, Sim, SimConfig};
+
+/// Runs `world` once as warmup and `reps` more times, printing and
+/// returning the best observed events/sec. `world` returns the run's
+/// [`pcr::SimStats::event_volume`].
+fn events_per_sec(name: &str, reps: u32, mut world: impl FnMut() -> u64) -> f64 {
+    world(); // Warmup.
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let events = world();
+        let rate = events as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    println!("{name:40} {best:>12.0} events/sec  (best of {reps})");
+    best
+}
+
+/// Two threads exchanging NOTIFY/WAIT as fast as virtual time allows:
+/// the CV-queue and ready-queue hot path with zero fork traffic.
+fn notify_wait_pingpong() -> u64 {
+    let mut sim = Sim::new(SimConfig::default());
+    let m = sim.monitor("m", 0u32);
+    let cv = sim.condition(&m, "cv", Some(millis(50)));
+    let (m2, cv2) = (m.clone(), cv.clone());
+    let _ = sim.fork_root("a", Priority::of(4), move |ctx| {
+        let mut g = ctx.enter(&m2);
+        loop {
+            g.with_mut(|v| *v = v.wrapping_add(1));
+            g.notify(&cv2);
+            let _ = g.wait(&cv2);
+        }
+    });
+    let _ = sim.fork_root("b", Priority::of(4), move |ctx| {
+        let mut g = ctx.enter(&m);
+        loop {
+            g.with_mut(|v| *v = v.wrapping_add(1));
+            g.notify(&cv);
+            let _ = g.wait(&cv);
+        }
+    });
+    sim.run(RunLimit::For(secs(5)));
+    sim.stats().event_volume()
+}
+
+/// A forker spinning up batches of short-lived children and joining
+/// them: the fork/exit/join and timeslice hot path, with threads
+/// entering and leaving the ready queues at several priorities.
+fn fork_join_storm() -> u64 {
+    let mut sim = Sim::new(SimConfig::default());
+    let _ = sim.fork_root("forker", Priority::of(5), |ctx| loop {
+        let batch: Vec<_> = (0..8)
+            .map(|i| {
+                ctx.fork_with(
+                    &format!("w{i}"),
+                    pcr::ForkOpts::default().priority(Priority::of(3 + (i % 3) as u8)),
+                    move |ctx| ctx.work(millis(1)),
+                )
+                .unwrap()
+            })
+            .collect();
+        for h in batch {
+            ctx.join(h).unwrap();
+        }
+    });
+    sim.run(RunLimit::For(secs(5)));
+    sim.stats().event_volume()
+}
+
+fn main() {
+    let pingpong = events_per_sec("hotpath_notify_wait_pingpong_5s", 3, notify_wait_pingpong);
+    let storm = events_per_sec("hotpath_fork_join_storm_5s", 3, fork_join_storm);
+
+    const FLOOR_EVENTS_PER_SEC: f64 = 1_000.0;
+    assert!(
+        pingpong > FLOOR_EVENTS_PER_SEC,
+        "notify/wait ping-pong fell below {FLOOR_EVENTS_PER_SEC} events/sec ({pingpong:.0})"
+    );
+    assert!(
+        storm > FLOOR_EVENTS_PER_SEC,
+        "fork/join storm fell below {FLOOR_EVENTS_PER_SEC} events/sec ({storm:.0})"
+    );
+    println!("hot-path floors ok (> {FLOOR_EVENTS_PER_SEC} events/sec)");
+}

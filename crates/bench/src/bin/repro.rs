@@ -24,8 +24,23 @@ commands:
   lint     [--json PATH]     threadlint: static discipline lints and the
                              fork-site self-census over this workspace
   markdown [--window SECS]   Tables 1-4 as Markdown (for EXPERIMENTS.md)
+  bench    [--reps N] [--json PATH] [--baseline PATH]
+                             wall-clock perf harness: times every matrix
+                             cell (median of N reps, default 3), reports
+                             simulated events/sec and the serial-vs-
+                             parallel driver speedup, and writes
+                             BENCH_threadstudy.json; with --baseline,
+                             fails if aggregate events/sec regressed
+                             more than 30% vs that file
   all      [--window SECS] [--json PATH]   everything
-  help                       this text";
+  help                       this text
+
+global options:
+  --seed HEX     RNG seed for the simulated worlds (default ceda2026;
+                 history defaults to its own e7e27)
+  --serial       force the one-cell-at-a-time matrix driver (the
+                 parallel driver is used by default on multicore hosts;
+                 both produce identical tables)";
 
 /// Reports a failed run. Returns `true` when the run deadlocked or the
 /// hazard detectors (when enabled) caught something, so callers can
@@ -44,12 +59,12 @@ fn check_run(label: &str, report: &pcr::RunReport) -> bool {
     failed
 }
 
-fn history() -> bool {
+fn history(seed: u64) -> bool {
     use trace::Timeline;
     let mut sim = workloads::runner::build(
         workloads::System::Cedar,
         workloads::Benchmark::Keyboard,
-        0xE7E27,
+        seed,
     );
     sim.set_sink(Box::new(Timeline::new()));
     let report = sim.run(pcr::RunLimit::For(secs(5)));
@@ -64,14 +79,14 @@ fn history() -> bool {
     check_run("history Cedar/Keyboard", &report)
 }
 
-fn contention() -> bool {
+fn contention(seed: u64) -> bool {
     use trace::ContentionCollector;
     let mut failed = false;
     for (sys, bench) in [
         (workloads::System::Gvx, workloads::Benchmark::Scroll),
         (workloads::System::Cedar, workloads::Benchmark::Keyboard),
     ] {
-        let mut sim = workloads::runner::build(sys, bench, 0xCEDA_2026);
+        let mut sim = workloads::runner::build(sys, bench, seed);
         sim.set_sink(Box::new(ContentionCollector::new()));
         let report = sim.run(pcr::RunLimit::For(secs(30)));
         failed |= check_run(&format!("contention {}/{bench:?}", sys.name()), &report);
@@ -100,7 +115,7 @@ fn contention() -> bool {
 /// fault mix injected, each run twice from the same seed. The two
 /// replays must produce byte-identical JSONL event traces and identical
 /// hazard tallies — the acceptance bar for deterministic injection.
-fn chaos(window: pcr::SimDuration) -> bool {
+fn chaos(window: pcr::SimDuration, seed: u64) -> bool {
     let preset = workloads::chaos_preset();
     let mut failed = false;
     for (sys, bench) in [
@@ -109,7 +124,7 @@ fn chaos(window: pcr::SimDuration) -> bool {
     ] {
         let label = format!("chaos {}/{bench:?}", sys.name());
         let run = || {
-            let mut sim = workloads::build_chaos(sys, bench, 0xCEDA_2026, preset.clone());
+            let mut sim = workloads::build_chaos(sys, bench, seed, preset.clone());
             sim.set_sink(Box::new(pcr::VecSink::default()));
             let report = sim.run(pcr::RunLimit::For(window));
             let events = trace::take_collector::<pcr::VecSink>(&mut sim)
@@ -176,7 +191,29 @@ fn main() {
         .and_then(|s| s.parse::<u64>().ok())
         .map(secs)
         .unwrap_or(secs(30));
-    let seed = 0xCEDA_2026;
+    // `--seed HEX` (0x prefix and _ separators accepted). Subcommands
+    // keep their historical defaults when the flag is absent, so
+    // existing outputs stay byte-identical.
+    let seed_flag: Option<u64> = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| match parse_seed(s) {
+            Some(v) => v,
+            None => {
+                eprintln!("bad --seed {s:?}: expected hex digits\n{USAGE}");
+                std::process::exit(2);
+            }
+        });
+    let seed = seed_flag.unwrap_or(0xCEDA_2026);
+    let serial = args.iter().any(|a| a == "--serial");
+    let run_matrix = |window, seed| {
+        if serial {
+            bench::tables::run_all_serial(window, seed)
+        } else {
+            bench::tables::run_all(window, seed)
+        }
+    };
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -195,12 +232,57 @@ fn main() {
             println!("{}", bench::experiments::report_by_name(exp).unwrap());
         }
         "help" => println!("{USAGE}"),
-        "history" => failed |= history(),
-        "contention" => failed |= contention(),
-        "chaos" => failed |= chaos(window),
+        "history" => failed |= history(seed_flag.unwrap_or(0xE7E27)),
+        "contention" => failed |= contention(seed),
+        "chaos" => failed |= chaos(window, seed),
         "lint" => failed |= bench::lint::run(json_path.as_deref()),
+        "bench" => {
+            let reps = args
+                .iter()
+                .position(|a| a == "--reps")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(3);
+            let baseline_path = args
+                .iter()
+                .position(|a| a == "--baseline")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            let report = bench::perf::measure(window, seed, reps);
+            print!("{}", report.text());
+            let path = json_path
+                .clone()
+                .unwrap_or_else(|| "BENCH_threadstudy.json".to_string());
+            std::fs::write(&path, report.to_json().pretty()).expect("write bench json");
+            eprintln!("wrote {path}");
+            if let Some(bpath) = baseline_path {
+                let base = std::fs::read_to_string(&bpath)
+                    .ok()
+                    .as_deref()
+                    .and_then(bench::perf::baseline_events_per_sec);
+                match base {
+                    Some(base) => {
+                        let cur = report.aggregate_events_per_sec;
+                        println!(
+                            "baseline {base:.0} events/sec, current {cur:.0} ({:+.1}%)",
+                            100.0 * (cur / base - 1.0)
+                        );
+                        if cur < 0.70 * base {
+                            eprintln!(
+                                "FAIL bench: aggregate events/sec regressed more than 30% vs {bpath}"
+                            );
+                            failed = true;
+                        }
+                    }
+                    None => {
+                        eprintln!("FAIL bench: no aggregate_events_per_sec in baseline {bpath}");
+                        failed = true;
+                    }
+                }
+            }
+        }
         "markdown" => {
-            let results = bench::tables::run_all(window, seed);
+            let results = run_matrix(window, seed);
             failed |= any_hazardous(&results);
             println!("{}", bench::tables::table1(&results).to_markdown());
             println!("{}", bench::tables::table2(&results).to_markdown());
@@ -213,7 +295,7 @@ fn main() {
                     println!("{section}");
                 }
             }
-            let results = bench::tables::run_all(window, seed);
+            let results = run_matrix(window, seed);
             failed |= any_hazardous(&results);
             if let Some(path) = &json_path {
                 let v = bench::tables::json_summary(&results);
@@ -244,6 +326,16 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Parses a `--seed` value: hex digits, optional `0x` prefix, `_`
+/// separators allowed.
+fn parse_seed(s: &str) -> Option<u64> {
+    let t = s
+        .trim_start_matches("0x")
+        .trim_start_matches("0X")
+        .replace('_', "");
+    u64::from_str_radix(&t, 16).ok()
 }
 
 /// True (after reporting) if any benchmark run surfaced hazards.

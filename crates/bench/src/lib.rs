@@ -8,4 +8,5 @@
 
 pub mod experiments;
 pub mod lint;
+pub mod perf;
 pub mod tables;

@@ -1,0 +1,283 @@
+//! Wall-clock performance harness behind `repro bench`.
+//!
+//! Where the rest of this crate measures *virtual-time* rates (the
+//! paper's tables), this module measures how fast the simulator itself
+//! chews through its benchmark matrix on the host: wall time per cell,
+//! simulated events per second, and the serial-vs-parallel driver
+//! speedup. The numbers land in `BENCH_threadstudy.json` at the repo
+//! root, which CI uses as a regression baseline.
+
+use std::time::Instant;
+
+use pcr::SimDuration;
+use trace::Json;
+use workloads::{run_benchmark, Benchmark, System};
+
+use crate::tables::{matrix, run_all_parallel, workers_available};
+
+/// Wall-clock measurements for one matrix cell.
+#[derive(Clone, Debug)]
+pub struct CellPerf {
+    /// Which system ran.
+    pub system: System,
+    /// Which benchmark ran.
+    pub benchmark: Benchmark,
+    /// Primitive events inside the measurement window (deterministic).
+    pub event_volume: u64,
+    /// Median wall-clock seconds across the reps.
+    pub wall_secs: f64,
+    /// `event_volume / wall_secs`.
+    pub events_per_sec: f64,
+}
+
+/// A full perf-harness run: every cell timed `reps` times serially, plus
+/// the whole matrix timed under the parallel driver.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Virtual measurement window per cell.
+    pub window: SimDuration,
+    /// RNG seed every cell ran with.
+    pub seed: u64,
+    /// Repetitions each median is taken over.
+    pub reps: u32,
+    /// Hardware threads the parallel driver used.
+    pub workers: usize,
+    /// Per-cell measurements, in table order.
+    pub cells: Vec<CellPerf>,
+    /// Median wall seconds for the whole matrix, one cell at a time.
+    pub serial_wall_secs: f64,
+    /// Median wall seconds for the whole matrix under the parallel driver.
+    pub parallel_wall_secs: f64,
+    /// `serial_wall_secs / parallel_wall_secs`.
+    pub parallel_speedup: f64,
+    /// Sum of every cell's `event_volume`.
+    pub total_events: u64,
+    /// `total_events / serial_wall_secs` — the regression-check scalar.
+    pub aggregate_events_per_sec: f64,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+/// Runs the harness: `reps` serial passes over the matrix with per-cell
+/// timing, then `reps` timed parallel passes, reporting medians.
+///
+/// # Panics
+///
+/// Panics if a world deadlocks, or if the parallel driver's event
+/// volumes diverge from the serial driver's (a determinism bug).
+pub fn measure(window: SimDuration, seed: u64, reps: u32) -> PerfReport {
+    let reps = reps.max(1);
+    let cells = matrix();
+    let mut cell_walls: Vec<Vec<f64>> = vec![Vec::new(); cells.len()];
+    let mut serial_walls: Vec<f64> = Vec::new();
+    let mut volumes: Vec<u64> = vec![0; cells.len()];
+
+    for rep in 0..reps {
+        let mut pass_total = 0.0;
+        for (i, &(sys, b)) in cells.iter().enumerate() {
+            eprintln!("  bench rep {}/{reps}: {} / {b:?} ...", rep + 1, sys.name());
+            let t0 = Instant::now();
+            let r = run_benchmark(sys, b, window, seed);
+            let dt = t0.elapsed().as_secs_f64();
+            cell_walls[i].push(dt);
+            pass_total += dt;
+            if rep == 0 {
+                volumes[i] = r.event_volume;
+            } else {
+                assert_eq!(
+                    volumes[i],
+                    r.event_volume,
+                    "{} / {b:?}: event volume changed between reps",
+                    sys.name()
+                );
+            }
+        }
+        serial_walls.push(pass_total);
+    }
+
+    let mut parallel_walls: Vec<f64> = Vec::new();
+    for rep in 0..reps {
+        eprintln!("  bench rep {}/{reps}: parallel matrix ...", rep + 1);
+        let t0 = Instant::now();
+        let results = run_all_parallel(window, seed);
+        parallel_walls.push(t0.elapsed().as_secs_f64());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(
+                volumes[i], r.event_volume,
+                "parallel driver diverged from serial on cell {i}"
+            );
+        }
+    }
+
+    let cells_out: Vec<CellPerf> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, &(system, benchmark))| {
+            let wall = median(&mut cell_walls[i]);
+            CellPerf {
+                system,
+                benchmark,
+                event_volume: volumes[i],
+                wall_secs: wall,
+                events_per_sec: if wall > 0.0 {
+                    volumes[i] as f64 / wall
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    let serial_wall_secs = median(&mut serial_walls);
+    let parallel_wall_secs = median(&mut parallel_walls);
+    let total_events: u64 = volumes.iter().sum();
+    PerfReport {
+        window,
+        seed,
+        reps,
+        workers: workers_available().min(cells.len()),
+        cells: cells_out,
+        serial_wall_secs,
+        parallel_wall_secs,
+        parallel_speedup: if parallel_wall_secs > 0.0 {
+            serial_wall_secs / parallel_wall_secs
+        } else {
+            0.0
+        },
+        total_events,
+        aggregate_events_per_sec: if serial_wall_secs > 0.0 {
+            total_events as f64 / serial_wall_secs
+        } else {
+            0.0
+        },
+    }
+}
+
+impl PerfReport {
+    /// The machine-readable form written to `BENCH_threadstudy.json`.
+    pub fn to_json(&self) -> Json {
+        let cells = self.cells.iter().map(|c| {
+            Json::obj([
+                ("system", Json::from(c.system.name())),
+                ("benchmark", Json::from(format!("{:?}", c.benchmark))),
+                ("event_volume", Json::from(c.event_volume)),
+                ("wall_secs", Json::from(c.wall_secs)),
+                ("events_per_sec", Json::from(c.events_per_sec)),
+            ])
+        });
+        Json::obj([
+            ("schema", Json::from("threadstudy-bench-v1")),
+            ("window_us", Json::from(self.window.as_micros())),
+            ("seed", Json::from(format!("{:#x}", self.seed))),
+            ("reps", Json::from(self.reps)),
+            ("workers", Json::from(self.workers)),
+            ("serial_wall_secs", Json::from(self.serial_wall_secs)),
+            ("parallel_wall_secs", Json::from(self.parallel_wall_secs)),
+            ("parallel_speedup", Json::from(self.parallel_speedup)),
+            ("total_events", Json::from(self.total_events)),
+            (
+                "aggregate_events_per_sec",
+                Json::from(self.aggregate_events_per_sec),
+            ),
+            ("cells", Json::arr(cells)),
+        ])
+    }
+
+    /// A human-readable summary for stdout.
+    pub fn text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Perf harness: {} cells, window {}, seed {:#x}, median of {} reps",
+            self.cells.len(),
+            self.window,
+            self.seed,
+            self.reps
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>12} {:>10} {:>14}",
+            "Cell", "events", "wall (s)", "events/sec"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:<26} {:>12} {:>10.3} {:>14.0}",
+                format!("{}/{:?}", c.system.name(), c.benchmark),
+                c.event_volume,
+                c.wall_secs,
+                c.events_per_sec
+            );
+        }
+        let _ = writeln!(
+            out,
+            "serial matrix: {:.3}s   parallel matrix ({} workers): {:.3}s   speedup {:.2}x",
+            self.serial_wall_secs, self.workers, self.parallel_wall_secs, self.parallel_speedup
+        );
+        let _ = writeln!(
+            out,
+            "aggregate: {} events in {:.3}s = {:.0} events/sec",
+            self.total_events, self.serial_wall_secs, self.aggregate_events_per_sec
+        );
+        out
+    }
+}
+
+/// Pulls `aggregate_events_per_sec` out of a previously written report.
+///
+/// The trace crate's [`Json`] is writer-only (no parser in this offline
+/// build), so the baseline check scans for the key textually; the value
+/// is always a bare JSON number on the same line.
+pub fn baseline_events_per_sec(text: &str) -> Option<f64> {
+    let key = "\"aggregate_events_per_sec\":";
+    let at = text.find(key)?;
+    let rest = text[at + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn baseline_extraction_roundtrips() {
+        let report = PerfReport {
+            window: pcr::millis(10),
+            seed: 0xCEDA_2026,
+            reps: 1,
+            workers: 1,
+            cells: Vec::new(),
+            serial_wall_secs: 2.0,
+            parallel_wall_secs: 1.0,
+            parallel_speedup: 2.0,
+            total_events: 1000,
+            aggregate_events_per_sec: 500.0,
+        };
+        for text in [report.to_json().pretty(), report.to_json().to_string()] {
+            assert_eq!(baseline_events_per_sec(&text), Some(500.0));
+        }
+        assert_eq!(baseline_events_per_sec("no such key"), None);
+    }
+}

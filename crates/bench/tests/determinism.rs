@@ -1,0 +1,86 @@
+//! The serial and parallel matrix drivers must be indistinguishable:
+//! every cell is an independent deterministic simulation, so fanning the
+//! matrix across OS threads may only change wall-clock time, never a
+//! single measured number or rendered table byte.
+
+use bench::tables::{run_all_parallel, run_all_serial, table1, table2, table3};
+use pcr::secs;
+use workloads::{chaos_preset, run_benchmark_chaos, BenchResult, Benchmark, System};
+
+fn table_text(results: &[BenchResult]) -> String {
+    format!(
+        "{}\n{}\n{}",
+        table1(results).to_text(),
+        table2(results).to_text(),
+        table3(results).to_text()
+    )
+}
+
+#[test]
+fn parallel_matrix_matches_serial_across_seeds() {
+    for seed in [0xCEDA_2026u64, 0xBEEF, 0x5EED_0003] {
+        let serial = run_all_serial(secs(1), seed);
+        let parallel = run_all_parallel(secs(1), seed);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            let label = format!("seed {seed:#x} {}/{:?}", a.system.name(), a.benchmark);
+            assert_eq!(a.system, b.system, "{label}: cell order changed");
+            assert_eq!(a.benchmark, b.benchmark, "{label}: cell order changed");
+            assert_eq!(a.event_volume, b.event_volume, "{label}: event volume");
+            assert_eq!(
+                a.max_live_threads, b.max_live_threads,
+                "{label}: live threads"
+            );
+            assert_eq!(
+                a.max_generation, b.max_generation,
+                "{label}: fork generations"
+            );
+            assert_eq!(
+                a.rates.switches_per_sec, b.rates.switches_per_sec,
+                "{label}: switch rate"
+            );
+        }
+        assert_eq!(
+            table_text(&serial),
+            table_text(&parallel),
+            "rendered tables diverged for seed {seed:#x}"
+        );
+    }
+}
+
+#[test]
+fn chaos_cells_are_identical_under_concurrency() {
+    // Chaos injection draws from a per-sim RNG; running two chaos worlds
+    // on concurrent OS threads must not perturb either one's stream.
+    let cells = [
+        (System::Cedar, Benchmark::Keyboard),
+        (System::Gvx, Benchmark::Scroll),
+    ];
+    let serial: Vec<BenchResult> = cells
+        .iter()
+        .map(|&(sys, b)| run_benchmark_chaos(sys, b, secs(2), 0xCEDA_2026, chaos_preset()))
+        .collect();
+    let concurrent: Vec<BenchResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .iter()
+            .map(|&(sys, b)| {
+                scope.spawn(move || {
+                    run_benchmark_chaos(sys, b, secs(2), 0xCEDA_2026, chaos_preset())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos cell panicked"))
+            .collect()
+    });
+    for (a, b) in serial.iter().zip(&concurrent) {
+        let label = format!("{}/{:?}", a.system.name(), a.benchmark);
+        assert_eq!(a.hazards, b.hazards, "{label}: hazard tallies");
+        assert_eq!(a.event_volume, b.event_volume, "{label}: event volume");
+        assert_eq!(
+            a.rates.switches_per_sec, b.rates.switches_per_sec,
+            "{label}: switch rate"
+        );
+    }
+}

@@ -176,11 +176,7 @@ mod tests {
         sim.run(RunLimit::For(secs(2)));
         assert_eq!(h.into_result().unwrap().unwrap(), 1);
         assert_eq!(sim.stats().panics, 1); // The client thread, not ours.
-        let service = sim
-            .threads()
-            .into_iter()
-            .find(|t| t.name == "service")
-            .unwrap();
+        let service = sim.threads_iter().find(|t| t.name == "service").unwrap();
         assert!(!service.panicked);
     }
 
@@ -195,11 +191,7 @@ mod tests {
             reg.invoke(ctx, 7);
         });
         sim.run(RunLimit::For(secs(2)));
-        let service = sim
-            .threads()
-            .into_iter()
-            .find(|t| t.name == "service")
-            .unwrap();
+        let service = sim.threads_iter().find(|t| t.name == "service").unwrap();
         assert!(service.panicked, "unforked callbacks expose the service");
     }
 

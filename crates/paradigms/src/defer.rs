@@ -120,9 +120,8 @@ mod tests {
             defer(ctx, "bg", |ctx| ctx.work(millis(1))).unwrap();
         });
         sim.run(RunLimit::ToCompletion);
-        let threads = sim.threads();
-        let caller = threads.iter().find(|t| t.name == "caller").unwrap();
-        let bg = threads.iter().find(|t| t.name == "bg").unwrap();
+        let caller = sim.threads_iter().find(|t| t.name == "caller").unwrap();
+        let bg = sim.threads_iter().find(|t| t.name == "bg").unwrap();
         assert_eq!(bg.parent, Some(caller.tid));
         assert_eq!(bg.generation, 1);
     }

@@ -57,6 +57,48 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+/// A set of [`EventKind`]s, one bit per kind.
+///
+/// Sinks advertise the kinds they consume through
+/// [`TraceSink::subscriptions`]; the scheduler skips event construction
+/// and dynamic dispatch entirely for kinds nobody subscribed to, which
+/// is what makes an un-instrumented run (no sink, no hazard monitor)
+/// pay only for its counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EventMask(u32);
+
+impl EventMask {
+    /// No kinds.
+    pub const EMPTY: EventMask = EventMask(0);
+    /// Every kind, including any added later.
+    pub const ALL: EventMask = EventMask(u32::MAX);
+
+    /// The mask containing exactly `kind`.
+    pub const fn of(kind: &EventKind) -> EventMask {
+        EventMask(1 << kind.ord())
+    }
+
+    /// True if `kind` is in the mask.
+    pub const fn contains(&self, kind: &EventKind) -> bool {
+        self.0 & (1 << kind.ord()) != 0
+    }
+
+    /// The union of two masks.
+    pub const fn union(self, other: EventMask) -> EventMask {
+        EventMask(self.0 | other.0)
+    }
+
+    /// This mask with `kind` removed.
+    pub const fn without(self, kind: &EventKind) -> EventMask {
+        EventMask(self.0 & !(1 << kind.ord()))
+    }
+
+    /// True if no kind is in the mask.
+    pub const fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
 /// The kinds of thread events the instrumented runtime reports.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EventKind {
@@ -263,11 +305,54 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// Stable ordinal of the kind, used as its [`EventMask`] bit.
+    const fn ord(&self) -> u32 {
+        match self {
+            EventKind::Fork { .. } => 0,
+            EventKind::Exit { .. } => 1,
+            EventKind::Join { .. } => 2,
+            EventKind::Detach { .. } => 3,
+            EventKind::Switch { .. } => 4,
+            EventKind::QuantumExpired { .. } => 5,
+            EventKind::MlEnter { .. } => 6,
+            EventKind::MlExit { .. } => 7,
+            EventKind::CvWait { .. } => 8,
+            EventKind::CvWake { .. } => 9,
+            EventKind::Notify { .. } => 10,
+            EventKind::Broadcast { .. } => 11,
+            EventKind::SpuriousLockConflict { .. } => 12,
+            EventKind::Yield { .. } => 13,
+            EventKind::SetPriority { .. } => 14,
+            EventKind::Sleep { .. } => 15,
+            EventKind::DaemonDonation { .. } => 16,
+            EventKind::ForkBlocked { .. } => 17,
+            EventKind::ForkFailed { .. } => 18,
+            EventKind::MetalockStall { .. } => 19,
+            EventKind::SpuriousWakeup { .. } => 20,
+            EventKind::NotifyDropped { .. } => 21,
+            EventKind::NotifyDuplicated { .. } => 22,
+            EventKind::ChaosStall { .. } => 23,
+            EventKind::ChaosForkFail { .. } => 24,
+            EventKind::JoinBlocked { .. } => 25,
+        }
+    }
+}
+
 /// Receiver for the runtime's event stream.
 pub trait TraceSink: Send + 'static {
     /// Records one event. Called synchronously from the scheduler; keep it
     /// cheap.
     fn record(&mut self, ev: &Event);
+
+    /// The event kinds this sink consumes. The scheduler caches the mask
+    /// at installation time ([`crate::Sim::set_sink`]) and never calls
+    /// [`TraceSink::record`] for a kind outside it, so a selective sink
+    /// skips the dynamic dispatch for everything else. The default is
+    /// every kind.
+    fn subscriptions(&self) -> EventMask {
+        EventMask::ALL
+    }
 
     /// Converts the boxed sink into `Any`, so a concrete collector can be
     /// recovered after [`crate::Sim::take_sink`]. Implementations are
@@ -281,6 +366,10 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn record(&mut self, _ev: &Event) {}
+
+    fn subscriptions(&self) -> EventMask {
+        EventMask::EMPTY
+    }
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
@@ -332,6 +421,12 @@ impl TraceSink for MultiSink {
         for s in &mut self.sinks {
             s.record(ev);
         }
+    }
+
+    fn subscriptions(&self) -> EventMask {
+        self.sinks
+            .iter()
+            .fold(EventMask::EMPTY, |m, s| m.union(s.subscriptions()))
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {

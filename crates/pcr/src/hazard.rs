@@ -22,7 +22,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use crate::event::{Event, EventKind, TraceSink, WaitOutcome};
+use crate::event::{Event, EventKind, EventMask, TraceSink, WaitOutcome};
 use crate::thread::{Priority, ThreadId};
 use crate::time::{millis, SimDuration, SimTime};
 
@@ -272,6 +272,28 @@ pub struct HazardMonitor {
 }
 
 impl HazardMonitor {
+    /// The event kinds the detectors actually consume. The scheduler
+    /// consults this so kinds outside the mask (quantum expiries, daemon
+    /// donations, fork failures, chaos notify faults) skip the shadow
+    /// bookkeeping pass entirely.
+    pub fn subscriptions() -> EventMask {
+        let t = crate::thread::ThreadId(0);
+        EventMask::ALL
+            .without(&EventKind::QuantumExpired { tid: t })
+            .without(&EventKind::DaemonDonation { target: t })
+            .without(&EventKind::ForkFailed { tid: t })
+            .without(&EventKind::ChaosForkFail { tid: t })
+            .without(&EventKind::NotifyDropped {
+                tid: t,
+                cv: crate::event::CondId(0),
+            })
+            .without(&EventKind::NotifyDuplicated {
+                tid: t,
+                cv: crate::event::CondId(0),
+                extra: t,
+            })
+    }
+
     /// Creates a monitor with the given thresholds.
     pub fn new(cfg: HazardConfig) -> Self {
         HazardMonitor {
@@ -499,6 +521,10 @@ impl HazardMonitor {
 impl TraceSink for HazardMonitor {
     fn record(&mut self, ev: &Event) {
         self.observe(ev);
+    }
+
+    fn subscriptions(&self) -> EventMask {
+        HazardMonitor::subscriptions()
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {

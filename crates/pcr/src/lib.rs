@@ -88,14 +88,15 @@ pub use config::{ForkPolicy, NotifyMode, SimConfig, SystemDaemonConfig};
 pub use ctx::{ForkOpts, ThreadCtx};
 pub use error::{BlockedThread, DeadlockReport, ForkError, JoinError, RunReport, StopReason};
 pub use event::{
-    CondId, Event, EventKind, MultiSink, NullSink, TraceSink, VecSink, WaitOutcome, YieldKind,
+    CondId, Event, EventKind, EventMask, MultiSink, NullSink, TraceSink, VecSink, WaitOutcome,
+    YieldKind,
 };
 pub use hazard::{Hazard, HazardConfig, HazardCounts, HazardKind, HazardMonitor};
 pub use monitor::{Monitor, MonitorGuard, MonitorId};
 pub use mp::MpSim;
 pub use rng::SplitMix64;
 pub use sched::{RunLimit, Sim, SimStats};
-pub use thread::{JoinHandle, Priority, ThreadId, ThreadInfo};
+pub use thread::{JoinHandle, Priority, ThreadId, ThreadInfo, ThreadView};
 pub use time::{micros, millis, secs, SimDuration, SimTime};
 
 use std::sync::Once;

@@ -16,12 +16,12 @@ use crate::condition::Condition;
 use crate::config::{ForkPolicy, NotifyMode, SimConfig};
 use crate::ctx::{wrap_body, ThreadCtx};
 use crate::error::{BlockedThread, DeadlockReport, RunReport, StopReason};
-use crate::event::{CondId, Event, EventKind, TraceSink, WaitOutcome, YieldKind};
+use crate::event::{CondId, Event, EventKind, EventMask, TraceSink, WaitOutcome, YieldKind};
 use crate::hazard::HazardMonitor;
 use crate::monitor::{Monitor, MonitorId};
 use crate::rendezvous::{reply_channel, ForkSpec, Reply, Request, ThreadChannels};
 use crate::rng::SplitMix64;
-use crate::thread::{JoinHandle, Priority, ResultSlot, ThreadId, ThreadInfo};
+use crate::thread::{JoinHandle, Priority, ResultSlot, ThreadId, ThreadInfo, ThreadView};
 use crate::time::{micros, SimDuration, SimTime};
 use crate::timer::{TimerKind, TimerWheel};
 
@@ -112,6 +112,24 @@ impl SimStats {
             self.ml_contended as f64 / self.ml_enters as f64
         }
     }
+
+    /// Total primitive-event volume: the sum of the monotonic
+    /// per-primitive counters (forks, exits, switches, quantum expiries,
+    /// monitor enters, CV waits/notifies/broadcasts, yields, donations).
+    /// The perf harness divides the delta of this over a run by wall-clock
+    /// time to report simulated events per second.
+    pub fn event_volume(&self) -> u64 {
+        self.forks
+            + self.exits
+            + self.switches
+            + self.quantum_expiries
+            + self.ml_enters
+            + self.cv_waits
+            + self.cv_notifies
+            + self.cv_broadcasts
+            + self.yields
+            + self.daemon_donations
+    }
 }
 
 /// How long [`Sim::run`] should keep going.
@@ -174,6 +192,15 @@ struct Tcb {
     /// from scheduling (running or blocked); applied the next time it
     /// would become ready.
     stall_pending: Option<SimDuration>,
+    /// True while the thread has a live entry in a ready queue. Dequeues
+    /// clear this flag instead of scanning the queue; entries whose flag
+    /// (or generation) no longer matches are tombstones, dropped when
+    /// they surface at the front.
+    in_ready: bool,
+    /// Generation of the thread's live ready entry, bumped on every
+    /// enqueue so a tombstone left by an O(1) removal can never alias a
+    /// later enqueue of the same thread.
+    ready_gen: u32,
 }
 
 struct MonitorState {
@@ -206,7 +233,13 @@ struct CvState {
     name: String,
     monitor: MonitorId,
     timeout: Option<SimDuration>,
-    queue: VecDeque<ThreadId>,
+    /// Waiters in arrival order, each tagged with the `wait_seq` it
+    /// enqueued under. A timeout or spurious wake cancels its entry
+    /// lazily (the seq no longer matches) instead of an O(n) `retain`;
+    /// `live` tracks how many entries are still current.
+    queue: VecDeque<(ThreadId, u64)>,
+    /// Number of live entries in `queue`.
+    live: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -239,7 +272,17 @@ pub struct Sim {
     clock_mirror: Arc<AtomicU64>,
     rng: SplitMix64,
     threads: Vec<Tcb>,
-    ready: [VecDeque<ThreadId>; Priority::LEVELS],
+    /// Per-priority ready queues. Entries are `(tid, ready_gen)`; an
+    /// entry is live iff the thread's `in_ready` flag is set and its
+    /// generation matches, which makes mid-queue removal O(1) at the
+    /// cost of tombstones that are dropped when popped.
+    ready: [VecDeque<(ThreadId, u32)>; Priority::LEVELS],
+    /// Live-entry count per priority level (tombstones excluded).
+    ready_live: [u32; Priority::LEVELS],
+    /// Bit `i` set iff `ready_live[i] > 0`: the scheduler finds the
+    /// highest nonempty priority with one leading-zeros instruction
+    /// instead of scanning seven queues.
+    ready_mask: u32,
     running: Option<ThreadId>,
     last_dispatched: Option<ThreadId>,
     shield: Option<Shield>,
@@ -250,6 +293,12 @@ pub struct Sim {
     req_tx: mpsc::Sender<(ThreadId, Request)>,
     req_rx: mpsc::Receiver<(ThreadId, Request)>,
     sink: Option<Box<dyn TraceSink>>,
+    /// Cached [`TraceSink::subscriptions`] of `sink` (EMPTY when none):
+    /// [`Sim::emit`] consults the masks before constructing an event, so
+    /// an un-instrumented run pays only for its counters.
+    sink_mask: EventMask,
+    /// Cached subscription mask of `hazards` (EMPTY when none).
+    hazard_mask: EventMask,
     stats: SimStats,
     pending_forks: VecDeque<(ThreadId, ForkSpec)>,
     live_threads: usize,
@@ -278,6 +327,8 @@ impl Sim {
             rng: SplitMix64::new(seed),
             threads: Vec::new(),
             ready: Default::default(),
+            ready_live: [0; Priority::LEVELS],
+            ready_mask: 0,
             running: None,
             last_dispatched: None,
             shield: None,
@@ -288,6 +339,8 @@ impl Sim {
             req_tx,
             req_rx,
             sink: None,
+            sink_mask: EventMask::EMPTY,
+            hazard_mask: EventMask::EMPTY,
             stats: SimStats::default(),
             pending_forks: VecDeque::new(),
             live_threads: 0,
@@ -296,6 +349,7 @@ impl Sim {
         };
         if let Some(hc) = sim.cfg.hazard_detection.clone() {
             sim.hazards = Some(HazardMonitor::new(hc));
+            sim.hazard_mask = HazardMonitor::subscriptions();
         }
         for (i, spec) in sim.cfg.chaos.stalls.iter().enumerate() {
             sim.timers
@@ -337,13 +391,17 @@ impl Sim {
         &self.stats
     }
 
-    /// Installs a trace sink; events flow to it from now on.
+    /// Installs a trace sink; events flow to it from now on. The sink's
+    /// [`TraceSink::subscriptions`] mask is read once here: only events
+    /// of subscribed kinds are constructed and dispatched to it.
     pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink_mask = sink.subscriptions();
         self.sink = Some(sink);
     }
 
     /// Removes and returns the trace sink.
     pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink_mask = EventMask::EMPTY;
         self.sink.take()
     }
 
@@ -356,25 +414,35 @@ impl Sim {
 
     /// Removes and returns the hazard monitor (detection stops).
     pub fn take_hazards(&mut self) -> Option<HazardMonitor> {
+        self.hazard_mask = EventMask::EMPTY;
         self.hazards.take()
     }
 
-    /// Post-run summary of every thread ever created.
+    /// Post-run summary of every thread ever created. Allocates one
+    /// `Vec` plus a name per thread; prefer [`Sim::threads_iter`] when a
+    /// borrowed view is enough.
     pub fn threads(&self) -> Vec<ThreadInfo> {
-        self.threads
-            .iter()
-            .enumerate()
-            .map(|(i, t)| ThreadInfo {
-                tid: ThreadId(i as u32),
-                name: t.name.clone(),
-                priority: t.priority,
-                cpu: t.cpu,
-                exited: t.exited,
-                panicked: t.panicked,
-                parent: t.parent,
-                generation: t.generation,
-            })
-            .collect()
+        self.threads_iter().map(|v| v.to_info()).collect()
+    }
+
+    /// Iterates borrowed summaries of every thread ever created, in
+    /// creation order, without allocating.
+    pub fn threads_iter(&self) -> impl Iterator<Item = ThreadView<'_>> + '_ {
+        self.threads.iter().enumerate().map(|(i, t)| ThreadView {
+            tid: ThreadId(i as u32),
+            name: &t.name,
+            priority: t.priority,
+            cpu: t.cpu,
+            exited: t.exited,
+            panicked: t.panicked,
+            parent: t.parent,
+            generation: t.generation,
+        })
+    }
+
+    /// Number of threads ever created (exited ones included).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
     }
 
     /// Number of threads currently alive.
@@ -404,6 +472,7 @@ impl Sim {
             monitor: m.id(),
             timeout,
             queue: VecDeque::new(),
+            live: 0,
         });
         Condition {
             id,
@@ -515,6 +584,8 @@ impl Sim {
             reacquire_outcome: None,
             reacquire_cv: None,
             stall_pending: None,
+            in_ready: false,
+            ready_gen: 0,
         });
         self.live_threads += 1;
         self.stats.max_live_threads = self.stats.max_live_threads.max(self.live_threads);
@@ -525,22 +596,37 @@ impl Sim {
             priority,
             generation,
         });
-        self.ready[priority.index()].push_back(tid);
+        self.ready_enqueue(tid, false);
         tid
     }
 
     // ---- event emission ---------------------------------------------------
 
+    /// Routes one event to the subscribed consumers. When neither the
+    /// hazard monitor nor the sink wants this kind — in particular when
+    /// no instrumentation is attached at all — the event is never even
+    /// constructed: the counters in [`SimStats`] are maintained by the
+    /// callers, so this fast path loses nothing.
+    #[inline]
     fn emit(&mut self, kind: EventKind) {
+        let to_hazard = self.hazard_mask.contains(&kind);
+        let to_sink = self.sink_mask.contains(&kind);
+        if !to_hazard && !to_sink {
+            return;
+        }
         let ev = Event {
             t: self.clock,
             kind,
         };
-        if let Some(h) = &mut self.hazards {
-            h.record(&ev);
+        if to_hazard {
+            if let Some(h) = &mut self.hazards {
+                h.record(&ev);
+            }
         }
-        if let Some(sink) = &mut self.sink {
-            sink.record(&ev);
+        if to_sink {
+            if let Some(sink) = &mut self.sink {
+                sink.record(&ev);
+            }
         }
     }
 
@@ -552,22 +638,64 @@ impl Sim {
 
     // ---- ready-queue helpers ----------------------------------------------
 
+    /// Appends a live entry for `tid` at its current priority,
+    /// maintaining the live counts and the nonempty mask.
+    fn ready_enqueue(&mut self, tid: ThreadId, front: bool) {
+        let t = &mut self.threads[tid.0 as usize];
+        debug_assert!(!t.in_ready, "thread {tid:?} enqueued while already ready");
+        t.in_ready = true;
+        t.ready_gen = t.ready_gen.wrapping_add(1);
+        let entry = (tid, t.ready_gen);
+        let lvl = t.priority.index();
+        if front {
+            self.ready[lvl].push_front(entry);
+        } else {
+            self.ready[lvl].push_back(entry);
+        }
+        self.ready_live[lvl] += 1;
+        self.ready_mask |= 1 << lvl;
+    }
+
+    /// Marks a dequeued level slot dead and updates count and mask. The
+    /// caller has already taken the entry out of (or tombstoned it in)
+    /// the deque.
+    fn ready_mark_dequeued(&mut self, tid: ThreadId, lvl: usize) {
+        self.threads[tid.0 as usize].in_ready = false;
+        self.ready_live[lvl] -= 1;
+        if self.ready_live[lvl] == 0 {
+            self.ready_mask &= !(1 << lvl);
+            // Whatever remains in the deque is tombstones.
+            self.ready[lvl].clear();
+        }
+    }
+
+    /// Pops the frontmost *live* entry at `lvl`, dropping tombstones on
+    /// the way. Returns `None` only if the level has no live entry.
+    fn pop_ready_at(&mut self, lvl: usize) -> Option<ThreadId> {
+        while let Some((tid, gen)) = self.ready[lvl].pop_front() {
+            let t = &self.threads[tid.0 as usize];
+            if t.in_ready && t.ready_gen == gen {
+                self.ready_mark_dequeued(tid, lvl);
+                return Some(tid);
+            }
+        }
+        None
+    }
+
     fn push_ready_back(&mut self, tid: ThreadId) {
         if self.apply_pending_stall(tid) {
             return;
         }
-        let p = self.threads[tid.0 as usize].priority;
         self.threads[tid.0 as usize].state = TState::Ready;
-        self.ready[p.index()].push_back(tid);
+        self.ready_enqueue(tid, false);
     }
 
     fn push_ready_front(&mut self, tid: ThreadId) {
         if self.apply_pending_stall(tid) {
             return;
         }
-        let p = self.threads[tid.0 as usize].priority;
         self.threads[tid.0 as usize].state = TState::Ready;
-        self.ready[p.index()].push_front(tid);
+        self.ready_enqueue(tid, true);
     }
 
     // ---- chaos injection --------------------------------------------------
@@ -612,58 +740,71 @@ impl Sim {
     }
 
     fn pop_ready_excluding(&mut self, excluded: Option<ThreadId>) -> Option<ThreadId> {
-        for q in self.ready.iter_mut().rev() {
-            let pos = match excluded {
-                None => {
-                    if q.is_empty() {
-                        continue;
-                    }
-                    0
+        let Some(ex) = excluded else {
+            // Hot path: one leading-zeros instruction finds the highest
+            // nonempty priority; the pop drops tombstones lazily.
+            if self.ready_mask == 0 {
+                return None;
+            }
+            let lvl = (31 - self.ready_mask.leading_zeros()) as usize;
+            return self.pop_ready_at(lvl);
+        };
+        // Exclusion path (YieldButNotToMe): rare, so the mid-queue
+        // `remove` below is acceptable. Skip levels whose only live
+        // entry is the excluded thread itself.
+        let mut mask = self.ready_mask;
+        while mask != 0 {
+            let lvl = (31 - mask.leading_zeros()) as usize;
+            mask &= !(1 << lvl);
+            let ext = &self.threads[ex.0 as usize];
+            if ext.in_ready && ext.priority.index() == lvl && self.ready_live[lvl] == 1 {
+                continue;
+            }
+            for pos in 0..self.ready[lvl].len() {
+                let (tid, gen) = self.ready[lvl][pos];
+                let t = &self.threads[tid.0 as usize];
+                if tid != ex && t.in_ready && t.ready_gen == gen {
+                    self.ready[lvl].remove(pos);
+                    self.ready_mark_dequeued(tid, lvl);
+                    return Some(tid);
                 }
-                Some(ex) => match q.iter().position(|&t| t != ex) {
-                    Some(p) => p,
-                    None => continue,
-                },
-            };
-            return q.remove(pos);
+            }
         }
         None
     }
 
     fn remove_from_ready(&mut self, tid: ThreadId) -> bool {
-        let p = self.threads[tid.0 as usize].priority;
-        let q = &mut self.ready[p.index()];
-        if let Some(pos) = q.iter().position(|&t| t == tid) {
-            q.remove(pos);
-            true
-        } else {
-            false
+        if !self.threads[tid.0 as usize].in_ready {
+            return false;
         }
+        // O(1): the queue entry stays behind as a tombstone.
+        let lvl = self.threads[tid.0 as usize].priority.index();
+        self.ready_mark_dequeued(tid, lvl);
+        true
     }
 
     fn exists_ready_higher_than(&self, prio: Priority, excluded: Option<ThreadId>) -> bool {
-        for (i, q) in self.ready.iter().enumerate().rev() {
-            if i < prio.index() + 1 {
-                break;
-            }
-            match excluded {
-                None => {
-                    if !q.is_empty() {
-                        return true;
-                    }
-                }
-                Some(ex) => {
-                    if q.iter().any(|&t| t != ex) {
-                        return true;
-                    }
-                }
+        let above = self.ready_mask & !((1u32 << (prio.index() + 1)) - 1);
+        let Some(ex) = excluded else {
+            return above != 0;
+        };
+        if above == 0 {
+            return false;
+        }
+        // The excluded thread occupies at most one level; discount it
+        // when it is that level's only live entry.
+        let ext = &self.threads[ex.0 as usize];
+        if ext.in_ready {
+            let lvl = ext.priority.index();
+            if lvl > prio.index() && self.ready_live[lvl] == 1 {
+                return above & !(1 << lvl) != 0;
             }
         }
-        false
+        true
     }
 
     fn exists_ready_at_least(&self, prio: Priority) -> bool {
-        self.ready[prio.index()..].iter().any(|q| !q.is_empty())
+        self.ready_mask >> prio.index() != 0
     }
 
     fn preempt_needed(&self) -> bool {
@@ -695,7 +836,10 @@ impl Sim {
                     if live {
                         self.threads[idx].wait_seq += 1;
                         let mid = self.conds[cv.0 as usize].monitor;
-                        self.conds[cv.0 as usize].queue.retain(|&w| w != tid);
+                        // The queue entry is lazily cancelled: the seq
+                        // bump above orphans it, so only the live count
+                        // needs maintaining.
+                        self.cv_mark_dequeued(cv);
                         self.stats.cv_timeouts += 1;
                         let t = &mut self.threads[idx];
                         t.acquire_on_dispatch = Some(mid);
@@ -713,7 +857,7 @@ impl Sim {
                     if live {
                         self.threads[idx].wait_seq += 1;
                         let mid = self.conds[cv.0 as usize].monitor;
-                        self.conds[cv.0 as usize].queue.retain(|&w| w != tid);
+                        self.cv_mark_dequeued(cv);
                         self.stats.chaos_spurious_wakeups += 1;
                         self.emit(EventKind::SpuriousWakeup { tid, cv });
                         let t = &mut self.threads[idx];
@@ -751,6 +895,34 @@ impl Sim {
         }
     }
 
+    // ---- condition-variable queue helpers -----------------------------------
+
+    /// Accounts for one entry of `cv`'s queue going dead (woken, timed
+    /// out, or spuriously awakened); the deque entry itself is dropped
+    /// lazily when it surfaces.
+    fn cv_mark_dequeued(&mut self, cv: CondId) {
+        let c = &mut self.conds[cv.0 as usize];
+        c.live -= 1;
+        if c.live == 0 {
+            c.queue.clear();
+        }
+    }
+
+    /// Pops the frontmost live waiter of `cv`, skipping entries whose
+    /// wait was already ended by a timeout or spurious wake.
+    fn pop_cv_waiter(&mut self, cv: CondId) -> Option<ThreadId> {
+        if self.conds[cv.0 as usize].live == 0 {
+            return None;
+        }
+        while let Some((w, seq)) = self.conds[cv.0 as usize].queue.pop_front() {
+            if self.threads[w.0 as usize].wait_seq == seq {
+                self.cv_mark_dequeued(cv);
+                return Some(w);
+            }
+        }
+        unreachable!("cv {cv:?} live count out of sync with its queue");
+    }
+
     // ---- monitor helpers ----------------------------------------------------
 
     /// Consumes a thread's pending CV-wake bookkeeping, emitting the
@@ -771,9 +943,11 @@ impl Sim {
     /// Grants a released monitor to the next queued thread, flushing
     /// deferred notifications into the queue first.
     fn release_monitor(&mut self, mid: MonitorId) {
-        let deferred: Vec<(ThreadId, WaitOutcome, CondId)> =
-            self.monitors[mid.0 as usize].deferred.drain(..).collect();
-        for (wtid, outcome, cv) in deferred {
+        // Move the deferred list out wholesale and hand its (emptied)
+        // buffer back afterwards, so the common notify-heavy path never
+        // allocates.
+        let mut deferred = std::mem::take(&mut self.monitors[mid.0 as usize].deferred);
+        for &(wtid, outcome, cv) in &deferred {
             let w = &mut self.threads[wtid.0 as usize];
             debug_assert!(matches!(w.state, TState::CvWait(_)));
             w.state = TState::MutexWait(mid);
@@ -781,6 +955,9 @@ impl Sim {
             w.reacquire_cv = Some(cv);
             self.monitors[mid.0 as usize].queue.push_back(wtid);
         }
+        deferred.clear();
+        debug_assert!(self.monitors[mid.0 as usize].deferred.is_empty());
+        self.monitors[mid.0 as usize].deferred = deferred;
         self.monitors[mid.0 as usize].owner = None;
         if let Some(next) = self.monitors[mid.0 as usize].queue.pop_front() {
             self.monitors[mid.0 as usize].owner = Some(next);
@@ -861,12 +1038,17 @@ impl Sim {
         if m.meta == Some(tid) {
             m.meta = None;
         }
-        let stalled: Vec<ThreadId> = m.meta_waiters.drain(..).collect();
-        for s in stalled {
+        // Same take-and-return trick as `release_monitor`: no allocation
+        // per metalock release.
+        let mut stalled = std::mem::take(&mut m.meta_waiters);
+        for &s in &stalled {
             let t = &mut self.threads[s.0 as usize];
             t.acquire_on_dispatch = Some(mid);
             self.push_ready_back(s);
         }
+        stalled.clear();
+        debug_assert!(self.monitors[mid.0 as usize].meta_waiters.is_empty());
+        self.monitors[mid.0 as usize].meta_waiters = stalled;
         let m = &mut self.monitors[mid.0 as usize];
         if m.owner.is_none() && m.queue.is_empty() {
             // The mutex freed up while we were in the metalock window.
@@ -1136,15 +1318,30 @@ impl Sim {
             }
             Request::DonateRandom { slice } => {
                 self.threads[tid.0 as usize].pending_reply = Some(Reply::Ok);
-                let candidates: Vec<ThreadId> = self
-                    .ready
-                    .iter()
-                    .flatten()
-                    .copied()
-                    .filter(|&t| t != tid)
-                    .collect();
-                if let Some(i) = self.rng.pick_index(candidates.len()) {
-                    let target = candidates[i];
+                // Candidate count without materializing the list: every
+                // live ready entry except the donor itself. The walk below
+                // visits live entries in the same (level, FIFO) order the
+                // pre-tombstone queues had, so the RNG pick is unchanged.
+                let mut n: usize = self.ready_live.iter().map(|&c| c as usize).sum();
+                if self.threads[tid.0 as usize].in_ready {
+                    n -= 1;
+                }
+                if let Some(i) = self.rng.pick_index(n) {
+                    let mut target = tid;
+                    let mut seen = 0usize;
+                    'scan: for lvl in 0..Priority::LEVELS {
+                        for &(t, gen) in &self.ready[lvl] {
+                            let tcb = &self.threads[t.0 as usize];
+                            if t != tid && tcb.in_ready && tcb.ready_gen == gen {
+                                if seen == i {
+                                    target = t;
+                                    break 'scan;
+                                }
+                                seen += 1;
+                            }
+                        }
+                    }
+                    debug_assert_ne!(target, tid, "donation target walk out of sync");
                     self.stats.daemon_donations += 1;
                     self.emit(EventKind::DaemonDonation { target });
                     self.donation = Some(DonationPlan::Directed { target, slice });
@@ -1177,6 +1374,7 @@ impl Sim {
                     monitor,
                     timeout,
                     queue: VecDeque::new(),
+                    live: 0,
                 });
                 self.threads[tid.0 as usize].pending_reply = Some(Reply::CondId(id));
             }
@@ -1359,7 +1557,8 @@ impl Sim {
                 TimerKind::ChaosSpuriousWake { tid, cv, seq },
             );
         }
-        self.conds[cv.0 as usize].queue.push_back(tid);
+        self.conds[cv.0 as usize].queue.push_back((tid, seq));
+        self.conds[cv.0 as usize].live += 1;
         self.emit(EventKind::MlExit { tid, monitor: mid });
         self.release_monitor(mid);
     }
@@ -1375,7 +1574,7 @@ impl Sim {
         }
         // Chaos (§5.3): silently discard a NOTIFY that has a waiter. The
         // waiter keeps waiting; only its timeout (if any) can rescue it.
-        if !broadcast && !self.conds[cv.0 as usize].queue.is_empty() {
+        if !broadcast && self.conds[cv.0 as usize].live > 0 {
             let p = self.cfg.chaos.drop_notify_prob;
             if p > 0.0 && self.chaos_rng.next_f64() < p {
                 self.stats.cv_notifies += 1;
@@ -1387,7 +1586,7 @@ impl Sim {
         }
         let mut woken = 0u32;
         let mut first_woken = None;
-        while let Some(w) = self.conds[cv.0 as usize].queue.pop_front() {
+        while let Some(w) = self.pop_cv_waiter(cv) {
             woken += 1;
             first_woken.get_or_insert(w);
             self.wake_waiter(w, mid, cv);
@@ -1399,13 +1598,10 @@ impl Sim {
         // waiter wakens". Correct Mesa code re-checks its predicate and
         // survives; code that doesn't is what this fault flushes out.
         let mut extra = None;
-        if !broadcast && first_woken.is_some() && !self.conds[cv.0 as usize].queue.is_empty() {
+        if !broadcast && first_woken.is_some() && self.conds[cv.0 as usize].live > 0 {
             let p = self.cfg.chaos.duplicate_notify_prob;
             if p > 0.0 && self.chaos_rng.next_f64() < p {
-                let w = self.conds[cv.0 as usize]
-                    .queue
-                    .pop_front()
-                    .expect("non-empty queue");
+                let w = self.pop_cv_waiter(cv).expect("live waiter present");
                 self.wake_waiter(w, mid, cv);
                 self.stats.chaos_duplicated_notifies += 1;
                 extra = Some(w);

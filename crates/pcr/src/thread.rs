@@ -147,6 +147,48 @@ impl<T> fmt::Debug for JoinHandle<T> {
     }
 }
 
+/// Borrowed per-thread summary, from [`crate::Sim::threads_iter`].
+///
+/// The non-allocating counterpart of [`ThreadInfo`]: the name is a
+/// borrow of the scheduler's own string, so iterating every thread of a
+/// large world costs no heap traffic. Call [`ThreadView::to_info`] when
+/// an owned snapshot is needed.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadView<'a> {
+    /// Thread identity.
+    pub tid: ThreadId,
+    /// Name given at fork time.
+    pub name: &'a str,
+    /// Final priority.
+    pub priority: Priority,
+    /// Total virtual CPU time consumed.
+    pub cpu: SimDuration,
+    /// Whether the thread has exited.
+    pub exited: bool,
+    /// Whether it exited by panic.
+    pub panicked: bool,
+    /// Forking parent, if any.
+    pub parent: Option<ThreadId>,
+    /// Fork generation: roots are 0, their forks 1, and so on.
+    pub generation: u32,
+}
+
+impl ThreadView<'_> {
+    /// An owned [`ThreadInfo`] snapshot of this view.
+    pub fn to_info(&self) -> ThreadInfo {
+        ThreadInfo {
+            tid: self.tid,
+            name: self.name.to_string(),
+            priority: self.priority,
+            cpu: self.cpu,
+            exited: self.exited,
+            panicked: self.panicked,
+            parent: self.parent,
+            generation: self.generation,
+        }
+    }
+}
+
 /// Post-run summary of one simulated thread, from [`crate::Sim::threads`].
 #[derive(Clone, Debug)]
 pub struct ThreadInfo {

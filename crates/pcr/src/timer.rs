@@ -62,18 +62,23 @@ impl TimerWheel {
     }
 
     /// Schedules `kind` to fire at `at`.
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, kind: TimerKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { at, seq, kind }));
     }
 
-    /// The earliest pending deadline.
+    /// The earliest pending deadline. Called once per inner-loop
+    /// iteration of [`crate::Sim::run`], so it must stay a branch and a
+    /// heap peek.
+    #[inline]
     pub fn next_deadline(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
 
     /// Pops the next timer due at or before `now`.
+    #[inline]
     pub fn pop_due(&mut self, now: SimTime) -> Option<TimerKind> {
         if self.next_deadline()? <= now {
             self.heap.pop().map(|Reverse(e)| e.kind)

@@ -364,11 +364,7 @@ fn join_cycle_is_a_deadlock() {
     let r = s.run(RunLimit::For(secs(1)));
     // Not a deadlock (the sleeper has a timer) but the joiner is blocked.
     assert_eq!(r.reason, StopReason::TimeLimit);
-    let joiner = s
-        .threads()
-        .into_iter()
-        .find(|t| t.name == "joiner")
-        .unwrap();
+    let joiner = s.threads_iter().find(|t| t.name == "joiner").unwrap();
     assert!(!joiner.exited);
     let _ = tid;
 }

@@ -324,7 +324,7 @@ mod tests {
             assert_eq!(sim.stats().panics, 0, "{bench:?} panicked");
             assert_eq!(
                 sim.stats().forks as usize,
-                sim.threads().len(),
+                sim.thread_count(),
                 "GVX forked beyond its eternal population"
             );
         }
@@ -335,9 +335,9 @@ mod tests {
         let mut sim = pcr::Sim::new(SimConfig::default().with_seed(1));
         install(&mut sim, crate::spec::Benchmark::Idle);
         let sites: Vec<String> = modeled_sites().into_iter().map(|(n, _)| n).collect();
-        for t in sim.threads() {
+        for t in sim.threads_iter() {
             assert!(
-                sites.contains(&t.name),
+                sites.iter().any(|s| s == t.name),
                 "thread '{}' missing from modeled_sites()",
                 t.name
             );

@@ -34,6 +34,11 @@ pub struct BenchResult {
     /// (warm-up included). All-zero when hazard detection was off, as it
     /// is for [`run_benchmark`].
     pub hazards: HazardCounts,
+    /// Primitive events executed inside the measurement window (the delta
+    /// of [`pcr::SimStats::event_volume`] across it). Deterministic for a
+    /// given `(system, benchmark, window, seed)`, so the perf harness can
+    /// divide it by wall-clock time to report simulated events/sec.
+    pub event_volume: u64,
 }
 
 /// Default virtual measurement window.
@@ -159,6 +164,7 @@ pub fn run_benchmark_chaos(
         cpu_by_priority,
         mean_transient_lifetime: collector.genealogy.mean_lifetime_of_exited(),
         hazards: report.hazards,
+        event_volume: end_stats.event_volume() - start_stats.event_volume(),
     }
 }
 

@@ -104,11 +104,11 @@ fn every_world_thread_names_a_modeled_census_site() {
         for &b in Benchmark::suite(sys) {
             let mut sim = runner::build(sys, b, 3);
             sim.run(threadstudy::pcr::RunLimit::For(secs(3)));
-            for t in sim.threads() {
+            for t in sim.threads_iter() {
                 if t.name == "SystemDaemon" || t.name == "XServer" {
                     continue; // Runtime/substrate machinery.
                 }
-                let site = inv.find(&t.name).unwrap_or_else(|| {
+                let site = inv.find(t.name).unwrap_or_else(|| {
                     panic!("{sys:?}/{b:?}: thread '{}' has no census entry", t.name)
                 });
                 assert!(
