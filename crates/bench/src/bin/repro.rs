@@ -18,7 +18,18 @@ commands:
   slack|spurious|inversion|quantum|mistakes|forkfail|weakmem|xlib
                              one experiment by name
   history                    a 100ms event history of Cedar typing
-  contention                 hottest monitors (GVX scroll, Cedar typing)
+  contention                 the §6.1 contention profile and §6.2 latency
+                             histogram (GVX scroll, Cedar typing)
+  trace    [--chrome PATH] [--jsonl PATH] [--window SECS] [--chaos]
+                             record one Cedar/Keyboard run (default 5s)
+                             and export it: --chrome writes a Chrome
+                             trace-event file for ui.perfetto.dev,
+                             --jsonl the raw event stream (defaults to
+                             trace-chrome.json when neither is given)
+  diff     A.jsonl B.jsonl [--threshold PCT]
+                             align two exported runs and report rate/
+                             latency/contention deltas beyond PCT
+                             (default 1%); exits non-zero on any delta
   chaos    [--window SECS]   fault-injected runs, replayed twice:
                              asserts byte-identical traces + hazard table
   lint     [--json PATH]     threadlint: static discipline lints and the
@@ -80,35 +91,123 @@ fn history(seed: u64) -> bool {
 }
 
 fn contention(seed: u64) -> bool {
-    use trace::ContentionCollector;
+    use trace::ContentionProfiler;
     let mut failed = false;
     for (sys, bench) in [
         (workloads::System::Gvx, workloads::Benchmark::Scroll),
         (workloads::System::Cedar, workloads::Benchmark::Keyboard),
     ] {
         let mut sim = workloads::runner::build(sys, bench, seed);
-        sim.set_sink(Box::new(ContentionCollector::new()));
+        let mut profiler = ContentionProfiler::new();
+        profiler.set_topology(
+            sim.monitor_names(),
+            sim.condition_info()
+                .iter()
+                .map(|(_, m)| m.as_u32())
+                .collect(),
+        );
+        sim.set_sink(Box::new(profiler));
         let report = sim.run(pcr::RunLimit::For(secs(30)));
         failed |= check_run(&format!("contention {}/{bench:?}", sys.name()), &report);
-        let coll = trace::take_collector::<ContentionCollector>(&mut sim).expect("collector");
+        let prof = trace::take_collector::<ContentionProfiler>(&mut sim).expect("profiler");
         println!(
             "{} / {bench:?}: {} of {} entries contended ({:.3}%)",
             sys.name(),
-            coll.total_contended(),
-            coll.total_enters(),
-            100.0 * coll.total_contended() as f64 / coll.total_enters().max(1) as f64
+            prof.total_contended(),
+            prof.total_enters(),
+            100.0 * prof.total_contended() as f64 / prof.total_enters().max(1) as f64
         );
-        for (m, c) in coll.hottest(3) {
+        let rows = prof.rows();
+        let shown = rows.len().min(12);
+        println!("{}", trace::contention_table(&rows[..shown]).to_text());
+        if rows.len() > shown {
             println!(
-                "  {m:?}: {} contended of {} ({:.2}%)",
-                c.contended,
-                c.enters,
-                100.0 * c.fraction()
+                "({} more monitors below the hottest {shown})\n",
+                rows.len() - shown
             );
         }
-        println!();
+        println!(
+            "{}",
+            trace::latency_table(&sim.stats().sched_latency).to_text()
+        );
     }
     failed
+}
+
+/// `repro trace`: record one Cedar/Keyboard run and export it as a
+/// Chrome trace-event file (for `ui.perfetto.dev`) and/or raw JSONL.
+fn trace_cmd(
+    window: pcr::SimDuration,
+    seed: u64,
+    chaos: bool,
+    chrome_path: Option<&str>,
+    jsonl_path: Option<&str>,
+) -> bool {
+    let faults = if chaos {
+        workloads::chaos_preset()
+    } else {
+        pcr::ChaosConfig::none()
+    };
+    let mut sim = workloads::build_chaos(
+        workloads::System::Cedar,
+        workloads::Benchmark::Keyboard,
+        seed,
+        faults,
+    );
+    sim.set_sink(Box::new(pcr::VecSink::default()));
+    let report = sim.run(pcr::RunLimit::For(window));
+    if report.deadlocked() {
+        eprintln!("FAIL trace: deadlocked ({:?})", report.reason);
+        return true;
+    }
+    let labels = trace::TraceLabels::from_sim(&sim);
+    let events = trace::take_collector::<pcr::VecSink>(&mut sim)
+        .expect("vec sink")
+        .events;
+    let chrome_default;
+    let chrome_path = match (chrome_path, jsonl_path) {
+        (None, None) => {
+            chrome_default = "trace-chrome.json".to_string();
+            Some(chrome_default.as_str())
+        }
+        (c, _) => c,
+    };
+    if let Some(path) = chrome_path {
+        let f = std::fs::File::create(path).expect("create chrome trace");
+        trace::write_chrome(&events, &labels, std::io::BufWriter::new(f)).expect("write chrome");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = jsonl_path {
+        let f = std::fs::File::create(path).expect("create jsonl trace");
+        trace::write_jsonl(&events, std::io::BufWriter::new(f)).expect("write jsonl");
+        eprintln!("wrote {path}");
+    }
+    println!(
+        "trace: Cedar/Keyboard, {} of virtual time, {} events{}",
+        report.elapsed,
+        events.len(),
+        if chaos { " (chaos preset)" } else { "" }
+    );
+    false
+}
+
+/// `repro diff`: align two JSONL traces and report the deltas.
+fn diff_cmd(path_a: &str, path_b: &str, threshold_pct: f64) -> bool {
+    let load = |path: &str| -> Vec<trace::OwnedEventRecord> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        trace::parse_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let a = load(path_a);
+    let b = load(path_b);
+    let report = trace::diff_runs(&a, &b, threshold_pct);
+    print!("{}", report.render());
+    !report.is_clean()
 }
 
 /// Chaos-mode smoke: one Cedar and one GVX benchmark with the standard
@@ -184,13 +283,13 @@ fn main() {
         Some(first) if first.starts_with("--") => "all",
         Some(first) => first,
     };
-    let window = args
+    let window_flag = args
         .iter()
         .position(|a| a == "--window")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<u64>().ok())
-        .map(secs)
-        .unwrap_or(secs(30));
+        .map(secs);
+    let window = window_flag.unwrap_or(secs(30));
     // `--seed HEX` (0x prefix and _ separators accepted). Subcommands
     // keep their historical defaults when the flag is absent, so
     // existing outputs stay byte-identical.
@@ -234,6 +333,38 @@ fn main() {
         "help" => println!("{USAGE}"),
         "history" => failed |= history(seed_flag.unwrap_or(0xE7E27)),
         "contention" => failed |= contention(seed),
+        "trace" => {
+            let flag = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+                    .cloned()
+            };
+            failed |= trace_cmd(
+                window_flag.unwrap_or(secs(5)),
+                seed,
+                args.iter().any(|a| a == "--chaos"),
+                flag("--chrome").as_deref(),
+                flag("--jsonl").as_deref(),
+            );
+        }
+        "diff" => {
+            let positional: Vec<&String> = args[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
+            let [path_a, path_b] = positional[..] else {
+                eprintln!("diff needs exactly two trace files\n{USAGE}");
+                std::process::exit(2);
+            };
+            let threshold = args
+                .iter()
+                .position(|a| a == "--threshold")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse::<f64>().ok())
+                .unwrap_or(1.0);
+            failed |= diff_cmd(path_a, path_b, threshold);
+        }
         "chaos" => failed |= chaos(window, seed),
         "lint" => failed |= bench::lint::run(json_path.as_deref()),
         "bench" => {
@@ -288,6 +419,7 @@ fn main() {
             println!("{}", bench::tables::table2(&results).to_markdown());
             println!("{}", bench::tables::table3(&results).to_markdown());
             println!("{}", bench::tables::table4().to_markdown());
+            print!("{}", bench::tables::profile_section(&results, true));
         }
         "tables" | "figures" | "all" => {
             if what == "all" {
@@ -307,6 +439,7 @@ fn main() {
                 println!("{}", bench::tables::table2(&results).to_text());
                 println!("{}", bench::tables::table3(&results).to_text());
                 println!("{}", bench::tables::table4().to_text());
+                print!("{}", bench::tables::profile_section(&results, false));
             }
             if what != "tables" {
                 for r in &results {

@@ -5,6 +5,7 @@
 //! runtime's primitives and paradigms.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod experiments;
 pub mod lint;

@@ -28,6 +28,11 @@ pub struct CellPerf {
     pub wall_secs: f64,
     /// `event_volume / wall_secs`.
     pub events_per_sec: f64,
+    /// §6.1 per-monitor contention profile from the first rep
+    /// (deterministic, so every rep sees the same one).
+    pub contention: Vec<trace::MonitorProfileRow>,
+    /// §6.2 wakeup-to-run latency histogram from the first rep.
+    pub sched_latency: pcr::SchedLatency,
 }
 
 /// A full perf-harness run: every cell timed `reps` times serially, plus
@@ -82,6 +87,8 @@ pub fn measure(window: SimDuration, seed: u64, reps: u32) -> PerfReport {
     let mut cell_walls: Vec<Vec<f64>> = vec![Vec::new(); cells.len()];
     let mut serial_walls: Vec<f64> = Vec::new();
     let mut volumes: Vec<u64> = vec![0; cells.len()];
+    let mut profiles: Vec<(Vec<trace::MonitorProfileRow>, pcr::SchedLatency)> =
+        vec![Default::default(); cells.len()];
 
     for rep in 0..reps {
         let mut pass_total = 0.0;
@@ -94,6 +101,7 @@ pub fn measure(window: SimDuration, seed: u64, reps: u32) -> PerfReport {
             pass_total += dt;
             if rep == 0 {
                 volumes[i] = r.event_volume;
+                profiles[i] = (r.contention, r.sched_latency);
             } else {
                 assert_eq!(
                     volumes[i],
@@ -125,6 +133,7 @@ pub fn measure(window: SimDuration, seed: u64, reps: u32) -> PerfReport {
         .enumerate()
         .map(|(i, &(system, benchmark))| {
             let wall = median(&mut cell_walls[i]);
+            let (contention, sched_latency) = std::mem::take(&mut profiles[i]);
             CellPerf {
                 system,
                 benchmark,
@@ -135,6 +144,8 @@ pub fn measure(window: SimDuration, seed: u64, reps: u32) -> PerfReport {
                 } else {
                     0.0
                 },
+                contention,
+                sched_latency,
             }
         })
         .collect();
@@ -174,6 +185,10 @@ impl PerfReport {
                 ("event_volume", Json::from(c.event_volume)),
                 ("wall_secs", Json::from(c.wall_secs)),
                 ("events_per_sec", Json::from(c.events_per_sec)),
+                (
+                    "profile",
+                    crate::tables::profile_json(&c.contention, &c.sched_latency),
+                ),
             ])
         });
         Json::obj([
@@ -235,19 +250,14 @@ impl PerfReport {
     }
 }
 
-/// Pulls `aggregate_events_per_sec` out of a previously written report.
-///
-/// The trace crate's [`Json`] is writer-only (no parser in this offline
-/// build), so the baseline check scans for the key textually; the value
-/// is always a bare JSON number on the same line.
+/// Pulls `aggregate_events_per_sec` out of a previously written report
+/// by parsing it with [`Json::parse`]; returns `None` if the text is
+/// not JSON or the key is missing.
 pub fn baseline_events_per_sec(text: &str) -> Option<f64> {
-    let key = "\"aggregate_events_per_sec\":";
-    let at = text.find(key)?;
-    let rest = text[at + key.len()..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+    Json::parse(text)
+        .ok()?
+        .get("aggregate_events_per_sec")
+        .and_then(Json::as_f64)
 }
 
 #[cfg(test)]

@@ -202,8 +202,77 @@ pub fn table4() -> Table {
     t
 }
 
+/// The §6.1/§6.2 profile of one run as JSON: per-monitor contention
+/// rows plus the per-priority wakeup-to-run latency histogram.
+pub fn profile_json(rows: &[trace::MonitorProfileRow], lat: &pcr::SchedLatency) -> Json {
+    let contention = rows.iter().map(|row| {
+        let p = &row.profile;
+        Json::obj([
+            ("monitor", Json::from(row.name.as_str())),
+            ("enters", Json::from(p.enters)),
+            ("contended", Json::from(p.contended)),
+            ("total_hold_us", Json::from(p.total_hold.as_micros())),
+            ("max_hold_us", Json::from(p.max_hold.as_micros())),
+            ("total_wait_us", Json::from(p.total_wait.as_micros())),
+            ("max_wait_us", Json::from(p.max_wait.as_micros())),
+        ])
+    });
+    let latency = (0..7).filter(|&p| lat.samples[p] > 0).map(|p| {
+        Json::obj([
+            ("priority", Json::from((p + 1) as u64)),
+            ("dispatches", Json::from(lat.samples[p])),
+            (
+                "mean_wait_us",
+                Json::from(lat.mean_wait(p).map_or(0, |d| d.as_micros())),
+            ),
+            ("max_wait_us", Json::from(lat.max_wait[p].as_micros())),
+            ("log2_us_histogram", Json::from(lat.buckets[p].to_vec())),
+        ])
+    });
+    Json::obj([
+        ("contention", Json::arr(contention)),
+        ("sched_latency", Json::arr(latency)),
+    ])
+}
+
+/// Renders the §6.1 contention and §6.2 latency tables for the two
+/// reference cells (Cedar/Keyboard and GVX/Scroll) out of an
+/// already-run matrix. `markdown` picks the output dialect.
+pub fn profile_section(results: &[BenchResult], markdown: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in results {
+        let reference = matches!(
+            (r.system, r.benchmark),
+            (System::Cedar, Benchmark::Keyboard) | (System::Gvx, Benchmark::Scroll)
+        );
+        if !reference {
+            continue;
+        }
+        let _ = writeln!(out, "== {} ==", r.rates.name);
+        let shown = r.contention.len().min(12);
+        let ct = trace::contention_table(&r.contention[..shown]);
+        let lt = trace::latency_table(&r.sched_latency);
+        if markdown {
+            let _ = writeln!(out, "{}", ct.to_markdown());
+            let _ = writeln!(out, "{}", lt.to_markdown());
+        } else {
+            let _ = writeln!(out, "{}", ct.to_text());
+            let _ = writeln!(out, "{}", lt.to_text());
+        }
+        if r.contention.len() > shown {
+            let _ = writeln!(
+                out,
+                "({} more monitors below the hottest {shown})\n",
+                r.contention.len() - shown
+            );
+        }
+    }
+    out
+}
+
 /// Machine-readable summary of all runs: the table rows, the paper's
-/// values, figure scalars, and the census counts.
+/// values, figure scalars, profiles, and the census counts.
 pub fn json_summary(results: &[BenchResult]) -> Json {
     let rows = results.iter().map(|r| {
         let p = paper_row(r.system, r.benchmark);
@@ -250,6 +319,7 @@ pub fn json_summary(results: &[BenchResult]) -> Json {
                     ),
                 ]),
             ),
+            ("profile", profile_json(&r.contention, &r.sched_latency)),
         ])
     });
     let inv = workloads::inventory::census();

@@ -33,6 +33,152 @@ fn help_prints_usage_and_succeeds() {
 }
 
 #[test]
+fn help_lists_every_documented_subcommand() {
+    // The README quickstart documents these; `repro help` must list
+    // each one so the docs and the binary cannot drift apart.
+    let out = repro().arg("help").output().expect("spawn repro");
+    assert!(out.status.success(), "{:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for cmd in [
+        "tables",
+        "table4",
+        "figures",
+        "experiments",
+        "history",
+        "contention",
+        "trace",
+        "diff",
+        "chaos",
+        "lint",
+        "markdown",
+        "bench",
+        "all",
+        "help",
+    ] {
+        assert!(
+            stdout.lines().any(|l| {
+                l.trim_start().starts_with(cmd)
+                    || l.trim_start()
+                        .split('|')
+                        .any(|alt| alt.split_whitespace().next() == Some(cmd))
+            }),
+            "`repro help` does not list {cmd}:\n{stdout}"
+        );
+    }
+}
+
+/// Structural validation of a Chrome trace-event file: valid JSON, the
+/// object form with a traceEvents array, every X span with non-negative
+/// dur, and per-track monotonically non-decreasing timestamps.
+fn validate_chrome(text: &str) {
+    let doc = trace::Json::parse(text).expect("chrome trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(trace::Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "empty trace");
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), u64> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(trace::Json::as_str).expect("ph");
+        assert!(
+            ["X", "i", "s", "f", "M"].contains(&ph),
+            "unexpected phase {ph:?}"
+        );
+        if ph == "M" {
+            continue;
+        }
+        let pid = e.get("pid").and_then(trace::Json::as_u64).expect("pid");
+        let tid = e.get("tid").and_then(trace::Json::as_u64).expect("tid");
+        let ts = e.get("ts").and_then(trace::Json::as_u64).expect("ts");
+        if ph == "X" {
+            assert!(
+                e.get("dur").and_then(trace::Json::as_u64).is_some(),
+                "X without dur"
+            );
+        }
+        let prev = last_ts.entry((pid, tid)).or_insert(0);
+        assert!(
+            ts >= *prev,
+            "track ({pid},{tid}) went backwards: {ts} after {prev}"
+        );
+        *prev = ts;
+    }
+}
+
+#[test]
+fn trace_chrome_is_valid_and_seed_deterministic() {
+    let dir = std::env::temp_dir();
+    let p1 = dir.join(format!("chrome-a-{}.json", std::process::id()));
+    let p2 = dir.join(format!("chrome-b-{}.json", std::process::id()));
+    for p in [&p1, &p2] {
+        let out = repro()
+            .args(["trace", "--window", "2", "--seed", "abc123", "--chrome"])
+            .arg(p)
+            .output()
+            .expect("spawn repro");
+        assert!(
+            out.status.success(),
+            "stderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let a = std::fs::read_to_string(&p1).expect("trace file");
+    let b = std::fs::read_to_string(&p2).expect("trace file");
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+    assert_eq!(a, b, "same-seed chrome traces are not byte-identical");
+    validate_chrome(&a);
+}
+
+#[test]
+fn diff_of_identical_runs_is_clean_and_chaos_names_a_fault_site() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let clean1 = dir.join(format!("clean1-{pid}.jsonl"));
+    let clean2 = dir.join(format!("clean2-{pid}.jsonl"));
+    let chaos = dir.join(format!("chaos-{pid}.jsonl"));
+    for (path, extra) in [(&clean1, false), (&clean2, false), (&chaos, true)] {
+        let mut cmd = repro();
+        cmd.args(["trace", "--window", "2", "--seed", "77", "--jsonl"]);
+        cmd.arg(path);
+        if extra {
+            cmd.arg("--chaos");
+        }
+        let out = cmd.output().expect("spawn repro");
+        assert!(
+            out.status.success(),
+            "stderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Identical-seed clean runs: zero deltas, exit 0.
+    let out = repro()
+        .arg("diff")
+        .args([&clean1, &clean2])
+        .output()
+        .expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "clean diff failed:\n{stdout}");
+    assert!(stdout.contains("no deltas"), "{stdout}");
+
+    // Chaos vs clean: non-zero exit, at least one named fault site.
+    let out = repro()
+        .arg("diff")
+        .args([&clean1, &chaos])
+        .output()
+        .expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "chaos diff exit:\n{stdout}");
+    assert!(stdout.contains("injected fault site:"), "{stdout}");
+
+    for p in [&clean1, &clean2, &chaos] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn lint_subcommand_is_clean_and_writes_json() {
     let json = std::env::temp_dir().join(format!("threadlint-{}.json", std::process::id()));
     let out = repro()

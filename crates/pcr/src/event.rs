@@ -8,7 +8,7 @@
 
 use crate::monitor::MonitorId;
 use crate::thread::{Priority, ThreadId};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a condition variable.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -18,6 +18,12 @@ impl CondId {
     /// Returns the raw index.
     pub const fn as_u32(self) -> u32 {
         self.0
+    }
+
+    /// Rebuilds an id from its raw index — for trace tooling that works
+    /// with exported (flattened) event records.
+    pub const fn from_u32(v: u32) -> CondId {
+        CondId(v)
     }
 }
 
@@ -142,6 +148,10 @@ pub enum EventKind {
         to: ThreadId,
         /// Its priority at dispatch.
         to_priority: Priority,
+        /// How long `to` sat in the ready queue before this dispatch —
+        /// the wakeup-to-run scheduler latency of §6.2/§6.3. Feeds
+        /// [`crate::SchedLatency`] and the trace exporters.
+        ready_for: SimDuration,
     },
     /// A running thread exhausted its timeslice.
     QuantumExpired {
@@ -156,6 +166,21 @@ pub enum EventKind {
         monitor: MonitorId,
         /// True if the mutex was held and the thread had to queue.
         contended: bool,
+    },
+    /// A queued thread was granted a monitor it had been waiting for:
+    /// either its contended [`EventKind::MlEnter`] finally succeeded, or
+    /// a notified CV waiter reacquired the monitor on its way out of a
+    /// wait. The grant happens when the previous owner releases; the
+    /// grantee may only *run* later, so the gap between this event and
+    /// the next [`EventKind::Switch`] to the grantee is scheduler
+    /// latency, not lock hold time. Hold spans in the exporters run from
+    /// an uncontended `MlEnter` *or* an `MlAcquired` to the matching
+    /// [`EventKind::MlExit`].
+    MlAcquired {
+        /// The thread that now owns the monitor.
+        tid: ThreadId,
+        /// The monitor.
+        monitor: MonitorId,
     },
     /// A thread exited a monitor.
     MlExit {
@@ -335,6 +360,7 @@ impl EventKind {
             EventKind::ChaosStall { .. } => 23,
             EventKind::ChaosForkFail { .. } => 24,
             EventKind::JoinBlocked { .. } => 25,
+            EventKind::MlAcquired { .. } => 26,
         }
     }
 }

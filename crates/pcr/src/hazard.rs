@@ -359,6 +359,7 @@ impl HazardMonitor {
                 from,
                 to,
                 to_priority,
+                ..
             } => {
                 {
                     let s = self.shadow(to);
@@ -426,6 +427,12 @@ impl HazardMonitor {
                 if contended {
                     self.shadow(tid).block();
                 }
+            }
+            EventKind::MlAcquired { tid, .. } => {
+                // The grantee is ready again (dispatch comes later).
+                let s = self.shadow(tid);
+                s.blocked = false;
+                s.runnable_since = Some(t);
             }
             EventKind::MlExit { tid, .. } => {
                 let s = self.shadow(tid);
@@ -703,6 +710,7 @@ mod tests {
                 from: None,
                 to: tid(2),
                 to_priority: Priority::of(2),
+                ready_for: SimDuration::ZERO,
             },
         ));
         // Far past the 500 ms threshold, t2 is switched to again.
@@ -712,6 +720,7 @@ mod tests {
                 from: Some(tid(2)),
                 to: tid(2),
                 to_priority: Priority::of(2),
+                ready_for: SimDuration::ZERO,
             },
         ));
         assert_eq!(m.counts().starvations, 1);
@@ -735,6 +744,7 @@ mod tests {
                 from: Some(tid(2)),
                 to: tid(2),
                 to_priority: Priority::of(2),
+                ready_for: SimDuration::ZERO,
             },
         ));
         assert_eq!(m.counts().starvations, 1);
@@ -765,6 +775,7 @@ mod tests {
                 from: None,
                 to: tid(2),
                 to_priority: Priority::of(2),
+                ready_for: SimDuration::ZERO,
             },
         ));
         assert_eq!(m.counts().total(), 0);

@@ -95,7 +95,7 @@ pub use hazard::{Hazard, HazardConfig, HazardCounts, HazardKind, HazardMonitor};
 pub use monitor::{Monitor, MonitorGuard, MonitorId};
 pub use mp::MpSim;
 pub use rng::SplitMix64;
-pub use sched::{RunLimit, Sim, SimStats};
+pub use sched::{RunLimit, SchedLatency, Sim, SimStats};
 pub use thread::{JoinHandle, Priority, ThreadId, ThreadInfo, ThreadView};
 pub use time::{micros, millis, secs, SimDuration, SimTime};
 

@@ -25,6 +25,12 @@ impl MonitorId {
     pub const fn as_u32(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds an id from its raw index — for trace tooling that works
+    /// with exported (flattened) event records.
+    pub const fn from_u32(v: u32) -> MonitorId {
+        MonitorId(v)
+    }
 }
 
 impl fmt::Debug for MonitorId {

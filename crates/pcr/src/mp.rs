@@ -74,6 +74,7 @@ struct Tcb {
     acquire_on_dispatch: Option<MonitorId>,
     reacquire_outcome: Option<WaitOutcome>,
     reacquire_cv: Option<CondId>,
+    ready_since: SimTime,
 }
 
 struct MonState {
@@ -274,6 +275,7 @@ impl MpSim {
             acquire_on_dispatch: None,
             reacquire_outcome: None,
             reacquire_cv: None,
+            ready_since: self.clock,
         });
         self.live += 1;
         self.stats.forks += 1;
@@ -307,6 +309,7 @@ impl MpSim {
     fn push_ready(&mut self, tid: ThreadId) {
         let p = self.threads[tid.0 as usize].priority;
         self.threads[tid.0 as usize].state = TState::Ready;
+        self.threads[tid.0 as usize].ready_since = self.clock;
         self.ready[p.index()].push_back(tid);
     }
 
@@ -353,6 +356,7 @@ impl MpSim {
                     let victim = self.running[cpu].take().expect("running");
                     let p = self.threads[victim.0 as usize].priority;
                     self.threads[victim.0 as usize].state = TState::Ready;
+                    self.threads[victim.0 as usize].ready_since = self.clock;
                     self.ready[p.index()].push_front(victim);
                     let tid = self.pop_ready().expect("candidate exists");
                     self.dispatch_on(cpu, tid);
@@ -365,10 +369,15 @@ impl MpSim {
     fn dispatch_on(&mut self, cpu: usize, tid: ThreadId) {
         self.stats.switches += 1;
         let prio = self.threads[tid.0 as usize].priority;
+        let ready_for = self
+            .clock
+            .saturating_since(self.threads[tid.0 as usize].ready_since);
+        self.stats.sched_latency.record(prio, ready_for);
         self.emit(EventKind::Switch {
             from: self.running[cpu],
             to: tid,
             to_priority: prio,
+            ready_for,
         });
         self.running[cpu] = Some(tid);
         self.quantum_left[cpu] = self.cfg.quantum;

@@ -30,6 +30,93 @@ use crate::timer::{TimerKind, TimerWheel};
 /// SystemDaemon donation targets) untouched.
 const CHAOS_SEED_SALT: u64 = 0xC4A0_5EED_1B5A_93D7;
 
+/// Wakeup-to-run scheduler-latency profile, per priority level.
+///
+/// Every time the scheduler switches to a thread it records how long that
+/// thread sat in the ready queue (§6.2's preemption concerns, §6.3's
+/// quantum tuning): one sample per emitted [`EventKind::Switch`], bucketed
+/// into a log₂-microsecond histogram. Maintained inside [`SimStats`], so a
+/// measurement window is the elementwise delta of two snapshots
+/// ([`SchedLatency::window_since`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedLatency {
+    /// Dispatches observed at each priority level (index 0 = priority 1).
+    pub samples: [u64; Priority::LEVELS],
+    /// Summed ready-queue wait per priority level.
+    pub total_wait: [SimDuration; Priority::LEVELS],
+    /// Longest single ready-queue wait per priority level.
+    pub max_wait: [SimDuration; Priority::LEVELS],
+    /// Histogram counts: `buckets[p][b]` is the number of dispatches at
+    /// priority index `p` whose wait fell in bucket `b`. Bucket 0 is a
+    /// zero-microsecond wait; bucket `b > 0` covers `[2^(b-1), 2^b)`
+    /// microseconds, with the last bucket open-ended.
+    pub buckets: [[u64; SchedLatency::BUCKETS]; Priority::LEVELS],
+}
+
+impl SchedLatency {
+    /// Number of histogram buckets per priority level.
+    pub const BUCKETS: usize = 20;
+
+    /// The bucket index a wait of `d` falls into.
+    pub fn bucket_of(d: SimDuration) -> usize {
+        let us = d.as_micros();
+        if us == 0 {
+            0
+        } else {
+            ((63 - us.leading_zeros()) as usize + 1).min(Self::BUCKETS - 1)
+        }
+    }
+
+    /// Lower bound (inclusive), in microseconds, of bucket `b`.
+    pub fn bucket_floor_us(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Records one dispatch of a thread at `prio` that waited `d`.
+    pub fn record(&mut self, prio: Priority, d: SimDuration) {
+        let p = prio.index();
+        self.samples[p] += 1;
+        self.total_wait[p] += d;
+        if d > self.max_wait[p] {
+            self.max_wait[p] = d;
+        }
+        self.buckets[p][Self::bucket_of(d)] += 1;
+    }
+
+    /// Total dispatches across every priority level.
+    pub fn total_samples(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Mean wait at priority index `p`, if any sample exists.
+    pub fn mean_wait(&self, p: usize) -> Option<SimDuration> {
+        self.total_wait[p]
+            .as_micros()
+            .checked_div(self.samples[p])
+            .map(SimDuration::from_micros)
+    }
+
+    /// The elementwise delta of `self` over an earlier snapshot `start`,
+    /// giving the profile for the window between them. `max_wait` is not
+    /// windowable from counters alone, so the end-of-run maximum is kept
+    /// (an upper bound for the window).
+    pub fn window_since(&self, start: &SchedLatency) -> SchedLatency {
+        let mut out = self.clone();
+        for p in 0..Priority::LEVELS {
+            out.samples[p] -= start.samples[p];
+            out.total_wait[p] -= start.total_wait[p];
+            for b in 0..Self::BUCKETS {
+                out.buckets[p][b] -= start.buckets[p][b];
+            }
+        }
+        out
+    }
+}
+
 /// Aggregate counters maintained by the runtime, mirroring the metrics in
 /// the paper's Tables 1–3.
 #[derive(Clone, Debug, Default)]
@@ -92,6 +179,8 @@ pub struct SimStats {
     pub cpu_by_priority: [SimDuration; Priority::LEVELS],
     /// Total virtual CPU consumed by threads.
     pub total_cpu: SimDuration,
+    /// Wakeup-to-run latency profile, one sample per thread switch.
+    pub sched_latency: SchedLatency,
 }
 
 impl SimStats {
@@ -201,6 +290,9 @@ struct Tcb {
     /// enqueue so a tombstone left by an O(1) removal can never alias a
     /// later enqueue of the same thread.
     ready_gen: u32,
+    /// When the thread last became ready, for the wakeup-to-run latency
+    /// profile ([`SchedLatency`]).
+    ready_since: SimTime,
 }
 
 struct MonitorState {
@@ -229,7 +321,6 @@ impl MonitorState {
 }
 
 struct CvState {
-    #[expect(dead_code, reason = "kept for debugging and future reports")]
     name: String,
     monitor: MonitorId,
     timeout: Option<SimDuration>,
@@ -450,6 +541,21 @@ impl Sim {
         self.live_threads
     }
 
+    /// The name of every monitor, indexed by [`MonitorId::as_u32`].
+    /// Exporters use this to label lock tracks and contention rows.
+    pub fn monitor_names(&self) -> Vec<String> {
+        self.monitors.iter().map(|m| m.name.clone()).collect()
+    }
+
+    /// For every condition variable, indexed by [`CondId::as_u32`]: its
+    /// name and the monitor it belongs to.
+    pub fn condition_info(&self) -> Vec<(String, MonitorId)> {
+        self.conds
+            .iter()
+            .map(|c| (c.name.clone(), c.monitor))
+            .collect()
+    }
+
     // ---- pre-run construction -------------------------------------------
 
     /// Creates a monitor before the run starts.
@@ -586,6 +692,7 @@ impl Sim {
             stall_pending: None,
             in_ready: false,
             ready_gen: 0,
+            ready_since: SimTime::ZERO,
         });
         self.live_threads += 1;
         self.stats.max_live_threads = self.stats.max_live_threads.max(self.live_threads);
@@ -641,10 +748,12 @@ impl Sim {
     /// Appends a live entry for `tid` at its current priority,
     /// maintaining the live counts and the nonempty mask.
     fn ready_enqueue(&mut self, tid: ThreadId, front: bool) {
+        let now = self.clock;
         let t = &mut self.threads[tid.0 as usize];
         debug_assert!(!t.in_ready, "thread {tid:?} enqueued while already ready");
         t.in_ready = true;
         t.ready_gen = t.ready_gen.wrapping_add(1);
+        t.ready_since = now;
         let entry = (tid, t.ready_gen);
         let lvl = t.priority.index();
         if front {
@@ -961,6 +1070,10 @@ impl Sim {
         self.monitors[mid.0 as usize].owner = None;
         if let Some(next) = self.monitors[mid.0 as usize].queue.pop_front() {
             self.monitors[mid.0 as usize].owner = Some(next);
+            self.emit(EventKind::MlAcquired {
+                tid: next,
+                monitor: mid,
+            });
             let reply = self.grant_reply(next);
             self.threads[next.0 as usize].pending_reply = Some(reply);
             self.push_ready_back(next);
@@ -1053,6 +1166,7 @@ impl Sim {
         if m.owner.is_none() && m.queue.is_empty() {
             // The mutex freed up while we were in the metalock window.
             m.owner = Some(tid);
+            self.emit(EventKind::MlAcquired { tid, monitor: mid });
             let reply = self.grant_reply(tid);
             self.threads[tid.0 as usize].pending_reply = Some(reply);
             self.push_ready_back(tid);
@@ -1159,10 +1273,15 @@ impl Sim {
         if self.last_dispatched != Some(tid) {
             self.stats.switches += 1;
             let prio = self.threads[tid.0 as usize].priority;
+            let ready_for = self
+                .clock
+                .saturating_since(self.threads[tid.0 as usize].ready_since);
+            self.stats.sched_latency.record(prio, ready_for);
             self.emit(EventKind::Switch {
                 from: self.last_dispatched,
                 to: tid,
                 to_priority: prio,
+                ready_for,
             });
             // Scheduler overhead: advances the clock, charged to no thread.
             self.set_clock(self.clock + self.cfg.switch_cost);

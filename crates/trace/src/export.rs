@@ -11,6 +11,8 @@ use pcr::{Event, EventKind};
 
 use crate::json::Json;
 
+pub mod chrome;
+
 /// A flattened, serializable view of one runtime event.
 #[derive(Debug, Clone)]
 pub struct EventRecord {
@@ -28,6 +30,65 @@ pub struct EventRecord {
     pub cv: Option<u32>,
     /// Extra detail (priority, contended flag, outcome...).
     pub detail: Option<String>,
+}
+
+/// An [`EventRecord`] read back from JSONL, with the `kind` tag owned
+/// (the static tag table only covers events this build knows about).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEventRecord {
+    /// Microseconds since simulation start.
+    pub t_us: u64,
+    /// Event kind tag (e.g. "switch", "ml_enter").
+    pub kind: String,
+    /// Primary thread involved.
+    pub tid: Option<u32>,
+    /// Secondary thread (fork child, switch target, notify wakee...).
+    pub other: Option<u32>,
+    /// Monitor id, when relevant.
+    pub monitor: Option<u32>,
+    /// Condition id, when relevant.
+    pub cv: Option<u32>,
+    /// Extra detail (priority, contended flag, outcome...).
+    pub detail: Option<String>,
+}
+
+impl OwnedEventRecord {
+    /// Reads one record back from its [`EventRecord::to_json`] form.
+    pub fn from_json(v: &Json) -> Result<OwnedEventRecord, String> {
+        let t_us = v
+            .get("t_us")
+            .and_then(Json::as_u64)
+            .ok_or("record missing t_us")?;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("record missing kind")?
+            .to_string();
+        let field_u32 = |key: &str| -> Result<Option<u32>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(n) => n
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .map(Some)
+                    .ok_or_else(|| format!("bad {key} field")),
+            }
+        };
+        Ok(OwnedEventRecord {
+            t_us,
+            kind,
+            tid: field_u32("tid")?,
+            other: field_u32("other")?,
+            monitor: field_u32("monitor")?,
+            cv: field_u32("cv")?,
+            detail: v.get("detail").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+
+    /// One line of JSONL, parsed.
+    pub fn from_jsonl_line(line: &str) -> Result<OwnedEventRecord, String> {
+        OwnedEventRecord::from_json(&Json::parse(line)?)
+    }
 }
 
 impl EventRecord {
@@ -99,11 +160,15 @@ impl From<&Event> for EventRecord {
                 from,
                 to,
                 to_priority,
+                ready_for,
             } => {
                 r.kind = "switch";
                 r.tid = from.map(|t| t.as_u32());
                 r.other = Some(to.as_u32());
-                r.detail = Some(format!("prio={to_priority}"));
+                r.detail = Some(format!(
+                    "prio={to_priority} ready_us={}",
+                    ready_for.as_micros()
+                ));
             }
             EventKind::QuantumExpired { tid } => {
                 r.kind = "quantum_expired";
@@ -118,6 +183,11 @@ impl From<&Event> for EventRecord {
                 r.tid = Some(tid.as_u32());
                 r.monitor = Some(monitor.as_u32());
                 r.detail = contended.then(|| "contended".to_string());
+            }
+            EventKind::MlAcquired { tid, monitor } => {
+                r.kind = "ml_acquired";
+                r.tid = Some(tid.as_u32());
+                r.monitor = Some(monitor.as_u32());
             }
             EventKind::MlExit { tid, monitor } => {
                 r.kind = "ml_exit";
@@ -268,6 +338,7 @@ mod tests {
                 from: None,
                 to: t0,
                 to_priority: Priority::of(6),
+                ready_for: pcr::micros(7),
             }),
             ev(EventKind::Yield {
                 tid: t0,
@@ -287,6 +358,30 @@ mod tests {
         assert!(text.contains("\"fork\""));
         assert!(text.contains("panicked"));
         assert!(text.contains("ButNotToMe"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_arbitrary_detail_payloads() {
+        // Details with quotes, backslashes, newlines, and control bytes
+        // must survive write → parse unchanged (the Json escaper is the
+        // only thing between them and the wire).
+        let nasty = "quote=\" backslash=\\ newline=\n tab=\t nul=\u{1} unicode=ü";
+        let record = EventRecord {
+            t_us: 42,
+            kind: "switch",
+            tid: Some(1),
+            other: Some(2),
+            monitor: None,
+            cv: None,
+            detail: Some(nasty.to_string()),
+        };
+        let line = record.to_json().to_string();
+        let back = OwnedEventRecord::from_jsonl_line(&line).unwrap();
+        assert_eq!(back.detail.as_deref(), Some(nasty));
+        assert_eq!(back.t_us, 42);
+        assert_eq!(back.kind, "switch");
+        assert_eq!((back.tid, back.other), (Some(1), Some(2)));
+        assert_eq!((back.monitor, back.cv), (None, None));
     }
 
     #[test]

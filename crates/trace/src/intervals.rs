@@ -253,6 +253,7 @@ mod tests {
                 from: None,
                 to: pcr::ThreadId::from_u32(0),
                 to_priority: pcr::Priority::DEFAULT,
+                ready_for: pcr::SimDuration::ZERO,
             },
         };
         c.record(&mk(0));

@@ -1,9 +1,11 @@
-//! A minimal JSON value type and serializer.
+//! A minimal JSON value type, serializer, and parser.
 //!
 //! The offline build environment cannot fetch `serde`/`serde_json`, so
 //! the trace and bench crates emit JSON through this hand-rolled tree:
 //! insertion-ordered objects, compact `Display`, and a `pretty` renderer
-//! for human-facing summary files. Only what export needs — no parser.
+//! for human-facing summary files. [`Json::parse`] is the matching
+//! recursive-descent reader, used by the run-diff tool and the trace
+//! validation tests to round-trip what the writers produce.
 
 use std::fmt;
 
@@ -55,6 +57,84 @@ impl Json {
         match self {
             Json::Obj(fields) => fields.push((key.to_string(), value)),
             other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Parses a JSON document, rejecting trailing garbage.
+    ///
+    /// Numbers parse as [`Json::Int`] when they fit an `i64`, as
+    /// [`Json::UInt`] for larger non-negative integers, and as
+    /// [`Json::Float`] otherwise — the same split the writers use, so
+    /// `parse(x.to_string()) == x` for every tree this module emits.
+    ///
+    /// ```
+    /// use trace::Json;
+    /// let v = Json::parse(r#"{"kind":"switch","t_us":123}"#).unwrap();
+    /// assert_eq!(v.get("kind").and_then(Json::as_str), Some("switch"));
+    /// assert_eq!(v.get("t_us").and_then(Json::as_u64), Some(123));
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.at));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a field of an object (`None` for other node types).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The node as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(n) if n >= 0 => Some(n as u64),
+            Json::UInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The node as a float (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(n) => Some(n as f64),
+            Json::UInt(n) => Some(n as f64),
+            Json::Float(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The node as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The node as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The node's elements, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
         }
     }
 
@@ -212,6 +292,224 @@ impl fmt::Display for Json {
 
 use std::fmt::Write as _;
 
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.at))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!(
+                "unexpected byte '{}' at {}",
+                char::from(b),
+                self.at
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.at;
+            // Copy the longest escape-free ASCII/UTF-8 run wholesale.
+            while let Some(&b) = self.bytes.get(self.at) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.at += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.at])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                format!("invalid \\u escape ending at byte {}", self.at)
+                            })?);
+                        }
+                        other => {
+                            return Err(format!(
+                                "unknown escape '\\{}' at byte {}",
+                                char::from(other),
+                                self.at
+                            ))
+                        }
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.at + 4;
+        let s = self
+            .bytes
+            .get(self.at..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.at))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.at))?;
+        self.at = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.at += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.at += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("ascii");
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +564,58 @@ mod tests {
         let mut v = Json::obj([("z", Json::Int(1))]);
         v.push("a", Json::Int(2));
         assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::obj([
+            ("a", Json::Int(-3)),
+            ("b", Json::from("x\"y\\z\nnl \u{1} ü")),
+            ("c", Json::arr([Json::Bool(true), Json::Null])),
+            ("d", Json::Float(1.5)),
+            ("e", Json::UInt(u64::MAX)),
+            ("f", Json::Obj(vec![])),
+        ]);
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let v = Json::parse(r#"{"n":7,"s":"hi","ok":true,"xs":[1,2]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("xs").and_then(Json::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(7.0));
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\u00fcb\ud83d\ude00c""#).unwrap(),
+            Json::from("aüb\u{1F600}c")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"unterminated",
+            "{\"a\"}",
+            "1 2",
+            "{}x",
+            "\"\\q\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

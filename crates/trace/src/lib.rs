@@ -10,40 +10,55 @@
 //! * [`GenealogyCollector`] — fork parentage, generations, lifetimes
 //!   (eternal / worker / transient classification);
 //! * [`BenchmarkRates`] — the per-benchmark rows of Tables 1–3;
+//! * [`ContentionProfiler`] — the §6.1 per-monitor hold/wait profile;
 //! * [`Table`] — text/Markdown rendering shaped like the paper's tables;
 //! * [`Timeline`] — the §7 "100 millisecond event history" as ASCII;
-//! * [`write_jsonl`] — JSON Lines export of the raw event stream.
+//! * [`write_jsonl`] — JSON Lines export of the raw event stream;
+//! * [`export::chrome`] — Chrome trace-event / Perfetto export;
+//! * [`diff`] — aligning and diffing two exported runs.
+//!
+//! See `docs/OBSERVABILITY.md` at the repo root for the workflow.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod contention;
-mod export;
+pub mod diff;
+pub mod export;
 mod genealogy;
 mod intervals;
 mod json;
+mod profile;
 mod rates;
 mod tables;
 mod timeline;
 
 pub use contention::{ContentionCollector, MonitorContention};
-pub use export::{write_jsonl, EventRecord};
+pub use diff::{diff_runs, parse_jsonl, DiffReport};
+pub use export::chrome::{chrome_trace, write_chrome, TraceLabels};
+pub use export::{write_jsonl, EventRecord, OwnedEventRecord};
 pub use genealogy::{GenealogyCollector, LifetimeClass};
 pub use intervals::{IntervalCollector, IntervalHistogram};
 pub use json::Json;
+pub use profile::{ContentionProfiler, MonitorProfile, MonitorProfileRow};
 pub use rates::BenchmarkRates;
-pub use tables::{f0, f1, hazard_table, pct, thread_table, Align, Table};
+pub use tables::{
+    contention_table, f0, f1, hazard_table, latency_table, pct, thread_table, Align, Table,
+};
 pub use timeline::Timeline;
 
 use pcr::{Event, TraceSink};
 
-/// The standard full collector: intervals + genealogy in one sink.
+/// The standard full collector: intervals + genealogy + the §6.1
+/// contention profile in one sink.
 #[derive(Debug, Default)]
 pub struct Collector {
     /// Execution-interval histogram builder.
     pub intervals: IntervalCollector,
     /// Fork genealogy and lifetimes.
     pub genealogy: GenealogyCollector,
+    /// Per-monitor hold/wait profile.
+    pub contention: ContentionProfiler,
 }
 
 impl Collector {
@@ -51,12 +66,28 @@ impl Collector {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// A collector primed with `sim`'s monitor names and cv → monitor
+    /// topology, so the contention profile closes holds released by CV
+    /// waits against the right monitor and renders real names.
+    pub fn for_sim(sim: &pcr::Sim) -> Self {
+        let mut c = Self::default();
+        c.contention.set_topology(
+            sim.monitor_names(),
+            sim.condition_info()
+                .iter()
+                .map(|(_, m)| m.as_u32())
+                .collect(),
+        );
+        c
+    }
 }
 
 impl TraceSink for Collector {
     fn record(&mut self, ev: &Event) {
         self.intervals.record(ev);
         self.genealogy.record(ev);
+        self.contention.record(ev);
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {

@@ -196,6 +196,124 @@ pub fn hazard_table(counts: &pcr::HazardCounts) -> Table {
     t
 }
 
+/// Renders the §6.1 per-monitor contention profile as a table, hottest
+/// monitor first: how often each lock was entered, how many of those
+/// entries had to queue, and the hold/wait times behind the queueing.
+/// Rows come from [`crate::ContentionProfiler::rows`].
+pub fn contention_table(rows: &[crate::MonitorProfileRow]) -> Table {
+    let mut t = Table::new(
+        "Monitor contention (§6.1)",
+        &[
+            "Monitor",
+            "Enters",
+            "Contended",
+            "Cont%",
+            "Mean hold µs",
+            "Max hold µs",
+            "Mean wait µs",
+            "Max wait µs",
+        ],
+    );
+    for r in rows {
+        let p = &r.profile;
+        let us = |d: Option<pcr::SimDuration>| {
+            d.map_or_else(|| "-".to_string(), |d| d.as_micros().to_string())
+        };
+        t.row(vec![
+            r.name.clone(),
+            p.enters.to_string(),
+            p.contended.to_string(),
+            pct(p.contention_fraction() * 100.0),
+            us(p.mean_hold()),
+            p.max_hold.as_micros().to_string(),
+            us(p.mean_wait()),
+            p.max_wait.as_micros().to_string(),
+        ]);
+    }
+    t
+}
+
+/// ASCII sparkline over the log₂-µs buckets of one priority level,
+/// trimmed to the last non-empty bucket and scaled to the fullest one.
+fn bucket_spark(buckets: &[u64]) -> String {
+    const GLYPHS: &[u8] = b" .:-=+*#@";
+    let top = match buckets.iter().rposition(|&c| c > 0) {
+        Some(i) => i,
+        None => return String::new(),
+    };
+    let peak = *buckets.iter().max().unwrap();
+    buckets[..=top]
+        .iter()
+        .map(|&c| {
+            let i = if c == 0 {
+                0
+            } else {
+                // Non-zero counts always get at least the faintest glyph.
+                1 + (c * (GLYPHS.len() as u64 - 2) / peak) as usize
+            };
+            GLYPHS[i] as char
+        })
+        .collect()
+}
+
+/// Renders the §6.2/§6.3 wakeup-to-run latency profile as a table: one
+/// row per priority level that dispatched anything, with mean / p50 /
+/// p99 / max ready-queue waits and a log₂-µs histogram sparkline.
+///
+/// p50 and p99 are the floors of the histogram bucket in which the
+/// quantile falls, so they are resolved to a power of two of
+/// microseconds, not exact.
+pub fn latency_table(lat: &pcr::SchedLatency) -> Table {
+    let mut t = Table::new(
+        "Wakeup-to-run latency (§6.2)",
+        &[
+            "Priority",
+            "Dispatches",
+            "Mean µs",
+            "p50 µs",
+            "p99 µs",
+            "Max µs",
+            "log₂-µs histogram",
+        ],
+    )
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+    ]);
+    let quantile = |buckets: &[u64], total: u64, q: f64| -> u64 {
+        let target = (total as f64 * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return pcr::SchedLatency::bucket_floor_us(b);
+            }
+        }
+        pcr::SchedLatency::bucket_floor_us(buckets.len() - 1)
+    };
+    for p in 0..pcr::Priority::LEVELS {
+        let n = lat.samples[p];
+        if n == 0 {
+            continue;
+        }
+        t.row(vec![
+            (p + 1).to_string(),
+            n.to_string(),
+            lat.mean_wait(p).map_or(0, |d| d.as_micros()).to_string(),
+            quantile(&lat.buckets[p], n, 0.50).to_string(),
+            quantile(&lat.buckets[p], n, 0.99).to_string(),
+            lat.max_wait[p].as_micros().to_string(),
+            bucket_spark(&lat.buckets[p]),
+        ]);
+    }
+    t
+}
+
 /// Formats a float with one decimal, the paper's table style.
 pub fn f1(x: f64) -> String {
     format!("{x:.1}")
@@ -282,6 +400,49 @@ mod tests {
         let last = text.lines().last().unwrap();
         assert!(last.starts_with("total"), "{last}");
         assert!(last.ends_with('3'), "{last}");
+    }
+
+    #[test]
+    fn contention_table_renders_rows() {
+        use crate::{MonitorProfile, MonitorProfileRow};
+        let rows = vec![MonitorProfileRow {
+            monitor: 0,
+            name: "heap".to_string(),
+            profile: MonitorProfile {
+                enters: 10,
+                contended: 4,
+                total_hold: pcr::micros(1000),
+                max_hold: pcr::micros(300),
+                total_wait: pcr::micros(400),
+                max_wait: pcr::micros(250),
+            },
+        }];
+        let t = contention_table(&rows);
+        let text = t.to_text();
+        assert!(text.contains("heap"), "{text}");
+        assert!(text.contains("40%"), "{text}");
+        assert!(text.contains("100"), "mean hold missing:\n{text}");
+    }
+
+    #[test]
+    fn latency_table_skips_idle_priorities() {
+        let mut lat = pcr::SchedLatency::default();
+        lat.record(pcr::Priority::of(3), pcr::micros(0));
+        lat.record(pcr::Priority::of(3), pcr::micros(9));
+        let t = latency_table(&lat);
+        assert_eq!(t.len(), 1, "only priority 3 dispatched");
+        let text = t.to_text();
+        assert!(text.contains('3'), "{text}");
+        assert!(text.contains('9'), "max missing:\n{text}");
+    }
+
+    #[test]
+    fn bucket_spark_trims_and_scales() {
+        assert_eq!(bucket_spark(&[0, 0, 0]), "");
+        let s = bucket_spark(&[8, 0, 1, 8]);
+        assert_eq!(s.len(), 4, "{s}");
+        assert_eq!(s.chars().nth(1).unwrap(), ' ', "{s}");
+        assert_eq!(s.chars().next(), s.chars().last(), "{s}");
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Running a benchmark and harvesting the paper's measurements.
 
 use pcr::{
-    millis, secs, ChaosConfig, HazardConfig, HazardCounts, Priority, RunLimit, Sim, SimConfig,
-    SimDuration, SystemDaemonConfig,
+    millis, secs, ChaosConfig, HazardConfig, HazardCounts, Priority, RunLimit, SchedLatency, Sim,
+    SimConfig, SimDuration, SystemDaemonConfig,
 };
 use threadstudy_core::System;
-use trace::{BenchmarkRates, Collector, IntervalHistogram};
+use trace::{BenchmarkRates, Collector, IntervalHistogram, MonitorProfileRow};
 
 use crate::spec::Benchmark;
 
@@ -39,6 +39,12 @@ pub struct BenchResult {
     /// given `(system, benchmark, window, seed)`, so the perf harness can
     /// divide it by wall-clock time to report simulated events/sec.
     pub event_volume: u64,
+    /// Wakeup-to-run scheduler latency per priority over the measurement
+    /// window (§6.2/§6.3), including the log₂-µs histogram.
+    pub sched_latency: SchedLatency,
+    /// Per-monitor contention profile over the measurement window
+    /// (§6.1), hottest monitor first.
+    pub contention: Vec<MonitorProfileRow>,
 }
 
 /// Default virtual measurement window.
@@ -134,7 +140,7 @@ pub fn run_benchmark_chaos(
         warmup.reason
     );
     let start_stats = sim.stats().clone();
-    sim.set_sink(Box::new(Collector::new()));
+    sim.set_sink(Box::new(Collector::for_sim(&sim)));
     let report = sim.run(RunLimit::For(window));
     assert!(
         !report.deadlocked(),
@@ -165,6 +171,10 @@ pub fn run_benchmark_chaos(
         mean_transient_lifetime: collector.genealogy.mean_lifetime_of_exited(),
         hazards: report.hazards,
         event_volume: end_stats.event_volume() - start_stats.event_volume(),
+        sched_latency: end_stats
+            .sched_latency
+            .window_since(&start_stats.sched_latency),
+        contention: collector.contention.rows(),
     }
 }
 

@@ -6,6 +6,9 @@
 //! this is a Mutex + Condvar queue) and `thread::scope` with crossbeam's
 //! `|scope|`-taking spawn signature, layered over `std::thread::scope`.
 
+#![warn(missing_docs)]
+
+/// Multi-producer, multi-consumer channels (`crossbeam::channel`).
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;

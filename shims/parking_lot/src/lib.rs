@@ -7,6 +7,8 @@
 //! on `std::sync`. Poisoned std locks are recovered transparently, so
 //! like real parking_lot a panicking holder does not wedge the lock.
 
+#![warn(missing_docs)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};

@@ -24,6 +24,8 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results of every table and figure.
 
+#![warn(missing_docs)]
+
 pub use mesa;
 pub use paradigms;
 pub use pcr;
