@@ -1,9 +1,13 @@
-//! Regenerates the paper's tables, figures, and experiments.
+//! Regenerates the paper's tables, figures, and experiments, and hosts
+//! the resilience harness (`fuzz`, `shrink`, `replay`, `chaos
+//! --recover`).
 //!
-//! Exits non-zero if any run deadlocks, any hazard is detected outside
-//! chaos mode, a chaos replay diverges, or `lint` finds an unallowed
-//! discipline violation.
+//! Exit codes are unified in [`bench::exit`]: 0 success, 1 hazards or
+//! replay divergence, 2 usage, 3 deadlock/wedge, 4 diff deltas, 5
+//! regression or non-reproducing case, 6 file I/O, 7 new fuzz failure
+//! signature. When several conditions accumulate, the largest code wins.
 
+use bench::exit;
 use pcr::secs;
 
 /// The usage text; printed on `help` and (to stderr) on a bad command.
@@ -26,12 +30,36 @@ commands:
                              trace-event file for ui.perfetto.dev,
                              --jsonl the raw event stream (defaults to
                              trace-chrome.json when neither is given)
-  diff     A.jsonl B.jsonl [--threshold PCT]
+  diff     A.jsonl B.jsonl [--threshold PCT] [--schedule FILE]
                              align two exported runs and report rate/
                              latency/contention deltas beyond PCT
-                             (default 1%); exits non-zero on any delta
-  chaos    [--window SECS]   fault-injected runs, replayed twice:
-                             asserts byte-identical traces + hazard table
+                             (default 1%); exits 4 on any delta; with
+                             --schedule, names the fault sites a stored
+                             fault schedule injects so its decisions can
+                             be correlated with the diff
+  chaos    [--window SECS] [--recover] [--json PATH]
+                             fault-injected runs, replayed twice:
+                             asserts byte-identical traces + hazard
+                             table; with --recover, wedges each demo
+                             cell unsupervised, then reruns it under the
+                             deadlock-recovery supervisor and reports
+                             recovery actions + degradation score
+  fuzz     [--budget N] [--workload SYS/BENCH] [--out DIR] [--shrink]
+           [--expect FILE] [--window SECS]
+                             chaos-schedule fuzzing: sweep seeds and
+                             intensity grids over the benchmark cells
+                             (default budget 64), store each unique
+                             failure as a replayable schedule under DIR
+                             (default target/fuzz); --shrink minimizes
+                             each stored case; --expect FILE exits 7 on
+                             any signature missing from FILE
+  shrink   FILE [--max-replays N]
+                             delta-debug a stored failing schedule to a
+                             locally minimal one with the same failure
+                             signature; writes FILE with extension
+                             .min.json and prints a repro command
+  replay   FILE              replay a stored failing schedule and verify
+                             it still reproduces its signature
   lint     [--json PATH]     threadlint: static discipline lints and the
                              fork-site self-census over this workspace
   markdown [--window SECS]   Tables 1-4 as Markdown (for EXPERIMENTS.md)
@@ -48,29 +76,30 @@ commands:
 
 global options:
   --seed HEX     RNG seed for the simulated worlds (default ceda2026;
-                 history defaults to its own e7e27)
+                 history defaults to its own e7e27); even number of hex
+                 digits, max 16, 0x prefix and _ separators allowed
   --serial       force the one-cell-at-a-time matrix driver (the
                  parallel driver is used by default on multicore hosts;
                  both produce identical tables)";
 
-/// Reports a failed run. Returns `true` when the run deadlocked or the
-/// hazard detectors (when enabled) caught something, so callers can
-/// accumulate an exit code.
-fn check_run(label: &str, report: &pcr::RunReport) -> bool {
-    let mut failed = false;
+/// Reports a failed run. Returns the exit code the condition maps to
+/// ([`exit::OK`] when the run was fine) so callers can accumulate the
+/// worst one.
+fn check_run(label: &str, report: &pcr::RunReport) -> i32 {
+    let mut code = exit::OK;
     if report.deadlocked() {
         eprintln!("FAIL {label}: deadlocked ({:?})", report.reason);
-        failed = true;
+        code = exit::worst(code, exit::DEADLOCK);
     }
     if report.hazardous() {
         eprintln!("FAIL {label}: {} hazards detected", report.hazards.total());
         eprintln!("{}", trace::hazard_table(&report.hazards).to_text());
-        failed = true;
+        code = exit::worst(code, exit::HAZARD);
     }
-    failed
+    code
 }
 
-fn history(seed: u64) -> bool {
+fn history(seed: u64) -> i32 {
     use trace::Timeline;
     let mut sim = workloads::runner::build(
         workloads::System::Cedar,
@@ -90,9 +119,9 @@ fn history(seed: u64) -> bool {
     check_run("history Cedar/Keyboard", &report)
 }
 
-fn contention(seed: u64) -> bool {
+fn contention(seed: u64) -> i32 {
     use trace::ContentionProfiler;
-    let mut failed = false;
+    let mut code = exit::OK;
     for (sys, bench) in [
         (workloads::System::Gvx, workloads::Benchmark::Scroll),
         (workloads::System::Cedar, workloads::Benchmark::Keyboard),
@@ -108,7 +137,10 @@ fn contention(seed: u64) -> bool {
         );
         sim.set_sink(Box::new(profiler));
         let report = sim.run(pcr::RunLimit::For(secs(30)));
-        failed |= check_run(&format!("contention {}/{bench:?}", sys.name()), &report);
+        code = exit::worst(
+            code,
+            check_run(&format!("contention {}/{bench:?}", sys.name()), &report),
+        );
         let prof = trace::take_collector::<ContentionProfiler>(&mut sim).expect("profiler");
         println!(
             "{} / {bench:?}: {} of {} entries contended ({:.3}%)",
@@ -131,7 +163,7 @@ fn contention(seed: u64) -> bool {
             trace::latency_table(&sim.stats().sched_latency).to_text()
         );
     }
-    failed
+    code
 }
 
 /// `repro trace`: record one Cedar/Keyboard run and export it as a
@@ -142,7 +174,7 @@ fn trace_cmd(
     chaos: bool,
     chrome_path: Option<&str>,
     jsonl_path: Option<&str>,
-) -> bool {
+) -> i32 {
     let faults = if chaos {
         workloads::chaos_preset()
     } else {
@@ -158,7 +190,7 @@ fn trace_cmd(
     let report = sim.run(pcr::RunLimit::For(window));
     if report.deadlocked() {
         eprintln!("FAIL trace: deadlocked ({:?})", report.reason);
-        return true;
+        return exit::DEADLOCK;
     }
     let labels = trace::TraceLabels::from_sim(&sim);
     let events = trace::take_collector::<pcr::VecSink>(&mut sim)
@@ -188,35 +220,49 @@ fn trace_cmd(
         events.len(),
         if chaos { " (chaos preset)" } else { "" }
     );
-    false
+    exit::OK
 }
 
-/// `repro diff`: align two JSONL traces and report the deltas.
-fn diff_cmd(path_a: &str, path_b: &str, threshold_pct: f64) -> bool {
+/// `repro diff`: align two JSONL traces and report the deltas; with
+/// `--schedule`, also name the fault sites a stored schedule injects.
+fn diff_cmd(path_a: &str, path_b: &str, threshold_pct: f64, schedule: Option<&str>) -> i32 {
     let load = |path: &str| -> Vec<trace::OwnedEventRecord> {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
+            std::process::exit(exit::IO);
         });
         trace::parse_jsonl(&text).unwrap_or_else(|e| {
             eprintln!("cannot parse {path}: {e}");
-            std::process::exit(2);
+            std::process::exit(exit::IO);
         })
     };
     let a = load(path_a);
     let b = load(path_b);
     let report = trace::diff_runs(&a, &b, threshold_pct);
     print!("{}", report.render());
-    !report.is_clean()
+    if let Some(schedule_path) = schedule {
+        match bench::resilience_cli::describe_schedule(std::path::Path::new(schedule_path)) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("FAIL diff: {e}");
+                return exit::IO;
+            }
+        }
+    }
+    if report.is_clean() {
+        exit::OK
+    } else {
+        exit::DIFF_DELTA
+    }
 }
 
 /// Chaos-mode smoke: one Cedar and one GVX benchmark with the standard
 /// fault mix injected, each run twice from the same seed. The two
 /// replays must produce byte-identical JSONL event traces and identical
 /// hazard tallies — the acceptance bar for deterministic injection.
-fn chaos(window: pcr::SimDuration, seed: u64) -> bool {
+fn chaos(window: pcr::SimDuration, seed: u64) -> i32 {
     let preset = workloads::chaos_preset();
-    let mut failed = false;
+    let mut code = exit::OK;
     for (sys, bench) in [
         (workloads::System::Cedar, workloads::Benchmark::Keyboard),
         (workloads::System::Gvx, workloads::Benchmark::Scroll),
@@ -244,6 +290,7 @@ fn chaos(window: pcr::SimDuration, seed: u64) -> bool {
         let mut ok = true;
         if report_a.deadlocked() {
             eprintln!("FAIL {label}: deadlocked ({:?})", report_a.reason);
+            code = exit::worst(code, exit::DEADLOCK);
             ok = false;
         }
         if trace_a != trace_b {
@@ -257,6 +304,7 @@ fn chaos(window: pcr::SimDuration, seed: u64) -> bool {
                 trace_a.len(),
                 trace_b.len(),
             );
+            code = exit::worst(code, exit::HAZARD);
             ok = false;
         }
         if report_a.hazards != report_b.hazards {
@@ -264,14 +312,14 @@ fn chaos(window: pcr::SimDuration, seed: u64) -> bool {
                 "FAIL {label}: hazard tallies diverged across replays:\n{:?}\n{:?}",
                 report_a.hazards, report_b.hazards
             );
+            code = exit::worst(code, exit::HAZARD);
             ok = false;
         }
         if ok {
             println!("{label}: replay byte-identical, hazard tallies stable");
         }
-        failed |= !ok;
     }
-    failed
+    code
 }
 
 fn main() {
@@ -298,10 +346,10 @@ fn main() {
         .position(|a| a == "--seed")
         .and_then(|i| args.get(i + 1))
         .map(|s| match parse_seed(s) {
-            Some(v) => v,
-            None => {
-                eprintln!("bad --seed {s:?}: expected hex digits\n{USAGE}");
-                std::process::exit(2);
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bad --seed {s:?}: {e}");
+                std::process::exit(exit::USAGE);
             }
         });
     let seed = seed_flag.unwrap_or(0xCEDA_2026);
@@ -319,7 +367,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
-    let mut failed = false;
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let mut code = exit::OK;
     match what {
         "table4" => println!("{}", bench::tables::table4().to_text()),
         "experiments" => {
@@ -330,22 +385,19 @@ fn main() {
         exp if bench::experiments::report_by_name(exp).is_some() => {
             println!("{}", bench::experiments::report_by_name(exp).unwrap());
         }
-        "help" => println!("{USAGE}"),
-        "history" => failed |= history(seed_flag.unwrap_or(0xE7E27)),
-        "contention" => failed |= contention(seed),
+        "help" => println!("{USAGE}\n\n{}", exit::TABLE),
+        "history" => code = exit::worst(code, history(seed_flag.unwrap_or(0xE7E27))),
+        "contention" => code = exit::worst(code, contention(seed)),
         "trace" => {
-            let flag = |name: &str| {
-                args.iter()
-                    .position(|a| a == name)
-                    .and_then(|i| args.get(i + 1))
-                    .cloned()
-            };
-            failed |= trace_cmd(
-                window_flag.unwrap_or(secs(5)),
-                seed,
-                args.iter().any(|a| a == "--chaos"),
-                flag("--chrome").as_deref(),
-                flag("--jsonl").as_deref(),
+            code = exit::worst(
+                code,
+                trace_cmd(
+                    window_flag.unwrap_or(secs(5)),
+                    seed,
+                    args.iter().any(|a| a == "--chaos"),
+                    flag_value("--chrome").as_deref(),
+                    flag_value("--jsonl").as_deref(),
+                ),
             );
         }
         "diff" => {
@@ -355,7 +407,7 @@ fn main() {
                 .collect();
             let [path_a, path_b] = positional[..] else {
                 eprintln!("diff needs exactly two trace files\n{USAGE}");
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             };
             let threshold = args
                 .iter()
@@ -363,10 +415,84 @@ fn main() {
                 .and_then(|i| args.get(i + 1))
                 .and_then(|s| s.parse::<f64>().ok())
                 .unwrap_or(1.0);
-            failed |= diff_cmd(path_a, path_b, threshold);
+            code = exit::worst(
+                code,
+                diff_cmd(
+                    path_a,
+                    path_b,
+                    threshold,
+                    flag_value("--schedule").as_deref(),
+                ),
+            );
         }
-        "chaos" => failed |= chaos(window, seed),
-        "lint" => failed |= bench::lint::run(json_path.as_deref()),
+        "chaos" => {
+            if args.iter().any(|a| a == "--recover") {
+                code = exit::worst(
+                    code,
+                    bench::resilience_cli::recover_cmd(
+                        window_flag.unwrap_or(secs(12)),
+                        seed,
+                        json_path.as_deref(),
+                    ),
+                );
+            } else {
+                code = exit::worst(code, chaos(window, seed));
+            }
+        }
+        "fuzz" => {
+            let workload = match flag_value("--workload") {
+                None => None,
+                Some(w) => match bench::resilience_cli::parse_workload(&w) {
+                    Ok(cell) => Some(cell),
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        std::process::exit(exit::USAGE);
+                    }
+                },
+            };
+            let opts = bench::resilience_cli::FuzzOpts {
+                budget: flag_value("--budget")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(64),
+                base_seed: seed_flag.unwrap_or(0x5EED),
+                workload,
+                out_dir: flag_value("--out")
+                    .unwrap_or_else(|| "target/fuzz".to_string())
+                    .into(),
+                shrink: args.iter().any(|a| a == "--shrink"),
+                expect: flag_value("--expect").map(Into::into),
+                window_secs: flag_value("--window").and_then(|s| s.parse().ok()),
+            };
+            code = exit::worst(code, bench::resilience_cli::fuzz_cmd(&opts));
+        }
+        "shrink" => {
+            let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("shrink needs a stored case file\n{USAGE}");
+                std::process::exit(exit::USAGE);
+            };
+            let max_replays = flag_value("--max-replays")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(150);
+            code = exit::worst(
+                code,
+                bench::resilience_cli::shrink_cmd(std::path::Path::new(file), max_replays),
+            );
+        }
+        "replay" => {
+            let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("replay needs a stored case file\n{USAGE}");
+                std::process::exit(exit::USAGE);
+            };
+            code = exit::worst(
+                code,
+                bench::resilience_cli::replay_cmd(std::path::Path::new(file)),
+            );
+        }
+        "lint" => {
+            if bench::lint::run(json_path.as_deref()) {
+                code = exit::worst(code, exit::HAZARD);
+            }
+        }
         "bench" => {
             let reps = args
                 .iter()
@@ -402,19 +528,19 @@ fn main() {
                             eprintln!(
                                 "FAIL bench: aggregate events/sec regressed more than 30% vs {bpath}"
                             );
-                            failed = true;
+                            code = exit::worst(code, exit::REGRESSION);
                         }
                     }
                     None => {
                         eprintln!("FAIL bench: no aggregate_events_per_sec in baseline {bpath}");
-                        failed = true;
+                        code = exit::worst(code, exit::REGRESSION);
                     }
                 }
             }
         }
         "markdown" => {
             let results = run_matrix(window, seed);
-            failed |= any_hazardous(&results);
+            code = exit::worst(code, any_hazardous(&results));
             println!("{}", bench::tables::table1(&results).to_markdown());
             println!("{}", bench::tables::table2(&results).to_markdown());
             println!("{}", bench::tables::table3(&results).to_markdown());
@@ -428,7 +554,7 @@ fn main() {
                 }
             }
             let results = run_matrix(window, seed);
-            failed |= any_hazardous(&results);
+            code = exit::worst(code, any_hazardous(&results));
             if let Some(path) = &json_path {
                 let v = bench::tables::json_summary(&results);
                 std::fs::write(path, v.pretty()).expect("write json");
@@ -453,27 +579,49 @@ fn main() {
         }
         other => {
             eprintln!("unknown command: {other}\n{USAGE}");
-            std::process::exit(2);
+            std::process::exit(exit::USAGE);
         }
     }
-    if failed {
-        std::process::exit(1);
+    if code != exit::OK {
+        std::process::exit(code);
     }
 }
 
 /// Parses a `--seed` value: hex digits, optional `0x` prefix, `_`
-/// separators allowed.
-fn parse_seed(s: &str) -> Option<u64> {
-    let t = s
-        .trim_start_matches("0x")
-        .trim_start_matches("0X")
-        .replace('_', "");
-    u64::from_str_radix(&t, 16).ok()
+/// separators allowed. Rejects empty, non-hex, odd-length, and overlong
+/// inputs with a message explaining the fix, rather than truncating or
+/// guessing.
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let stripped = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
+    let t = stripped.replace('_', "");
+    if t.is_empty() {
+        return Err("expected hex digits, got none".to_string());
+    }
+    if let Some(bad) = t.chars().find(|c| !c.is_ascii_hexdigit()) {
+        return Err(format!("{bad:?} is not a hex digit"));
+    }
+    if !t.len().is_multiple_of(2) {
+        return Err(format!(
+            "odd number of hex digits ({}); zero-pad to an even length (0{t})",
+            t.len()
+        ));
+    }
+    if t.len() > 16 {
+        return Err(format!(
+            "{} hex digits do not fit a 64-bit seed (max 16)",
+            t.len()
+        ));
+    }
+    u64::from_str_radix(&t, 16).map_err(|e| e.to_string())
 }
 
-/// True (after reporting) if any benchmark run surfaced hazards.
-fn any_hazardous(results: &[workloads::BenchResult]) -> bool {
-    let mut failed = false;
+/// Reports any benchmark run that surfaced hazards; returns
+/// [`exit::HAZARD`] if any did, [`exit::OK`] otherwise.
+fn any_hazardous(results: &[workloads::BenchResult]) -> i32 {
+    let mut code = exit::OK;
     for r in results {
         if r.hazards.total() > 0 {
             eprintln!(
@@ -483,8 +631,38 @@ fn any_hazardous(results: &[workloads::BenchResult]) -> bool {
                 r.hazards.total()
             );
             eprintln!("{}", trace::hazard_table(&r.hazards).to_text());
-            failed = true;
+            code = exit::HAZARD;
         }
     }
-    failed
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_seed;
+
+    #[test]
+    fn parse_seed_accepts_the_documented_forms() {
+        assert_eq!(parse_seed("ceda2026"), Ok(0xCEDA_2026));
+        assert_eq!(parse_seed("0xceda2026"), Ok(0xCEDA_2026));
+        assert_eq!(parse_seed("0Xceda2026"), Ok(0xCEDA_2026));
+        assert_eq!(parse_seed("ceda_2026"), Ok(0xCEDA_2026));
+        assert_eq!(parse_seed("ffffffffffffffff"), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn parse_seed_rejects_bad_inputs_with_clear_messages() {
+        let odd = parse_seed("abc").unwrap_err();
+        assert!(odd.contains("odd number of hex digits"), "{odd}");
+        assert!(odd.contains("0abc"), "{odd}");
+
+        let long = parse_seed("aabbccddeeff00112233").unwrap_err();
+        assert!(long.contains("do not fit a 64-bit seed"), "{long}");
+
+        let junk = parse_seed("xyz").unwrap_err();
+        assert!(junk.contains("not a hex digit"), "{junk}");
+
+        let empty = parse_seed("0x").unwrap_err();
+        assert!(empty.contains("got none"), "{empty}");
+    }
 }

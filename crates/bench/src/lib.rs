@@ -7,7 +7,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exit;
 pub mod experiments;
 pub mod lint;
 pub mod perf;
+pub mod resilience_cli;
 pub mod tables;

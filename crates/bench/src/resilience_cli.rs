@@ -1,0 +1,382 @@
+//! The `repro` subcommands backed by the `resilience` crate:
+//! `fuzz`, `shrink`, `replay`, and `chaos --recover`.
+//!
+//! Each function returns an exit code from [`crate::exit`]; `main`
+//! accumulates the worst one.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use pcr::secs;
+use resilience::{
+    fuzz, recover_preset, replay, shrink, supervise_benchmark, unsupervised_wedges, FuzzConfig,
+    ShrinkConfig, StoredCase, SupervisorConfig,
+};
+use threadstudy_core::System;
+use trace::Table;
+use workloads::Benchmark;
+
+use crate::exit;
+
+/// Parses a `--workload SYSTEM/BENCHMARK` filter ("cedar/keyboard",
+/// "gvx/scroll").
+pub fn parse_workload(arg: &str) -> Result<(System, Benchmark), String> {
+    let (sys, bench) = arg
+        .split_once('/')
+        .ok_or_else(|| format!("bad --workload {arg:?}: expected SYSTEM/BENCHMARK"))?;
+    let system = match sys.to_ascii_lowercase().as_str() {
+        "cedar" => System::Cedar,
+        "gvx" => System::Gvx,
+        other => return Err(format!("unknown system {other:?} (cedar or gvx)")),
+    };
+    let benchmark = Benchmark::CEDAR
+        .iter()
+        .copied()
+        .find(|b| format!("{b:?}").eq_ignore_ascii_case(bench))
+        .ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
+    if !Benchmark::suite(system).contains(&benchmark) {
+        return Err(format!("{} does not run {benchmark:?}", system.name()));
+    }
+    Ok((system, benchmark))
+}
+
+/// Options for `repro fuzz`.
+pub struct FuzzOpts {
+    /// Trial budget.
+    pub budget: u32,
+    /// Base seed.
+    pub base_seed: u64,
+    /// Optional single-cell restriction.
+    pub workload: Option<(System, Benchmark)>,
+    /// Where to store failing cases.
+    pub out_dir: PathBuf,
+    /// Shrink each unique case before storing it.
+    pub shrink: bool,
+    /// Path to a file of known signatures; unknown ones exit
+    /// [`exit::NEW_FAILURE`].
+    pub expect: Option<PathBuf>,
+    /// Per-trial window override (seconds).
+    pub window_secs: Option<u64>,
+}
+
+/// `repro fuzz`: sweep the chaos grid, store unique failures, and
+/// compare against the expected-signature set.
+pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
+    let mut cfg = FuzzConfig {
+        budget: opts.budget,
+        base_seed: opts.base_seed,
+        ..FuzzConfig::default()
+    };
+    if let Some(cell) = opts.workload {
+        cfg.cells = vec![cell];
+    }
+    if let Some(w) = opts.window_secs {
+        cfg.window = secs(w);
+    }
+    let outcome = fuzz(&cfg, |line| eprintln!("{line}"));
+    println!(
+        "fuzz: {} trial(s), {} failure(s), {} unique signature(s)",
+        outcome.trials,
+        outcome.failures,
+        outcome.cases.len()
+    );
+    let mut code = exit::OK;
+    let mut table = Table::new(
+        "unique failures",
+        &[
+            "signature",
+            "count",
+            "cell",
+            "intensity",
+            "decisions",
+            "file",
+        ],
+    );
+    for found in &outcome.cases {
+        let mut case = found.case.clone();
+        if opts.shrink {
+            match shrink(&case, &ShrinkConfig::default(), |line| {
+                eprintln!("  {line}")
+            }) {
+                Ok(report) => case = report.case,
+                Err(e) => {
+                    eprintln!("FAIL fuzz: shrink of {}: {e}", case.signature);
+                    code = exit::worst(code, exit::REGRESSION);
+                }
+            }
+        }
+        let path = match case.save(&opts.out_dir) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("FAIL fuzz: cannot store case: {e}");
+                return exit::worst(code, exit::IO);
+            }
+        };
+        table.row(vec![
+            case.signature.clone(),
+            found.count.to_string(),
+            format!("{}/{:?}", case.system.name(), case.benchmark),
+            case.intensity.clone(),
+            case.schedule.decisions.len().to_string(),
+            path.display().to_string(),
+        ]);
+    }
+    if !table.is_empty() {
+        println!("{}", table.to_text());
+    }
+    if let Some(expect) = &opts.expect {
+        let known = match std::fs::read_to_string(expect) {
+            Ok(text) => text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect::<BTreeSet<String>>(),
+            Err(e) => {
+                eprintln!("FAIL fuzz: cannot read {}: {e}", expect.display());
+                return exit::worst(code, exit::IO);
+            }
+        };
+        let mut new = 0;
+        for found in &outcome.cases {
+            if !known.contains(&found.case.signature) {
+                eprintln!("FAIL fuzz: new failure signature: {}", found.case.signature);
+                new += 1;
+            }
+        }
+        if new > 0 {
+            code = exit::worst(code, exit::NEW_FAILURE);
+        } else {
+            println!(
+                "all {} signature(s) already in {}",
+                outcome.cases.len(),
+                expect.display()
+            );
+        }
+    }
+    code
+}
+
+/// `repro shrink FILE`: minimize a stored failing schedule.
+pub fn shrink_cmd(path: &Path, max_replays: u32) -> i32 {
+    let case = match StoredCase::load(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("FAIL shrink: {e}");
+            return exit::IO;
+        }
+    };
+    let report = match shrink(&case, &ShrinkConfig { max_replays }, |line| {
+        eprintln!("{line}")
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL shrink: {e}");
+            return exit::REGRESSION;
+        }
+    };
+    let min_path = path.with_extension("min.json");
+    if let Err(e) = std::fs::write(&min_path, report.case.to_json().pretty() + "\n") {
+        eprintln!("FAIL shrink: cannot write {}: {e}", min_path.display());
+        return exit::IO;
+    }
+    println!(
+        "shrink: {} -> {} decision(s), {} -> {} stall(s), {} replay(s){}",
+        report.original_decisions,
+        report.case.schedule.decisions.len(),
+        report.original_stalls,
+        report.case.schedule.stalls.len(),
+        report.replays,
+        if report.exhausted {
+            " (budget exhausted)"
+        } else {
+            ""
+        }
+    );
+    println!("signature: {}", report.case.signature);
+    println!("wrote {}", min_path.display());
+    println!("repro: {}", report.case.repro_command(&min_path));
+    exit::OK
+}
+
+/// `repro replay FILE`: replay a stored case and check it still
+/// reproduces its signature.
+pub fn replay_cmd(path: &Path) -> i32 {
+    let case = match StoredCase::load(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("FAIL replay: {e}");
+            return exit::IO;
+        }
+    };
+    let obs = replay(&case);
+    match obs.failure {
+        Some(failure) => {
+            let sig = failure.signature();
+            println!(
+                "replay: {}/{:?} seed={:x} failed after {} with {sig}",
+                case.system.name(),
+                case.benchmark,
+                case.seed,
+                obs.elapsed
+            );
+            if !failure.detail.is_empty() {
+                println!("{}", failure.detail);
+            }
+            if sig == case.signature {
+                println!("replay: signature reproduced");
+                exit::OK
+            } else {
+                eprintln!(
+                    "FAIL replay: signature changed (stored {:?})",
+                    case.signature
+                );
+                exit::REGRESSION
+            }
+        }
+        None => {
+            eprintln!(
+                "FAIL replay: no failure within {} (stored signature {:?})",
+                case.window, case.signature
+            );
+            exit::REGRESSION
+        }
+    }
+}
+
+/// `repro chaos --recover`: for each demo cell, show that the fault
+/// load wedges the unsupervised run, then run it supervised and report
+/// the recovery actions and degradation score.
+pub fn recover_cmd(window: pcr::SimDuration, seed: u64, json_path: Option<&str>) -> i32 {
+    let cfg = SupervisorConfig::for_window(window);
+    let mut code = exit::OK;
+    let mut table = Table::new(
+        "supervised recovery",
+        &[
+            "cell",
+            "unsupervised",
+            "attempts",
+            "recoveries",
+            "degradation",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    for (system, benchmark) in [
+        (System::Cedar, Benchmark::Keyboard),
+        (System::Gvx, Benchmark::Scroll),
+    ] {
+        let label = format!("{}/{benchmark:?}", system.name());
+        let (chaos, max_threads) = recover_preset(system);
+        let wedged = unsupervised_wedges(system, benchmark, seed, chaos.clone(), max_threads, &cfg);
+        if !wedged {
+            eprintln!("FAIL recover {label}: fault load did not wedge the unsupervised run");
+            code = exit::worst(code, exit::REGRESSION);
+        }
+        let sup = supervise_benchmark(system, benchmark, seed, chaos, max_threads, &cfg);
+        for action in &sup.supervision.actions {
+            eprintln!(
+                "{label}: attempt {} at {}: {} ({})",
+                action.attempt,
+                action.at,
+                action.kind.tag(),
+                action.detail
+            );
+        }
+        let degradation = sup.result.degradation.unwrap_or(0.0);
+        if sup.supervision.gave_up || degradation <= 0.0 {
+            eprintln!("FAIL recover {label}: supervisor could not keep the world productive");
+            code = exit::worst(code, exit::DEADLOCK);
+        }
+        let recoveries = sup
+            .supervision
+            .actions
+            .iter()
+            .map(|a| a.kind.tag())
+            .collect::<Vec<_>>()
+            .join(", ");
+        table.row(vec![
+            label.clone(),
+            if wedged { "wedges" } else { "survives" }.to_string(),
+            sup.supervision.attempts.to_string(),
+            if recoveries.is_empty() {
+                "-".to_string()
+            } else {
+                recoveries.clone()
+            },
+            format!("{degradation:.3}"),
+        ]);
+        json_rows.push(trace::Json::obj([
+            ("cell", trace::Json::Str(label)),
+            ("unsupervised_wedges", trace::Json::Bool(wedged)),
+            (
+                "attempts",
+                trace::Json::UInt(u64::from(sup.supervision.attempts)),
+            ),
+            ("recoveries", trace::Json::Str(recoveries)),
+            ("degradation", trace::Json::Float(degradation)),
+            ("clean_volume", trace::Json::UInt(sup.clean_volume)),
+            (
+                "supervised_volume",
+                trace::Json::UInt(sup.supervision.total_volume),
+            ),
+        ]));
+    }
+    println!("{}", table.to_text());
+    if let Some(path) = json_path {
+        let doc = trace::Json::obj([("recover", trace::Json::arr(json_rows))]);
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("FAIL recover: cannot write {path}: {e}");
+            code = exit::worst(code, exit::IO);
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+    code
+}
+
+/// `repro diff --schedule FILE` support: names the injected fault sites
+/// a stored schedule contributes, correlated with the diff's chaos
+/// event kinds.
+pub fn describe_schedule(path: &Path) -> Result<String, String> {
+    let case = StoredCase::load(path)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "schedule {}: {}/{:?} seed={:x}, {} decision(s), {} stall(s)\n",
+        path.display(),
+        case.system.name(),
+        case.benchmark,
+        case.seed,
+        case.schedule.decisions.len(),
+        case.schedule.stalls.len()
+    ));
+    let mut per_kind: std::collections::BTreeMap<&str, (usize, u64)> = Default::default();
+    for d in &case.schedule.decisions {
+        let entry = per_kind.entry(d.kind.tag()).or_default();
+        entry.0 += 1;
+        entry.1 = entry.1.max(d.param_us);
+    }
+    for (tag, (count, max_param)) in per_kind {
+        match trace::chaos_event_for_fault(tag) {
+            Some(event) => out.push_str(&format!(
+                "  injected fault site: {event} x{count} (from schedule kind {tag}, max param {max_param}us)\n"
+            )),
+            None => out.push_str(&format!(
+                "  schedule kind {tag} x{count}: shifts timers, leaves no dedicated event\n"
+            )),
+        }
+    }
+    for s in &case.schedule.stalls {
+        let event = trace::chaos_event_for_fault("stall").unwrap_or("chaos_stall");
+        match &s.while_holding {
+            Some(m) => out.push_str(&format!(
+                "  injected fault site: {event} of {} for {} gated on holding {m}\n",
+                s.thread, s.duration
+            )),
+            None => out.push_str(&format!(
+                "  injected fault site: {event} of {} for {} at {}\n",
+                s.thread, s.duration, s.at
+            )),
+        }
+    }
+    Ok(out)
+}

@@ -49,6 +49,9 @@ fn help_lists_every_documented_subcommand() {
         "trace",
         "diff",
         "chaos",
+        "fuzz",
+        "shrink",
+        "replay",
         "lint",
         "markdown",
         "bench",
@@ -163,19 +166,229 @@ fn diff_of_identical_runs_is_clean_and_chaos_names_a_fault_site() {
     assert!(out.status.success(), "clean diff failed:\n{stdout}");
     assert!(stdout.contains("no deltas"), "{stdout}");
 
-    // Chaos vs clean: non-zero exit, at least one named fault site.
+    // Chaos vs clean: the dedicated diff-delta exit code, at least one
+    // named fault site.
     let out = repro()
         .arg("diff")
         .args([&clean1, &chaos])
         .output()
         .expect("spawn repro");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(out.status.code(), Some(1), "chaos diff exit:\n{stdout}");
+    assert_eq!(out.status.code(), Some(4), "chaos diff exit:\n{stdout}");
     assert!(stdout.contains("injected fault site:"), "{stdout}");
 
     for p in [&clean1, &clean2, &chaos] {
         std::fs::remove_file(p).ok();
     }
+}
+
+#[test]
+fn help_documents_the_exit_codes() {
+    let out = repro().arg("help").output().expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exit codes:"), "{stdout}");
+    for needle in ["diff deltas", "deadlock or wedge", "--expect"] {
+        assert!(stdout.contains(needle), "missing {needle:?}:\n{stdout}");
+    }
+}
+
+#[test]
+fn bad_seeds_are_rejected_with_an_explanation() {
+    for (seed, needle) in [
+        ("abc", "odd number of hex digits"),
+        ("abc", "0abc"),
+        ("aabbccddeeff00112233", "do not fit a 64-bit seed"),
+        ("xyz1", "not a hex digit"),
+        ("0x", "got none"),
+    ] {
+        let out = repro()
+            .args(["table4", "--seed", seed])
+            .output()
+            .expect("spawn repro");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "seed {seed:?}: {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "seed {seed:?}: expected {needle:?} in:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_shrink_replay_round_trip() {
+    let dir = std::env::temp_dir().join(format!("repro-fuzz-{}", std::process::id()));
+    // Budget 2 on the Cedar/Keyboard cell covers the tolerated preset
+    // rung and the guaranteed fork-cap failure.
+    let out = repro()
+        .args(["fuzz", "--budget", "2", "--workload", "cedar/keyboard"])
+        .args(["--window", "4", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fuzz failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("1 unique signature(s)"), "{stdout}");
+    let case_file = std::fs::read_dir(&dir)
+        .expect("fuzz out dir")
+        .map(|e| e.expect("dir entry").path())
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .expect("a stored case");
+    let case_text = std::fs::read_to_string(&case_file).expect("case file");
+    let case = trace::Json::parse(&case_text).expect("case json");
+    let signature = case
+        .get("signature")
+        .and_then(trace::Json::as_str)
+        .expect("signature field")
+        .to_string();
+    let original_decisions = case
+        .get("decisions")
+        .and_then(trace::Json::as_array)
+        .expect("decisions")
+        .len();
+    assert!(
+        original_decisions >= 1,
+        "expected recorded decisions, got {original_decisions}"
+    );
+
+    // Shrink: must reduce to <= 25% of the original injection decisions
+    // while keeping the signature.
+    let out = repro()
+        .arg("shrink")
+        .arg(&case_file)
+        .args(["--max-replays", "40"])
+        .output()
+        .expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "shrink failed:\n{stdout}");
+    assert!(stdout.contains("repro:"), "{stdout}");
+    let min_file = case_file.with_extension("min.json");
+    let min_text = std::fs::read_to_string(&min_file).expect("minimized case");
+    let min_case = trace::Json::parse(&min_text).expect("minimized json");
+    assert_eq!(
+        min_case.get("signature").and_then(trace::Json::as_str),
+        Some(signature.as_str())
+    );
+    let min_decisions = min_case
+        .get("decisions")
+        .and_then(trace::Json::as_array)
+        .expect("decisions")
+        .len();
+    assert!(
+        min_decisions == 0 || min_decisions * 4 <= original_decisions,
+        "shrink left {min_decisions} of {original_decisions} decisions"
+    );
+
+    // Replay the minimized schedule: same signature, exit 0.
+    let out = repro()
+        .arg("replay")
+        .arg(&min_file)
+        .output()
+        .expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "replay failed:\n{stdout}");
+    assert!(stdout.contains("signature reproduced"), "{stdout}");
+
+    // The expected-signature gate: a matching file passes, a bogus one
+    // exits with the new-failure code.
+    let expect_ok = dir.join("expected.txt");
+    std::fs::write(&expect_ok, format!("# known failures\n{signature}\n")).unwrap();
+    let expect_stale = dir.join("stale.txt");
+    std::fs::write(&expect_stale, "wedge:[somebody-else(monitor)]\n").unwrap();
+    for (expect, want) in [(&expect_ok, Some(0)), (&expect_stale, Some(7))] {
+        let out = repro()
+            .args(["fuzz", "--budget", "2", "--workload", "cedar/keyboard"])
+            .args(["--window", "4", "--out"])
+            .arg(&dir)
+            .arg("--expect")
+            .arg(expect)
+            .output()
+            .expect("spawn repro");
+        assert_eq!(
+            out.status.code(),
+            want,
+            "expect file {expect:?}:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_recover_supervises_both_demo_cells() {
+    let out = repro()
+        .args(["chaos", "--recover", "--window", "6", "--seed", "c0ffee"])
+        .output()
+        .expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "recover failed:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("supervised recovery"), "{stdout}");
+    for cell in ["Cedar/Keyboard", "GVX/Scroll"] {
+        assert!(stdout.contains(cell), "missing {cell}:\n{stdout}");
+        assert!(stdout.contains("wedges"), "{stdout}");
+    }
+    // Both recovery levers should appear across the two cells.
+    assert!(stderr.contains("fail-pending-forks"), "{stderr}");
+    assert!(stderr.contains("rejuvenate"), "{stderr}");
+}
+
+#[test]
+fn diff_schedule_names_the_stored_fault_sites() {
+    let dir = std::env::temp_dir().join(format!("repro-diff-sched-{}", std::process::id()));
+    let out = repro()
+        .args(["fuzz", "--budget", "2", "--workload", "gvx/scroll"])
+        .args(["--window", "6", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "fuzz failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let case_file = std::fs::read_dir(&dir)
+        .expect("fuzz out dir")
+        .map(|e| e.expect("dir entry").path())
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .expect("a stored case");
+
+    // Two identical clean traces: diff is clean, but --schedule still
+    // names what the stored schedule would inject.
+    let pid = std::process::id();
+    let t1 = std::env::temp_dir().join(format!("sched-clean1-{pid}.jsonl"));
+    let t2 = std::env::temp_dir().join(format!("sched-clean2-{pid}.jsonl"));
+    for p in [&t1, &t2] {
+        let out = repro()
+            .args(["trace", "--window", "1", "--seed", "77", "--jsonl"])
+            .arg(p)
+            .output()
+            .expect("spawn repro");
+        assert!(out.status.success());
+    }
+    let out = repro()
+        .arg("diff")
+        .args([&t1, &t2])
+        .arg("--schedule")
+        .arg(&case_file)
+        .output()
+        .expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("injected fault site:"), "{stdout}");
+    assert!(stdout.contains("gated on holding gvx-screen"), "{stdout}");
+    for p in [&t1, &t2] {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -25,6 +25,7 @@
 //! [`crate::HazardMonitor`] is the matching detection half.
 
 use crate::time::{millis, SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// A scheduled stall of one named thread: from `at`, the first thread
 /// whose name matches stops being scheduled for `duration` of virtual
@@ -38,6 +39,115 @@ pub struct StallSpec {
     pub at: SimTime,
     /// How long the thread stays unschedulable.
     pub duration: SimDuration,
+    /// If set, the stall only fires while the target holds the named
+    /// monitor: from `at` onwards the trigger re-arms every millisecond
+    /// until it catches the thread inside that monitor, then stalls it
+    /// on the spot — §6.2's "preempted while holding a lock" made
+    /// deterministic.
+    pub while_holding: Option<String>,
+}
+
+/// One kind of chaos decision point. Each kind has its own monotonically
+/// increasing *site counter* that ticks at every decision point of that
+/// kind (whether or not a fault is injected), so a `(kind, site)` pair
+/// names one exact decision in a deterministic run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSiteKind {
+    /// A FORK that chaos failed with `ResourcesExhausted` (§5.4).
+    ForkFail,
+    /// A CV wait that received an injected spurious wakeup (§5.3).
+    SpuriousWakeup,
+    /// A NOTIFY that was silently dropped (§5.3's lost wakeup).
+    DropNotify,
+    /// A NOTIFY that woke a second waiter as well (§5.3).
+    DuplicateNotify,
+    /// A timer deadline that received extra delay (§6.3).
+    TimerJitter,
+}
+
+impl FaultSiteKind {
+    /// All kinds, in site-counter index order.
+    pub const ALL: [FaultSiteKind; 5] = [
+        FaultSiteKind::ForkFail,
+        FaultSiteKind::SpuriousWakeup,
+        FaultSiteKind::DropNotify,
+        FaultSiteKind::DuplicateNotify,
+        FaultSiteKind::TimerJitter,
+    ];
+
+    /// Stable index into per-kind site-counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultSiteKind::ForkFail => 0,
+            FaultSiteKind::SpuriousWakeup => 1,
+            FaultSiteKind::DropNotify => 2,
+            FaultSiteKind::DuplicateNotify => 3,
+            FaultSiteKind::TimerJitter => 4,
+        }
+    }
+
+    /// Stable serialization tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultSiteKind::ForkFail => "fork_fail",
+            FaultSiteKind::SpuriousWakeup => "spurious_wakeup",
+            FaultSiteKind::DropNotify => "drop_notify",
+            FaultSiteKind::DuplicateNotify => "duplicate_notify",
+            FaultSiteKind::TimerJitter => "timer_jitter",
+        }
+    }
+
+    /// Parses a serialization tag back into a kind.
+    pub fn from_tag(tag: &str) -> Option<FaultSiteKind> {
+        FaultSiteKind::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+}
+
+/// One positive injection decision: at the `site`-th decision point of
+/// `kind`, inject a fault with parameter `param_us` (a delay in
+/// microseconds for [`FaultSiteKind::SpuriousWakeup`] and
+/// [`FaultSiteKind::TimerJitter`]; ignored for the others).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// The decision-point kind.
+    pub kind: FaultSiteKind,
+    /// Ordinal of the decision point within its kind (0-based).
+    pub site: u64,
+    /// Fault parameter in microseconds (delay for spurious wakeups and
+    /// timer jitter; 0 otherwise).
+    pub param_us: u64,
+}
+
+/// A complete, replayable record of every fault a chaos run injected:
+/// the explicit per-site decisions plus the stall specs in force. Feed
+/// it back via [`ChaosConfig::scripted`] and the run replays exactly —
+/// no probabilities, no RNG, byte-identical injected faults.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// Positive injection decisions, in chronological order.
+    pub decisions: Vec<FaultDecision>,
+    /// Thread stalls in force during the recorded run.
+    pub stalls: Vec<StallSpec>,
+}
+
+impl FaultSchedule {
+    /// True if the schedule injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty() && self.stalls.is_empty()
+    }
+
+    /// Per-kind cursors of `(site, param_us)` pairs sorted by site, for
+    /// O(1) lookup at each decision point during scripted replay.
+    pub(crate) fn cursors(&self) -> [VecDeque<(u64, u64)>; 5] {
+        let mut sorted: [Vec<(u64, u64)>; 5] = Default::default();
+        for d in &self.decisions {
+            sorted[d.kind.index()].push((d.site, d.param_us));
+        }
+        sorted.map(|mut v| {
+            v.sort_unstable();
+            v.into_iter().collect()
+        })
+    }
 }
 
 /// Fault-injection configuration. The default injects nothing.
@@ -73,6 +183,10 @@ pub struct ChaosConfig {
     pub timer_jitter: SimDuration,
     /// Scheduled stalls of named threads (§5.2, §6.2).
     pub stalls: Vec<StallSpec>,
+    /// A recorded [`FaultSchedule`] to replay instead of drawing from
+    /// the chaos RNG: every decision point consults the script, and the
+    /// probability knobs above are ignored.
+    pub script: Option<FaultSchedule>,
 }
 
 impl Default for ChaosConfig {
@@ -86,6 +200,7 @@ impl Default for ChaosConfig {
             duplicate_notify_prob: 0.0,
             timer_jitter: SimDuration::ZERO,
             stalls: Vec::new(),
+            script: None,
         }
     }
 }
@@ -105,6 +220,16 @@ impl ChaosConfig {
             || self.duplicate_notify_prob > 0.0
             || !self.timer_jitter.is_zero()
             || !self.stalls.is_empty()
+            || self.script.is_some()
+    }
+
+    /// Replays a recorded [`FaultSchedule`] exactly: the schedule's
+    /// stalls replace this config's stalls, every probability knob is
+    /// ignored, and each decision point injects iff the script says so.
+    pub fn scripted(mut self, schedule: FaultSchedule) -> Self {
+        self.stalls = schedule.stalls.clone();
+        self.script = Some(schedule);
+        self
     }
 
     /// Sets the probabilistic FORK failure rate (§5.4).
@@ -158,6 +283,28 @@ impl ChaosConfig {
             thread: thread.to_string(),
             at,
             duration,
+            while_holding: None,
+        });
+        self
+    }
+
+    /// Schedules a stall of the named thread that only fires while it
+    /// holds the named monitor: the trigger re-arms every millisecond
+    /// from `at` until it catches the thread inside the monitor, then
+    /// stalls it mid-critical-section (§6.2's preempted lock holder).
+    pub fn stall_while_holding(
+        mut self,
+        thread: &str,
+        monitor: &str,
+        at: SimTime,
+        duration: SimDuration,
+    ) -> Self {
+        assert!(!duration.is_zero(), "stall duration must be positive");
+        self.stalls.push(StallSpec {
+            thread: thread.to_string(),
+            at,
+            duration,
+            while_holding: Some(monitor.to_string()),
         });
         self
     }
@@ -189,10 +336,72 @@ mod tests {
             ChaosConfig::default().duplicate_notifies(0.5),
             ChaosConfig::default().jitter_timers(millis(3)),
             ChaosConfig::default().stall("x", t0, millis(1)),
+            ChaosConfig::default().stall_while_holding("x", "m", t0, millis(1)),
+            ChaosConfig::default().scripted(FaultSchedule::default()),
         ];
         for c in cases {
             assert!(c.is_active(), "{c:?} should be active");
         }
+    }
+
+    #[test]
+    fn fault_site_kind_tags_round_trip() {
+        for k in FaultSiteKind::ALL {
+            assert_eq!(FaultSiteKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(FaultSiteKind::from_tag("nope"), None);
+    }
+
+    #[test]
+    fn schedule_cursors_sort_per_kind() {
+        let sched = FaultSchedule {
+            decisions: vec![
+                FaultDecision {
+                    kind: FaultSiteKind::DropNotify,
+                    site: 7,
+                    param_us: 0,
+                },
+                FaultDecision {
+                    kind: FaultSiteKind::DropNotify,
+                    site: 2,
+                    param_us: 0,
+                },
+                FaultDecision {
+                    kind: FaultSiteKind::TimerJitter,
+                    site: 0,
+                    param_us: 450,
+                },
+            ],
+            stalls: Vec::new(),
+        };
+        let cursors = sched.cursors();
+        assert_eq!(
+            cursors[FaultSiteKind::DropNotify.index()],
+            VecDeque::from([(2, 0), (7, 0)])
+        );
+        assert_eq!(
+            cursors[FaultSiteKind::TimerJitter.index()],
+            VecDeque::from([(0, 450)])
+        );
+        assert!(cursors[FaultSiteKind::ForkFail.index()].is_empty());
+    }
+
+    #[test]
+    fn scripted_adopts_schedule_stalls() {
+        let sched = FaultSchedule {
+            decisions: Vec::new(),
+            stalls: vec![StallSpec {
+                thread: "x".into(),
+                at: SimTime::ZERO,
+                duration: millis(2),
+                while_holding: Some("m".into()),
+            }],
+        };
+        let cfg = ChaosConfig::default()
+            .stall("old", SimTime::ZERO, millis(1))
+            .scripted(sched.clone());
+        assert_eq!(cfg.stalls, sched.stalls);
+        assert!(cfg.is_active());
     }
 
     #[test]

@@ -80,9 +80,10 @@ mod sched;
 mod thread;
 mod time;
 mod timer;
+mod waitgraph;
 pub mod weakmem;
 
-pub use chaos::{ChaosConfig, StallSpec};
+pub use chaos::{ChaosConfig, FaultDecision, FaultSchedule, FaultSiteKind, StallSpec};
 pub use condition::Condition;
 pub use config::{ForkPolicy, NotifyMode, SimConfig, SystemDaemonConfig};
 pub use ctx::{ForkOpts, ThreadCtx};
@@ -98,6 +99,7 @@ pub use rng::SplitMix64;
 pub use sched::{RunLimit, SchedLatency, Sim, SimStats};
 pub use thread::{JoinHandle, Priority, ThreadId, ThreadInfo, ThreadView};
 pub use time::{micros, millis, secs, SimDuration, SimTime};
+pub use waitgraph::{BlockKind, WaitForGraph, WaitingThread};
 
 use std::sync::Once;
 

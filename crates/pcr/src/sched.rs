@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
+use crate::chaos::{FaultDecision, FaultSchedule, FaultSiteKind};
 use crate::condition::Condition;
 use crate::config::{ForkPolicy, NotifyMode, SimConfig};
 use crate::ctx::{wrap_body, ThreadCtx};
@@ -22,7 +23,7 @@ use crate::monitor::{Monitor, MonitorId};
 use crate::rendezvous::{reply_channel, ForkSpec, Reply, Request, ThreadChannels};
 use crate::rng::SplitMix64;
 use crate::thread::{JoinHandle, Priority, ResultSlot, ThreadId, ThreadInfo, ThreadView};
-use crate::time::{micros, SimDuration, SimTime};
+use crate::time::{micros, millis, SimDuration, SimTime};
 use crate::timer::{TimerKind, TimerWheel};
 
 /// Salt folded into the seed for the dedicated chaos RNG stream, so
@@ -293,6 +294,10 @@ struct Tcb {
     /// When the thread last became ready, for the wakeup-to-run latency
     /// profile ([`SchedLatency`]).
     ready_since: SimTime,
+    /// When the thread entered its current blocking state (any
+    /// `*Wait`/`Sleeping` transition resets it). The wait-for graph uses
+    /// this to distinguish a long-wedged waiter from normal contention.
+    blocked_since: SimTime,
 }
 
 struct MonitorState {
@@ -396,6 +401,15 @@ pub struct Sim {
     /// Dedicated RNG stream for fault injection (seed ⊕ salt), so chaos
     /// draws never perturb `rng`.
     chaos_rng: SplitMix64,
+    /// Per-kind chaos decision-point counters (indexed by
+    /// [`FaultSiteKind::index`]), ticked at every decision point whether
+    /// or not a fault is injected, so `(kind, site)` names one decision.
+    chaos_sites: [u64; 5],
+    /// Chronological record of every positive injection decision.
+    chaos_trace: Vec<FaultDecision>,
+    /// Scripted replay cursors, per kind sorted by site, when
+    /// [`ChaosConfig::script`] is set. Consulted instead of the RNG.
+    chaos_script: Option<[VecDeque<(u64, u64)>; 5]>,
     /// Online hazard detector, when enabled; sees every event before the
     /// user sink.
     hazards: Option<HazardMonitor>,
@@ -436,8 +450,12 @@ impl Sim {
             pending_forks: VecDeque::new(),
             live_threads: 0,
             chaos_rng: SplitMix64::new(seed ^ CHAOS_SEED_SALT),
+            chaos_sites: [0; 5],
+            chaos_trace: Vec::new(),
+            chaos_script: None,
             hazards: None,
         };
+        sim.chaos_script = sim.cfg.chaos.script.as_ref().map(|s| s.cursors());
         if let Some(hc) = sim.cfg.hazard_detection.clone() {
             sim.hazards = Some(HazardMonitor::new(hc));
             sim.hazard_mask = HazardMonitor::subscriptions();
@@ -554,6 +572,128 @@ impl Sim {
             .iter()
             .map(|c| (c.name.clone(), c.monitor))
             .collect()
+    }
+
+    // ---- resilience introspection & recovery ------------------------------
+
+    /// The complete fault schedule injected so far: every positive chaos
+    /// decision in chronological order, plus the stall specs in force.
+    /// Feeding it to a fresh `Sim` with the same [`SimConfig`] via
+    /// [`ChaosConfig::scripted`](crate::ChaosConfig::scripted) replays
+    /// exactly these faults, with no RNG involved.
+    pub fn fault_schedule(&self) -> FaultSchedule {
+        FaultSchedule {
+            decisions: self.chaos_trace.clone(),
+            stalls: self.cfg.chaos.stalls.clone(),
+        }
+    }
+
+    /// Every currently blocked thread, as wait-for-graph nodes. CV
+    /// waiters are included (for rendering); chaos-stalled and sleeping
+    /// threads are not — they have timers pending.
+    pub fn blocked_threads(&self) -> Vec<crate::WaitingThread> {
+        let mut out = Vec::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.exited {
+                continue;
+            }
+            let tid = ThreadId(i as u32);
+            let (kind, resource, blocked_on) = match t.state {
+                TState::MutexWait(m) => (
+                    crate::BlockKind::Monitor,
+                    self.monitors[m.0 as usize].name.clone(),
+                    self.monitors[m.0 as usize].owner,
+                ),
+                TState::MetaWait(m) => (
+                    crate::BlockKind::Metalock,
+                    format!("metalock of {}", self.monitors[m.0 as usize].name),
+                    self.monitors[m.0 as usize].meta,
+                ),
+                TState::CvWait(cv) => (
+                    crate::BlockKind::Condition {
+                        has_timeout: self.conds[cv.0 as usize].timeout.is_some(),
+                    },
+                    self.conds[cv.0 as usize].name.clone(),
+                    None,
+                ),
+                TState::JoinWait(target) => (
+                    crate::BlockKind::Join,
+                    self.threads[target.0 as usize].name.clone(),
+                    Some(target),
+                ),
+                TState::ForkWait => (crate::BlockKind::Fork, "fork slot".to_string(), None),
+                TState::Stalled
+                | TState::Sleeping
+                | TState::Ready
+                | TState::Running
+                | TState::Exited => continue,
+            };
+            out.push(crate::WaitingThread {
+                tid,
+                name: t.name.clone(),
+                priority: t.priority,
+                kind,
+                resource,
+                blocked_on,
+                since: t.blocked_since,
+            });
+        }
+        out
+    }
+
+    /// Snapshots the wait-for graph of the current instant: blocked
+    /// threads, their edges, and any chaos-stalled roots. See
+    /// [`crate::WaitForGraph`] for wedge and cycle queries.
+    pub fn wait_for_graph(&self) -> crate::WaitForGraph {
+        let stalled = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.exited && t.state == TState::Stalled)
+            .map(|(i, t)| (ThreadId(i as u32), t.name.clone()))
+            .collect();
+        crate::WaitForGraph {
+            now: self.clock,
+            threads: self.blocked_threads(),
+            stalled,
+        }
+    }
+
+    /// Fails every FORK currently blocked waiting for a thread slot
+    /// (§5.4 recovery: drain the queue instead of letting callers hang).
+    /// Each blocked forker resumes with
+    /// [`ForkError::ResourcesExhausted`](crate::ForkError::ResourcesExhausted).
+    /// Returns how many forks were failed.
+    pub fn fail_pending_forks(&mut self) -> usize {
+        let pending: Vec<ThreadId> = self
+            .pending_forks
+            .drain(..)
+            .map(|(forker, _spec)| forker)
+            .collect();
+        let n = pending.len();
+        for forker in pending {
+            self.stats.fork_failures += 1;
+            self.emit(EventKind::ForkFailed { tid: forker });
+            let f = &mut self.threads[forker.0 as usize];
+            f.pending_reply = Some(Reply::ForkFailed);
+            f.debt = self.cfg.primitive_cost;
+            f.after_debt = AfterDebt::Reply;
+            self.push_ready_back(forker);
+        }
+        n
+    }
+
+    /// Clears any chaos stall on `tid` — in force or pending — and puts
+    /// a stalled thread back in the ready queue (§5.2 recovery: restart
+    /// the unresponsive component). The orphaned `ChaosStallEnd` timer
+    /// no-ops when it fires. Returns true if anything changed.
+    pub fn rejuvenate(&mut self, tid: ThreadId) -> bool {
+        let had_pending = self.threads[tid.0 as usize].stall_pending.take().is_some();
+        let was_stalled = self.threads[tid.0 as usize].state == TState::Stalled;
+        if was_stalled {
+            self.push_ready_back(tid);
+        }
+        had_pending || was_stalled
     }
 
     // ---- pre-run construction -------------------------------------------
@@ -693,6 +833,7 @@ impl Sim {
             in_ready: false,
             ready_gen: 0,
             ready_since: SimTime::ZERO,
+            blocked_since: SimTime::ZERO,
         });
         self.live_threads += 1;
         self.stats.max_live_threads = self.stats.max_live_threads.max(self.live_threads);
@@ -828,24 +969,70 @@ impl Sim {
         self.timers.schedule(until, TimerKind::ChaosStallEnd(tid));
     }
 
+    /// Resolves one chaos decision point of `kind`: ticks the per-kind
+    /// site counter, then either consults the replay script (injecting
+    /// iff it lists this exact site) or defers to `draw`, which may
+    /// consume chaos RNG. Every positive decision — drawn or scripted —
+    /// is appended to the chronological fault trace, so
+    /// [`Sim::fault_schedule`] always reflects what actually happened.
+    fn chaos_decision(
+        &mut self,
+        kind: FaultSiteKind,
+        draw: impl FnOnce(&mut Self) -> Option<u64>,
+    ) -> Option<u64> {
+        let idx = kind.index();
+        let site = self.chaos_sites[idx];
+        self.chaos_sites[idx] += 1;
+        let param = if let Some(cursors) = &mut self.chaos_script {
+            let q = &mut cursors[idx];
+            while q.front().is_some_and(|&(s, _)| s < site) {
+                q.pop_front();
+            }
+            if q.front().is_some_and(|&(s, _)| s == site) {
+                Some(q.pop_front().expect("peeked entry vanished").1)
+            } else {
+                None
+            }
+        } else {
+            draw(self)
+        };
+        let param = param?;
+        self.chaos_trace.push(FaultDecision {
+            kind,
+            site,
+            param_us: param,
+        });
+        Some(param)
+    }
+
     /// One seeded decision: fail this FORK? (§5.4 injection.)
     fn chaos_fork_should_fail(&mut self) -> bool {
-        if let Some((from, until)) = self.cfg.chaos.fork_outage {
-            if self.clock >= from && self.clock < until {
-                return true;
+        self.chaos_decision(FaultSiteKind::ForkFail, |s| {
+            if let Some((from, until)) = s.cfg.chaos.fork_outage {
+                if s.clock >= from && s.clock < until {
+                    return Some(0);
+                }
             }
-        }
-        let p = self.cfg.chaos.fork_fail_prob;
-        p > 0.0 && self.chaos_rng.next_f64() < p
+            let p = s.cfg.chaos.fork_fail_prob;
+            (p > 0.0 && s.chaos_rng.next_f64() < p).then_some(0)
+        })
+        .is_some()
     }
 
     /// Extra seeded delay applied to a timer deadline (§6.3 injection).
     fn chaos_timer_jitter(&mut self) -> SimDuration {
-        let max = self.cfg.chaos.timer_jitter;
-        if max.is_zero() {
-            return SimDuration::ZERO;
-        }
-        micros(self.chaos_rng.next_below(max.as_micros() + 1))
+        let jitter = self.chaos_decision(FaultSiteKind::TimerJitter, |s| {
+            let max = s.cfg.chaos.timer_jitter;
+            if max.is_zero() {
+                return None;
+            }
+            // A zero draw is indistinguishable from no jitter, so it is
+            // not recorded as a decision (the replay injects nothing at
+            // this site and the deadline comes out identical).
+            let d = s.chaos_rng.next_below(max.as_micros() + 1);
+            (d > 0).then_some(d)
+        });
+        micros(jitter.unwrap_or(0))
     }
 
     fn pop_ready_excluding(&mut self, excluded: Option<ThreadId>) -> Option<ThreadId> {
@@ -977,22 +1164,48 @@ impl Sim {
                     }
                 }
                 TimerKind::ChaosStallStart { spec } => {
-                    let name = self.cfg.chaos.stalls[spec as usize].thread.clone();
-                    let duration = self.cfg.chaos.stalls[spec as usize].duration;
+                    let s = &self.cfg.chaos.stalls[spec as usize];
+                    let name = s.thread.clone();
+                    let duration = s.duration;
+                    let gate = s.while_holding.clone();
                     let target = self
                         .threads
                         .iter()
                         .position(|t| !t.exited && t.name == name)
                         .map(|i| ThreadId(i as u32));
-                    if let Some(tid) = target {
-                        if self.threads[tid.0 as usize].state == TState::Ready {
-                            self.remove_from_ready(tid);
-                            self.stall_thread(tid, duration);
-                        } else {
-                            // Running or blocked: stall at the next point
-                            // it would become ready.
-                            self.threads[tid.0 as usize].stall_pending = Some(duration);
+                    let armed = match (target, &gate) {
+                        (Some(tid), Some(mon)) => self
+                            .monitors
+                            .iter()
+                            .any(|m| m.owner == Some(tid) && &m.name == mon)
+                            .then_some(tid),
+                        (t, None) => t,
+                        (None, Some(_)) => None,
+                    };
+                    if let Some(tid) = armed {
+                        match self.threads[tid.0 as usize].state {
+                            TState::Ready => {
+                                self.remove_from_ready(tid);
+                                self.stall_thread(tid, duration);
+                            }
+                            TState::Running => {
+                                // Caught inside its critical section: the
+                                // dispatch loop notices the state change
+                                // and parks it immediately.
+                                self.stall_thread(tid, duration);
+                            }
+                            _ => {
+                                // Blocked: stall at the next point it
+                                // would become ready.
+                                self.threads[tid.0 as usize].stall_pending = Some(duration);
+                            }
                         }
+                    } else if gate.is_some() {
+                        // Gated on monitor ownership and the target is not
+                        // (yet) inside: poll again in a millisecond until
+                        // it is caught holding the lock.
+                        self.timers
+                            .schedule(self.clock + millis(1), TimerKind::ChaosStallStart { spec });
                     }
                 }
                 TimerKind::ChaosStallEnd(tid) => {
@@ -1055,11 +1268,13 @@ impl Sim {
         // Move the deferred list out wholesale and hand its (emptied)
         // buffer back afterwards, so the common notify-heavy path never
         // allocates.
+        let now = self.clock;
         let mut deferred = std::mem::take(&mut self.monitors[mid.0 as usize].deferred);
         for &(wtid, outcome, cv) in &deferred {
             let w = &mut self.threads[wtid.0 as usize];
             debug_assert!(matches!(w.state, TState::CvWait(_)));
             w.state = TState::MutexWait(mid);
+            w.blocked_since = now;
             w.reacquire_outcome = Some(outcome);
             w.reacquire_cv = Some(cv);
             self.monitors[mid.0 as usize].queue.push_back(wtid);
@@ -1118,6 +1333,7 @@ impl Sim {
                 });
                 self.monitors[mid.0 as usize].queue.push_back(tid);
                 self.threads[tid.0 as usize].state = TState::MutexWait(mid);
+                self.threads[tid.0 as usize].blocked_since = self.clock;
                 false
             }
         }
@@ -1173,6 +1389,7 @@ impl Sim {
         } else {
             m.queue.push_back(tid);
             self.threads[tid.0 as usize].state = TState::MutexWait(mid);
+            self.threads[tid.0 as usize].blocked_since = self.clock;
         }
     }
 
@@ -1304,6 +1521,12 @@ impl Sim {
 
         loop {
             self.fire_due_timers();
+            if self.threads[tid.0 as usize].state != TState::Running {
+                // A chaos stall caught the running thread mid-dispatch
+                // (no other timer touches a Running thread); it must not
+                // be re-enqueued until its stall ends.
+                break;
+            }
             if self.clock >= end {
                 self.push_ready_front(tid);
                 break;
@@ -1399,8 +1622,10 @@ impl Sim {
                 until += self.chaos_timer_jitter();
                 self.emit(EventKind::Sleep { tid, until });
                 self.timers.schedule(until, TimerKind::Wake(tid));
+                let now = self.clock;
                 let t = &mut self.threads[tid.0 as usize];
                 t.state = TState::Sleeping;
+                t.blocked_since = now;
                 t.pending_reply = Some(Reply::Ok);
             }
             Request::Yield => {
@@ -1532,6 +1757,7 @@ impl Sim {
                     self.stats.fork_blocks += 1;
                     self.emit(EventKind::ForkBlocked { tid });
                     self.threads[tid.0 as usize].state = TState::ForkWait;
+                    self.threads[tid.0 as usize].blocked_since = self.clock;
                     self.pending_forks.push_back((tid, spec));
                 }
             }
@@ -1565,6 +1791,7 @@ impl Sim {
                 target,
             });
             self.threads[tid.0 as usize].state = TState::JoinWait(target);
+            self.threads[tid.0 as usize].blocked_since = self.clock;
         }
     }
 
@@ -1583,6 +1810,7 @@ impl Sim {
                     });
                     self.monitors[mid.0 as usize].meta_waiters.push_back(tid);
                     self.threads[tid.0 as usize].state = TState::MetaWait(mid);
+                    self.threads[tid.0 as usize].blocked_since = self.clock;
                     return;
                 }
             }
@@ -1655,24 +1883,32 @@ impl Sim {
         self.stats.cv_waits += 1;
         self.stats.distinct_conditions.insert(cv.0);
         self.emit(EventKind::CvWait { tid, cv });
+        let now = self.clock;
         let t = &mut self.threads[tid.0 as usize];
         t.wait_seq += 1;
         let seq = t.wait_seq;
         t.state = TState::CvWait(cv);
+        t.blocked_since = now;
         if let Some(timeout) = self.conds[cv.0 as usize].timeout {
             let deadline = (self.clock + timeout).round_up_to(self.cfg.granularity())
                 + self.chaos_timer_jitter();
             self.timers
                 .schedule(deadline, TimerKind::CvTimeout { tid, cv, seq });
         }
-        let sp = self.cfg.chaos.spurious_wakeup_prob;
-        if sp > 0.0 && self.chaos_rng.next_f64() < sp {
-            // Schedule a spurious wakeup 1..=spurious_delay µs into the
-            // wait; lazily cancelled if the wait ends first.
-            let max = self.cfg.chaos.spurious_delay.as_micros();
-            let delay = micros(self.chaos_rng.next_below(max) + 1);
+        let spurious = self.chaos_decision(FaultSiteKind::SpuriousWakeup, |s| {
+            let sp = s.cfg.chaos.spurious_wakeup_prob;
+            if sp > 0.0 && s.chaos_rng.next_f64() < sp {
+                // A spurious wakeup 1..=spurious_delay µs into the wait;
+                // lazily cancelled if the wait ends first.
+                let max = s.cfg.chaos.spurious_delay.as_micros();
+                Some(s.chaos_rng.next_below(max) + 1)
+            } else {
+                None
+            }
+        });
+        if let Some(delay_us) = spurious {
             self.timers.schedule(
-                self.clock + delay,
+                self.clock + micros(delay_us),
                 TimerKind::ChaosSpuriousWake { tid, cv, seq },
             );
         }
@@ -1694,8 +1930,13 @@ impl Sim {
         // Chaos (§5.3): silently discard a NOTIFY that has a waiter. The
         // waiter keeps waiting; only its timeout (if any) can rescue it.
         if !broadcast && self.conds[cv.0 as usize].live > 0 {
-            let p = self.cfg.chaos.drop_notify_prob;
-            if p > 0.0 && self.chaos_rng.next_f64() < p {
+            let dropped = self
+                .chaos_decision(FaultSiteKind::DropNotify, |s| {
+                    let p = s.cfg.chaos.drop_notify_prob;
+                    (p > 0.0 && s.chaos_rng.next_f64() < p).then_some(0)
+                })
+                .is_some();
+            if dropped {
                 self.stats.cv_notifies += 1;
                 self.stats.chaos_dropped_notifies += 1;
                 self.emit(EventKind::NotifyDropped { tid, cv });
@@ -1718,8 +1959,13 @@ impl Sim {
         // survives; code that doesn't is what this fault flushes out.
         let mut extra = None;
         if !broadcast && first_woken.is_some() && self.conds[cv.0 as usize].live > 0 {
-            let p = self.cfg.chaos.duplicate_notify_prob;
-            if p > 0.0 && self.chaos_rng.next_f64() < p {
+            let duplicated = self
+                .chaos_decision(FaultSiteKind::DuplicateNotify, |s| {
+                    let p = s.cfg.chaos.duplicate_notify_prob;
+                    (p > 0.0 && s.chaos_rng.next_f64() < p).then_some(0)
+                })
+                .is_some();
+            if duplicated {
                 let w = self.pop_cv_waiter(cv).expect("live waiter present");
                 self.wake_waiter(w, mid, cv);
                 self.stats.chaos_duplicated_notifies += 1;

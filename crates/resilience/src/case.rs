@@ -1,0 +1,358 @@
+//! Stored failing cases: the on-disk format of a fuzz finding.
+//!
+//! A [`StoredCase`] is everything needed to rebuild and replay one
+//! failing trial — cell, seed, watch parameters, and the exact
+//! [`FaultSchedule`] the run executed — serialized as a single JSON
+//! object via the repo's hand-rolled [`trace::Json`]. Files are named
+//! after the signature so re-running the fuzzer overwrites rather than
+//! accumulates duplicates of the same bug.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pcr::{FaultDecision, FaultSchedule, FaultSiteKind, SimDuration, SimTime, StallSpec};
+use threadstudy_core::System;
+use trace::Json;
+use workloads::Benchmark;
+
+use crate::observe::TrialSpec;
+
+/// A replayable failing trial.
+#[derive(Clone, Debug)]
+pub struct StoredCase {
+    /// Which system's world failed.
+    pub system: System,
+    /// Which benchmark drove it.
+    pub benchmark: Benchmark,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Trial window.
+    pub window: SimDuration,
+    /// Failure-check slice.
+    pub slice: SimDuration,
+    /// Wedge age threshold.
+    pub wedge_threshold: SimDuration,
+    /// Thread-table cap, when the intensity level set one.
+    pub max_threads: Option<usize>,
+    /// Name of the intensity level that found the failure.
+    pub intensity: String,
+    /// The canonical failure signature the schedule reproduces.
+    pub signature: String,
+    /// The fault schedule to replay.
+    pub schedule: FaultSchedule,
+}
+
+fn benchmark_name(b: Benchmark) -> String {
+    format!("{b:?}")
+}
+
+fn benchmark_from_name(name: &str) -> Result<Benchmark, String> {
+    Benchmark::CEDAR
+        .iter()
+        .copied()
+        .find(|b| format!("{b:?}").eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark {name:?}"))
+}
+
+fn system_from_name(name: &str) -> Result<System, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "cedar" => Ok(System::Cedar),
+        "gvx" => Ok(System::Gvx),
+        _ => Err(format!("unknown system {name:?}")),
+    }
+}
+
+impl StoredCase {
+    /// The trial parameters this case replays under.
+    pub fn spec(&self) -> TrialSpec {
+        TrialSpec {
+            system: self.system,
+            benchmark: self.benchmark,
+            seed: self.seed,
+            window: self.window,
+            slice: self.slice,
+            wedge_threshold: self.wedge_threshold,
+            max_threads: self.max_threads,
+        }
+    }
+
+    /// Serializes the case to JSON.
+    pub fn to_json(&self) -> Json {
+        let decisions = Json::arr(self.schedule.decisions.iter().map(|d| {
+            Json::obj([
+                ("kind", Json::Str(d.kind.tag().to_string())),
+                ("site", Json::UInt(d.site)),
+                ("param_us", Json::UInt(d.param_us)),
+            ])
+        }));
+        let stalls = Json::arr(self.schedule.stalls.iter().map(|s| {
+            Json::obj([
+                ("thread", Json::Str(s.thread.clone())),
+                ("at_us", Json::UInt(s.at.as_micros())),
+                ("duration_us", Json::UInt(s.duration.as_micros())),
+                (
+                    "while_holding",
+                    s.while_holding
+                        .as_ref()
+                        .map_or(Json::Null, |m| Json::Str(m.clone())),
+                ),
+            ])
+        }));
+        Json::obj([
+            ("v", Json::UInt(1)),
+            ("system", Json::Str(self.system.name().to_string())),
+            ("benchmark", Json::Str(benchmark_name(self.benchmark))),
+            ("seed", Json::Str(format!("{:x}", self.seed))),
+            ("window_us", Json::UInt(self.window.as_micros())),
+            ("slice_us", Json::UInt(self.slice.as_micros())),
+            (
+                "wedge_threshold_us",
+                Json::UInt(self.wedge_threshold.as_micros()),
+            ),
+            (
+                "max_threads",
+                self.max_threads
+                    .map_or(Json::Null, |n| Json::UInt(n as u64)),
+            ),
+            ("intensity", Json::Str(self.intensity.clone())),
+            ("signature", Json::Str(self.signature.clone())),
+            ("decisions", decisions),
+            ("stalls", stalls),
+        ])
+    }
+
+    /// Parses a case back from JSON.
+    pub fn from_json(j: &Json) -> Result<StoredCase, String> {
+        let field = |k: &str| j.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        let str_field = |k: &str| {
+            field(k)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("field {k:?} is not a string"))
+        };
+        let u64_field = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("field {k:?} is not an unsigned integer"))
+        };
+        match u64_field("v")? {
+            1 => {}
+            v => return Err(format!("unsupported case version {v}")),
+        }
+        let seed_hex = str_field("seed")?;
+        let seed = u64::from_str_radix(&seed_hex, 16)
+            .map_err(|e| format!("bad seed {seed_hex:?}: {e}"))?;
+        let max_threads = match field("max_threads")? {
+            Json::Null => None,
+            other => Some(
+                other
+                    .as_u64()
+                    .ok_or_else(|| "field \"max_threads\" is not an unsigned integer".to_string())?
+                    as usize,
+            ),
+        };
+        let mut decisions = Vec::new();
+        for d in field("decisions")?
+            .as_array()
+            .ok_or_else(|| "field \"decisions\" is not an array".to_string())?
+        {
+            let tag = d
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "decision missing \"kind\"".to_string())?;
+            let kind = FaultSiteKind::from_tag(tag)
+                .ok_or_else(|| format!("unknown fault kind {tag:?}"))?;
+            let site = d
+                .get("site")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "decision missing \"site\"".to_string())?;
+            let param_us = d
+                .get("param_us")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "decision missing \"param_us\"".to_string())?;
+            decisions.push(FaultDecision {
+                kind,
+                site,
+                param_us,
+            });
+        }
+        let mut stalls = Vec::new();
+        for s in field("stalls")?
+            .as_array()
+            .ok_or_else(|| "field \"stalls\" is not an array".to_string())?
+        {
+            let get_u64 = |k: &str| {
+                s.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("stall missing {k:?}"))
+            };
+            stalls.push(StallSpec {
+                thread: s
+                    .get("thread")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "stall missing \"thread\"".to_string())?
+                    .to_string(),
+                at: SimTime::from_micros(get_u64("at_us")?),
+                duration: SimDuration::from_micros(get_u64("duration_us")?),
+                while_holding: match s.get("while_holding") {
+                    None | Some(Json::Null) => None,
+                    Some(other) => Some(
+                        other
+                            .as_str()
+                            .ok_or_else(|| "stall \"while_holding\" is not a string".to_string())?
+                            .to_string(),
+                    ),
+                },
+            });
+        }
+        Ok(StoredCase {
+            system: system_from_name(&str_field("system")?)?,
+            benchmark: benchmark_from_name(&str_field("benchmark")?)?,
+            seed,
+            window: SimDuration::from_micros(u64_field("window_us")?),
+            slice: SimDuration::from_micros(u64_field("slice_us")?),
+            wedge_threshold: SimDuration::from_micros(u64_field("wedge_threshold_us")?),
+            max_threads,
+            intensity: str_field("intensity")?,
+            signature: str_field("signature")?,
+            schedule: FaultSchedule { decisions, stalls },
+        })
+    }
+
+    /// A stable, filesystem-safe file name derived from the signature.
+    pub fn file_name(&self) -> String {
+        let slug: String = self
+            .signature
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let slug: String = slug.split('-').filter(|s| !s.is_empty()).take(8).fold(
+            String::new(),
+            |mut acc, part| {
+                if !acc.is_empty() {
+                    acc.push('-');
+                }
+                acc.push_str(part);
+                acc
+            },
+        );
+        format!(
+            "{}-{}-{slug}.json",
+            self.system.name().to_ascii_lowercase(),
+            benchmark_name(self.benchmark).to_ascii_lowercase()
+        )
+    }
+
+    /// Writes the case into `dir` (created if needed) and returns the
+    /// full path.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        fs::write(&path, self.to_json().pretty() + "\n")?;
+        Ok(path)
+    }
+
+    /// Loads a case from a file written by [`StoredCase::save`].
+    pub fn load(path: &Path) -> Result<StoredCase, String> {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        StoredCase::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// The ready-to-paste command that replays this case.
+    pub fn repro_command(&self, path: &Path) -> String {
+        format!(
+            "cargo run --release -p bench --bin repro -- replay {}",
+            path.display()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr::{millis, secs};
+
+    fn sample() -> StoredCase {
+        StoredCase {
+            system: System::Gvx,
+            benchmark: Benchmark::Scroll,
+            seed: 0xDEAD_BEEF,
+            window: secs(6),
+            slice: millis(250),
+            wedge_threshold: millis(1500),
+            max_threads: Some(23),
+            intensity: "stall-gated".to_string(),
+            signature: "wedge:[GVX.DisplayWatchdog(monitor)]".to_string(),
+            schedule: FaultSchedule {
+                decisions: vec![
+                    FaultDecision {
+                        kind: FaultSiteKind::SpuriousWakeup,
+                        site: 4,
+                        param_us: 120,
+                    },
+                    FaultDecision {
+                        kind: FaultSiteKind::ForkFail,
+                        site: 0,
+                        param_us: 0,
+                    },
+                ],
+                stalls: vec![StallSpec {
+                    thread: "GVX.InputPoller".to_string(),
+                    at: SimTime::from_micros(2_000_000),
+                    duration: secs(120),
+                    while_holding: Some("gvx-screen".to_string()),
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let case = sample();
+        let text = case.to_json().pretty();
+        let back = StoredCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.system, case.system);
+        assert_eq!(back.benchmark, case.benchmark);
+        assert_eq!(back.seed, case.seed);
+        assert_eq!(back.window, case.window);
+        assert_eq!(back.slice, case.slice);
+        assert_eq!(back.wedge_threshold, case.wedge_threshold);
+        assert_eq!(back.max_threads, case.max_threads);
+        assert_eq!(back.intensity, case.intensity);
+        assert_eq!(back.signature, case.signature);
+        assert_eq!(back.schedule, case.schedule);
+    }
+
+    #[test]
+    fn null_max_threads_and_while_holding_round_trip() {
+        let mut case = sample();
+        case.max_threads = None;
+        case.schedule.stalls[0].while_holding = None;
+        let text = case.to_json().pretty();
+        let back = StoredCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.max_threads, None);
+        assert_eq!(back.schedule.stalls[0].while_holding, None);
+    }
+
+    #[test]
+    fn bad_inputs_error_clearly() {
+        let missing = Json::parse("{\"v\": 1}").unwrap();
+        let err = StoredCase::from_json(&missing).unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+
+        let bad_version = Json::parse("{\"v\": 9}").unwrap();
+        let err = StoredCase::from_json(&bad_version).unwrap_err();
+        assert!(err.contains("unsupported case version 9"), "{err}");
+    }
+
+    #[test]
+    fn file_name_is_stable_and_safe() {
+        let name = sample().file_name();
+        assert_eq!(name, "gvx-scroll-wedge-GVX-DisplayWatchdog-monitor.json");
+        assert!(name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.'));
+    }
+}

@@ -1,0 +1,224 @@
+//! Chaos-schedule fuzzing over the benchmark grid.
+//!
+//! The fuzzer enumerates trials deterministically from a budget: trial
+//! `i` maps to a `(cell, intensity, seed)` triple by mixed-radix
+//! decomposition, so the same budget and base seed always visit the
+//! same grid in the same order. Intensity ladders are per-system and
+//! front-load the fault mixes the worlds are known not to tolerate
+//! (fork-table exhaustion for Cedar, a gated stall inside the screen
+//! monitor for GVX), so small budgets still find real failures.
+//!
+//! Every failing trial is classified by its seed-independent signature;
+//! the first trial to exhibit each signature becomes a [`StoredCase`],
+//! later ones only bump its count.
+
+use pcr::{millis, secs, ChaosConfig, SimDuration, SimTime};
+use threadstudy_core::System;
+use workloads::{chaos_preset, eternal_thread_count, Benchmark};
+
+use crate::case::StoredCase;
+use crate::observe::{observe, TrialSpec};
+
+/// One rung of a system's chaos-intensity ladder.
+#[derive(Clone, Debug)]
+pub struct Intensity {
+    /// Short name shown in reports and stored with each case.
+    pub name: &'static str,
+    /// The fault mix.
+    pub chaos: ChaosConfig,
+    /// Optional thread-table cap applied with this rung.
+    pub max_threads: Option<usize>,
+}
+
+fn cv_storm() -> ChaosConfig {
+    ChaosConfig::none()
+        .spurious_wakeups(0.3)
+        .duplicate_notifies(0.3)
+        .jitter_timers(millis(8))
+}
+
+fn lost_wakeup() -> ChaosConfig {
+    ChaosConfig::none().spurious_wakeups(0.1).drop_notifies(0.3)
+}
+
+/// The stall the GVX ladder injects: catch the input poller inside the
+/// screen monitor (it holds `gvx-screen` while painting) and keep it
+/// there far longer than any watchdog timeout.
+fn gvx_screen_stall(chaos: ChaosConfig) -> ChaosConfig {
+    chaos.stall_while_holding(
+        "GVX.InputPoller",
+        "gvx-screen",
+        SimTime::from_micros(2_000_000),
+        secs(120),
+    )
+}
+
+/// The per-system intensity ladder, mildest first, with the
+/// guaranteed-failure rungs early so small budgets reach them.
+pub fn intensity_ladder(system: System) -> Vec<Intensity> {
+    let rung = |name, chaos| Intensity {
+        name,
+        chaos,
+        max_threads: None,
+    };
+    match system {
+        System::Cedar => vec![
+            rung("preset", chaos_preset()),
+            Intensity {
+                name: "fork-cap",
+                chaos: chaos_preset(),
+                // Exactly the eternal population fits: the first runtime
+                // fork (the Notifier's keystroke action) blocks forever.
+                max_threads: Some(eternal_thread_count(System::Cedar)),
+            },
+            rung("cv-storm", cv_storm()),
+            rung("lost-wakeup", lost_wakeup()),
+            rung("fork-storm", chaos_preset().fail_forks(0.5)),
+            rung(
+                "kitchen-sink",
+                cv_storm().drop_notifies(0.2).fail_forks(0.3),
+            ),
+        ],
+        System::Gvx => vec![
+            rung("preset", chaos_preset()),
+            rung("stall-gated", gvx_screen_stall(chaos_preset())),
+            rung("cv-storm", cv_storm()),
+            rung("lost-wakeup", lost_wakeup()),
+            rung(
+                "kitchen-sink",
+                gvx_screen_stall(cv_storm().drop_notifies(0.2)),
+            ),
+        ],
+    }
+}
+
+/// Fuzzer parameters.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of trials to run.
+    pub budget: u32,
+    /// Base seed; trial seeds are derived from it deterministically.
+    pub base_seed: u64,
+    /// The benchmark cells to sweep.
+    pub cells: Vec<(System, Benchmark)>,
+    /// Per-trial virtual window.
+    pub window: SimDuration,
+    /// Failure-check slice.
+    pub slice: SimDuration,
+    /// Wedge age threshold.
+    pub wedge_threshold: SimDuration,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            budget: 64,
+            base_seed: 0x5EED,
+            cells: vec![
+                (System::Cedar, Benchmark::Keyboard),
+                (System::Gvx, Benchmark::Scroll),
+            ],
+            window: secs(6),
+            slice: millis(250),
+            wedge_threshold: millis(1500),
+        }
+    }
+}
+
+/// One unique failure found by a fuzz sweep.
+#[derive(Debug)]
+pub struct FoundCase {
+    /// The first trial that exhibited this signature, replayable.
+    pub case: StoredCase,
+    /// How many trials in the sweep hit this signature.
+    pub count: u32,
+}
+
+/// The result of a fuzz sweep.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// Trials actually run.
+    pub trials: u32,
+    /// Trials that failed (including duplicates of known signatures).
+    pub failures: u32,
+    /// Unique failures, in discovery order.
+    pub cases: Vec<FoundCase>,
+}
+
+/// Sweeps `cfg.budget` trials over the cell × intensity × seed grid and
+/// returns the deduplicated failures. `progress` is called once per
+/// trial with a one-line description.
+pub fn fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> FuzzOutcome {
+    assert!(!cfg.cells.is_empty(), "fuzz needs at least one cell");
+    let ladders: Vec<Vec<Intensity>> = cfg
+        .cells
+        .iter()
+        .map(|(system, _)| intensity_ladder(*system))
+        .collect();
+    let mut failures = 0u32;
+    let mut cases: Vec<FoundCase> = Vec::new();
+    for i in 0..cfg.budget {
+        let cell = (i as usize) % cfg.cells.len();
+        let (system, benchmark) = cfg.cells[cell];
+        let ladder = &ladders[cell];
+        let layer = (i as usize) / cfg.cells.len();
+        let rung = &ladder[layer % ladder.len()];
+        let seed_index = (layer / ladder.len()) as u64;
+        // SplitMix-style spread so consecutive seed indices land far
+        // apart in the simulator's seed space.
+        let seed = cfg
+            .base_seed
+            .wrapping_add(seed_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let spec = TrialSpec {
+            system,
+            benchmark,
+            seed,
+            window: cfg.window,
+            slice: cfg.slice,
+            wedge_threshold: cfg.wedge_threshold,
+            max_threads: rung.max_threads,
+        };
+        let obs = observe(&spec, rung.chaos.clone());
+        match obs.failure {
+            None => progress(&format!(
+                "trial {i}: {}/{benchmark} {} seed={seed:x} — clean",
+                system.name(),
+                rung.name
+            )),
+            Some(failure) => {
+                failures += 1;
+                let signature = failure.signature();
+                progress(&format!(
+                    "trial {i}: {}/{benchmark} {} seed={seed:x} — {} after {}",
+                    system.name(),
+                    rung.name,
+                    signature,
+                    obs.elapsed
+                ));
+                match cases.iter_mut().find(|c| c.case.signature == signature) {
+                    Some(known) => known.count += 1,
+                    None => cases.push(FoundCase {
+                        case: StoredCase {
+                            system,
+                            benchmark,
+                            seed,
+                            window: cfg.window,
+                            slice: cfg.slice,
+                            wedge_threshold: cfg.wedge_threshold,
+                            max_threads: rung.max_threads,
+                            intensity: rung.name.to_string(),
+                            signature,
+                            schedule: obs.schedule,
+                        },
+                        count: 1,
+                    }),
+                }
+            }
+        }
+    }
+    FuzzOutcome {
+        trials: cfg.budget,
+        failures,
+        cases,
+    }
+}

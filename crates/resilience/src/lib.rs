@@ -1,0 +1,47 @@
+//! # resilience — fuzz, shrink, recover
+//!
+//! The robustness harness over the [`pcr`] simulator and the
+//! [`workloads`] worlds, motivated by the pathologies of §5–§6 of the
+//! paper (fork outages, unresponsive components, priority-inversion
+//! wedges):
+//!
+//! * [`fuzz`] sweeps seeds and chaos-intensity grids over the Cedar and
+//!   GVX benchmark cells, classifies every failing run by a
+//!   seed-independent [`signature`], and stores each unique failure as a
+//!   replayable [`StoredCase`] carrying the exact
+//!   [`pcr::FaultSchedule`] that produced it.
+//! * [`shrink`] delta-debugs a failing schedule down to a locally
+//!   minimal one that still reproduces the same failure signature —
+//!   dropping injection decisions, halving stall durations — so the
+//!   repro a human reads is the smallest one the oracle accepts.
+//! * [`supervise`] runs a world in slices under a wait-for-graph watch
+//!   and pulls the paper's recovery levers when it wedges: failing
+//!   pending forks (§5.4), rejuvenating stalled components (§5.2), and
+//!   as a last resort restarting the attempt with exponential backoff.
+//!   [`supervise_benchmark`] scores the result as a *degradation*
+//!   fraction against a clean run of the same cell.
+//!
+//! Everything here is deterministic per `(cell, chaos, seed)`: a fuzz
+//! finding replays byte-for-byte, a shrunk schedule carries a
+//! ready-to-paste repro command, and the supervisor's action log is
+//! stable across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod case;
+mod fuzz;
+mod observe;
+mod shrink;
+mod signature;
+mod supervisor;
+
+pub use case::StoredCase;
+pub use fuzz::{fuzz, intensity_ladder, FoundCase, FuzzConfig, FuzzOutcome, Intensity};
+pub use observe::{observe, replay, replay_schedule, Observation, TrialSpec};
+pub use shrink::{shrink, ShrinkConfig, ShrinkReport};
+pub use signature::{normalize_name, signature, Failure, FailureClass};
+pub use supervisor::{
+    recover_preset, supervise, supervise_benchmark, unsupervised_wedges, RecoveryAction,
+    RecoveryKind, SupervisedBench, Supervision, SupervisorConfig,
+};

@@ -1,0 +1,155 @@
+//! Running one trial under a failure watch.
+//!
+//! A *trial* is one benchmark cell run under some chaos configuration
+//! for a bounded virtual window, executed in slices so the watcher can
+//! inspect the wait-for graph between them. The first slice after which
+//! the world is globally deadlocked, has a panicked thread, or carries a
+//! wedge older than the threshold ends the trial with a [`Failure`].
+//!
+//! The same function serves both directions: recording (probabilistic
+//! chaos, harvesting [`pcr::Sim::fault_schedule`]) and replaying (a
+//! scripted [`FaultSchedule`], which by the `pcr` fixed-point property
+//! reproduces the recorded run byte-for-byte).
+
+use pcr::{
+    ChaosConfig, FaultSchedule, HazardCounts, RunLimit, SimDuration, StopReason, WaitForGraph,
+};
+use threadstudy_core::System;
+use workloads::{build_chaos_with, Benchmark};
+
+use crate::case::StoredCase;
+use crate::signature::{Failure, FailureClass};
+
+/// Everything that identifies one trial besides its chaos configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrialSpec {
+    /// Which system's world to build.
+    pub system: System,
+    /// Which benchmark drives it.
+    pub benchmark: Benchmark,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Total virtual window to run before declaring the trial clean.
+    pub window: SimDuration,
+    /// Slice length between failure checks.
+    pub slice: SimDuration,
+    /// How long a thread must sit blocked before it counts as wedged.
+    pub wedge_threshold: SimDuration,
+    /// Optional thread-table cap (the §5.4 fork-outage lever).
+    pub max_threads: Option<usize>,
+}
+
+/// The outcome of one trial.
+#[derive(Debug)]
+pub struct Observation {
+    /// The failure, if the trial failed within the window.
+    pub failure: Option<Failure>,
+    /// The fault schedule the run actually executed (recorded from the
+    /// RNG in probabilistic mode, echoed back in scripted mode).
+    pub schedule: FaultSchedule,
+    /// Hazard tallies over the run.
+    pub hazards: HazardCounts,
+    /// Virtual time elapsed until failure detection or window end.
+    pub elapsed: SimDuration,
+}
+
+impl Observation {
+    /// The failure signature, if the trial failed.
+    pub fn signature(&self) -> Option<String> {
+        self.failure.as_ref().map(|f| f.signature())
+    }
+}
+
+fn wedge_failure(graph: &WaitForGraph, wedged: &[&pcr::WaitingThread]) -> Failure {
+    Failure {
+        class: FailureClass::Wedge,
+        parties: wedged
+            .iter()
+            .map(|w| format!("{}({})", w.name, w.kind.tag()))
+            .collect(),
+        detail: graph.render(),
+    }
+}
+
+/// Runs one trial of `spec` under `chaos` and watches it for failure.
+///
+/// Deterministic: the same `(spec, chaos)` observes the same outcome,
+/// schedule, and elapsed time every call.
+pub fn observe(spec: &TrialSpec, chaos: ChaosConfig) -> Observation {
+    let mut sim = build_chaos_with(
+        spec.system,
+        spec.benchmark,
+        spec.seed,
+        chaos,
+        |cfg| match spec.max_threads {
+            Some(n) => cfg.with_max_threads(n),
+            None => cfg,
+        },
+    );
+    let mut remaining = spec.window;
+    let mut elapsed = SimDuration::ZERO;
+    let mut hazards = HazardCounts::default();
+    let mut failure = None;
+    while !remaining.is_zero() {
+        let step = spec.slice.min(remaining);
+        let report = sim.run(RunLimit::For(step));
+        elapsed += report.elapsed;
+        remaining = remaining.saturating_sub(step);
+        hazards = report.hazards;
+        if sim.stats().panics > 0 {
+            let parties = sim
+                .threads_iter()
+                .filter(|t| t.panicked)
+                .map(|t| format!("{}(panic)", t.name))
+                .collect();
+            failure = Some(Failure {
+                class: FailureClass::Panic,
+                parties,
+                detail: String::new(),
+            });
+            break;
+        }
+        let graph = sim.wait_for_graph();
+        if let StopReason::Deadlock(_) = report.reason {
+            // Global deadlock: every blocked thread is a party (the
+            // clock has stopped, so the wedge-age filter is moot).
+            let parties = graph
+                .threads
+                .iter()
+                .map(|w| format!("{}({})", w.name, w.kind.tag()))
+                .collect();
+            failure = Some(Failure {
+                class: FailureClass::Deadlock,
+                parties,
+                detail: graph.render(),
+            });
+            break;
+        }
+        let wedged = graph.wedged(spec.wedge_threshold);
+        if !wedged.is_empty() {
+            failure = Some(wedge_failure(&graph, &wedged));
+            break;
+        }
+        if matches!(report.reason, StopReason::AllExited) {
+            break;
+        }
+    }
+    Observation {
+        failure,
+        schedule: sim.fault_schedule(),
+        hazards,
+        elapsed,
+    }
+}
+
+/// Replays a stored case with its own recorded schedule.
+pub fn replay(case: &StoredCase) -> Observation {
+    replay_schedule(case, &case.schedule)
+}
+
+/// Replays a stored case's trial under an arbitrary scripted schedule
+/// (the shrinker's oracle: "does this reduced schedule still produce the
+/// original failure signature?").
+pub fn replay_schedule(case: &StoredCase, schedule: &FaultSchedule) -> Observation {
+    observe(&case.spec(), ChaosConfig::none().scripted(schedule.clone()))
+}

@@ -1,0 +1,115 @@
+//! Seed-independent failure signatures.
+//!
+//! Two failing runs are "the same bug" when the same *kind* of failure
+//! strands the same *population* of threads, regardless of which seed or
+//! intensity level provoked it. Thread names carry instance numbers
+//! (`window-3`, `t0`), so digit runs are normalized to `#` before the
+//! parties are sorted into a canonical signature string.
+
+/// What class of failure a trial ended in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The runtime declared a global deadlock: nothing runnable, no
+    /// timer pending.
+    Deadlock,
+    /// Partial wedge: threads stuck past the wedge threshold on an
+    /// otherwise live simulation (the benchmark worlds' failure mode —
+    /// daemons and timers keep the clock moving while real work stops).
+    Wedge,
+    /// A world thread panicked.
+    Panic,
+}
+
+impl FailureClass {
+    /// Short lowercase tag used in signatures and JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FailureClass::Deadlock => "deadlock",
+            FailureClass::Wedge => "wedge",
+            FailureClass::Panic => "panic",
+        }
+    }
+}
+
+/// One observed failure: its class, the stranded parties as
+/// `name(blockkind)` strings, and a human-readable rendering of the
+/// wait-for graph at the moment of detection.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Failure class.
+    pub class: FailureClass,
+    /// The stranded threads, `name(kind)` per entry, unnormalized.
+    pub parties: Vec<String>,
+    /// Multi-line human-readable detail (wait-for graph render).
+    pub detail: String,
+}
+
+impl Failure {
+    /// The canonical dedup signature of this failure.
+    pub fn signature(&self) -> String {
+        signature(self.class, &self.parties)
+    }
+}
+
+/// Replaces every run of ASCII digits with a single `#`, so
+/// `window-3(monitor)` and `window-12(monitor)` dedup together.
+pub fn normalize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut in_digits = false;
+    for c in name.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+            }
+            in_digits = true;
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Builds the canonical signature for a failure class and its parties:
+/// normalized, sorted, deduplicated, comma-joined inside brackets.
+pub fn signature(class: FailureClass, parties: &[String]) -> String {
+    let mut norm: Vec<String> = parties.iter().map(|p| normalize_name(p)).collect();
+    norm.sort();
+    norm.dedup();
+    format!("{}:[{}]", class.tag(), norm.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_runs_collapse_to_one_hash() {
+        assert_eq!(normalize_name("window-3.damage"), "window-#.damage");
+        assert_eq!(normalize_name("t12x34"), "t#x#");
+        assert_eq!(normalize_name("no-digits"), "no-digits");
+    }
+
+    #[test]
+    fn signature_is_order_and_instance_independent() {
+        let a = signature(
+            FailureClass::Wedge,
+            &["window-2(monitor)".into(), "t0(fork)".into()],
+        );
+        let b = signature(
+            FailureClass::Wedge,
+            &["t9(fork)".into(), "window-7(monitor)".into()],
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, "wedge:[t#(fork),window-#(monitor)]");
+    }
+
+    #[test]
+    fn classes_produce_distinct_signatures() {
+        let p = vec!["x(monitor)".into()];
+        assert_ne!(
+            signature(FailureClass::Wedge, &p),
+            signature(FailureClass::Deadlock, &p)
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! The deadlock-recovery supervisor.
+//!
+//! Runs a world in slices under a wait-for-graph watch and, when the
+//! world wedges, climbs a recovery ladder drawn from the paper:
+//!
+//! 1. **Fail pending forks** (§5.4): if any wedged thread is parked in
+//!    fork-wait, drain the fork queue with an error — the Cedar worlds
+//!    handle `ResourcesExhausted` and carry on degraded.
+//! 2. **Rejuvenate** (§5.2 "task rejuvenation"): if the wedge chain
+//!    roots at a stalled (unresponsive) thread, un-stall it.
+//! 3. **Restart**: tear the attempt down and rebuild the world, with
+//!    exponential backoff deducted from the remaining time budget.
+//!
+//! [`supervise_benchmark`] wraps this around a benchmark cell and scores
+//! the outcome as a *degradation* fraction: primitive-event volume
+//! achieved across every attempt divided by a clean run's volume over
+//! the same window.
+
+use pcr::{millis, BlockKind, ChaosConfig, RunLimit, Sim, SimDuration, SimStats, SimTime};
+use threadstudy_core::System;
+use trace::Collector;
+use workloads::{
+    build_chaos_with, chaos_preset, eternal_thread_count, harvest, BenchResult, Benchmark,
+};
+
+/// Supervisor parameters.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Total virtual-time budget across all attempts (backoff included).
+    pub window: SimDuration,
+    /// Slice length between wait-for-graph checks.
+    pub slice: SimDuration,
+    /// How long a thread must sit blocked before it counts as wedged.
+    pub wedge_threshold: SimDuration,
+    /// Maximum restarts before the supervisor gives up.
+    pub max_restarts: u32,
+    /// First restart backoff; doubles per restart.
+    pub backoff: SimDuration,
+    /// Slices to wait after a recovery action before judging again
+    /// (waiters only unwedge once the recovered thread releases what it
+    /// holds).
+    pub grace_slices: u32,
+}
+
+impl SupervisorConfig {
+    /// Defaults for a given total window.
+    pub fn for_window(window: SimDuration) -> SupervisorConfig {
+        SupervisorConfig {
+            window,
+            slice: millis(250),
+            wedge_threshold: millis(1500),
+            max_restarts: 3,
+            backoff: millis(500),
+            grace_slices: 2,
+        }
+    }
+}
+
+/// Which lever the supervisor pulled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// Drained the fork-wait queue with errors (§5.4).
+    FailPendingForks,
+    /// Un-stalled an unresponsive thread (§5.2).
+    Rejuvenate,
+    /// Tore the attempt down and rebuilt the world.
+    Restart,
+}
+
+impl RecoveryKind {
+    /// Short lowercase tag for tables and JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RecoveryKind::FailPendingForks => "fail-pending-forks",
+            RecoveryKind::Rejuvenate => "rejuvenate",
+            RecoveryKind::Restart => "restart",
+        }
+    }
+}
+
+/// One recovery action in the supervisor's log.
+#[derive(Clone, Debug)]
+pub struct RecoveryAction {
+    /// Attempt number the action happened in (0-based).
+    pub attempt: u32,
+    /// Virtual time within that attempt.
+    pub at: SimTime,
+    /// Which lever.
+    pub kind: RecoveryKind,
+    /// Human-readable detail ("failed 1 pending fork(s)", thread names).
+    pub detail: String,
+}
+
+/// The supervisor's summary of one supervised run.
+#[derive(Debug)]
+pub struct Supervision {
+    /// Attempts made (1 = no restart was needed).
+    pub attempts: u32,
+    /// Every recovery action, in order.
+    pub actions: Vec<RecoveryAction>,
+    /// Restarts among the actions.
+    pub restarts: u32,
+    /// True when the restart budget ran out with the world still broken.
+    pub gave_up: bool,
+    /// Primitive-event volume summed over every attempt.
+    pub total_volume: u64,
+    /// Virtual time the final attempt ran.
+    pub final_elapsed: SimDuration,
+    /// True when the final state is live: no wedge past the threshold
+    /// and no panicked thread.
+    pub healthy_at_end: bool,
+}
+
+/// Supervises `build(attempt)` under `cfg`, returning the summary and
+/// the final attempt's simulator (for harvesting).
+pub fn supervise(mut build: impl FnMut(u32) -> Sim, cfg: &SupervisorConfig) -> (Supervision, Sim) {
+    let mut remaining = cfg.window;
+    let mut attempt = 0u32;
+    let mut actions: Vec<RecoveryAction> = Vec::new();
+    let mut restarts = 0u32;
+    let mut total_volume = 0u64;
+    let mut gave_up = false;
+    loop {
+        let mut sim = build(attempt);
+        let base_volume = sim.stats().event_volume();
+        let mut grace = 0u32;
+        let mut restart = false;
+        let mut attempt_elapsed = SimDuration::ZERO;
+        while !remaining.is_zero() {
+            let step = cfg.slice.min(remaining);
+            let report = sim.run(RunLimit::For(step));
+            attempt_elapsed += report.elapsed;
+            remaining = remaining.saturating_sub(step);
+            if sim.stats().panics > 0 {
+                let names: Vec<String> = sim
+                    .threads_iter()
+                    .filter(|t| t.panicked)
+                    .map(|t| t.name.to_string())
+                    .collect();
+                actions.push(RecoveryAction {
+                    attempt,
+                    at: sim.now(),
+                    kind: RecoveryKind::Restart,
+                    detail: format!("panic in {}", names.join(", ")),
+                });
+                restart = true;
+                break;
+            }
+            let graph = sim.wait_for_graph();
+            // Under global deadlock the clock stops, so age-based wedge
+            // detection is moot: every blocked thread is stuck.
+            let stuck: Vec<pcr::WaitingThread> = if report.deadlocked() {
+                graph.threads.clone()
+            } else {
+                graph
+                    .wedged(cfg.wedge_threshold)
+                    .into_iter()
+                    .cloned()
+                    .collect()
+            };
+            if stuck.is_empty() {
+                grace = grace.saturating_sub(1);
+                continue;
+            }
+            if grace > 0 {
+                grace -= 1;
+                continue;
+            }
+            // Ladder rung 1: fork outage (§5.4).
+            if stuck.iter().any(|w| matches!(w.kind, BlockKind::Fork)) {
+                let n = sim.fail_pending_forks();
+                if n > 0 {
+                    actions.push(RecoveryAction {
+                        attempt,
+                        at: sim.now(),
+                        kind: RecoveryKind::FailPendingForks,
+                        detail: format!("failed {n} pending fork(s)"),
+                    });
+                    grace = cfg.grace_slices;
+                    continue;
+                }
+            }
+            // Ladder rung 2: the wedge chain roots at a stalled thread
+            // (§5.2 task rejuvenation).
+            let mut rejuvenated = false;
+            for w in &stuck {
+                let root = graph.root_of(w.tid);
+                if let Some(root) = root {
+                    if let Some((tid, name)) = graph.stalled.iter().find(|(tid, _)| *tid == root) {
+                        if sim.rejuvenate(*tid) {
+                            actions.push(RecoveryAction {
+                                attempt,
+                                at: sim.now(),
+                                kind: RecoveryKind::Rejuvenate,
+                                detail: format!("rejuvenated {name}"),
+                            });
+                            grace = cfg.grace_slices;
+                            rejuvenated = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if rejuvenated {
+                continue;
+            }
+            // Ladder rung 3: restart the attempt.
+            let parties: Vec<String> = stuck.iter().map(|w| w.name.clone()).collect();
+            actions.push(RecoveryAction {
+                attempt,
+                at: sim.now(),
+                kind: RecoveryKind::Restart,
+                detail: format!("unrecoverable wedge: {}", parties.join(", ")),
+            });
+            restart = true;
+            break;
+        }
+        total_volume += sim.stats().event_volume() - base_volume;
+        if restart && !remaining.is_zero() {
+            restarts += 1;
+            if restarts > cfg.max_restarts {
+                gave_up = true;
+            } else {
+                // Exponential backoff eats into the remaining budget.
+                let backoff =
+                    SimDuration::from_micros(cfg.backoff.as_micros() << (restarts - 1).min(20));
+                remaining = remaining.saturating_sub(backoff);
+                if !remaining.is_zero() {
+                    attempt += 1;
+                    continue;
+                }
+                gave_up = true;
+            }
+        } else if restart {
+            // Restart wanted but no time left to try.
+            gave_up = true;
+        }
+        let healthy_at_end = sim.stats().panics == 0
+            && sim.wait_for_graph().wedged(cfg.wedge_threshold).is_empty()
+            && !gave_up;
+        return (
+            Supervision {
+                attempts: attempt + 1,
+                actions,
+                restarts,
+                gave_up,
+                total_volume,
+                final_elapsed: attempt_elapsed,
+                healthy_at_end,
+            },
+            sim,
+        );
+    }
+}
+
+/// The fault load `repro chaos --recover` applies: the benchmark chaos
+/// preset plus the one fault each system is known not to tolerate on
+/// its own — a thread-table cap sized to the eternal population for
+/// Cedar (the first runtime fork wedges), a gated stall inside the
+/// screen monitor for GVX (the display watchdog wedges behind it).
+pub fn recover_preset(system: System) -> (ChaosConfig, Option<usize>) {
+    match system {
+        System::Cedar => (chaos_preset(), Some(eternal_thread_count(System::Cedar))),
+        System::Gvx => (
+            chaos_preset().stall_while_holding(
+                "GVX.InputPoller",
+                "gvx-screen",
+                SimTime::from_micros(2_000_000),
+                pcr::secs(120),
+            ),
+            None,
+        ),
+    }
+}
+
+/// A supervised benchmark run with its degradation score.
+#[derive(Debug)]
+pub struct SupervisedBench {
+    /// The harvested measurements of the final attempt, with
+    /// [`BenchResult::degradation`] filled in.
+    pub result: BenchResult,
+    /// The supervisor's log.
+    pub supervision: Supervision,
+    /// Event volume of the clean comparison run.
+    pub clean_volume: u64,
+}
+
+/// Runs `(system, benchmark)` under `chaos` (plus an optional
+/// thread-table cap) with the supervisor watching, and scores the
+/// degradation against a clean run of the same cell over the same
+/// window.
+pub fn supervise_benchmark(
+    system: System,
+    benchmark: Benchmark,
+    seed: u64,
+    chaos: ChaosConfig,
+    max_threads: Option<usize>,
+    cfg: &SupervisorConfig,
+) -> SupervisedBench {
+    // The clean yardstick: same cell, same seed, no faults.
+    let mut clean = build_chaos_with(system, benchmark, seed, ChaosConfig::none(), |c| c);
+    let clean_base = clean.stats().event_volume();
+    clean.run(RunLimit::For(cfg.window));
+    let clean_volume = clean.stats().event_volume() - clean_base;
+    drop(clean);
+
+    let mut start_stats = SimStats::default();
+    let (supervision, mut sim) = supervise(
+        |attempt| {
+            // Each attempt reseeds deterministically so a restart does
+            // not replay the exact same misfortune.
+            let attempt_seed = seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37));
+            let mut sim = build_chaos_with(system, benchmark, attempt_seed, chaos.clone(), |c| {
+                match max_threads {
+                    Some(n) => c.with_max_threads(n),
+                    None => c,
+                }
+            });
+            start_stats = sim.stats().clone();
+            sim.set_sink(Box::new(Collector::for_sim(&sim)));
+            sim
+        },
+        cfg,
+    );
+    let hazards = sim.hazards().map(|h| h.counts()).unwrap_or_default();
+    let mut result = harvest(
+        &mut sim,
+        system,
+        benchmark,
+        &start_stats,
+        supervision.final_elapsed,
+        hazards,
+    );
+    result.degradation = Some(if clean_volume == 0 {
+        1.0
+    } else {
+        (supervision.total_volume as f64 / clean_volume as f64).min(1.0)
+    });
+    SupervisedBench {
+        result,
+        supervision,
+        clean_volume,
+    }
+}
+
+/// Runs the same cell under the same fault load *without* the
+/// supervisor and reports whether it ends wedged, deadlocked, or
+/// panicked — the comparison line for `repro chaos --recover`.
+pub fn unsupervised_wedges(
+    system: System,
+    benchmark: Benchmark,
+    seed: u64,
+    chaos: ChaosConfig,
+    max_threads: Option<usize>,
+    cfg: &SupervisorConfig,
+) -> bool {
+    let mut sim = build_chaos_with(system, benchmark, seed, chaos, |c| match max_threads {
+        Some(n) => c.with_max_threads(n),
+        None => c,
+    });
+    let report = sim.run(RunLimit::For(cfg.window));
+    report.deadlocked()
+        || sim.stats().panics > 0
+        || !sim.wait_for_graph().wedged(cfg.wedge_threshold).is_empty()
+}

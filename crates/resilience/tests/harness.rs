@@ -1,0 +1,321 @@
+//! End-to-end tests of the resilience harness: the fuzzer finds the
+//! seeded failures on a small budget, the shrinker minimizes their
+//! schedules while preserving the failure signature (checked as a
+//! property over several seeds), and the supervisor recovers worlds
+//! that wedge the unsupervised run.
+
+use pcr::{millis, secs, Priority, Sim, SimConfig};
+use resilience::{
+    fuzz, intensity_ladder, observe, recover_preset, replay, shrink, supervise,
+    supervise_benchmark, unsupervised_wedges, FuzzConfig, ShrinkConfig, StoredCase,
+    SupervisorConfig, TrialSpec,
+};
+use threadstudy_core::System;
+use workloads::Benchmark;
+
+fn no_progress(_: &str) {}
+
+/// Runs the guaranteed-failure rung of `system`'s ladder on one cell and
+/// returns the stored case.
+fn seeded_case(system: System, benchmark: Benchmark, seed: u64) -> StoredCase {
+    let ladder = intensity_ladder(system);
+    let rung = &ladder[1];
+    let spec = TrialSpec {
+        system,
+        benchmark,
+        seed,
+        window: secs(6),
+        slice: millis(250),
+        wedge_threshold: millis(1500),
+        max_threads: rung.max_threads,
+    };
+    let obs = observe(&spec, rung.chaos.clone());
+    let failure = obs
+        .failure
+        .as_ref()
+        .unwrap_or_else(|| panic!("{} rung {} did not fail", system.name(), rung.name));
+    StoredCase {
+        system,
+        benchmark,
+        seed,
+        window: spec.window,
+        slice: spec.slice,
+        wedge_threshold: spec.wedge_threshold,
+        max_threads: rung.max_threads,
+        intensity: rung.name.to_string(),
+        signature: failure.signature(),
+        schedule: obs.schedule.clone(),
+    }
+}
+
+#[test]
+fn fuzz_small_budget_finds_the_seeded_failures() {
+    // Budget 4 covers both cells at rungs 0 (preset, tolerated) and 1
+    // (the guaranteed-failure rungs).
+    let cfg = FuzzConfig {
+        budget: 4,
+        ..FuzzConfig::default()
+    };
+    let outcome = fuzz(&cfg, no_progress);
+    assert_eq!(outcome.trials, 4);
+    assert!(
+        outcome.failures >= 2,
+        "expected both seeded rungs to fail, got {} failure(s)",
+        outcome.failures
+    );
+    let sigs: Vec<&str> = outcome
+        .cases
+        .iter()
+        .map(|c| c.case.signature.as_str())
+        .collect();
+    assert!(
+        sigs.iter().any(|s| s.starts_with("wedge:")),
+        "no wedge signature in {sigs:?}"
+    );
+    let cedar = outcome
+        .cases
+        .iter()
+        .find(|c| c.case.system == System::Cedar)
+        .expect("no Cedar failure");
+    assert_eq!(cedar.case.intensity, "fork-cap");
+    assert!(
+        cedar.case.signature.contains("fork"),
+        "fork-cap signature should name a fork wait: {}",
+        cedar.case.signature
+    );
+    let gvx = outcome
+        .cases
+        .iter()
+        .find(|c| c.case.system == System::Gvx)
+        .expect("no GVX failure");
+    assert_eq!(gvx.case.intensity, "stall-gated");
+    assert_eq!(gvx.case.schedule.stalls.len(), 1);
+}
+
+#[test]
+fn fuzz_is_deterministic() {
+    let cfg = FuzzConfig {
+        budget: 4,
+        ..FuzzConfig::default()
+    };
+    let a = fuzz(&cfg, no_progress);
+    let b = fuzz(&cfg, no_progress);
+    assert_eq!(a.failures, b.failures);
+    let sig = |o: &resilience::FuzzOutcome| {
+        o.cases
+            .iter()
+            .map(|c| (c.case.signature.clone(), c.count))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(sig(&a), sig(&b));
+}
+
+#[test]
+fn stored_case_replays_to_its_signature_from_disk() {
+    let case = seeded_case(System::Cedar, Benchmark::Keyboard, 0x5EED);
+    let dir = std::env::temp_dir().join("resilience-case-roundtrip");
+    let path = case.save(&dir).expect("save");
+    let loaded = StoredCase::load(&path).expect("load");
+    let obs = replay(&loaded);
+    assert_eq!(obs.signature().as_deref(), Some(case.signature.as_str()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shrink_reduces_fork_cap_schedule_to_a_quarter_or_less() {
+    let case = seeded_case(System::Cedar, Benchmark::Keyboard, 0x5EED);
+    assert!(
+        case.schedule.decisions.len() >= 4,
+        "preset chaos over the pre-wedge window should record several decisions, got {}",
+        case.schedule.decisions.len()
+    );
+    let report = shrink(&case, &ShrinkConfig { max_replays: 40 }, no_progress).expect("shrink");
+    // The fork-cap wedge is environmental (the thread-table cap), so
+    // the minimal schedule is empty — far below the 25% acceptance bar.
+    assert!(
+        report.case.schedule.decisions.len() * 4 <= case.schedule.decisions.len(),
+        "shrunk {} of {} decisions",
+        report.case.schedule.decisions.len(),
+        case.schedule.decisions.len()
+    );
+    let obs = replay(&report.case);
+    assert_eq!(obs.signature().as_deref(), Some(case.signature.as_str()));
+}
+
+#[test]
+fn shrink_keeps_the_essential_stall() {
+    let case = seeded_case(System::Gvx, Benchmark::Scroll, 0x5EED);
+    let report = shrink(&case, &ShrinkConfig { max_replays: 40 }, no_progress).expect("shrink");
+    assert_eq!(
+        report.case.schedule.stalls.len(),
+        1,
+        "the gated stall is the failure's cause and must survive shrinking"
+    );
+    assert!(report.case.schedule.decisions.len() * 4 <= case.schedule.decisions.len());
+}
+
+#[test]
+fn property_shrunk_schedules_preserve_the_failure_signature() {
+    // The satellite property, hand-rolled over fixed seeds: for every
+    // failing case the minimized schedule replays to the original
+    // signature.
+    for case_seed in [0x5EED_0001u64, 0x5EED_0002, 0x5EED_0003] {
+        let case = seeded_case(System::Gvx, Benchmark::Scroll, case_seed);
+        let report = shrink(&case, &ShrinkConfig { max_replays: 25 }, no_progress)
+            .unwrap_or_else(|e| panic!("seed {case_seed:x}: {e}"));
+        let obs = replay(&report.case);
+        assert_eq!(
+            obs.signature().as_deref(),
+            Some(case.signature.as_str()),
+            "seed {case_seed:x}: minimized schedule lost the signature"
+        );
+        assert!(
+            report.case.schedule.decisions.len() <= case.schedule.decisions.len(),
+            "seed {case_seed:x}: shrink grew the schedule"
+        );
+    }
+}
+
+#[test]
+fn shrink_rejects_a_stale_case() {
+    let mut case = seeded_case(System::Gvx, Benchmark::Scroll, 0x5EED);
+    // Remove the stall that causes the failure: the stored signature no
+    // longer reproduces.
+    case.schedule.stalls.clear();
+    let err = shrink(&case, &ShrinkConfig { max_replays: 5 }, no_progress).unwrap_err();
+    assert!(err.contains("does not reproduce"), "{err}");
+}
+
+#[test]
+fn supervisor_recovers_cedar_from_a_fork_outage() {
+    let (chaos, max_threads) = recover_preset(System::Cedar);
+    let cfg = SupervisorConfig::for_window(secs(6));
+    assert!(
+        unsupervised_wedges(
+            System::Cedar,
+            Benchmark::Keyboard,
+            0xC0FFEE,
+            chaos.clone(),
+            max_threads,
+            &cfg
+        ),
+        "the fault load must wedge the unsupervised run"
+    );
+    let sup = supervise_benchmark(
+        System::Cedar,
+        Benchmark::Keyboard,
+        0xC0FFEE,
+        chaos,
+        max_threads,
+        &cfg,
+    );
+    assert!(!sup.supervision.gave_up);
+    assert!(
+        sup.supervision
+            .actions
+            .iter()
+            .any(|a| a.kind.tag() == "fail-pending-forks"),
+        "expected the §5.4 lever in {:?}",
+        sup.supervision.actions
+    );
+    let degradation = sup.result.degradation.expect("degradation score");
+    assert!(
+        degradation > 0.0 && degradation <= 1.0,
+        "degradation = {degradation}"
+    );
+}
+
+#[test]
+fn supervisor_rejuvenates_gvx_out_of_a_gated_stall() {
+    let (chaos, max_threads) = recover_preset(System::Gvx);
+    let cfg = SupervisorConfig::for_window(secs(6));
+    assert!(
+        unsupervised_wedges(
+            System::Gvx,
+            Benchmark::Scroll,
+            0xC0FFEE,
+            chaos.clone(),
+            max_threads,
+            &cfg
+        ),
+        "the gated stall must wedge the unsupervised run"
+    );
+    let sup = supervise_benchmark(
+        System::Gvx,
+        Benchmark::Scroll,
+        0xC0FFEE,
+        chaos,
+        max_threads,
+        &cfg,
+    );
+    assert!(!sup.supervision.gave_up);
+    assert!(
+        sup.supervision
+            .actions
+            .iter()
+            .any(|a| a.kind.tag() == "rejuvenate"),
+        "expected a rejuvenation in {:?}",
+        sup.supervision.actions
+    );
+    assert!(
+        sup.supervision.healthy_at_end,
+        "one-shot stall recovered: the world should finish healthy"
+    );
+    let degradation = sup.result.degradation.expect("degradation score");
+    assert!(degradation > 0.0, "degradation = {degradation}");
+}
+
+#[test]
+fn supervisor_restarts_an_attempt_dependent_deadlock() {
+    // Attempt 0 acquires two monitors in opposite orders (AB-BA) and
+    // deadlocks; the rebuilt attempt uses one order and completes. The
+    // restart rung is the only lever that helps here.
+    let build = |attempt: u32| {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.monitor("A", ());
+        let b = sim.monitor("B", ());
+        let (a1, b1) = (a.clone(), b.clone());
+        let _ = sim.fork_root("left", Priority::of(4), move |ctx| {
+            let _ga = ctx.enter(&a1);
+            ctx.sleep(millis(5));
+            let _gb = ctx.enter(&b1);
+            ctx.work(millis(1));
+        });
+        let flip = attempt == 0;
+        let _ = sim.fork_root("right", Priority::of(4), move |ctx| {
+            if flip {
+                let _gb = ctx.enter(&b);
+                ctx.sleep(millis(5));
+                // threadlint: allow(lock-order-cycle) — the AB-BA cycle is the point.
+                let _ga = ctx.enter(&a);
+            } else {
+                let _ga = ctx.enter(&a);
+                ctx.sleep(millis(5));
+                // threadlint: allow(lock-order-cycle)
+                let _gb = ctx.enter(&b);
+            }
+            ctx.work(millis(1));
+        });
+        sim
+    };
+    let cfg = SupervisorConfig {
+        window: secs(2),
+        slice: millis(100),
+        wedge_threshold: millis(500),
+        max_restarts: 3,
+        backoff: millis(100),
+        grace_slices: 2,
+    };
+    let (sup, _sim) = supervise(build, &cfg);
+    assert_eq!(sup.restarts, 1, "actions: {:?}", sup.actions);
+    assert_eq!(sup.attempts, 2);
+    assert!(!sup.gave_up);
+    assert!(sup.healthy_at_end);
+    assert_eq!(sup.actions.len(), 1);
+    assert_eq!(sup.actions[0].kind.tag(), "restart");
+    assert!(
+        sup.actions[0].detail.contains("left") || sup.actions[0].detail.contains("right"),
+        "restart detail should name the deadlocked parties: {:?}",
+        sup.actions[0]
+    );
+}

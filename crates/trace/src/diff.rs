@@ -21,6 +21,23 @@ pub const CHAOS_KINDS: [&str; 5] = [
     "chaos_fork_fail",
 ];
 
+/// Maps a [`pcr::FaultSiteKind`] tag (as serialized in a stored fault
+/// schedule) to the trace event kind its injection emits, so a
+/// schedule's decisions can be correlated against a diff's named fault
+/// sites. Stall injections map via the `"stall"` pseudo-tag. Returns
+/// `None` for tags that leave no dedicated event (timer jitter only
+/// shifts existing timer events).
+pub fn chaos_event_for_fault(tag: &str) -> Option<&'static str> {
+    match tag {
+        "spurious_wakeup" => Some("spurious_wakeup"),
+        "drop_notify" => Some("notify_dropped"),
+        "duplicate_notify" => Some("notify_duplicated"),
+        "fork_fail" => Some("chaos_fork_fail"),
+        "stall" => Some("chaos_stall"),
+        _ => None,
+    }
+}
+
 /// Parses a JSONL trace (one [`OwnedEventRecord`] per line, as written
 /// by [`crate::write_jsonl`]). Blank lines are skipped.
 pub fn parse_jsonl(text: &str) -> Result<Vec<OwnedEventRecord>, String> {
@@ -357,5 +374,23 @@ mod tests {
     fn parse_jsonl_reports_the_bad_line() {
         let err = parse_jsonl("{\"t_us\":1,\"kind\":\"fork\"}\nnot json").unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn fault_tags_map_onto_chaos_event_kinds() {
+        // Every schedule decision kind except timer jitter (which only
+        // shifts existing timer events) maps to a CHAOS_KINDS entry, as
+        // do stalls.
+        for kind in pcr::FaultSiteKind::ALL {
+            let mapped = chaos_event_for_fault(kind.tag());
+            if kind == pcr::FaultSiteKind::TimerJitter {
+                assert_eq!(mapped, None);
+            } else {
+                let event = mapped.unwrap_or_else(|| panic!("{} unmapped", kind.tag()));
+                assert!(CHAOS_KINDS.contains(&event), "{event} not a chaos kind");
+            }
+        }
+        assert_eq!(chaos_event_for_fault("stall"), Some("chaos_stall"));
+        assert_eq!(chaos_event_for_fault("bogus"), None);
     }
 }

@@ -25,7 +25,7 @@ pub mod spec;
 pub mod world;
 
 pub use runner::{
-    build_chaos, chaos_preset, probe, run_benchmark, run_benchmark_chaos, BenchResult,
-    DEFAULT_WINDOW,
+    build_chaos, build_chaos_with, chaos_preset, eternal_thread_count, harvest, probe,
+    run_benchmark, run_benchmark_chaos, BenchResult, DEFAULT_WINDOW,
 };
 pub use spec::{paper_row, Benchmark, PaperRow, System};

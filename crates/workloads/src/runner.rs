@@ -2,7 +2,7 @@
 
 use pcr::{
     millis, secs, ChaosConfig, HazardConfig, HazardCounts, Priority, RunLimit, SchedLatency, Sim,
-    SimConfig, SimDuration, SystemDaemonConfig,
+    SimConfig, SimDuration, SimStats, SystemDaemonConfig,
 };
 use threadstudy_core::System;
 use trace::{BenchmarkRates, Collector, IntervalHistogram, MonitorProfileRow};
@@ -45,6 +45,11 @@ pub struct BenchResult {
     /// Per-monitor contention profile over the measurement window
     /// (§6.1), hottest monitor first.
     pub contention: Vec<MonitorProfileRow>,
+    /// Degradation score under supervised fault load: event volume
+    /// achieved across every attempt divided by a clean same-cell run's
+    /// volume (1.0 ≈ no degradation, 0.0 ≈ nothing completed). `None`
+    /// for ordinary unsupervised runs.
+    pub degradation: Option<f64>,
 }
 
 /// Default virtual measurement window.
@@ -71,6 +76,20 @@ pub fn chaos_preset() -> ChaosConfig {
 /// Builds the world for `(system, benchmark)` with fault injection per
 /// `chaos` and hazard detection enabled whenever injection is active.
 pub fn build_chaos(system: System, benchmark: Benchmark, seed: u64, chaos: ChaosConfig) -> Sim {
+    build_chaos_with(system, benchmark, seed, chaos, |cfg| cfg)
+}
+
+/// Like [`build_chaos`], but lets `tweak` adjust the assembled
+/// [`SimConfig`] before the world is installed — the hook the resilience
+/// harness uses to cap the thread table or change fork policy without
+/// duplicating the per-system daemon tuning here.
+pub fn build_chaos_with(
+    system: System,
+    benchmark: Benchmark,
+    seed: u64,
+    chaos: ChaosConfig,
+    tweak: impl FnOnce(SimConfig) -> SimConfig,
+) -> Sim {
     // The SystemDaemon's pace is tuned per system so its wakeups sit
     // inside each system's measured switch budget.
     let daemon = match system {
@@ -91,7 +110,7 @@ pub fn build_chaos(system: System, benchmark: Benchmark, seed: u64, chaos: Chaos
             .with_chaos(chaos)
             .with_hazard_detection(HazardConfig::default());
     }
-    let mut sim = Sim::new(cfg);
+    let mut sim = Sim::new(tweak(cfg));
     match system {
         System::Cedar => crate::cedar::install(&mut sim, benchmark),
         System::Gvx => crate::gvx::install(&mut sim, benchmark),
@@ -152,9 +171,33 @@ pub fn run_benchmark_chaos(
         end_stats.panics, 0,
         "world threads panicked — the model is crippled"
     );
-    let collector = trace::take_collector::<Collector>(&mut sim).expect("collector present");
+    harvest(
+        &mut sim,
+        system,
+        benchmark,
+        &start_stats,
+        report.elapsed,
+        report.hazards,
+    )
+}
+
+/// Assembles a [`BenchResult`] from a simulator whose measurement window
+/// just finished: takes the installed [`Collector`] out of `sim` and
+/// computes every rate as the delta from `start_stats` over `elapsed`.
+/// Shared by [`run_benchmark_chaos`] and the resilience supervisor
+/// (which measures the final attempt of a supervised run this way).
+pub fn harvest(
+    sim: &mut Sim,
+    system: System,
+    benchmark: Benchmark,
+    start_stats: &SimStats,
+    elapsed: SimDuration,
+    hazards: HazardCounts,
+) -> BenchResult {
+    let end_stats = sim.stats().clone();
+    let collector = trace::take_collector::<Collector>(sim).expect("collector present");
     let label = benchmark.label(system);
-    let rates = BenchmarkRates::from_window(&label, &start_stats, &end_stats, report.elapsed);
+    let rates = BenchmarkRates::from_window(&label, start_stats, &end_stats, elapsed);
     let mut cpu_by_priority = end_stats.cpu_by_priority;
     for (i, c) in cpu_by_priority.iter_mut().enumerate() {
         *c = c.saturating_sub(start_stats.cpu_by_priority[i]);
@@ -169,12 +212,13 @@ pub fn run_benchmark_chaos(
         max_live_threads: end_stats.max_live_threads,
         cpu_by_priority,
         mean_transient_lifetime: collector.genealogy.mean_lifetime_of_exited(),
-        hazards: report.hazards,
+        hazards,
         event_volume: end_stats.event_volume() - start_stats.event_volume(),
         sched_latency: end_stats
             .sched_latency
             .window_since(&start_stats.sched_latency),
         contention: collector.contention.rows(),
+        degradation: None,
     }
 }
 
