@@ -43,23 +43,39 @@ commands:
                              table; with --recover, wedges each demo
                              cell unsupervised, then reruns it under the
                              deadlock-recovery supervisor and reports
-                             recovery actions + degradation score
+                             recovery actions + degradation score; the
+                             §6.2 metalock-inversion cell must resolve
+                             via donation/priority boost, restart-free
   fuzz     [--budget N] [--workload SYS/BENCH] [--out DIR] [--shrink]
-           [--expect FILE] [--window SECS]
+           [--expect FILE] [--window SECS] [--guided] [--compare-grid]
+           [--wall-budget-ms MS] [--stats PATH]
                              chaos-schedule fuzzing: sweep seeds and
-                             intensity grids over the benchmark cells
-                             (default budget 64), store each unique
-                             failure as a replayable schedule under DIR
-                             (default target/fuzz); --shrink minimizes
-                             each stored case; --expect FILE exits 7 on
-                             any signature missing from FILE
+                             intensity grids over the benchmark matrix
+                             plus the multiprocessor and weak-memory
+                             worlds (default budget 64), store each
+                             unique failure as a replayable schedule
+                             under DIR (default target/fuzz); --guided
+                             runs the coverage-guided mutation search
+                             (corpus energy biased toward schedules
+                             whose mutations find new signatures);
+                             --compare-grid also runs the plain grid on
+                             the same budget and exits 5 if guided found
+                             fewer signatures; --wall-budget-ms caps
+                             each sweep's wall clock; --stats writes a
+                             JSON artifact with signatures/cpu-minute;
+                             --shrink minimizes each stored case;
+                             --expect FILE exits 7 on any signature
+                             missing from FILE
   shrink   FILE [--max-replays N]
                              delta-debug a stored failing schedule to a
                              locally minimal one with the same failure
                              signature; writes FILE with extension
                              .min.json and prints a repro command
-  replay   FILE              replay a stored failing schedule and verify
-                             it still reproduces its signature
+  replay   FILE | --all DIR  replay a stored failing schedule (or, with
+                             --all, every .json case under DIR in sorted
+                             order — the corpus regression suite) and
+                             verify each still reproduces its signature;
+                             the worst per-case exit code wins
   lint     [--json PATH]     threadlint: static discipline lints and the
                              fork-site self-census over this workspace
   markdown [--window SECS]   Tables 1-4 as Markdown (for EXPERIMENTS.md)
@@ -462,6 +478,10 @@ fn main() {
                 shrink: args.iter().any(|a| a == "--shrink"),
                 expect: flag_value("--expect").map(Into::into),
                 window_secs: flag_value("--window").and_then(|s| s.parse().ok()),
+                guided: args.iter().any(|a| a == "--guided"),
+                compare_grid: args.iter().any(|a| a == "--compare-grid"),
+                wall_budget_ms: flag_value("--wall-budget-ms").and_then(|s| s.parse().ok()),
+                stats: flag_value("--stats").map(Into::into),
             };
             code = exit::worst(code, bench::resilience_cli::fuzz_cmd(&opts));
         }
@@ -479,14 +499,25 @@ fn main() {
             );
         }
         "replay" => {
-            let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
-                eprintln!("replay needs a stored case file\n{USAGE}");
-                std::process::exit(exit::USAGE);
-            };
-            code = exit::worst(
-                code,
-                bench::resilience_cli::replay_cmd(std::path::Path::new(file)),
-            );
+            if args.iter().any(|a| a == "--all") {
+                let Some(dir) = flag_value("--all") else {
+                    eprintln!("replay --all needs a corpus directory\n{USAGE}");
+                    std::process::exit(exit::USAGE);
+                };
+                code = exit::worst(
+                    code,
+                    bench::resilience_cli::replay_all_cmd(std::path::Path::new(&dir)),
+                );
+            } else {
+                let Some(file) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                    eprintln!("replay needs a stored case file\n{USAGE}");
+                    std::process::exit(exit::USAGE);
+                };
+                code = exit::worst(
+                    code,
+                    bench::resilience_cli::replay_cmd(std::path::Path::new(file)),
+                );
+            }
         }
         "lint" => {
             if bench::lint::run(json_path.as_deref()) {

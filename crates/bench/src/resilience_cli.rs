@@ -1,5 +1,6 @@
 //! The `repro` subcommands backed by the `resilience` crate:
-//! `fuzz`, `shrink`, `replay`, and `chaos --recover`.
+//! `fuzz` (grid or `--guided`), `shrink`, `replay` (one case or
+//! `--all DIR`), and `chaos --recover`.
 //!
 //! Each function returns an exit code from [`crate::exit`]; `main`
 //! accumulates the worst one.
@@ -7,16 +8,25 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use pcr::secs;
+use pcr::{secs, RunLimit};
 use resilience::{
-    fuzz, recover_preset, replay, shrink, supervise_benchmark, unsupervised_wedges, FuzzConfig,
-    ShrinkConfig, StoredCase, SupervisorConfig,
+    fuzz, guided_fuzz, recover_preset, replay, shrink, signatures_per_cpu_minute, supervise,
+    supervise_benchmark, unsupervised_wedges, FoundCase, FuzzCell, FuzzConfig, MutationDiscovery,
+    RecoveryKind, ShrinkConfig, StoredCase, SupervisorConfig, TrialWorld,
 };
 use threadstudy_core::System;
 use trace::Table;
 use workloads::Benchmark;
 
 use crate::exit;
+
+/// The world-aware cell label shown in fuzz tables.
+fn case_cell_label(case: &StoredCase) -> String {
+    match case.world {
+        TrialWorld::Cell => format!("{}/{:?}", case.system.name(), case.benchmark),
+        other => other.tag(),
+    }
+}
 
 /// Parses a `--workload SYSTEM/BENCHMARK` filter ("cedar/keyboard",
 /// "gvx/scroll").
@@ -57,29 +67,59 @@ pub struct FuzzOpts {
     pub expect: Option<PathBuf>,
     /// Per-trial window override (seconds).
     pub window_secs: Option<u64>,
+    /// Run the coverage-guided fuzzer instead of the plain grid.
+    pub guided: bool,
+    /// With `guided`: also run the plain grid on the same budget and
+    /// fail with [`exit::REGRESSION`] if guided found fewer signatures.
+    pub compare_grid: bool,
+    /// Optional wall-clock cap per sweep, in milliseconds.
+    pub wall_budget_ms: Option<u64>,
+    /// Write a JSON stats artifact (signatures per CPU-minute etc.).
+    pub stats: Option<PathBuf>,
 }
 
-/// `repro fuzz`: sweep the chaos grid, store unique failures, and
-/// compare against the expected-signature set.
+/// `repro fuzz`: sweep the chaos grid (or, with `--guided`, run the
+/// coverage-guided mutation search), store unique failures, and compare
+/// against the expected-signature set.
 pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
     let mut cfg = FuzzConfig {
         budget: opts.budget,
         base_seed: opts.base_seed,
+        wall_budget_ms: opts.wall_budget_ms,
         ..FuzzConfig::default()
     };
-    if let Some(cell) = opts.workload {
-        cfg.cells = vec![cell];
+    if let Some((system, benchmark)) = opts.workload {
+        cfg.cells = vec![FuzzCell::cell(system, benchmark)];
     }
     if let Some(w) = opts.window_secs {
         cfg.window = secs(w);
     }
-    let outcome = fuzz(&cfg, |line| eprintln!("{line}"));
+    let started = std::time::Instant::now();
+    let mode = if opts.guided { "guided" } else { "grid" };
+    let (trials, failures, cases, discoveries): (u32, u32, Vec<FoundCase>, Vec<MutationDiscovery>) =
+        if opts.guided {
+            let o = guided_fuzz(&cfg, |line| eprintln!("{line}"));
+            (o.trials, o.failures, o.cases, o.mutation_discoveries)
+        } else {
+            let o = fuzz(&cfg, |line| eprintln!("{line}"));
+            (o.trials, o.failures, o.cases, Vec::new())
+        };
+    let wall = started.elapsed();
+    let per_minute = signatures_per_cpu_minute(cases.len(), wall);
     println!(
-        "fuzz: {} trial(s), {} failure(s), {} unique signature(s)",
-        outcome.trials,
-        outcome.failures,
-        outcome.cases.len()
+        "fuzz[{mode}]: {} trial(s), {} failure(s), {} unique signature(s) in {:.1}s ({:.1} signatures/cpu-minute)",
+        trials,
+        failures,
+        cases.len(),
+        wall.as_secs_f64(),
+        per_minute
     );
+    for d in &discoveries {
+        println!(
+            "  mutation discovery: {} via {} (parent {})",
+            d.signature, d.mutation, d.parent
+        );
+    }
     let mut code = exit::OK;
     let mut table = Table::new(
         "unique failures",
@@ -92,7 +132,7 @@ pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
             "file",
         ],
     );
-    for found in &outcome.cases {
+    for found in &cases {
         let mut case = found.case.clone();
         if opts.shrink {
             match shrink(&case, &ShrinkConfig::default(), |line| {
@@ -115,7 +155,7 @@ pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
         table.row(vec![
             case.signature.clone(),
             found.count.to_string(),
-            format!("{}/{:?}", case.system.name(), case.benchmark),
+            case_cell_label(&case),
             case.intensity.clone(),
             case.schedule.decisions.len().to_string(),
             path.display().to_string(),
@@ -123,6 +163,71 @@ pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
     }
     if !table.is_empty() {
         println!("{}", table.to_text());
+    }
+    let mut stats_fields = vec![
+        ("mode", trace::Json::Str(mode.to_string())),
+        ("trials", trace::Json::UInt(u64::from(trials))),
+        ("failures", trace::Json::UInt(u64::from(failures))),
+        ("distinct_signatures", trace::Json::UInt(cases.len() as u64)),
+        ("wall_ms", trace::Json::UInt(wall.as_millis() as u64)),
+        ("signatures_per_cpu_minute", trace::Json::Float(per_minute)),
+        (
+            "mutation_discoveries",
+            trace::Json::UInt(discoveries.len() as u64),
+        ),
+        (
+            "signatures",
+            trace::Json::arr(
+                cases
+                    .iter()
+                    .map(|c| trace::Json::Str(c.case.signature.clone())),
+            ),
+        ),
+    ];
+    if opts.compare_grid {
+        let grid_started = std::time::Instant::now();
+        let grid = fuzz(&cfg, |line| eprintln!("{line}"));
+        let grid_wall = grid_started.elapsed();
+        let grid_per_minute = signatures_per_cpu_minute(grid.cases.len(), grid_wall);
+        println!(
+            "fuzz[grid comparison]: {} trial(s), {} unique signature(s) in {:.1}s ({:.1} signatures/cpu-minute)",
+            grid.trials,
+            grid.cases.len(),
+            grid_wall.as_secs_f64(),
+            grid_per_minute
+        );
+        stats_fields.push(("grid_trials", trace::Json::UInt(u64::from(grid.trials))));
+        stats_fields.push((
+            "grid_distinct_signatures",
+            trace::Json::UInt(grid.cases.len() as u64),
+        ));
+        stats_fields.push((
+            "grid_signatures_per_cpu_minute",
+            trace::Json::Float(grid_per_minute),
+        ));
+        if cases.len() < grid.cases.len() {
+            eprintln!(
+                "FAIL fuzz: guided found {} signature(s), grid found {} on the same budget",
+                cases.len(),
+                grid.cases.len()
+            );
+            code = exit::worst(code, exit::REGRESSION);
+        } else {
+            println!(
+                "guided covers {} signature(s) vs grid's {} on the same budget",
+                cases.len(),
+                grid.cases.len()
+            );
+        }
+    }
+    if let Some(stats_path) = &opts.stats {
+        let doc = trace::Json::obj(stats_fields);
+        if let Err(e) = std::fs::write(stats_path, doc.pretty() + "\n") {
+            eprintln!("FAIL fuzz: cannot write {}: {e}", stats_path.display());
+            code = exit::worst(code, exit::IO);
+        } else {
+            eprintln!("wrote {}", stats_path.display());
+        }
     }
     if let Some(expect) = &opts.expect {
         let known = match std::fs::read_to_string(expect) {
@@ -138,7 +243,7 @@ pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
             }
         };
         let mut new = 0;
-        for found in &outcome.cases {
+        for found in &cases {
             if !known.contains(&found.case.signature) {
                 eprintln!("FAIL fuzz: new failure signature: {}", found.case.signature);
                 new += 1;
@@ -149,7 +254,7 @@ pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
         } else {
             println!(
                 "all {} signature(s) already in {}",
-                outcome.cases.len(),
+                cases.len(),
                 expect.display()
             );
         }
@@ -214,9 +319,8 @@ pub fn replay_cmd(path: &Path) -> i32 {
         Some(failure) => {
             let sig = failure.signature();
             println!(
-                "replay: {}/{:?} seed={:x} failed after {} with {sig}",
-                case.system.name(),
-                case.benchmark,
+                "replay: {} seed={:x} failed after {} with {sig}",
+                case_cell_label(&case),
                 case.seed,
                 obs.elapsed
             );
@@ -242,6 +346,119 @@ pub fn replay_cmd(path: &Path) -> i32 {
             exit::REGRESSION
         }
     }
+}
+
+/// `repro replay --all DIR`: replay every stored case under `DIR` in
+/// sorted order — the corpus regression suite. The worst per-case exit
+/// code wins.
+pub fn replay_all_cmd(dir: &Path) -> i32 {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("FAIL replay --all: cannot read {}: {e}", dir.display());
+            return exit::IO;
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("FAIL replay --all: no .json cases under {}", dir.display());
+        return exit::IO;
+    }
+    let mut code = exit::OK;
+    let mut reproduced = 0usize;
+    for path in &paths {
+        println!("--- {}", path.display());
+        let one = replay_cmd(path);
+        if one == exit::OK {
+            reproduced += 1;
+        }
+        code = exit::worst(code, one);
+    }
+    println!(
+        "replay --all: {reproduced}/{} case(s) reproduced their signature",
+        paths.len()
+    );
+    code
+}
+
+/// The §6.2 inversion cell of `repro chaos --recover`: the magnified
+/// metalock world with donation and daemon both off wedges stably; the
+/// supervisor must resolve it with the runtime remedies (donation
+/// toggle, priority boost) and WITHOUT a restart.
+fn recover_inversion_cell(
+    cfg: &SupervisorConfig,
+    table: &mut Table,
+    json_rows: &mut Vec<trace::Json>,
+) -> i32 {
+    let label = "xpipe/MetalockInversion".to_string();
+    let mut code = exit::OK;
+    let wedged = {
+        let (mut sim, _h) = xpipe::inversion::build_metalock_world(false, false);
+        let report = sim.run(RunLimit::For(cfg.window));
+        report.deadlocked() || !sim.wait_for_graph().wedged(cfg.wedge_threshold).is_empty()
+    };
+    if !wedged {
+        eprintln!("FAIL recover {label}: the inversion did not wedge the unsupervised run");
+        code = exit::worst(code, exit::REGRESSION);
+    }
+    let (sup, _sim) = supervise(
+        |_| xpipe::inversion::build_metalock_world(false, false).0,
+        cfg,
+    );
+    for action in &sup.actions {
+        eprintln!(
+            "{label}: attempt {} at {}: {} ({})",
+            action.attempt,
+            action.at,
+            action.kind.tag(),
+            action.detail
+        );
+    }
+    let remedied = sup
+        .actions
+        .iter()
+        .any(|a| matches!(
+            a.kind,
+            RecoveryKind::EnableMetalockDonation | RecoveryKind::PriorityBoost
+        ));
+    if sup.restarts > 0 || sup.gave_up || !remedied || !sup.healthy_at_end {
+        eprintln!(
+            "FAIL recover {label}: expected a restart-free §6.2 recovery (restarts={}, gave_up={}, healthy={})",
+            sup.restarts, sup.gave_up, sup.healthy_at_end
+        );
+        code = exit::worst(code, exit::DEADLOCK);
+    }
+    let recoveries = sup
+        .actions
+        .iter()
+        .map(|a| a.kind.tag())
+        .collect::<Vec<_>>()
+        .join(", ");
+    table.row(vec![
+        label.clone(),
+        if wedged { "wedges" } else { "survives" }.to_string(),
+        sup.attempts.to_string(),
+        if recoveries.is_empty() {
+            "-".to_string()
+        } else {
+            recoveries.clone()
+        },
+        "-".to_string(),
+    ]);
+    json_rows.push(trace::Json::obj([
+        ("cell", trace::Json::Str(label)),
+        ("unsupervised_wedges", trace::Json::Bool(wedged)),
+        ("attempts", trace::Json::UInt(u64::from(sup.attempts))),
+        ("restarts", trace::Json::UInt(u64::from(sup.restarts))),
+        ("recoveries", trace::Json::Str(recoveries)),
+        ("healthy_at_end", trace::Json::Bool(sup.healthy_at_end)),
+    ]));
+    code
 }
 
 /// `repro chaos --recover`: for each demo cell, show that the fault
@@ -321,6 +538,7 @@ pub fn recover_cmd(window: pcr::SimDuration, seed: u64, json_path: Option<&str>)
             ),
         ]));
     }
+    code = exit::worst(code, recover_inversion_cell(&cfg, &mut table, &mut json_rows));
     println!("{}", table.to_text());
     if let Some(path) = json_path {
         let doc = trace::Json::obj([("recover", trace::Json::arr(json_rows))]);

@@ -63,16 +63,21 @@ pub enum FaultSiteKind {
     DuplicateNotify,
     /// A timer deadline that received extra delay (§6.3).
     TimerJitter,
+    /// A dispatch at which the running thread's priority was changed to
+    /// a random level — the PCT-style scheduler perturbation. `param_us`
+    /// carries the new priority level (1..=7), not a duration.
+    PriorityChange,
 }
 
 impl FaultSiteKind {
     /// All kinds, in site-counter index order.
-    pub const ALL: [FaultSiteKind; 5] = [
+    pub const ALL: [FaultSiteKind; 6] = [
         FaultSiteKind::ForkFail,
         FaultSiteKind::SpuriousWakeup,
         FaultSiteKind::DropNotify,
         FaultSiteKind::DuplicateNotify,
         FaultSiteKind::TimerJitter,
+        FaultSiteKind::PriorityChange,
     ];
 
     /// Stable index into per-kind site-counter arrays.
@@ -83,6 +88,7 @@ impl FaultSiteKind {
             FaultSiteKind::DropNotify => 2,
             FaultSiteKind::DuplicateNotify => 3,
             FaultSiteKind::TimerJitter => 4,
+            FaultSiteKind::PriorityChange => 5,
         }
     }
 
@@ -94,6 +100,7 @@ impl FaultSiteKind {
             FaultSiteKind::DropNotify => "drop_notify",
             FaultSiteKind::DuplicateNotify => "duplicate_notify",
             FaultSiteKind::TimerJitter => "timer_jitter",
+            FaultSiteKind::PriorityChange => "priority_change",
         }
     }
 
@@ -138,8 +145,8 @@ impl FaultSchedule {
 
     /// Per-kind cursors of `(site, param_us)` pairs sorted by site, for
     /// O(1) lookup at each decision point during scripted replay.
-    pub(crate) fn cursors(&self) -> [VecDeque<(u64, u64)>; 5] {
-        let mut sorted: [Vec<(u64, u64)>; 5] = Default::default();
+    pub(crate) fn cursors(&self) -> [VecDeque<(u64, u64)>; 6] {
+        let mut sorted: [Vec<(u64, u64)>; 6] = Default::default();
         for d in &self.decisions {
             sorted[d.kind.index()].push((d.site, d.param_us));
         }
@@ -147,6 +154,31 @@ impl FaultSchedule {
             v.sort_unstable();
             v.into_iter().collect()
         })
+    }
+}
+
+/// PCT-style priority perturbation (after Burckhardt et al.'s
+/// probabilistic concurrency testing): `changes` dispatch points are
+/// pre-drawn uniformly from the first `horizon` dispatches, and at each
+/// chosen point the thread being dispatched has its priority set to a
+/// random level. The draw comes from the same chaos RNG stream as every
+/// other fault, so recording and scripted replay stay byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PctConfig {
+    /// Number of priority-change points per run (PCT's *k* - 1 knob).
+    pub changes: u32,
+    /// Dispatch-count horizon the change points are drawn from (PCT's
+    /// *n* knob). Points past the run's actual dispatch count are lost.
+    pub horizon: u64,
+}
+
+impl PctConfig {
+    /// A light default: 3 change points over the first 4096 dispatches.
+    pub fn light() -> Self {
+        PctConfig {
+            changes: 3,
+            horizon: 4096,
+        }
     }
 }
 
@@ -183,6 +215,10 @@ pub struct ChaosConfig {
     pub timer_jitter: SimDuration,
     /// Scheduled stalls of named threads (§5.2, §6.2).
     pub stalls: Vec<StallSpec>,
+    /// PCT-style priority perturbation: random priority-change points
+    /// sprinkled over the run's dispatches (§6.2's "priorities are
+    /// problematic" made into a fuzz dimension).
+    pub pct: Option<PctConfig>,
     /// A recorded [`FaultSchedule`] to replay instead of drawing from
     /// the chaos RNG: every decision point consults the script, and the
     /// probability knobs above are ignored.
@@ -200,6 +236,7 @@ impl Default for ChaosConfig {
             duplicate_notify_prob: 0.0,
             timer_jitter: SimDuration::ZERO,
             stalls: Vec::new(),
+            pct: None,
             script: None,
         }
     }
@@ -220,6 +257,7 @@ impl ChaosConfig {
             || self.duplicate_notify_prob > 0.0
             || !self.timer_jitter.is_zero()
             || !self.stalls.is_empty()
+            || self.pct.is_some()
             || self.script.is_some()
     }
 
@@ -273,6 +311,14 @@ impl ChaosConfig {
     /// Sets the maximum jitter added to timer firings (§6.3).
     pub fn jitter_timers(mut self, max: SimDuration) -> Self {
         self.timer_jitter = max;
+        self
+    }
+
+    /// Enables PCT-style priority perturbation: `changes` random
+    /// priority-change points over the first `horizon` dispatches.
+    pub fn pct(mut self, changes: u32, horizon: u64) -> Self {
+        assert!(horizon > 0, "pct horizon must be positive");
+        self.pct = Some(PctConfig { changes, horizon });
         self
     }
 
@@ -335,6 +381,7 @@ mod tests {
             ChaosConfig::default().drop_notifies(0.5),
             ChaosConfig::default().duplicate_notifies(0.5),
             ChaosConfig::default().jitter_timers(millis(3)),
+            ChaosConfig::default().pct(3, 1024),
             ChaosConfig::default().stall("x", t0, millis(1)),
             ChaosConfig::default().stall_while_holding("x", "m", t0, millis(1)),
             ChaosConfig::default().scripted(FaultSchedule::default()),

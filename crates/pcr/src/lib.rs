@@ -83,7 +83,7 @@ mod timer;
 mod waitgraph;
 pub mod weakmem;
 
-pub use chaos::{ChaosConfig, FaultDecision, FaultSchedule, FaultSiteKind, StallSpec};
+pub use chaos::{ChaosConfig, FaultDecision, FaultSchedule, FaultSiteKind, PctConfig, StallSpec};
 pub use condition::Condition;
 pub use config::{ForkPolicy, NotifyMode, SimConfig, SystemDaemonConfig};
 pub use ctx::{ForkOpts, ThreadCtx};
@@ -99,7 +99,7 @@ pub use rng::SplitMix64;
 pub use sched::{RunLimit, SchedLatency, Sim, SimStats};
 pub use thread::{JoinHandle, Priority, ThreadId, ThreadInfo, ThreadView};
 pub use time::{micros, millis, secs, SimDuration, SimTime};
-pub use waitgraph::{BlockKind, WaitForGraph, WaitingThread};
+pub use waitgraph::{BlockKind, Inversion, RunnableThread, WaitForGraph, WaitingThread};
 
 use std::sync::Once;
 

@@ -168,6 +168,9 @@ pub struct SimStats {
     pub chaos_duplicated_notifies: u64,
     /// Thread stalls applied by chaos (§5.2, §6.2).
     pub chaos_stalls: u64,
+    /// PCT-style priority changes applied by chaos at dispatch points
+    /// (§6.2's priorities as a fuzz dimension).
+    pub chaos_priority_changes: u64,
     /// High-water mark of live threads (paper: never exceeded 41 in the
     /// benchmarks).
     pub max_live_threads: usize,
@@ -404,12 +407,16 @@ pub struct Sim {
     /// Per-kind chaos decision-point counters (indexed by
     /// [`FaultSiteKind::index`]), ticked at every decision point whether
     /// or not a fault is injected, so `(kind, site)` names one decision.
-    chaos_sites: [u64; 5],
+    chaos_sites: [u64; 6],
     /// Chronological record of every positive injection decision.
     chaos_trace: Vec<FaultDecision>,
     /// Scripted replay cursors, per kind sorted by site, when
     /// [`ChaosConfig::script`] is set. Consulted instead of the RNG.
-    chaos_script: Option<[VecDeque<(u64, u64)>; 5]>,
+    chaos_script: Option<[VecDeque<(u64, u64)>; 6]>,
+    /// Pre-drawn PCT priority-change sites (dispatch ordinals, sorted
+    /// ascending, deduplicated), drawn once at construction when
+    /// [`ChaosConfig::pct`] is set and no script is in force.
+    pct_sites: VecDeque<u64>,
     /// Online hazard detector, when enabled; sees every event before the
     /// user sink.
     hazards: Option<HazardMonitor>,
@@ -450,12 +457,26 @@ impl Sim {
             pending_forks: VecDeque::new(),
             live_threads: 0,
             chaos_rng: SplitMix64::new(seed ^ CHAOS_SEED_SALT),
-            chaos_sites: [0; 5],
+            chaos_sites: [0; 6],
             chaos_trace: Vec::new(),
             chaos_script: None,
+            pct_sites: VecDeque::new(),
             hazards: None,
         };
         sim.chaos_script = sim.cfg.chaos.script.as_ref().map(|s| s.cursors());
+        if sim.chaos_script.is_none() {
+            if let Some(pct) = sim.cfg.chaos.pct {
+                // PCT's change points: drawn up front from the chaos
+                // stream so later faults never shift them, sorted so a
+                // single cursor suffices at dispatch time.
+                let mut sites: Vec<u64> = (0..pct.changes)
+                    .map(|_| sim.chaos_rng.next_below(pct.horizon))
+                    .collect();
+                sites.sort_unstable();
+                sites.dedup();
+                sim.pct_sites = sites.into_iter().collect();
+            }
+        }
         if let Some(hc) = sim.cfg.hazard_detection.clone() {
             sim.hazards = Some(HazardMonitor::new(hc));
             sim.hazard_mask = HazardMonitor::subscriptions();
@@ -652,10 +673,23 @@ impl Sim {
             .filter(|(_, t)| !t.exited && t.state == TState::Stalled)
             .map(|(i, t)| (ThreadId(i as u32), t.name.clone()))
             .collect();
+        let runnable = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.exited && matches!(t.state, TState::Ready | TState::Stalled))
+            .map(|(i, t)| crate::RunnableThread {
+                tid: ThreadId(i as u32),
+                name: t.name.clone(),
+                priority: t.priority,
+                stalled: t.state == TState::Stalled,
+            })
+            .collect();
         crate::WaitForGraph {
             now: self.clock,
             threads: self.blocked_threads(),
             stalled,
+            runnable,
         }
     }
 
@@ -694,6 +728,63 @@ impl Sim {
             self.push_ready_back(tid);
         }
         had_pending || was_stalled
+    }
+
+    /// Re-levels a live thread from outside (§6.2 recovery: boost a
+    /// preempted lock holder so its high-priority waiter can make
+    /// progress). A ready thread is re-queued at its new level; a
+    /// blocked, stalled, or running thread just carries the new priority
+    /// from its next scheduling point. Returns false if the thread has
+    /// exited.
+    pub fn set_thread_priority(&mut self, tid: ThreadId, priority: Priority) -> bool {
+        let Some(t) = self.threads.get(tid.0 as usize) else {
+            return false;
+        };
+        if t.exited {
+            return false;
+        }
+        if self.threads[tid.0 as usize].in_ready {
+            self.remove_from_ready(tid);
+            self.threads[tid.0 as usize].priority = priority;
+            self.ready_enqueue(tid, false);
+        } else {
+            self.threads[tid.0 as usize].priority = priority;
+        }
+        self.emit(EventKind::SetPriority { tid, priority });
+        true
+    }
+
+    /// Toggles metalock cycle donation at runtime (§6.2 recovery: the
+    /// remedy PCR shipped). Enabling it immediately donates the
+    /// remaining window of every preempted metalock holder that has
+    /// waiters stalled behind it — a stalled holder is rejuvenated
+    /// first. Returns how many stuck metalocks were cleared.
+    pub fn set_metalock_donation(&mut self, enabled: bool) -> usize {
+        self.cfg.metalock_donation = enabled;
+        if !enabled {
+            return 0;
+        }
+        let mut cleared = 0;
+        for i in 0..self.monitors.len() {
+            let (holder, has_waiters) = {
+                let m = &self.monitors[i];
+                (m.meta, !m.meta_waiters.is_empty())
+            };
+            let Some(holder) = holder else { continue };
+            if !has_waiters {
+                continue;
+            }
+            match self.threads[holder.0 as usize].state {
+                TState::Stalled => {
+                    self.rejuvenate(holder);
+                }
+                TState::Ready => {}
+                _ => continue,
+            }
+            self.donate_metalock(MonitorId(i as u32), holder);
+            cleared += 1;
+        }
+        cleared
     }
 
     // ---- pre-run construction -------------------------------------------
@@ -978,7 +1069,7 @@ impl Sim {
     fn chaos_decision(
         &mut self,
         kind: FaultSiteKind,
-        draw: impl FnOnce(&mut Self) -> Option<u64>,
+        draw: impl FnOnce(&mut Self, u64) -> Option<u64>,
     ) -> Option<u64> {
         let idx = kind.index();
         let site = self.chaos_sites[idx];
@@ -994,7 +1085,7 @@ impl Sim {
                 None
             }
         } else {
-            draw(self)
+            draw(self, site)
         };
         let param = param?;
         self.chaos_trace.push(FaultDecision {
@@ -1007,7 +1098,7 @@ impl Sim {
 
     /// One seeded decision: fail this FORK? (§5.4 injection.)
     fn chaos_fork_should_fail(&mut self) -> bool {
-        self.chaos_decision(FaultSiteKind::ForkFail, |s| {
+        self.chaos_decision(FaultSiteKind::ForkFail, |s, _| {
             if let Some((from, until)) = s.cfg.chaos.fork_outage {
                 if s.clock >= from && s.clock < until {
                     return Some(0);
@@ -1021,7 +1112,7 @@ impl Sim {
 
     /// Extra seeded delay applied to a timer deadline (§6.3 injection).
     fn chaos_timer_jitter(&mut self) -> SimDuration {
-        let jitter = self.chaos_decision(FaultSiteKind::TimerJitter, |s| {
+        let jitter = self.chaos_decision(FaultSiteKind::TimerJitter, |s, _| {
             let max = s.cfg.chaos.timer_jitter;
             if max.is_zero() {
                 return None;
@@ -1033,6 +1124,32 @@ impl Sim {
             (d > 0).then_some(d)
         });
         micros(jitter.unwrap_or(0))
+    }
+
+    /// One PCT decision point, consulted at every dispatch: if this is a
+    /// pre-drawn change site (or the replay script lists it), the thread
+    /// being dispatched moves to a seeded random priority. The site
+    /// counter ticks on every dispatch — with PCT off nothing is drawn
+    /// and clean runs are untouched, yet `(PriorityChange, site)` still
+    /// names one exact dispatch for scripted replay.
+    fn chaos_priority_change(&mut self, tid: ThreadId) {
+        let param = self.chaos_decision(FaultSiteKind::PriorityChange, |s, site| {
+            if s.pct_sites.front() == Some(&site) {
+                s.pct_sites.pop_front();
+                Some(1 + s.chaos_rng.next_below(Priority::LEVELS as u64))
+            } else {
+                None
+            }
+        });
+        if let Some(level) = param {
+            let prio = Priority::of(level.clamp(1, Priority::LEVELS as u64) as u8);
+            self.threads[tid.0 as usize].priority = prio;
+            self.stats.chaos_priority_changes += 1;
+            self.emit(EventKind::SetPriority {
+                tid,
+                priority: prio,
+            });
+        }
     }
 
     fn pop_ready_excluding(&mut self, excluded: Option<ThreadId>) -> Option<ThreadId> {
@@ -1487,6 +1604,7 @@ impl Sim {
         shield: Option<Shield>,
         end: SimTime,
     ) {
+        self.chaos_priority_change(tid);
         if self.last_dispatched != Some(tid) {
             self.stats.switches += 1;
             let prio = self.threads[tid.0 as usize].priority;
@@ -1895,7 +2013,7 @@ impl Sim {
             self.timers
                 .schedule(deadline, TimerKind::CvTimeout { tid, cv, seq });
         }
-        let spurious = self.chaos_decision(FaultSiteKind::SpuriousWakeup, |s| {
+        let spurious = self.chaos_decision(FaultSiteKind::SpuriousWakeup, |s, _| {
             let sp = s.cfg.chaos.spurious_wakeup_prob;
             if sp > 0.0 && s.chaos_rng.next_f64() < sp {
                 // A spurious wakeup 1..=spurious_delay µs into the wait;
@@ -1931,7 +2049,7 @@ impl Sim {
         // waiter keeps waiting; only its timeout (if any) can rescue it.
         if !broadcast && self.conds[cv.0 as usize].live > 0 {
             let dropped = self
-                .chaos_decision(FaultSiteKind::DropNotify, |s| {
+                .chaos_decision(FaultSiteKind::DropNotify, |s, _| {
                     let p = s.cfg.chaos.drop_notify_prob;
                     (p > 0.0 && s.chaos_rng.next_f64() < p).then_some(0)
                 })
@@ -1960,7 +2078,7 @@ impl Sim {
         let mut extra = None;
         if !broadcast && first_woken.is_some() && self.conds[cv.0 as usize].live > 0 {
             let duplicated = self
-                .chaos_decision(FaultSiteKind::DuplicateNotify, |s| {
+                .chaos_decision(FaultSiteKind::DuplicateNotify, |s, _| {
                     let p = s.cfg.chaos.duplicate_notify_prob;
                     (p > 0.0 && s.chaos_rng.next_f64() < p).then_some(0)
                 })

@@ -65,6 +65,52 @@ pub struct WaitingThread {
     pub since: SimTime,
 }
 
+/// A live thread that could run but currently is not: preempted (in the
+/// ready queue) or chaos-stalled. These are the candidate *holders* of a
+/// priority inversion — a blocked high-priority thread whose obstacle
+/// sits here at a strictly lower priority is inverted (§6.2).
+#[derive(Clone, Debug)]
+pub struct RunnableThread {
+    /// The runnable-but-not-running thread.
+    pub tid: ThreadId,
+    /// Its name.
+    pub name: String,
+    /// Its priority.
+    pub priority: Priority,
+    /// True if chaos-stalled rather than merely preempted.
+    pub stalled: bool,
+}
+
+/// One detected priority inversion (§6.2): a high-priority thread
+/// blocked on a monitor or metalock whose current holder is runnable at
+/// a strictly lower priority — the holder would finish and release if
+/// only it were scheduled, but middle-priority work keeps it off the
+/// CPU. The paper's remedies are metalock cycle donation and a
+/// SystemDaemon-style priority boost; see
+/// `resilience`'s supervisor for the recovery ladder that applies them.
+#[derive(Clone, Debug)]
+pub struct Inversion {
+    /// The blocked high-priority thread.
+    pub victim: ThreadId,
+    /// The victim's name.
+    pub victim_name: String,
+    /// The victim's priority.
+    pub victim_priority: Priority,
+    /// What the victim is blocked in (Monitor or Metalock).
+    pub kind: BlockKind,
+    /// Name of the contested resource.
+    pub resource: String,
+    /// The lower-priority thread holding the resource.
+    pub holder: ThreadId,
+    /// The holder's name.
+    pub holder_name: String,
+    /// The holder's (lower) priority.
+    pub holder_priority: Priority,
+    /// True if the holder is chaos-stalled (rejuvenation is the fix)
+    /// rather than preempted (donation or a boost is the fix).
+    pub holder_stalled: bool,
+}
+
 /// A snapshot of every blocking relationship in a live simulation.
 #[derive(Clone, Debug)]
 pub struct WaitForGraph {
@@ -75,6 +121,10 @@ pub struct WaitForGraph {
     /// Chaos-stalled threads: `(tid, name)`. Not blocked on anything,
     /// but often the *root* other threads are blocked behind.
     pub stalled: Vec<(ThreadId, String)>,
+    /// Live threads that could run but are not running (preempted or
+    /// chaos-stalled), with their priorities: the candidate holders for
+    /// [`WaitForGraph::inversions`].
+    pub runnable: Vec<RunnableThread>,
 }
 
 impl WaitForGraph {
@@ -88,6 +138,41 @@ impl WaitForGraph {
             .filter(|w| !matches!(w.kind, BlockKind::Condition { .. }))
             .filter(|w| self.now.saturating_since(w.since) >= threshold)
             .collect()
+    }
+
+    /// Detects priority inversions (§6.2): threads blocked on a monitor
+    /// or metalock for at least `threshold` whose holder is runnable —
+    /// preempted or chaos-stalled — at a *strictly lower* priority. CV
+    /// and join waits carry no holder semantics and are never reported.
+    pub fn inversions(&self, threshold: SimDuration) -> Vec<Inversion> {
+        let mut out = Vec::new();
+        for w in &self.threads {
+            if !matches!(w.kind, BlockKind::Monitor | BlockKind::Metalock) {
+                continue;
+            }
+            if self.now.saturating_since(w.since) < threshold {
+                continue;
+            }
+            let Some(holder) = w.blocked_on else { continue };
+            let Some(r) = self.runnable.iter().find(|r| r.tid == holder) else {
+                continue;
+            };
+            if r.priority >= w.priority {
+                continue;
+            }
+            out.push(Inversion {
+                victim: w.tid,
+                victim_name: w.name.clone(),
+                victim_priority: w.priority,
+                kind: w.kind.clone(),
+                resource: w.resource.clone(),
+                holder,
+                holder_name: r.name.clone(),
+                holder_priority: r.priority,
+                holder_stalled: r.stalled,
+            });
+        }
+        out
     }
 
     /// Follows `tid`'s wait-for edges to the thread ultimately obstructing
@@ -230,6 +315,16 @@ mod tests {
             now: SimTime::from_micros(2_000_000),
             threads,
             stalled: Vec::new(),
+            runnable: Vec::new(),
+        }
+    }
+
+    fn runnable(tid: u32, name: &str, prio: u8, stalled: bool) -> RunnableThread {
+        RunnableThread {
+            tid: ThreadId::from_u32(tid),
+            name: name.to_string(),
+            priority: Priority::of(prio),
+            stalled,
         }
     }
 
@@ -285,6 +380,119 @@ mod tests {
         let wedged = g.wedged(SimDuration::from_micros(1_500_000));
         assert_eq!(wedged.len(), 1);
         assert_eq!(wedged[0].name, "old");
+    }
+
+    #[test]
+    fn inversion_needs_lower_priority_runnable_holder() {
+        let mut victim = waiting(0, "high", Some(1));
+        victim.priority = Priority::of(6);
+        let g = WaitForGraph {
+            now: SimTime::from_micros(2_000_000),
+            threads: vec![victim.clone()],
+            stalled: Vec::new(),
+            runnable: vec![runnable(1, "low-holder", 2, false)],
+        };
+        let invs = g.inversions(SimDuration::from_micros(1_000_000));
+        assert_eq!(invs.len(), 1);
+        let inv = &invs[0];
+        assert_eq!(inv.victim_name, "high");
+        assert_eq!(inv.holder_name, "low-holder");
+        assert!(!inv.holder_stalled);
+        assert_eq!(inv.kind, BlockKind::Monitor);
+
+        // An equal-priority holder is contention, not inversion.
+        let g2 = WaitForGraph {
+            runnable: vec![runnable(1, "peer", 6, false)],
+            ..g.clone()
+        };
+        assert!(g2.inversions(SimDuration::from_micros(1_000_000)).is_empty());
+
+        // A holder that is itself blocked (not runnable) is a deadlock
+        // question, not an inversion.
+        let g3 = WaitForGraph {
+            runnable: Vec::new(),
+            ..g.clone()
+        };
+        assert!(g3.inversions(SimDuration::from_micros(1_000_000)).is_empty());
+
+        // A fresh block has not aged into an inversion yet.
+        assert!(g.inversions(SimDuration::from_micros(2_500_000)).is_empty());
+    }
+
+    #[test]
+    fn inversion_reports_stalled_holders_as_such() {
+        let mut victim = waiting(0, "high", Some(1));
+        victim.priority = Priority::of(6);
+        victim.kind = BlockKind::Metalock;
+        let g = WaitForGraph {
+            now: SimTime::from_micros(2_000_000),
+            threads: vec![victim],
+            stalled: vec![(ThreadId::from_u32(1), "low".to_string())],
+            runnable: vec![runnable(1, "low", 2, true)],
+        };
+        let invs = g.inversions(SimDuration::ZERO);
+        assert_eq!(invs.len(), 1);
+        assert!(invs[0].holder_stalled);
+        assert_eq!(invs[0].kind, BlockKind::Metalock);
+    }
+
+    #[test]
+    fn property_cv_waiters_never_wedge_or_invert() {
+        // Satellite property: across pseudo-random graphs, a thread
+        // blocked in a CV wait — with or without timeout — never shows
+        // up in `wedged` or `inversions`, no matter its age, priority,
+        // or how the runnable set looks.
+        let mut rng = crate::SplitMix64::new(0xC0FFEE);
+        for round in 0..200 {
+            let n = 1 + rng.next_below(8) as u32;
+            let mut threads = Vec::new();
+            let mut cv_tids = Vec::new();
+            for tid in 0..n {
+                let mut w = waiting(tid, &format!("t{tid}"), None);
+                w.priority = Priority::of(1 + rng.next_below(7) as u8);
+                // Age anywhere from 0 to the full 2s snapshot window.
+                w.since = SimTime::from_micros(rng.next_below(2_000_001));
+                w.blocked_on = (rng.next_below(2) == 0)
+                    .then(|| ThreadId::from_u32(n + rng.next_below(3) as u32));
+                if rng.next_below(2) == 0 {
+                    w.kind = BlockKind::Condition {
+                        has_timeout: rng.next_below(2) == 0,
+                    };
+                    cv_tids.push(w.tid);
+                }
+                threads.push(w);
+            }
+            let runnable: Vec<RunnableThread> = (0..rng.next_below(4))
+                .map(|i| {
+                    runnable(
+                        n + i as u32,
+                        &format!("r{i}"),
+                        1 + rng.next_below(7) as u8,
+                        rng.next_below(2) == 0,
+                    )
+                })
+                .collect();
+            let g = WaitForGraph {
+                now: SimTime::from_micros(2_000_000),
+                threads,
+                stalled: Vec::new(),
+                runnable,
+            };
+            for w in g.wedged(SimDuration::ZERO) {
+                assert!(
+                    !cv_tids.contains(&w.tid),
+                    "round {round}: CV waiter {} reported wedged",
+                    w.name
+                );
+            }
+            for inv in g.inversions(SimDuration::ZERO) {
+                assert!(
+                    !cv_tids.contains(&inv.victim),
+                    "round {round}: CV waiter {} reported inverted",
+                    inv.victim_name
+                );
+            }
+        }
     }
 
     #[test]

@@ -681,3 +681,73 @@ fn clean_world_is_hazard_free_with_detection_on() {
     assert_eq!(report.hazards.total(), 0, "hazards: {:?}", report.hazards);
     assert!(!report.hazardous());
 }
+
+// ---------------------------------------------------------------------
+// PCT priority perturbation
+// ---------------------------------------------------------------------
+
+/// Runs the chaotic world under `chaos` and returns the captured events,
+/// the recorded fault schedule, and the final stats.
+fn run_pct(chaos: ChaosConfig, seed: u64) -> (Vec<Event>, pcr::FaultSchedule, pcr::SimStats) {
+    let cfg = SimConfig::default().with_seed(seed).with_chaos(chaos);
+    let mut sim = Sim::new(cfg);
+    sim.set_sink(Box::new(VecSink::default()));
+    chaotic_world(&mut sim);
+    sim.run(RunLimit::For(secs(2)));
+    let schedule = sim.fault_schedule();
+    let stats = sim.stats().clone();
+    let events = sim
+        .take_sink()
+        .unwrap()
+        .into_any()
+        .downcast::<VecSink>()
+        .unwrap()
+        .events;
+    (events, schedule, stats)
+}
+
+#[test]
+fn pct_perturbs_priorities_and_records_decisions() {
+    let (events, schedule, stats) = run_pct(ChaosConfig::none().pct(8, 512), 0xBEEF);
+    assert!(
+        stats.chaos_priority_changes > 0,
+        "no PCT change landed inside the run: {stats:?}"
+    );
+    assert!(
+        has_kind(&events, |k| matches!(k, EventKind::SetPriority { .. })),
+        "PCT changes must surface as SetPriority events"
+    );
+    let pct_decisions = schedule
+        .decisions
+        .iter()
+        .filter(|d| d.kind == pcr::FaultSiteKind::PriorityChange)
+        .count() as u64;
+    assert_eq!(pct_decisions, stats.chaos_priority_changes);
+    // Every recorded parameter is a legal priority level.
+    for d in &schedule.decisions {
+        if d.kind == pcr::FaultSiteKind::PriorityChange {
+            assert!((1..=7).contains(&d.param_us), "level {}", d.param_us);
+        }
+    }
+}
+
+#[test]
+fn pct_composes_with_chaos_and_replays_byte_identically() {
+    let chaos = full_chaos().pct(6, 1024);
+    let (ev_a, sched, st_a) = run_pct(chaos, 0xD15EA5E);
+    assert!(st_a.chaos_priority_changes > 0, "stats: {st_a:?}");
+    // Scripted replay: no probabilities, no RNG — identical trace.
+    let (ev_b, sched_b, st_b) = run_pct(ChaosConfig::none().scripted(sched.clone()), 0xD15EA5E);
+    assert_eq!(ev_a, ev_b, "scripted PCT replay diverged");
+    assert_eq!(sched, sched_b, "replayed schedule is not a fixed point");
+    assert_eq!(st_a.chaos_priority_changes, st_b.chaos_priority_changes);
+}
+
+#[test]
+fn pct_with_zero_changes_matches_a_clean_run() {
+    let (ev_none, _, _) = run_pct(ChaosConfig::none(), 7);
+    let (ev_zero, sched, stats) = run_pct(ChaosConfig::none().pct(0, 1024), 7);
+    assert_eq!(ev_none, ev_zero, "an empty PCT config must be inert");
+    assert!(sched.is_empty());
+    assert_eq!(stats.chaos_priority_changes, 0);
+}

@@ -15,11 +15,14 @@ use threadstudy_core::System;
 use trace::Json;
 use workloads::Benchmark;
 
-use crate::observe::TrialSpec;
+use crate::observe::{TrialSpec, TrialWorld};
 
 /// A replayable failing trial.
 #[derive(Clone, Debug)]
 pub struct StoredCase {
+    /// Which world family the trial ran (`system`/`benchmark` only
+    /// select the cell when this is [`TrialWorld::Cell`]).
+    pub world: TrialWorld,
     /// Which system's world failed.
     pub system: System,
     /// Which benchmark drove it.
@@ -66,6 +69,7 @@ impl StoredCase {
     /// The trial parameters this case replays under.
     pub fn spec(&self) -> TrialSpec {
         TrialSpec {
+            world: self.world,
             system: self.system,
             benchmark: self.benchmark,
             seed: self.seed,
@@ -99,7 +103,8 @@ impl StoredCase {
             ])
         }));
         Json::obj([
-            ("v", Json::UInt(1)),
+            ("v", Json::UInt(2)),
+            ("world", Json::Str(self.world.tag())),
             ("system", Json::Str(self.system.name().to_string())),
             ("benchmark", Json::Str(benchmark_name(self.benchmark))),
             ("seed", Json::Str(format!("{:x}", self.seed))),
@@ -135,10 +140,12 @@ impl StoredCase {
                 .as_u64()
                 .ok_or_else(|| format!("field {k:?} is not an unsigned integer"))
         };
-        match u64_field("v")? {
-            1 => {}
+        // v1 predates trial worlds: every old case is a matrix cell.
+        let world = match u64_field("v")? {
+            1 => TrialWorld::Cell,
+            2 => TrialWorld::from_tag(&str_field("world")?)?,
             v => return Err(format!("unsupported case version {v}")),
-        }
+        };
         let seed_hex = str_field("seed")?;
         let seed = u64::from_str_radix(&seed_hex, 16)
             .map_err(|e| format!("bad seed {seed_hex:?}: {e}"))?;
@@ -206,6 +213,7 @@ impl StoredCase {
             });
         }
         Ok(StoredCase {
+            world,
             system: system_from_name(&str_field("system")?)?,
             benchmark: benchmark_from_name(&str_field("benchmark")?)?,
             seed,
@@ -220,6 +228,12 @@ impl StoredCase {
     }
 
     /// A stable, filesystem-safe file name derived from the signature.
+    ///
+    /// The readable slug keeps only the first eight words of the
+    /// signature, so an FNV-1a hash of the full signature is appended:
+    /// two distinct signatures that share a slug prefix (a long
+    /// multi-party wedge vs. its superset) must not overwrite each
+    /// other's case files.
     pub fn file_name(&self) -> String {
         let slug: String = self
             .signature
@@ -236,10 +250,21 @@ impl StoredCase {
                 acc
             },
         );
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.signature.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        let prefix = self
+            .world
+            .file_prefix()
+            .map(|p| format!("{p}-"))
+            .unwrap_or_default();
         format!(
-            "{}-{}-{slug}.json",
+            "{prefix}{}-{}-{slug}-{:08x}.json",
             self.system.name().to_ascii_lowercase(),
-            benchmark_name(self.benchmark).to_ascii_lowercase()
+            benchmark_name(self.benchmark).to_ascii_lowercase(),
+            hash >> 32
         )
     }
 
@@ -276,6 +301,7 @@ mod tests {
 
     fn sample() -> StoredCase {
         StoredCase {
+            world: TrialWorld::Cell,
             system: System::Gvx,
             benchmark: Benchmark::Scroll,
             seed: 0xDEAD_BEEF,
@@ -350,9 +376,55 @@ mod tests {
     #[test]
     fn file_name_is_stable_and_safe() {
         let name = sample().file_name();
-        assert_eq!(name, "gvx-scroll-wedge-GVX-DisplayWatchdog-monitor.json");
+        assert_eq!(
+            name,
+            "gvx-scroll-wedge-GVX-DisplayWatchdog-monitor-7629c416.json"
+        );
         assert!(name
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.'));
+    }
+
+    #[test]
+    fn shared_slug_prefixes_get_distinct_file_names() {
+        let a = sample();
+        let mut b = sample();
+        // Same first eight slug words, different full signature.
+        b.signature = "wedge:[GVX.DisplayWatchdog(monitor),GVX.InputPoller(cv)]".to_string();
+        assert_ne!(a.file_name(), b.file_name());
+    }
+
+    #[test]
+    fn world_prefixes_and_tags_round_trip() {
+        for world in [
+            TrialWorld::Cell,
+            TrialWorld::MultiCore { cpus: 2 },
+            TrialWorld::WeakMemory { max_delay_us: 200 },
+        ] {
+            assert_eq!(TrialWorld::from_tag(&world.tag()).unwrap(), world);
+            let mut case = sample();
+            case.world = world;
+            let back = StoredCase::from_json(&Json::parse(&case.to_json().pretty()).unwrap())
+                .unwrap();
+            assert_eq!(back.world, world);
+        }
+        assert!(TrialWorld::from_tag("marsrover").is_err());
+        let mp = StoredCase {
+            world: TrialWorld::MultiCore { cpus: 2 },
+            ..sample()
+        };
+        assert!(mp.file_name().starts_with("mp2-"), "{}", mp.file_name());
+    }
+
+    #[test]
+    fn v1_files_still_load_as_cell_cases() {
+        // Corpus files written before trial worlds existed carry v:1 and
+        // no "world" key; they must keep loading as matrix-cell cases.
+        let mut text = sample().to_json().pretty();
+        text = text.replace("\"v\": 2", "\"v\": 1");
+        text = text.replace("\"world\": \"cell\",", "");
+        let back = StoredCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.world, TrialWorld::Cell);
+        assert_eq!(back.seed, sample().seed);
     }
 }

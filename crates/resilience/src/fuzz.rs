@@ -8,16 +8,23 @@
 //! (fork-table exhaustion for Cedar, a gated stall inside the screen
 //! monitor for GVX), so small budgets still find real failures.
 //!
+//! The default grid covers the paper's full benchmark matrix — all
+//! twelve `(system, benchmark)` cells of Table 1 — plus the two worlds
+//! outside the matrix: the multiprocessor transfer mesh on
+//! [`pcr::MpSim`] (§5.3) and the §5.5 weak-memory publication race.
+//!
 //! Every failing trial is classified by its seed-independent signature;
 //! the first trial to exhibit each signature becomes a [`StoredCase`],
-//! later ones only bump its count.
+//! later ones only bump its count. The returned case list is sorted by
+//! signature, so the corpus a sweep writes to disk is byte-deterministic
+//! regardless of discovery order.
 
 use pcr::{millis, secs, ChaosConfig, SimDuration, SimTime};
 use threadstudy_core::System;
 use workloads::{chaos_preset, eternal_thread_count, Benchmark};
 
 use crate::case::StoredCase;
-use crate::observe::{observe, TrialSpec};
+use crate::observe::{observe, TrialSpec, TrialWorld};
 
 /// One rung of a system's chaos-intensity ladder.
 #[derive(Clone, Debug)]
@@ -28,6 +35,37 @@ pub struct Intensity {
     pub chaos: ChaosConfig,
     /// Optional thread-table cap applied with this rung.
     pub max_threads: Option<usize>,
+}
+
+/// One cell of the fuzz grid: a world plus the `(system, benchmark)`
+/// pair that selects it when the world is [`TrialWorld::Cell`].
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzCell {
+    /// Which world family this cell runs.
+    pub world: TrialWorld,
+    /// System (selects the cell world and its intensity ladder).
+    pub system: System,
+    /// Benchmark driving the cell world.
+    pub benchmark: Benchmark,
+}
+
+impl FuzzCell {
+    /// A matrix cell.
+    pub fn cell(system: System, benchmark: Benchmark) -> FuzzCell {
+        FuzzCell {
+            world: TrialWorld::Cell,
+            system,
+            benchmark,
+        }
+    }
+
+    /// One-line label for progress output.
+    pub fn label(&self) -> String {
+        match self.world {
+            TrialWorld::Cell => format!("{}/{}", self.system.name(), self.benchmark),
+            other => other.tag(),
+        }
+    }
 }
 
 fn cv_storm() -> ChaosConfig {
@@ -78,6 +116,7 @@ pub fn intensity_ladder(system: System) -> Vec<Intensity> {
                 "kitchen-sink",
                 cv_storm().drop_notifies(0.2).fail_forks(0.3),
             ),
+            rung("pct", chaos_preset().pct(4, 4096)),
         ],
         System::Gvx => vec![
             rung("preset", chaos_preset()),
@@ -88,6 +127,27 @@ pub fn intensity_ladder(system: System) -> Vec<Intensity> {
                 "kitchen-sink",
                 gvx_screen_stall(cv_storm().drop_notifies(0.2)),
             ),
+            rung("pct", chaos_preset().pct(4, 4096)),
+        ],
+    }
+}
+
+/// The intensity ladder for one fuzz cell. Matrix cells get the
+/// per-system ladder; the out-of-matrix worlds get their own short
+/// ladders (the multiprocessor mesh ignores chaos entirely — its grid
+/// dimension is the seed-derived lock order).
+pub fn cell_ladder(cell: &FuzzCell) -> Vec<Intensity> {
+    let rung = |name, chaos| Intensity {
+        name,
+        chaos,
+        max_threads: None,
+    };
+    match cell.world {
+        TrialWorld::Cell => intensity_ladder(cell.system),
+        TrialWorld::MultiCore { .. } => vec![rung("mp-mesh", ChaosConfig::none())],
+        TrialWorld::WeakMemory { .. } => vec![
+            rung("wm-race", ChaosConfig::none()),
+            rung("wm-race-pct", ChaosConfig::none().pct(4, 2048)),
         ],
     }
 }
@@ -97,10 +157,14 @@ pub fn intensity_ladder(system: System) -> Vec<Intensity> {
 pub struct FuzzConfig {
     /// Number of trials to run.
     pub budget: u32,
+    /// Optional wall-clock cap in milliseconds: the sweep stops early
+    /// once it is exceeded (the fixed-budget mode the guided-vs-grid
+    /// comparison runs under). `None` means budget-only.
+    pub wall_budget_ms: Option<u64>,
     /// Base seed; trial seeds are derived from it deterministically.
     pub base_seed: u64,
-    /// The benchmark cells to sweep.
-    pub cells: Vec<(System, Benchmark)>,
+    /// The grid cells to sweep.
+    pub cells: Vec<FuzzCell>,
     /// Per-trial virtual window.
     pub window: SimDuration,
     /// Failure-check slice.
@@ -109,15 +173,35 @@ pub struct FuzzConfig {
     pub wedge_threshold: SimDuration,
 }
 
+/// The full default grid: every Table 1 matrix cell plus the
+/// multiprocessor mesh and the weak-memory race.
+pub fn default_cells() -> Vec<FuzzCell> {
+    let mut cells = Vec::new();
+    for system in [System::Cedar, System::Gvx] {
+        for benchmark in Benchmark::suite(system) {
+            cells.push(FuzzCell::cell(system, *benchmark));
+        }
+    }
+    cells.push(FuzzCell {
+        world: TrialWorld::MultiCore { cpus: 2 },
+        system: System::Cedar,
+        benchmark: Benchmark::Idle,
+    });
+    cells.push(FuzzCell {
+        world: TrialWorld::WeakMemory { max_delay_us: 200 },
+        system: System::Cedar,
+        benchmark: Benchmark::Idle,
+    });
+    cells
+}
+
 impl Default for FuzzConfig {
     fn default() -> Self {
         FuzzConfig {
             budget: 64,
+            wall_budget_ms: None,
             base_seed: 0x5EED,
-            cells: vec![
-                (System::Cedar, Benchmark::Keyboard),
-                (System::Gvx, Benchmark::Scroll),
-            ],
+            cells: default_cells(),
             window: secs(6),
             slice: millis(250),
             wedge_threshold: millis(1500),
@@ -132,17 +216,57 @@ pub struct FoundCase {
     pub case: StoredCase,
     /// How many trials in the sweep hit this signature.
     pub count: u32,
+    /// Threads still live when the failing trial ended — the guided
+    /// fuzzer's stall-splice targets.
+    pub live_threads: Vec<String>,
 }
 
 /// The result of a fuzz sweep.
 #[derive(Debug)]
 pub struct FuzzOutcome {
-    /// Trials actually run.
+    /// Trials actually run (may be under budget when a wall-clock cap
+    /// fires).
     pub trials: u32,
     /// Trials that failed (including duplicates of known signatures).
     pub failures: u32,
-    /// Unique failures, in discovery order.
+    /// Unique failures, sorted by signature.
     pub cases: Vec<FoundCase>,
+}
+
+/// Maps grid-trial index `i` to its `(cell, rung, seed)` triple by
+/// mixed-radix decomposition — the shared enumeration behind both the
+/// plain sweep and the guided fuzzer's exploration trials.
+pub(crate) fn grid_trial<'a>(
+    cfg: &FuzzConfig,
+    ladders: &'a [Vec<Intensity>],
+    i: u32,
+) -> (FuzzCell, &'a Intensity, u64) {
+    let cell_index = (i as usize) % cfg.cells.len();
+    let cell = cfg.cells[cell_index];
+    let ladder = &ladders[cell_index];
+    let layer = (i as usize) / cfg.cells.len();
+    let rung = &ladder[layer % ladder.len()];
+    let seed_index = (layer / ladder.len()) as u64;
+    // SplitMix-style spread so consecutive seed indices land far
+    // apart in the simulator's seed space.
+    let seed = cfg
+        .base_seed
+        .wrapping_add(seed_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (cell, rung, seed)
+}
+
+/// The trial spec for one grid triple under `cfg`'s watch parameters.
+pub(crate) fn grid_spec(cfg: &FuzzConfig, cell: FuzzCell, rung: &Intensity, seed: u64) -> TrialSpec {
+    TrialSpec {
+        world: cell.world,
+        system: cell.system,
+        benchmark: cell.benchmark,
+        seed,
+        window: cfg.window,
+        slice: cfg.slice,
+        wedge_threshold: cfg.wedge_threshold,
+        max_threads: rung.max_threads,
+    }
 }
 
 /// Sweeps `cfg.budget` trials over the cell × intensity × seed grid and
@@ -150,47 +274,34 @@ pub struct FuzzOutcome {
 /// trial with a one-line description.
 pub fn fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> FuzzOutcome {
     assert!(!cfg.cells.is_empty(), "fuzz needs at least one cell");
-    let ladders: Vec<Vec<Intensity>> = cfg
-        .cells
-        .iter()
-        .map(|(system, _)| intensity_ladder(*system))
-        .collect();
+    let ladders: Vec<Vec<Intensity>> = cfg.cells.iter().map(cell_ladder).collect();
+    let start = std::time::Instant::now();
+    let mut trials = 0u32;
     let mut failures = 0u32;
     let mut cases: Vec<FoundCase> = Vec::new();
     for i in 0..cfg.budget {
-        let cell = (i as usize) % cfg.cells.len();
-        let (system, benchmark) = cfg.cells[cell];
-        let ladder = &ladders[cell];
-        let layer = (i as usize) / cfg.cells.len();
-        let rung = &ladder[layer % ladder.len()];
-        let seed_index = (layer / ladder.len()) as u64;
-        // SplitMix-style spread so consecutive seed indices land far
-        // apart in the simulator's seed space.
-        let seed = cfg
-            .base_seed
-            .wrapping_add(seed_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let spec = TrialSpec {
-            system,
-            benchmark,
-            seed,
-            window: cfg.window,
-            slice: cfg.slice,
-            wedge_threshold: cfg.wedge_threshold,
-            max_threads: rung.max_threads,
-        };
+        if let Some(ms) = cfg.wall_budget_ms {
+            if start.elapsed().as_millis() as u64 >= ms {
+                progress(&format!("wall budget exhausted after {i} trials"));
+                break;
+            }
+        }
+        trials += 1;
+        let (cell, rung, seed) = grid_trial(cfg, &ladders, i);
+        let spec = grid_spec(cfg, cell, rung, seed);
         let obs = observe(&spec, rung.chaos.clone());
         match obs.failure {
             None => progress(&format!(
-                "trial {i}: {}/{benchmark} {} seed={seed:x} — clean",
-                system.name(),
+                "trial {i}: {} {} seed={seed:x} — clean",
+                cell.label(),
                 rung.name
             )),
             Some(failure) => {
                 failures += 1;
                 let signature = failure.signature();
                 progress(&format!(
-                    "trial {i}: {}/{benchmark} {} seed={seed:x} — {} after {}",
-                    system.name(),
+                    "trial {i}: {} {} seed={seed:x} — {} after {}",
+                    cell.label(),
                     rung.name,
                     signature,
                     obs.elapsed
@@ -199,8 +310,9 @@ pub fn fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> FuzzOutcome {
                     Some(known) => known.count += 1,
                     None => cases.push(FoundCase {
                         case: StoredCase {
-                            system,
-                            benchmark,
+                            world: cell.world,
+                            system: cell.system,
+                            benchmark: cell.benchmark,
                             seed,
                             window: cfg.window,
                             slice: cfg.slice,
@@ -211,13 +323,15 @@ pub fn fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> FuzzOutcome {
                             schedule: obs.schedule,
                         },
                         count: 1,
+                        live_threads: obs.live_threads,
                     }),
                 }
             }
         }
     }
+    cases.sort_by(|a, b| a.case.signature.cmp(&b.case.signature));
     FuzzOutcome {
-        trials: cfg.budget,
+        trials,
         failures,
         cases,
     }

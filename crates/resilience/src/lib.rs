@@ -5,11 +5,17 @@
 //! paper (fork outages, unresponsive components, priority-inversion
 //! wedges):
 //!
-//! * [`fuzz`] sweeps seeds and chaos-intensity grids over the Cedar and
-//!   GVX benchmark cells, classifies every failing run by a
-//!   seed-independent [`signature`], and stores each unique failure as a
-//!   replayable [`StoredCase`] carrying the exact
+//! * [`fuzz`] sweeps seeds and chaos-intensity grids over the full
+//!   benchmark matrix — plus the multiprocessor transfer mesh and the
+//!   §5.5 weak-memory race ([`TrialWorld`]) — classifies every failing
+//!   run by a seed-independent [`signature`], and stores each unique
+//!   failure as a replayable [`StoredCase`] carrying the exact
 //!   [`pcr::FaultSchedule`] that produced it.
+//! * [`guided_fuzz`] spends the same budget smarter: a corpus of cases
+//!   keyed by failure signature, mutated (stall splices, parameter
+//!   perturbations, PCT priority-change injection, reseeds) with energy
+//!   biased toward the entries whose mutations keep finding new
+//!   signatures. Its yardstick is distinct signatures per CPU-minute.
 //! * [`shrink`] delta-debugs a failing schedule down to a locally
 //!   minimal one that still reproduces the same failure signature —
 //!   dropping injection decisions, halving stall durations — so the
@@ -31,14 +37,18 @@
 
 mod case;
 mod fuzz;
+mod guided;
 mod observe;
 mod shrink;
 mod signature;
 mod supervisor;
 
 pub use case::StoredCase;
-pub use fuzz::{fuzz, intensity_ladder, FoundCase, FuzzConfig, FuzzOutcome, Intensity};
-pub use observe::{observe, replay, replay_schedule, Observation, TrialSpec};
+pub use fuzz::{
+    default_cells, fuzz, intensity_ladder, FoundCase, FuzzCell, FuzzConfig, FuzzOutcome, Intensity,
+};
+pub use guided::{guided_fuzz, signatures_per_cpu_minute, GuidedOutcome, MutationDiscovery};
+pub use observe::{observe, replay, replay_schedule, Observation, TrialSpec, TrialWorld};
 pub use shrink::{shrink, ShrinkConfig, ShrinkReport};
 pub use signature::{normalize_name, signature, Failure, FailureClass};
 pub use supervisor::{

@@ -1,10 +1,21 @@
 //! Running one trial under a failure watch.
 //!
-//! A *trial* is one benchmark cell run under some chaos configuration
-//! for a bounded virtual window, executed in slices so the watcher can
+//! A *trial* is one world run under some chaos configuration for a
+//! bounded virtual window, executed in slices so the watcher can
 //! inspect the wait-for graph between them. The first slice after which
 //! the world is globally deadlocked, has a panicked thread, or carries a
 //! wedge older than the threshold ends the trial with a [`Failure`].
+//!
+//! Three world families are observable ([`TrialWorld`]):
+//!
+//! * **Cell** — a `(system, benchmark)` cell of the paper's matrix,
+//!   built by [`workloads`];
+//! * **MultiCore** — a seed-dependent transfer mesh on [`pcr::MpSim`],
+//!   where tellers lock account pairs in seed-derived orders (AB-BA
+//!   deadlocks for the unlucky orders, §5.3);
+//! * **WeakMemory** — the §5.5 publication race on [`pcr::weakmem`]: a
+//!   publisher stores data then flag with no fence, and the reader
+//!   panics when the flag outruns the data.
 //!
 //! The same function serves both directions: recording (probabilistic
 //! chaos, harvesting [`pcr::Sim::fault_schedule`]) and replaying (a
@@ -12,7 +23,8 @@
 //! reproduces the recorded run byte-for-byte).
 
 use pcr::{
-    ChaosConfig, FaultSchedule, HazardCounts, RunLimit, SimDuration, StopReason, WaitForGraph,
+    micros, millis, weakmem::WeakMem, ChaosConfig, FaultSchedule, HazardCounts, MpSim, Priority,
+    RunLimit, Sim, SimConfig, SimDuration, SplitMix64, StopReason, WaitForGraph,
 };
 use threadstudy_core::System;
 use workloads::{build_chaos_with, Benchmark};
@@ -20,9 +32,67 @@ use workloads::{build_chaos_with, Benchmark};
 use crate::case::StoredCase;
 use crate::signature::{Failure, FailureClass};
 
+/// Which world family a trial runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrialWorld {
+    /// A `(system, benchmark)` cell of the paper's matrix.
+    Cell,
+    /// The multiprocessor transfer mesh on [`pcr::MpSim`].
+    MultiCore {
+        /// Simulated CPUs.
+        cpus: u32,
+    },
+    /// The §5.5 publication race over weakly-ordered memory.
+    WeakMemory {
+        /// Maximum store-visibility delay, in microseconds.
+        max_delay_us: u64,
+    },
+}
+
+impl TrialWorld {
+    /// Stable serialization tag: `cell`, `mp:N`, or `weakmem:D`.
+    pub fn tag(&self) -> String {
+        match self {
+            TrialWorld::Cell => "cell".to_string(),
+            TrialWorld::MultiCore { cpus } => format!("mp:{cpus}"),
+            TrialWorld::WeakMemory { max_delay_us } => format!("weakmem:{max_delay_us}"),
+        }
+    }
+
+    /// Parses a serialization tag back into a world.
+    pub fn from_tag(tag: &str) -> Result<TrialWorld, String> {
+        if tag == "cell" {
+            return Ok(TrialWorld::Cell);
+        }
+        if let Some(n) = tag.strip_prefix("mp:") {
+            let cpus = n.parse().map_err(|e| format!("bad mp world {tag:?}: {e}"))?;
+            return Ok(TrialWorld::MultiCore { cpus });
+        }
+        if let Some(d) = tag.strip_prefix("weakmem:") {
+            let max_delay_us = d
+                .parse()
+                .map_err(|e| format!("bad weakmem world {tag:?}: {e}"))?;
+            return Ok(TrialWorld::WeakMemory { max_delay_us });
+        }
+        Err(format!("unknown trial world {tag:?}"))
+    }
+
+    /// Filesystem-safe prefix for stored-case file names.
+    pub fn file_prefix(&self) -> Option<String> {
+        match self {
+            TrialWorld::Cell => None,
+            TrialWorld::MultiCore { cpus } => Some(format!("mp{cpus}")),
+            TrialWorld::WeakMemory { max_delay_us } => Some(format!("weakmem{max_delay_us}")),
+        }
+    }
+}
+
 /// Everything that identifies one trial besides its chaos configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TrialSpec {
+    /// Which world family to run. `system`/`benchmark` only select the
+    /// cell when this is [`TrialWorld::Cell`].
+    pub world: TrialWorld,
     /// Which system's world to build.
     pub system: System,
     /// Which benchmark drives it.
@@ -51,6 +121,12 @@ pub struct Observation {
     pub hazards: HazardCounts,
     /// Virtual time elapsed until failure detection or window end.
     pub elapsed: SimDuration,
+    /// Names of the threads still live when the trial ended — the
+    /// stall-splice targets for the guided fuzzer's mutation engine.
+    pub live_threads: Vec<String>,
+    /// Names of the world's monitors — the `while_holding` gates for
+    /// the guided fuzzer's §6.2-style mid-critical-section splices.
+    pub monitors: Vec<String>,
 }
 
 impl Observation {
@@ -71,21 +147,133 @@ fn wedge_failure(graph: &WaitForGraph, wedged: &[&pcr::WaitingThread]) -> Failur
     }
 }
 
+/// Builds the §5.5 publication-race world: the publisher fills the data
+/// word and then raises the flag with no intervening fence, so for some
+/// visibility-delay draws the flag outruns the data and the reader's
+/// staleness assert panics — the paper's "modern multiprocessors with
+/// weakly ordered memory" bug, reproduced on purpose.
+fn build_weakmem_world(spec: &TrialSpec, chaos: ChaosConfig, max_delay_us: u64) -> Sim {
+    const DATA: usize = 0;
+    const FLAG: usize = 1;
+    const ROUNDS: u64 = 200;
+    let cfg = SimConfig::default().with_seed(spec.seed).with_chaos(chaos);
+    let mut sim = Sim::new(cfg);
+    let mem = WeakMem::new(spec.seed ^ 0x7EA4_5EED, micros(max_delay_us));
+    let m = mem.clone();
+    let _ = sim.fork_root("wm-publisher", Priority::of(4), move |ctx| {
+        for round in 1..=ROUNDS {
+            m.store(ctx, DATA, round);
+            ctx.work(micros(20));
+            m.store(ctx, FLAG, round); // Missing fence: the §5.5 bug.
+            ctx.sleep(millis(2));
+        }
+    });
+    let _ = sim.fork_root("wm-reader", Priority::of(5), move |ctx| {
+        let mut seen = 0u64;
+        while seen < ROUNDS {
+            let flag = mem.load(ctx, FLAG);
+            if flag > seen {
+                let data = mem.load(ctx, DATA);
+                assert!(
+                    data >= flag,
+                    "stale publication: flag {flag} but data {data}"
+                );
+                seen = flag;
+            }
+            ctx.sleep_precise(micros(300));
+        }
+    });
+    sim
+}
+
+/// Runs the multiprocessor transfer mesh: four tellers move value
+/// between three accounts, each locking its account pair in a
+/// seed-derived order. Opposing orders race into AB-BA deadlock; the
+/// deadlock report's population becomes the failure's parties.
+fn observe_multicore(spec: &TrialSpec, cpus: u32) -> Observation {
+    let cfg = SimConfig::default().with_seed(spec.seed);
+    let mut mp = MpSim::new(cfg, cpus.max(1) as usize);
+    let accounts: Vec<_> = (0..3)
+        .map(|i| mp.monitor(&format!("account{i}"), 100i64))
+        .collect();
+    let mut rng = SplitMix64::new(spec.seed ^ 0xAB5A_AB5A);
+    for t in 0..4 {
+        let a = rng.next_below(accounts.len() as u64) as usize;
+        let b = (a + 1 + rng.next_below(accounts.len() as u64 - 1) as usize) % accounts.len();
+        let (ma, mb) = (accounts[a].clone(), accounts[b].clone());
+        let _ = mp.fork_root(&format!("teller{t}"), Priority::of(4), move |ctx| {
+            for _ in 0..40 {
+                let mut ga = ctx.enter(&ma);
+                ctx.sleep_precise(millis(2));
+                // threadlint: allow(lock-order-cycle) — the seed-derived
+                // order cycle is exactly what this world probes.
+                let mut gb = ctx.enter(&mb);
+                ga.with_mut(|v| *v -= 1);
+                gb.with_mut(|v| *v += 1);
+                drop(gb);
+                drop(ga);
+                ctx.work(micros(200));
+            }
+        });
+    }
+    let report = mp.run(RunLimit::For(spec.window));
+    let failure = match &report.reason {
+        StopReason::Deadlock(rep) => {
+            let parties = rep
+                .blocked
+                .iter()
+                .map(|b| {
+                    let kind = b.waiting_for.split_whitespace().next().unwrap_or("blocked");
+                    format!("{}({kind})", b.name)
+                })
+                .collect();
+            let detail = rep
+                .blocked
+                .iter()
+                .map(|b| format!("  {} waiting for {}\n", b.name, b.waiting_for))
+                .collect();
+            Some(Failure {
+                class: FailureClass::Deadlock,
+                parties,
+                detail,
+            })
+        }
+        _ if mp.stats().panics > 0 => Some(Failure {
+            class: FailureClass::Panic,
+            parties: vec!["mp-world(panic)".to_string()],
+            detail: String::new(),
+        }),
+        _ => None,
+    };
+    Observation {
+        failure,
+        schedule: FaultSchedule::default(),
+        hazards: HazardCounts::default(),
+        elapsed: report.elapsed,
+        live_threads: Vec::new(),
+        monitors: Vec::new(),
+    }
+}
+
 /// Runs one trial of `spec` under `chaos` and watches it for failure.
 ///
 /// Deterministic: the same `(spec, chaos)` observes the same outcome,
 /// schedule, and elapsed time every call.
 pub fn observe(spec: &TrialSpec, chaos: ChaosConfig) -> Observation {
-    let mut sim = build_chaos_with(
-        spec.system,
-        spec.benchmark,
-        spec.seed,
-        chaos,
-        |cfg| match spec.max_threads {
-            Some(n) => cfg.with_max_threads(n),
-            None => cfg,
-        },
-    );
+    let mut sim = match spec.world {
+        TrialWorld::MultiCore { cpus } => return observe_multicore(spec, cpus),
+        TrialWorld::WeakMemory { max_delay_us } => build_weakmem_world(spec, chaos, max_delay_us),
+        TrialWorld::Cell => build_chaos_with(
+            spec.system,
+            spec.benchmark,
+            spec.seed,
+            chaos,
+            |cfg| match spec.max_threads {
+                Some(n) => cfg.with_max_threads(n),
+                None => cfg,
+            },
+        ),
+    };
     let mut remaining = spec.window;
     let mut elapsed = SimDuration::ZERO;
     let mut hazards = HazardCounts::default();
@@ -134,11 +322,23 @@ pub fn observe(spec: &TrialSpec, chaos: ChaosConfig) -> Observation {
             break;
         }
     }
+    let mut live_threads: Vec<String> = sim
+        .threads_iter()
+        .filter(|t| !t.exited)
+        .map(|t| t.name.to_string())
+        .collect();
+    live_threads.sort();
+    live_threads.dedup();
+    let mut monitors = sim.monitor_names();
+    monitors.sort();
+    monitors.dedup();
     Observation {
         failure,
         schedule: sim.fault_schedule(),
         hazards,
         elapsed,
+        live_threads,
+        monitors,
     }
 }
 

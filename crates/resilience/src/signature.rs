@@ -72,11 +72,28 @@ pub fn normalize_name(name: &str) -> String {
 
 /// Builds the canonical signature for a failure class and its parties:
 /// normalized, sorted, deduplicated, comma-joined inside brackets.
+/// Parties that collapse to the same normalized name keep their
+/// multiplicity as an `xN` suffix — a two-teller AB-BA deadlock and a
+/// five-thread pileup on the same lock are different bugs even though
+/// instance numbering makes their party lists normalize identically.
 pub fn signature(class: FailureClass, parties: &[String]) -> String {
     let mut norm: Vec<String> = parties.iter().map(|p| normalize_name(p)).collect();
     norm.sort();
-    norm.dedup();
-    format!("{}:[{}]", class.tag(), norm.join(","))
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < norm.len() {
+        let mut n = 1;
+        while i + n < norm.len() && norm[i + n] == norm[i] {
+            n += 1;
+        }
+        if n == 1 {
+            parts.push(norm[i].clone());
+        } else {
+            parts.push(format!("{}x{n}", norm[i]));
+        }
+        i += n;
+    }
+    format!("{}:[{}]", class.tag(), parts.join(","))
 }
 
 #[cfg(test)]
@@ -111,5 +128,49 @@ mod tests {
             signature(FailureClass::Wedge, &p),
             signature(FailureClass::Deadlock, &p)
         );
+    }
+
+    #[test]
+    fn multiplicity_survives_normalization() {
+        // Two tellers and five tellers dedup to the same normalized
+        // name; the xN suffix keeps them distinct bugs.
+        let two = signature(
+            FailureClass::Deadlock,
+            &["teller0(monitor)".into(), "teller1(monitor)".into()],
+        );
+        let five = signature(
+            FailureClass::Deadlock,
+            &(0..5).map(|i| format!("teller{i}(monitor)")).collect::<Vec<_>>(),
+        );
+        assert_eq!(two, "deadlock:[teller#(monitor)x2]");
+        assert_eq!(five, "deadlock:[teller#(monitor)x5]");
+        assert_ne!(two, five);
+    }
+
+    #[test]
+    fn abba_deadlock_and_fork_outage_wedge_never_collide() {
+        // Satellite collision test: the two canonical failure modes of
+        // the harness — an AB-BA mutual-monitor deadlock and a
+        // fork-outage wedge — must never normalize to the same
+        // signature, even when instance numbering makes the party
+        // *names* identical after digit folding.
+        let abba = signature(
+            FailureClass::Deadlock,
+            &["worker1(monitor)".into(), "worker2(monitor)".into()],
+        );
+        let outage = signature(
+            FailureClass::Wedge,
+            &["worker1(fork)".into(), "worker2(fork)".into()],
+        );
+        assert_ne!(abba, outage);
+        assert_eq!(abba, "deadlock:[worker#(monitor)x2]");
+        assert_eq!(outage, "wedge:[worker#(fork)x2]");
+        // Same parties, same normalized names: the class alone still
+        // separates them.
+        let wedge_on_monitor = signature(
+            FailureClass::Wedge,
+            &["worker1(monitor)".into(), "worker2(monitor)".into()],
+        );
+        assert_ne!(abba, wedge_on_monitor);
     }
 }

@@ -6,9 +6,15 @@
 //! 1. **Fail pending forks** (§5.4): if any wedged thread is parked in
 //!    fork-wait, drain the fork queue with an error — the Cedar worlds
 //!    handle `ResourcesExhausted` and carry on degraded.
-//! 2. **Rejuvenate** (§5.2 "task rejuvenation"): if the wedge chain
+//! 2. **§6.2 inversion remedies**: when the wait-for graph reports a
+//!    high-priority thread stuck behind a *runnable* lower-priority
+//!    holder, first enable metalock donation (the paper's fix for the
+//!    metalock variant), then boost the holder to the victim's priority
+//!    (what the paper's SystemDaemon achieves probabilistically, done
+//!    deterministically here). Neither restarts anything.
+//! 3. **Rejuvenate** (§5.2 "task rejuvenation"): if the wedge chain
 //!    roots at a stalled (unresponsive) thread, un-stall it.
-//! 3. **Restart**: tear the attempt down and rebuild the world, with
+//! 4. **Restart**: tear the attempt down and rebuild the world, with
 //!    exponential backoff deducted from the remaining time budget.
 //!
 //! [`supervise_benchmark`] wraps this around a benchmark cell and scores
@@ -61,6 +67,12 @@ impl SupervisorConfig {
 pub enum RecoveryKind {
     /// Drained the fork-wait queue with errors (§5.4).
     FailPendingForks,
+    /// Turned on metalock cycle donation to clear a metalock inversion
+    /// (§6.2).
+    EnableMetalockDonation,
+    /// Boosted a runnable lower-priority holder to its victim's
+    /// priority (§6.2's SystemDaemon effect, applied deterministically).
+    PriorityBoost,
     /// Un-stalled an unresponsive thread (§5.2).
     Rejuvenate,
     /// Tore the attempt down and rebuilt the world.
@@ -72,6 +84,8 @@ impl RecoveryKind {
     pub fn tag(self) -> &'static str {
         match self {
             RecoveryKind::FailPendingForks => "fail-pending-forks",
+            RecoveryKind::EnableMetalockDonation => "metalock-donation",
+            RecoveryKind::PriorityBoost => "priority-boost",
             RecoveryKind::Rejuvenate => "rejuvenate",
             RecoveryKind::Restart => "restart",
         }
@@ -124,6 +138,7 @@ pub fn supervise(mut build: impl FnMut(u32) -> Sim, cfg: &SupervisorConfig) -> (
         let mut sim = build(attempt);
         let base_volume = sim.stats().event_volume();
         let mut grace = 0u32;
+        let mut donation_enabled = false;
         let mut restart = false;
         let mut attempt_elapsed = SimDuration::ZERO;
         while !remaining.is_zero() {
@@ -180,7 +195,54 @@ pub fn supervise(mut build: impl FnMut(u32) -> Sim, cfg: &SupervisorConfig) -> (
                     continue;
                 }
             }
-            // Ladder rung 2: the wedge chain roots at a stalled thread
+            // Ladder rung 2: §6.2 priority inversion — a high-priority
+            // thread aged out behind a *runnable* lower-priority holder.
+            // Metalock inversions get donation first (the paper's §6.2
+            // metalock fix); what remains gets a direct priority boost.
+            // Stalled holders are skipped: un-sticking an unresponsive
+            // thread is rejuvenation's job, not a priority problem.
+            let mut remedied = false;
+            for inv in graph.inversions(cfg.wedge_threshold) {
+                if inv.holder_stalled {
+                    continue;
+                }
+                if inv.kind == BlockKind::Metalock && !donation_enabled {
+                    let cleared = sim.set_metalock_donation(true);
+                    donation_enabled = true;
+                    actions.push(RecoveryAction {
+                        attempt,
+                        at: sim.now(),
+                        kind: RecoveryKind::EnableMetalockDonation,
+                        detail: format!(
+                            "donated {cleared} stuck metalock window(s); {} was starving {}",
+                            inv.holder_name, inv.victim_name
+                        ),
+                    });
+                    grace = cfg.grace_slices;
+                    remedied = true;
+                    break;
+                }
+                if sim.set_thread_priority(inv.holder, inv.victim_priority) {
+                    actions.push(RecoveryAction {
+                        attempt,
+                        at: sim.now(),
+                        kind: RecoveryKind::PriorityBoost,
+                        detail: format!(
+                            "boosted {} to p{} ({} starving behind it)",
+                            inv.holder_name,
+                            inv.victim_priority.get(),
+                            inv.victim_name
+                        ),
+                    });
+                    grace = cfg.grace_slices;
+                    remedied = true;
+                    break;
+                }
+            }
+            if remedied {
+                continue;
+            }
+            // Ladder rung 3: the wedge chain roots at a stalled thread
             // (§5.2 task rejuvenation).
             let mut rejuvenated = false;
             for w in &stuck {
@@ -204,7 +266,7 @@ pub fn supervise(mut build: impl FnMut(u32) -> Sim, cfg: &SupervisorConfig) -> (
             if rejuvenated {
                 continue;
             }
-            // Ladder rung 3: restart the attempt.
+            // Ladder rung 4: restart the attempt.
             let parties: Vec<String> = stuck.iter().map(|w| w.name.clone()).collect();
             actions.push(RecoveryAction {
                 attempt,

@@ -6,14 +6,23 @@
 
 use pcr::{millis, secs, Priority, Sim, SimConfig};
 use resilience::{
-    fuzz, intensity_ladder, observe, recover_preset, replay, shrink, supervise,
-    supervise_benchmark, unsupervised_wedges, FuzzConfig, ShrinkConfig, StoredCase,
-    SupervisorConfig, TrialSpec,
+    fuzz, guided_fuzz, intensity_ladder, observe, recover_preset, replay, shrink, supervise,
+    supervise_benchmark, unsupervised_wedges, FuzzCell, FuzzConfig, ShrinkConfig, StoredCase,
+    SupervisorConfig, TrialSpec, TrialWorld,
 };
 use threadstudy_core::System;
 use workloads::Benchmark;
 
 fn no_progress(_: &str) {}
+
+/// The original two-cell grid the seeded-failure tests were written
+/// against (the default grid now spans the whole matrix).
+fn seeded_cells() -> Vec<FuzzCell> {
+    vec![
+        FuzzCell::cell(System::Cedar, Benchmark::Keyboard),
+        FuzzCell::cell(System::Gvx, Benchmark::Scroll),
+    ]
+}
 
 /// Runs the guaranteed-failure rung of `system`'s ladder on one cell and
 /// returns the stored case.
@@ -21,6 +30,7 @@ fn seeded_case(system: System, benchmark: Benchmark, seed: u64) -> StoredCase {
     let ladder = intensity_ladder(system);
     let rung = &ladder[1];
     let spec = TrialSpec {
+        world: TrialWorld::Cell,
         system,
         benchmark,
         seed,
@@ -35,6 +45,7 @@ fn seeded_case(system: System, benchmark: Benchmark, seed: u64) -> StoredCase {
         .as_ref()
         .unwrap_or_else(|| panic!("{} rung {} did not fail", system.name(), rung.name));
     StoredCase {
+        world: TrialWorld::Cell,
         system,
         benchmark,
         seed,
@@ -54,6 +65,7 @@ fn fuzz_small_budget_finds_the_seeded_failures() {
     // (the guaranteed-failure rungs).
     let cfg = FuzzConfig {
         budget: 4,
+        cells: seeded_cells(),
         ..FuzzConfig::default()
     };
     let outcome = fuzz(&cfg, no_progress);
@@ -96,6 +108,7 @@ fn fuzz_small_budget_finds_the_seeded_failures() {
 fn fuzz_is_deterministic() {
     let cfg = FuzzConfig {
         budget: 4,
+        cells: seeded_cells(),
         ..FuzzConfig::default()
     };
     let a = fuzz(&cfg, no_progress);
@@ -318,4 +331,147 @@ fn supervisor_restarts_an_attempt_dependent_deadlock() {
         "restart detail should name the deadlocked parties: {:?}",
         sup.actions[0]
     );
+}
+
+#[test]
+fn guided_fuzz_is_deterministic_and_covers_the_seeded_failures() {
+    let cfg = FuzzConfig {
+        budget: 12,
+        cells: seeded_cells(),
+        ..FuzzConfig::default()
+    };
+    let a = guided_fuzz(&cfg, no_progress);
+    let b = guided_fuzz(&cfg, no_progress);
+    let sig = |o: &resilience::GuidedOutcome| {
+        o.cases
+            .iter()
+            .map(|c| (c.case.signature.clone(), c.count))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(sig(&a), sig(&b), "guided sweep is not deterministic");
+    assert!(
+        a.cases.len() >= 2,
+        "the interleaved grid trials should still reach both seeded rungs: {:?}",
+        sig(&a)
+    );
+    // Byte-deterministic corpus ordering: sorted by signature.
+    for w in a.cases.windows(2) {
+        assert!(w[0].case.signature <= w[1].case.signature);
+    }
+    // Every corpus entry replays to its own signature.
+    for found in &a.cases {
+        let obs = replay(&found.case);
+        assert_eq!(
+            obs.signature().as_deref(),
+            Some(found.case.signature.as_str()),
+            "guided case {} does not replay",
+            found.case.signature
+        );
+    }
+}
+
+#[test]
+fn fuzz_reaches_the_out_of_matrix_worlds() {
+    let cfg = FuzzConfig {
+        budget: 8,
+        cells: vec![
+            FuzzCell {
+                world: TrialWorld::MultiCore { cpus: 2 },
+                system: System::Cedar,
+                benchmark: Benchmark::Idle,
+            },
+            FuzzCell {
+                world: TrialWorld::WeakMemory { max_delay_us: 200 },
+                system: System::Cedar,
+                benchmark: Benchmark::Idle,
+            },
+        ],
+        ..FuzzConfig::default()
+    };
+    let outcome = fuzz(&cfg, no_progress);
+    assert!(
+        outcome
+            .cases
+            .iter()
+            .any(|c| matches!(c.case.world, TrialWorld::MultiCore { .. })
+                && c.case.signature.starts_with("deadlock:")),
+        "no AB-BA deadlock out of the mp transfer mesh: {:?}",
+        outcome
+            .cases
+            .iter()
+            .map(|c| &c.case.signature)
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        outcome
+            .cases
+            .iter()
+            .any(|c| matches!(c.case.world, TrialWorld::WeakMemory { .. })
+                && c.case.signature.contains("wm-reader(panic)")),
+        "no stale-publication panic out of the weak-memory race: {:?}",
+        outcome
+            .cases
+            .iter()
+            .map(|c| &c.case.signature)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn supervisor_boosts_a_monitor_inversion_instead_of_restarting() {
+    // §6.2 shape: a low-priority holder is starved by a middle-priority
+    // hog while a high-priority claimant waits on the monitor. No rung
+    // below the inversion remedies helps (nothing is stalled, nothing is
+    // fork-blocked), and a restart would just rebuild the same starvation.
+    let build = |_attempt: u32| {
+        let mut sim = Sim::new(SimConfig::default());
+        let m = sim.monitor("shared", ());
+        let m2 = m.clone();
+        let _ = sim.fork_root("low-holder", Priority::of(2), move |ctx| {
+            let _g = ctx.enter(&m2);
+            // Short enough that, once boosted, the holder releases
+            // within the supervisor's grace window.
+            ctx.work(millis(150));
+        });
+        let _ = sim.fork_root("middle-hog", Priority::of(4), move |ctx| {
+            ctx.sleep(millis(5));
+            for _ in 0..100_000 {
+                ctx.work(millis(10));
+            }
+        });
+        let _ = sim.fork_root("high-claimant", Priority::of(6), move |ctx| {
+            ctx.sleep(millis(20));
+            let _g = ctx.enter(&m);
+            ctx.work(millis(1));
+        });
+        sim
+    };
+    let cfg = SupervisorConfig {
+        window: secs(2),
+        slice: millis(100),
+        wedge_threshold: millis(500),
+        max_restarts: 3,
+        backoff: millis(100),
+        grace_slices: 2,
+    };
+    let (sup, _sim) = supervise(build, &cfg);
+    assert_eq!(sup.restarts, 0, "actions: {:?}", sup.actions);
+    assert!(
+        sup.actions
+            .iter()
+            .any(|a| a.kind == resilience::RecoveryKind::PriorityBoost),
+        "expected a priority boost in {:?}",
+        sup.actions
+    );
+    assert!(
+        sup.actions
+            .iter()
+            .find(|a| a.kind == resilience::RecoveryKind::PriorityBoost)
+            .unwrap()
+            .detail
+            .contains("low-holder"),
+        "boost should name the starved holder: {:?}",
+        sup.actions
+    );
+    assert!(!sup.gave_up);
 }

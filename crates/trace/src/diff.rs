@@ -33,6 +33,7 @@ pub fn chaos_event_for_fault(tag: &str) -> Option<&'static str> {
         "drop_notify" => Some("notify_dropped"),
         "duplicate_notify" => Some("notify_duplicated"),
         "fork_fail" => Some("chaos_fork_fail"),
+        "priority_change" => Some("set_priority"),
         "stall" => Some("chaos_stall"),
         _ => None,
     }
@@ -379,15 +380,21 @@ mod tests {
     #[test]
     fn fault_tags_map_onto_chaos_event_kinds() {
         // Every schedule decision kind except timer jitter (which only
-        // shifts existing timer events) maps to a CHAOS_KINDS entry, as
-        // do stalls.
+        // shifts existing timer events) maps to a trace event kind.
+        // All but priority_change map to a chaos-exclusive CHAOS_KINDS
+        // entry; PCT priority changes ride the ordinary set_priority
+        // event, which ctx.set_priority emits too.
         for kind in pcr::FaultSiteKind::ALL {
             let mapped = chaos_event_for_fault(kind.tag());
-            if kind == pcr::FaultSiteKind::TimerJitter {
-                assert_eq!(mapped, None);
-            } else {
-                let event = mapped.unwrap_or_else(|| panic!("{} unmapped", kind.tag()));
-                assert!(CHAOS_KINDS.contains(&event), "{event} not a chaos kind");
+            match kind {
+                pcr::FaultSiteKind::TimerJitter => assert_eq!(mapped, None),
+                pcr::FaultSiteKind::PriorityChange => {
+                    assert_eq!(mapped, Some("set_priority"));
+                }
+                _ => {
+                    let event = mapped.unwrap_or_else(|| panic!("{} unmapped", kind.tag()));
+                    assert!(CHAOS_KINDS.contains(&event), "{event} not a chaos kind");
+                }
             }
         }
         assert_eq!(chaos_event_for_fault("stall"), Some("chaos_stall"));

@@ -16,7 +16,8 @@
 //!    with donation on vs off.
 
 use pcr::{
-    micros, millis, secs, Priority, RunLimit, Sim, SimConfig, SimDuration, SystemDaemonConfig,
+    micros, millis, secs, JoinHandle, Priority, RunLimit, Sim, SimConfig, SimDuration,
+    SystemDaemonConfig,
 };
 
 /// Result of one inversion scenario.
@@ -31,10 +32,12 @@ pub struct InversionOutcome {
     pub metalock_stalls: u64,
 }
 
-/// Scenario 1: classic stable inversion, with or without the
-/// SystemDaemon. Returns how long the high-priority thread waited for a
-/// monitor held by a starving low-priority thread.
-pub fn monitor_inversion(daemon: bool) -> InversionOutcome {
+/// Builds scenario 1's world — the classic stable monitor inversion —
+/// without running it, so callers (the benchmarks here, the resilience
+/// supervisor's recovery tests) can drive it themselves. Returns the
+/// simulation plus the high-priority claimant's handle; the claimant
+/// returns its acquire latency.
+pub fn build_monitor_world(daemon: bool) -> (Sim, JoinHandle<SimDuration>) {
     let cfg = if daemon {
         SimConfig::default().with_system_daemon(SystemDaemonConfig {
             period: millis(100),
@@ -69,6 +72,14 @@ pub fn monitor_inversion(daemon: bool) -> InversionOutcome {
         g.with_mut(|v| *v += 1);
         ctx.now().since(t0)
     });
+    (sim, h)
+}
+
+/// Scenario 1: classic stable inversion, with or without the
+/// SystemDaemon. Returns how long the high-priority thread waited for a
+/// monitor held by a starving low-priority thread.
+pub fn monitor_inversion(daemon: bool) -> InversionOutcome {
+    let (mut sim, h) = build_monitor_world(daemon);
     let _ = sim.run(RunLimit::For(secs(20)));
     let stats = sim.stats().clone();
     InversionOutcome {
@@ -78,17 +89,13 @@ pub fn monitor_inversion(daemon: bool) -> InversionOutcome {
     }
 }
 
-/// Scenario 2: metalock inversion. The metalock window is magnified to
-/// 500 µs so a precisely-timed interrupt can preempt a low-priority
-/// thread inside it while a middle-priority hog keeps it off the CPU; a
-/// high-priority thread then needs the same monitor.
-///
-/// PCR donated cycles *only* for the metalock ("It is not done for
-/// monitors themselves, where we don't know how to implement it
-/// efficiently"), so with donation the high thread clears the metalock
-/// instantly but can still be stably inverted on the mutex itself —
-/// only the SystemDaemon resolves that.
-pub fn metalock_inversion(donation: bool, daemon: bool) -> InversionOutcome {
+/// Builds scenario 2's world — the magnified-metalock inversion —
+/// without running it. Returns the simulation plus the high-priority
+/// claimant's handle. With `donation` and `daemon` both off, the world
+/// wedges stably: the claimant stalls behind a preempted low-priority
+/// metalock holder that a middle-priority hog never lets run — the
+/// exact shape the wait-for graph's inversion detector looks for.
+pub fn build_metalock_world(donation: bool, daemon: bool) -> (Sim, JoinHandle<SimDuration>) {
     let mut cfg = SimConfig::default()
         .with_metalock_cost(micros(500))
         .with_metalock_donation(donation);
@@ -145,6 +152,21 @@ pub fn metalock_inversion(donation: bool, daemon: bool) -> InversionOutcome {
         g.with_mut(|v| *v += 1);
         ctx.now().since(t0)
     });
+    (sim, h)
+}
+
+/// Scenario 2: metalock inversion. The metalock window is magnified to
+/// 500 µs so a precisely-timed interrupt can preempt a low-priority
+/// thread inside it while a middle-priority hog keeps it off the CPU; a
+/// high-priority thread then needs the same monitor.
+///
+/// PCR donated cycles *only* for the metalock ("It is not done for
+/// monitors themselves, where we don't know how to implement it
+/// efficiently"), so with donation the high thread clears the metalock
+/// instantly but can still be stably inverted on the mutex itself —
+/// only the SystemDaemon resolves that.
+pub fn metalock_inversion(donation: bool, daemon: bool) -> InversionOutcome {
+    let (mut sim, h) = build_metalock_world(donation, daemon);
     let _ = sim.run(RunLimit::For(secs(20)));
     let stats = sim.stats().clone();
     InversionOutcome {
@@ -199,6 +221,74 @@ mod tests {
             out.acquire_latency.is_none(),
             "latency {:?} — mutex inversion should persist",
             out.acquire_latency
+        );
+    }
+
+    #[test]
+    fn detector_fires_on_the_metalock_scenario_without_donation() {
+        // Satellite: the wait-for graph's inversion detector must spot
+        // the §6.2 shape this module constructs — the high-priority
+        // claimant stuck behind the preempted low-priority holder —
+        // when donation is off and no daemon rescues anyone.
+        let (mut sim, _h) = build_metalock_world(false, false);
+        let _ = sim.run(RunLimit::For(secs(3)));
+        let graph = sim.wait_for_graph();
+        let invs = graph.inversions(millis(500));
+        assert!(
+            !invs.is_empty(),
+            "no inversion detected; graph:\n{}",
+            graph.render()
+        );
+        let inv = invs
+            .iter()
+            .find(|i| i.victim_name == "high-claimant")
+            .unwrap_or_else(|| panic!("claimant not the victim: {invs:?}"));
+        assert_eq!(inv.holder_name, "low-enterer");
+        assert!(inv.victim_priority > inv.holder_priority);
+        assert!(!inv.holder_stalled, "holder is preempted, not stalled");
+    }
+
+    #[test]
+    fn detector_fires_on_the_monitor_scenario_too() {
+        let (mut sim, _h) = build_monitor_world(false);
+        let _ = sim.run(RunLimit::For(secs(3)));
+        let invs = sim.wait_for_graph().inversions(millis(500));
+        assert!(
+            invs.iter()
+                .any(|i| i.victim_name == "high-claimant" && i.holder_name == "low-holder"),
+            "expected the monitor inversion: {invs:?}"
+        );
+    }
+
+    #[test]
+    fn runtime_remedies_resolve_the_metalock_inversion_without_restart() {
+        // The §6.2 remedies applied from outside, as the supervisor
+        // will: enabling donation clears the stuck metalock; if the
+        // (now low-priority) owner-to-be is still starved on the mutex,
+        // a priority boost finishes the job. No restart involved.
+        let (mut sim, h) = build_metalock_world(false, false);
+        let _ = sim.run(RunLimit::For(secs(2)));
+        let invs = sim.wait_for_graph().inversions(millis(500));
+        assert!(!invs.is_empty(), "world must wedge first");
+        let cleared = sim.set_metalock_donation(true);
+        assert!(cleared >= 1, "donation must clear the stuck metalock");
+        // Let the world settle; the claimant may now be inverted on the
+        // mutex itself behind the still-starved low-enterer.
+        let _ = sim.run(RunLimit::For(secs(2)));
+        for inv in sim.wait_for_graph().inversions(millis(500)) {
+            assert!(sim.set_thread_priority(inv.holder, inv.victim_priority));
+        }
+        let _ = sim.run(RunLimit::For(secs(2)));
+        let latency = h
+            .into_result()
+            .expect("claimant must have finished")
+            .expect("claimant ok");
+        assert!(latency < secs(5), "acquire latency {latency}");
+        assert!(
+            sim.wait_for_graph()
+                .wedged(millis(500))
+                .is_empty(),
+            "no wedge may remain after the remedies"
         );
     }
 
