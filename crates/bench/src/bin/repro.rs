@@ -76,8 +76,16 @@ commands:
                              order — the corpus regression suite) and
                              verify each still reproduces its signature;
                              the worst per-case exit code wins
-  lint     [--json PATH]     threadlint: static discipline lints and the
-                             fork-site self-census over this workspace
+  lint     [--json PATH] [--sarif PATH] [--baseline PATH [--write-baseline]]
+           [--confirm DIR]   threadlint: static discipline lints and the
+                             fork-site self-census over this workspace;
+                             --sarif writes a SARIF 2.1.0 log, --baseline
+                             ratchets findings against a committed
+                             inventory (two-sided: new findings AND stale
+                             entries fail; --write-baseline regenerates),
+                             --confirm replays the stored corpus in DIR
+                             and classifies each finding as confirmed /
+                             plausible / unreached
   markdown [--window SECS]   Tables 1-4 as Markdown (for EXPERIMENTS.md)
   bench    [--reps N] [--json PATH] [--baseline PATH]
                              wall-clock perf harness: times every matrix
@@ -520,7 +528,14 @@ fn main() {
             }
         }
         "lint" => {
-            if bench::lint::run(json_path.as_deref()) {
+            let opts = bench::lint::LintOpts {
+                json: json_path.clone(),
+                sarif: flag_value("--sarif"),
+                baseline: flag_value("--baseline"),
+                write_baseline: args.iter().any(|a| a == "--write-baseline"),
+                confirm: flag_value("--confirm"),
+            };
+            if bench::lint::run(&opts) {
                 code = exit::worst(code, exit::HAZARD);
             }
         }

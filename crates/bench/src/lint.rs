@@ -6,13 +6,48 @@
 //! reproduction itself: the same static sweep the authors ran over
 //! 2.5 MLoC of Mesa, here over the crates that model it, plus the
 //! §5.3/§5.4/§2.6 discipline lints Mesa's compiler would have enforced.
+//!
+//! Three optional outputs ride on the sweep:
+//!
+//! - `--sarif PATH`: SARIF 2.1.0 export for code-scanning upload.
+//! - `--baseline PATH`: two-sided ratchet against a committed finding
+//!   inventory — a finding missing from the baseline fails (new debt),
+//!   and a baseline entry with no matching finding fails (stale entry
+//!   hiding progress). `--write-baseline` regenerates the file.
+//! - `--confirm DIR`: replays the stored resilience corpus in `DIR` and
+//!   classifies every static finding as *confirmed* (a replayed failure
+//!   strands threads on the flagged monitors, or strands the flagged
+//!   thread), *plausible* (the flagged monitors were live in a replayed
+//!   world), or *unreached* (no dynamic echo). Static names are source
+//!   bindings; runtime names are construction literals with instance
+//!   numbers — both sides fold interpolations and digit runs to `#`
+//!   before the join, so `accounts[a]` meets `account0`.
 
-use threadlint::{analyze_workspace, workspace_root, Lint};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 
-/// Runs the analyzer, prints the census and findings, optionally writes
-/// the JSON artifact, and returns `true` on failure (any unallowed
-/// finding, or a `modeled` inventory site with no real fork site).
-pub fn run(json_path: Option<&str>) -> bool {
+use threadlint::{analyze_workspace, workspace_root, Analysis, Finding, Lint};
+
+/// Options for [`run`]; all independent, all off by default.
+#[derive(Default)]
+pub struct LintOpts {
+    /// Write the JSON findings artifact here.
+    pub json: Option<String>,
+    /// Write a SARIF 2.1.0 log here.
+    pub sarif: Option<String>,
+    /// Ratchet findings against this baseline file.
+    pub baseline: Option<String>,
+    /// With `baseline`: regenerate the file instead of checking it.
+    pub write_baseline: bool,
+    /// Replay the stored corpus in this directory and cross-validate.
+    pub confirm: Option<String>,
+}
+
+/// Runs the analyzer, prints the census and findings, handles the
+/// optional artifacts, and returns `true` on failure (any unallowed
+/// finding, a census mismatch, a baseline delta, or an unreadable
+/// corpus).
+pub fn run(opts: &LintOpts) -> bool {
     let root = workspace_root();
     let analysis = match analyze_workspace(&root) {
         Ok(a) => a,
@@ -82,7 +117,7 @@ pub fn run(json_path: Option<&str>) -> bool {
         failed = true;
     }
 
-    if let Some(path) = json_path {
+    if let Some(path) = &opts.json {
         let mut doc = threadlint::to_json(&analysis);
         doc.push(
             "census_cross_check",
@@ -95,6 +130,19 @@ pub fn run(json_path: Option<&str>) -> bool {
         eprintln!("wrote {path}");
     }
 
+    if let Some(path) = &opts.sarif {
+        std::fs::write(path, threadlint::to_sarif(&analysis).pretty()).expect("write sarif");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &opts.baseline {
+        failed |= baseline_ratchet(&analysis, Path::new(path), opts.write_baseline);
+    }
+
+    if let Some(dir) = &opts.confirm {
+        failed |= confirm(&analysis, Path::new(dir));
+    }
+
     let allowed = analysis.findings.len() - unallowed.len();
     println!(
         "threadlint: {} files, {} primitive sites, {} findings ({} allowed, {} unallowed)",
@@ -105,4 +153,198 @@ pub fn run(json_path: Option<&str>) -> bool {
         unallowed.len()
     );
     failed
+}
+
+/// The two-sided baseline ratchet. Keys are `lint|file|message` with
+/// digit runs folded, so line drift does not churn the file but a new
+/// finding (or a fixed one) always shows up as a delta.
+fn baseline_ratchet(a: &Analysis, path: &Path, write: bool) -> bool {
+    let mut keys: Vec<String> = a.findings.iter().map(threadlint::baseline_key).collect();
+    keys.sort();
+    keys.dedup();
+    if write {
+        let doc = trace::Json::obj([("findings", trace::Json::from(keys.clone()))]);
+        std::fs::write(path, doc.pretty()).expect("write baseline");
+        eprintln!("wrote {} ({} keys)", path.display(), keys.len());
+        return false;
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL baseline: cannot read {}: {e}", path.display());
+            return true;
+        }
+    };
+    let stored: BTreeSet<String> = match trace::Json::parse(&text) {
+        Ok(doc) => doc
+            .get("findings")
+            .and_then(trace::Json::as_array)
+            .map(|xs| {
+                xs.iter()
+                    .filter_map(|x| x.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        Err(e) => {
+            eprintln!("FAIL baseline: {} is not valid JSON: {e}", path.display());
+            return true;
+        }
+    };
+    let current: BTreeSet<String> = keys.into_iter().collect();
+    let mut failed = false;
+    for k in current.difference(&stored) {
+        eprintln!(
+            "FAIL baseline: new finding not in {}: {k} \
+             (annotate or fix, then regenerate with --write-baseline)",
+            path.display()
+        );
+        failed = true;
+    }
+    for k in stored.difference(&current) {
+        eprintln!(
+            "FAIL baseline: stale entry in {} (finding no longer fires): {k} \
+             (regenerate with --write-baseline to bank the progress)",
+            path.display()
+        );
+        failed = true;
+    }
+    if !failed {
+        println!(
+            "Baseline: {} findings match {} exactly",
+            current.len(),
+            path.display()
+        );
+    }
+    failed
+}
+
+/// How strongly the corpus echoes one static finding.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Echo {
+    Confirmed,
+    Plausible,
+    Unreached,
+}
+
+impl Echo {
+    fn label(self) -> &'static str {
+        match self {
+            Echo::Confirmed => "CONFIRMED",
+            Echo::Plausible => "plausible",
+            Echo::Unreached => "unreached",
+        }
+    }
+}
+
+/// Folds `{…}` interpolations in a source literal to `#`, then digit
+/// runs — the same normalization the runtime evidence went through, so
+/// `"teller{t}"` meets the stranded party `teller0`.
+fn normalize_literal(lit: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for c in lit.chars() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    out.push('#');
+                }
+                depth += 1;
+            }
+            '}' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    resilience::normalize_name(&out)
+}
+
+/// The runtime-name set a finding's monitors could appear under: each
+/// binding maps through the construction-literal index when the scan
+/// found one, and falls back to its own (normalized) spelling.
+fn runtime_names(f: &Finding, literals: &BTreeMap<String, BTreeSet<String>>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for m in &f.monitors {
+        match literals.get(m) {
+            Some(lits) => names.extend(lits.iter().cloned()),
+            None => {
+                names.insert(resilience::normalize_name(m));
+            }
+        }
+    }
+    names
+}
+
+/// Replays the stored corpus and classifies every finding. Returns
+/// `true` only when the corpus itself is unusable — classification is
+/// a report, not a gate (an unreached finding is information, not a
+/// regression).
+fn confirm(a: &Analysis, dir: &Path) -> bool {
+    let evidence = match resilience::corpus_evidence(dir) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("FAIL confirm: {e}");
+            return true;
+        }
+    };
+    let failing = evidence.iter().filter(|e| e.signature.is_some()).count();
+    println!(
+        "\nConfirm: replayed {} corpus case(s) from {} ({} failing)",
+        evidence.len(),
+        dir.display(),
+        failing
+    );
+    let literals = threadlint::monitor_literals(a);
+
+    let mut findings: Vec<&Finding> = a.findings.iter().collect();
+    findings.sort_by_key(|f| (f.file.clone(), f.line, f.lint));
+    let mut tally: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in findings {
+        let names = runtime_names(f, &literals);
+        let thread = f.thread.as_deref().map(normalize_literal);
+        let mut echo = Echo::Unreached;
+        let mut witness = String::new();
+        for e in &evidence {
+            if e.signature.is_some() {
+                if let Some(r) = names.iter().find(|n| e.resources.contains(n)) {
+                    echo = Echo::Confirmed;
+                    witness = format!("blocked on `{r}` in {}", e.case_file);
+                    break;
+                }
+                if let Some(t) = thread.as_ref().filter(|t| e.parties.contains(t)) {
+                    echo = Echo::Confirmed;
+                    witness = format!("stranded thread `{t}` in {}", e.case_file);
+                    break;
+                }
+            }
+            if echo == Echo::Unreached {
+                if let Some(m) = names.iter().find(|n| e.monitors.contains(n)) {
+                    echo = Echo::Plausible;
+                    witness = format!("monitor `{m}` live in {}", e.case_file);
+                    // keep scanning: a later case may confirm
+                }
+            }
+        }
+        *tally.entry(echo.label()).or_default() += 1;
+        println!(
+            "  {:<9} {:<28} {}:{}{}",
+            echo.label(),
+            f.lint.name(),
+            f.file,
+            f.line,
+            if witness.is_empty() {
+                String::new()
+            } else {
+                format!("  [{witness}]")
+            }
+        );
+    }
+    let total: usize = tally.values().sum();
+    println!(
+        "Precision: {} confirmed, {} plausible, {} unreached of {} findings",
+        tally.get(Echo::Confirmed.label()).copied().unwrap_or(0),
+        tally.get(Echo::Plausible.label()).copied().unwrap_or(0),
+        tally.get(Echo::Unreached.label()).copied().unwrap_or(0),
+        total
+    );
+    false
 }

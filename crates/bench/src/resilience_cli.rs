@@ -419,13 +419,12 @@ fn recover_inversion_cell(
             action.detail
         );
     }
-    let remedied = sup
-        .actions
-        .iter()
-        .any(|a| matches!(
+    let remedied = sup.actions.iter().any(|a| {
+        matches!(
             a.kind,
             RecoveryKind::EnableMetalockDonation | RecoveryKind::PriorityBoost
-        ));
+        )
+    });
     if sup.restarts > 0 || sup.gave_up || !remedied || !sup.healthy_at_end {
         eprintln!(
             "FAIL recover {label}: expected a restart-free §6.2 recovery (restarts={}, gave_up={}, healthy={})",
@@ -538,7 +537,10 @@ pub fn recover_cmd(window: pcr::SimDuration, seed: u64, json_path: Option<&str>)
             ),
         ]));
     }
-    code = exit::worst(code, recover_inversion_cell(&cfg, &mut table, &mut json_rows));
+    code = exit::worst(
+        code,
+        recover_inversion_cell(&cfg, &mut table, &mut json_rows),
+    );
     println!("{}", table.to_text());
     if let Some(path) = json_path {
         let doc = trace::Json::obj([("recover", trace::Json::arr(json_rows))]);

@@ -25,7 +25,84 @@ fn modeled_inventory_sites_all_map_to_fork_call_sites() {
 fn lint_run_reports_success() {
     // The full CLI path, minus the process boundary: census, lints,
     // self-test, cross-check. `false` means "nothing failed".
-    assert!(!bench::lint::run(None));
+    assert!(!bench::lint::run(&Default::default()));
+}
+
+#[test]
+fn baseline_round_trips_and_ratchets_both_ways() {
+    let dir = std::env::temp_dir().join(format!("lint-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("baseline.json");
+    let write = bench::lint::LintOpts {
+        baseline: Some(path.to_string_lossy().into_owned()),
+        write_baseline: true,
+        ..Default::default()
+    };
+    assert!(!bench::lint::run(&write), "writing the baseline must pass");
+    let check = bench::lint::LintOpts {
+        baseline: Some(path.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+    assert!(
+        !bench::lint::run(&check),
+        "a freshly written baseline must match exactly"
+    );
+    // A stale entry (finding that no longer fires) must fail the check:
+    // the ratchet is two-sided.
+    let doc = std::fs::read_to_string(&path).unwrap();
+    let salted = doc.replace(
+        "\"findings\": [",
+        "\"findings\": [\n    \"ghost-lint|nowhere.rs|never fired\",",
+    );
+    assert_ne!(doc, salted, "baseline artifact shape changed");
+    std::fs::write(&path, salted).unwrap();
+    assert!(
+        bench::lint::run(&check),
+        "a stale baseline entry must fail the ratchet"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn committed_baseline_matches_current_findings() {
+    // The file CI ratchets against must stay in lockstep with the
+    // analyzer: any drift fails here first, with a regeneration hint.
+    let path = workspace_root().join("ci/lint-baseline.json");
+    let check = bench::lint::LintOpts {
+        baseline: Some(path.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+    assert!(
+        !bench::lint::run(&check),
+        "ci/lint-baseline.json is out of date — regenerate with \
+         `repro lint --baseline ci/lint-baseline.json --write-baseline`"
+    );
+}
+
+#[test]
+fn sarif_export_is_wellformed_and_complete() {
+    let analysis = analyze_workspace(&workspace_root()).expect("workspace scan");
+    let doc = threadlint::to_sarif(&analysis).to_string();
+    let parsed = trace::Json::parse(&doc).expect("sarif parses");
+    let runs = parsed.get("runs").and_then(trace::Json::as_array).unwrap();
+    assert_eq!(runs.len(), 1);
+    let results = runs[0]
+        .get("results")
+        .and_then(trace::Json::as_array)
+        .unwrap();
+    assert_eq!(
+        results.len(),
+        analysis.findings.len(),
+        "every finding must appear as a SARIF result"
+    );
+    // Allowed findings carry an in-source suppression; the workspace is
+    // clean, so all of them do.
+    for r in results {
+        assert!(
+            r.get("suppressions").is_some(),
+            "workspace finding without suppression: {r}"
+        );
+    }
 }
 
 #[test]

@@ -173,7 +173,7 @@ mod tests {
         let _ = sim.fork_root("adjuster", Priority::DEFAULT, move |ctx| {
             let mut g = ctx.enter(&l1);
             g.with_mut(|v| *v += 1);
-            ctx.sleep_precise(millis(5)); // The painter interleaves here.
+            ctx.sleep_precise(millis(5)); // threadlint: allow(blocking-call-in-monitor) -- the painter interleaves here.
                                           // Needs the content lock for repainting, but takes it in a
                                           // forked thread after unwinding instead.
             let c2 = c1.clone();
@@ -188,7 +188,7 @@ mod tests {
         let _ = sim.fork_root("painter", Priority::DEFAULT, move |ctx| {
             let mut g = ctx.enter(&c3);
             g.with_mut(|v| *v += 1);
-            ctx.sleep_precise(millis(5));
+            ctx.sleep_precise(millis(5)); // threadlint: allow(blocking-call-in-monitor)
             let mut g2 = ctx.enter(&l2);
             g2.with_mut(|v| *v += 1);
         });
@@ -204,13 +204,13 @@ mod tests {
         let (l1, c1) = (layout.clone(), content.clone());
         let _ = sim.fork_root("adjuster", Priority::DEFAULT, move |ctx| {
             let _g = ctx.enter(&l1);
-            ctx.sleep_precise(millis(5)); // Both threads hold their first
-            let _g2 = ctx.enter(&c1); // lock before either takes its second.
+            ctx.sleep_precise(millis(5)); // threadlint: allow(blocking-call-in-monitor) -- both threads hold their first
+            let _g2 = ctx.enter(&c1); // threadlint: allow(lock-order-cycle) -- lock before either takes its second.
         });
         let _ = sim.fork_root("painter", Priority::DEFAULT, move |ctx| {
             let _g = ctx.enter(&content);
-            ctx.sleep_precise(millis(5));
-            let _g2 = ctx.enter(&layout);
+            ctx.sleep_precise(millis(5)); // threadlint: allow(blocking-call-in-monitor)
+            let _g2 = ctx.enter(&layout); // threadlint: allow(lock-order-cycle)
         });
         let r = sim.run(RunLimit::For(secs(5)));
         match r.reason {
@@ -238,7 +238,7 @@ mod tests {
         let _ = sim.fork_root("t2", Priority::DEFAULT, move |ctx| {
             ctx.sleep_precise(millis(10)); // After t1 released everything.
             let _gb = r2.enter(ctx, &b);
-            let _ga = r2.enter(ctx, &a);
+            let _ga = r2.enter(ctx, &a); // threadlint: allow(lock-order-cycle)
         });
         let r = sim.run(RunLimit::For(secs(2)));
         assert_eq!(r.reason, StopReason::AllExited);
@@ -257,7 +257,7 @@ mod tests {
             let _ = sim.fork_root(&format!("t{i}"), Priority::DEFAULT, move |ctx| {
                 let mut g = r1.enter(ctx, &a1);
                 g.with_mut(|_| {});
-                let _gb = r1.enter(ctx, &b1);
+                let _gb = r1.enter(ctx, &b1); // threadlint: allow(lock-order-cycle)
             });
         }
         sim.run(RunLimit::ToCompletion);

@@ -17,8 +17,13 @@
 //! The module also hosts the rest of the deliberate-mistake menagerie
 //! that `threadlint` (the static analyzer) must catch: a naked NOTIFY
 //! ([`drive_by_notify`], §5.3), a discarded FORK result
-//! ([`fire_and_forget_fork`], §5.4), and an ABBA lock-order cycle
-//! ([`transfer_ab`]/[`transfer_ba`], §2.6). Every site carries a
+//! ([`fire_and_forget_fork`], §5.4), an ABBA lock-order cycle
+//! ([`transfer_ab`]/[`transfer_ba`], §2.6), and the interprocedural
+//! trio only the workspace call graph can see: an ABBA threaded
+//! through helpers ([`deep_transfer_ab`]/[`deep_transfer_ba`]), a WAIT
+//! reached with an outer monitor still pinned ([`nested_wait_outer`],
+//! §5.3), and a lock-holder stall hidden one call deep
+//! ([`checkpoint_under_lock`], §6.1). Every site carries a
 //! `// threadlint: allow(…)` annotation: the analyzer still reports
 //! them (its self-test demands one finding per lint here) but they do
 //! not fail the build.
@@ -126,6 +131,84 @@ pub fn transfer_ba(ctx: &ThreadCtx, a: &Monitor<u64>, b: &Monitor<u64>, amount: 
     let mut ga = ctx.enter(a);
     gb.with_mut(|v| *v -= amount);
     ga.with_mut(|v| *v += amount);
+}
+
+/// One half of the *interprocedural* ABBA of §2.6/§4.4: locally this
+/// takes a single lock and makes one innocent-looking call — the
+/// second acquisition hides inside [`log_to_audit`]. Only the
+/// workspace call graph sees the `ledger -> audit` edge; run
+/// concurrently with [`deep_transfer_ba`] the composed order cycles.
+pub fn deep_transfer_ab(ctx: &ThreadCtx, ledger: &Monitor<u64>, audit: &Monitor<u64>, amount: u64) {
+    let mut g = ctx.enter(ledger);
+    g.with_mut(|v| *v -= amount);
+    log_to_audit(ctx, audit, amount);
+}
+
+/// The hidden second half of [`deep_transfer_ab`]'s acquisition chain.
+fn log_to_audit(ctx: &ThreadCtx, audit: &Monitor<u64>, amount: u64) {
+    // threadlint: allow(lock-order-cycle-transitive)
+    let mut g = ctx.enter(audit);
+    g.with_mut(|v| *v += amount);
+}
+
+/// The other half: `audit` first, then `ledger` via [`post_to_ledger`].
+/// Neither function nests two ENTERs in its own body, so the per-file
+/// cycle lint stays silent; the transitive one must not.
+pub fn deep_transfer_ba(ctx: &ThreadCtx, ledger: &Monitor<u64>, audit: &Monitor<u64>, amount: u64) {
+    let mut g = ctx.enter(audit);
+    g.with_mut(|v| *v -= amount);
+    post_to_ledger(ctx, ledger, amount);
+}
+
+/// The hidden second half of [`deep_transfer_ba`]'s acquisition chain.
+fn post_to_ledger(ctx: &ThreadCtx, ledger: &Monitor<u64>, amount: u64) {
+    // threadlint: allow(lock-order-cycle-transitive)
+    let mut g = ctx.enter(ledger);
+    g.with_mut(|v| *v += amount);
+}
+
+/// The §5.3 layered-WAIT mistake: the caller pins an outer monitor and
+/// then calls into a helper that WAITs. WAIT releases only the helper's
+/// own monitor — `registry` stays locked for the whole sleep, starving
+/// every thread that needs it. Locally the helper is impeccable
+/// (WHILE-loop wait, single monitor); only the inherited lockset
+/// reveals the hazard.
+pub fn nested_wait_outer(
+    ctx: &ThreadCtx,
+    registry: &Monitor<u64>,
+    inbox: &Monitor<Vec<u32>>,
+    arrived: &Condition,
+) {
+    let _g = ctx.enter(registry);
+    nested_wait_inner(ctx, inbox, arrived);
+}
+
+/// The helper that WAITs while its caller still holds `registry`.
+fn nested_wait_inner(ctx: &ThreadCtx, inbox: &Monitor<Vec<u32>>, arrived: &Condition) {
+    let mut g = ctx.enter(inbox);
+    loop {
+        if g.with(|q| !q.is_empty()) {
+            return;
+        }
+        // threadlint: allow(wait-with-outer-monitor)
+        g.wait(arrived);
+    }
+}
+
+/// The §6.1 lock-holder stall, one call deep: the caller holds
+/// `journal` across a helper whose body sleeps. The paper's X server
+/// priority-inversion postmortem starts exactly here — a monitor held
+/// across a slow operation nobody can see at the call site.
+pub fn checkpoint_under_lock(ctx: &ThreadCtx, journal: &Monitor<u64>) {
+    let mut g = ctx.enter(journal);
+    g.with_mut(|v| *v += 1);
+    flush_slowly(ctx);
+}
+
+/// The hidden stall: a sleep standing in for slow IO.
+fn flush_slowly(ctx: &ThreadCtx) {
+    // threadlint: allow(blocking-call-in-monitor)
+    ctx.sleep_precise(pcr::millis(3));
 }
 
 /// A bounded queue whose producer "forgets" its NOTIFY every
@@ -399,6 +482,32 @@ mod tests {
             "wait_if must report the predicate false after a spurious wakeup"
         );
         assert!(sim.stats().chaos_spurious_wakeups >= 1);
+    }
+
+    /// The deep-transfer halves are deadlock *preconditions*, not
+    /// guaranteed deadlocks: run sequentially they complete fine (and
+    /// conserve the transferred amount). The hazard is the composed
+    /// acquisition order, which only the static analysis sees.
+    #[test]
+    fn deep_transfer_halves_run_clean_sequentially() {
+        let mut sim = Sim::new(SimConfig::default());
+        let ledger = sim.monitor("ledger", 100u64);
+        let audit = sim.monitor("audit", 0u64);
+        let (l, a) = (ledger.clone(), audit.clone());
+        let _ = sim.fork_root("mover", Priority::DEFAULT, move |ctx| {
+            deep_transfer_ab(ctx, &l, &a, 30);
+            deep_transfer_ba(ctx, &l, &a, 10);
+        });
+        let r = sim.run(RunLimit::For(secs(1)));
+        assert_eq!(r.reason, StopReason::AllExited);
+        let h = sim.fork_root("check", Priority::DEFAULT, move |ctx| {
+            let lv = ctx.enter(&ledger).with(|v| *v);
+            let av = ctx.enter(&audit).with(|v| *v);
+            (lv, av)
+        });
+        sim.run(RunLimit::For(secs(1)));
+        let (lv, av) = h.into_result().unwrap().unwrap();
+        assert_eq!((lv, av), (80, 20));
     }
 
     /// [`PolledFlag`]: the watcher only advances when its timeout

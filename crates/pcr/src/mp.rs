@@ -78,12 +78,14 @@ struct Tcb {
 }
 
 struct MonState {
+    name: String,
     owner: Option<ThreadId>,
     queue: VecDeque<ThreadId>,
     deferred: Vec<(ThreadId, WaitOutcome, CondId)>,
 }
 
 struct CvState {
+    name: String,
     monitor: MonitorId,
     timeout: Option<SimDuration>,
     queue: VecDeque<ThreadId>,
@@ -182,6 +184,7 @@ impl MpSim {
     pub fn monitor<T: Send + 'static>(&mut self, name: &str, data: T) -> Monitor<T> {
         let id = MonitorId(self.monitors.len() as u32);
         self.monitors.push(MonState {
+            name: name.to_string(),
             owner: None,
             queue: VecDeque::new(),
             deferred: Vec::new(),
@@ -198,6 +201,7 @@ impl MpSim {
     ) -> Condition {
         let id = CondId(self.conds.len() as u32);
         self.conds.push(CvState {
+            name: name.to_string(),
             monitor: m.id(),
             timeout,
             queue: VecDeque::new(),
@@ -679,9 +683,10 @@ impl MpSim {
                 t.pending_reply = Some(Reply::Ok);
                 t.debt = self.cfg.primitive_cost;
             }
-            Request::NewMonitor { .. } => {
+            Request::NewMonitor { name } => {
                 let id = MonitorId(self.monitors.len() as u32);
                 self.monitors.push(MonState {
+                    name,
                     owner: None,
                     queue: VecDeque::new(),
                     deferred: Vec::new(),
@@ -689,10 +694,13 @@ impl MpSim {
                 self.threads[tid.0 as usize].pending_reply = Some(Reply::MonitorId(id));
             }
             Request::NewCondition {
-                monitor, timeout, ..
+                name,
+                monitor,
+                timeout,
             } => {
                 let id = CondId(self.conds.len() as u32);
                 self.conds.push(CvState {
+                    name,
                     monitor,
                     timeout,
                     queue: VecDeque::new(),
@@ -849,9 +857,13 @@ impl MpSim {
             }
             let (waiting_for, on) = match t.state {
                 TState::MutexWait(m) => {
-                    (format!("monitor {m:?}"), self.monitors[m.0 as usize].owner)
+                    let slot = &self.monitors[m.0 as usize];
+                    (format!("monitor {}", slot.name), slot.owner)
                 }
-                TState::CvWait(cv) => (format!("condition {cv:?}"), None),
+                TState::CvWait(cv) => (
+                    format!("condition {}", self.conds[cv.0 as usize].name),
+                    None,
+                ),
                 TState::JoinWait(j) => (format!("join of {j:?}"), Some(j)),
                 _ => continue,
             };

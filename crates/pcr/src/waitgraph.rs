@@ -405,7 +405,9 @@ mod tests {
             runnable: vec![runnable(1, "peer", 6, false)],
             ..g.clone()
         };
-        assert!(g2.inversions(SimDuration::from_micros(1_000_000)).is_empty());
+        assert!(g2
+            .inversions(SimDuration::from_micros(1_000_000))
+            .is_empty());
 
         // A holder that is itself blocked (not runnable) is a deadlock
         // question, not an inversion.
@@ -413,7 +415,9 @@ mod tests {
             runnable: Vec::new(),
             ..g.clone()
         };
-        assert!(g3.inversions(SimDuration::from_micros(1_000_000)).is_empty());
+        assert!(g3
+            .inversions(SimDuration::from_micros(1_000_000))
+            .is_empty());
 
         // A fresh block has not aged into an inversion yet.
         assert!(g.inversions(SimDuration::from_micros(2_500_000)).is_empty());

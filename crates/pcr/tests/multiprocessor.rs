@@ -156,13 +156,13 @@ fn deadlock_detected_on_mp_too() {
     let (a1, b1) = (a.clone(), b.clone());
     let _ = s.fork_root("t1", Priority::DEFAULT, move |ctx| {
         let _g = ctx.enter(&a1);
-        ctx.sleep_precise(millis(5));
-        let _g2 = ctx.enter(&b1);
+        ctx.sleep_precise(millis(5)); // threadlint: allow(blocking-call-in-monitor)
+        let _g2 = ctx.enter(&b1); // threadlint: allow(lock-order-cycle)
     });
     let _ = s.fork_root("t2", Priority::DEFAULT, move |ctx| {
         let _g = ctx.enter(&b);
-        ctx.sleep_precise(millis(5));
-        let _g2 = ctx.enter(&a);
+        ctx.sleep_precise(millis(5)); // threadlint: allow(blocking-call-in-monitor)
+        let _g2 = ctx.enter(&a); // threadlint: allow(lock-order-cycle)
     });
     let r = s.run(RunLimit::For(secs(5)));
     assert!(r.deadlocked(), "got {:?}", r.reason);

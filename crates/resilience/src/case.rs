@@ -404,8 +404,8 @@ mod tests {
             assert_eq!(TrialWorld::from_tag(&world.tag()).unwrap(), world);
             let mut case = sample();
             case.world = world;
-            let back = StoredCase::from_json(&Json::parse(&case.to_json().pretty()).unwrap())
-                .unwrap();
+            let back =
+                StoredCase::from_json(&Json::parse(&case.to_json().pretty()).unwrap()).unwrap();
             assert_eq!(back.world, world);
         }
         assert!(TrialWorld::from_tag("marsrover").is_err());

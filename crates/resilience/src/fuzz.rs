@@ -256,7 +256,12 @@ pub(crate) fn grid_trial<'a>(
 }
 
 /// The trial spec for one grid triple under `cfg`'s watch parameters.
-pub(crate) fn grid_spec(cfg: &FuzzConfig, cell: FuzzCell, rung: &Intensity, seed: u64) -> TrialSpec {
+pub(crate) fn grid_spec(
+    cfg: &FuzzConfig,
+    cell: FuzzCell,
+    rung: &Intensity,
+    seed: u64,
+) -> TrialSpec {
     TrialSpec {
         world: cell.world,
         system: cell.system,

@@ -220,8 +220,7 @@ fn mutate(
             let thread = parent.live_threads
                 [rng.next_below(parent.live_threads.len() as u64) as usize]
                 .clone();
-            let m =
-                parent.monitors[rng.next_below(parent.monitors.len() as u64) as usize].clone();
+            let m = parent.monitors[rng.next_below(parent.monitors.len() as u64) as usize].clone();
             case.schedule = FaultSchedule::default();
             case.schedule.stalls.push(StallSpec {
                 thread,
@@ -304,7 +303,12 @@ pub fn guided_fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> GuidedOu
                 signature: String::new(),
                 schedule: FaultSchedule::default(),
             };
-            (case, rung.chaos.clone(), format!("grid:{}", rung.name), None)
+            (
+                case,
+                rung.chaos.clone(),
+                format!("grid:{}", rung.name),
+                None,
+            )
         } else {
             let parent_index = weighted_pick(&mut rng, &corpus);
             // Redraw until a mutation applies; every parent admits at
@@ -312,9 +316,8 @@ pub fn guided_fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> GuidedOu
             loop {
                 let mutation = draw_mutation(&mut rng);
                 let mutated = if mutation == "intensity-hop" {
-                    intensity_hop(&mut rng, &corpus[parent_index], &ladders, cfg).map(
-                        |(case, chaos, rung_name)| (case, chaos, format!("hop:{rung_name}")),
-                    )
+                    intensity_hop(&mut rng, &corpus[parent_index], &ladders, cfg)
+                        .map(|(case, chaos, rung_name)| (case, chaos, format!("hop:{rung_name}")))
                 } else {
                     mutate(&mut rng, &corpus[parent_index], mutation)
                         .map(|(case, chaos)| (case, chaos, mutation.to_string()))
@@ -346,8 +349,7 @@ pub fn guided_fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> GuidedOu
                     Some((_, n)) => {
                         *n += 1;
                         if let Some(p) = parent_index {
-                            corpus[p].energy =
-                                corpus[p].energy.saturating_sub(1).max(ENERGY_FLOOR);
+                            corpus[p].energy = corpus[p].energy.saturating_sub(1).max(ENERGY_FLOOR);
                         }
                     }
                     None => {
@@ -440,7 +442,9 @@ mod tests {
         };
         let corpus = vec![entry(1), entry(100)];
         let mut rng = SplitMix64::new(7);
-        let hits = (0..200).filter(|_| weighted_pick(&mut rng, &corpus) == 1).count();
+        let hits = (0..200)
+            .filter(|_| weighted_pick(&mut rng, &corpus) == 1)
+            .count();
         assert!(hits > 150, "high-energy entry picked only {hits}/200 times");
     }
 

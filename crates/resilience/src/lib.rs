@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod case;
+mod confirm;
 mod fuzz;
 mod guided;
 mod observe;
@@ -44,6 +45,7 @@ mod signature;
 mod supervisor;
 
 pub use case::StoredCase;
+pub use confirm::{case_evidence, corpus_evidence, Evidence};
 pub use fuzz::{
     default_cells, fuzz, intensity_ladder, FoundCase, FuzzCell, FuzzConfig, FuzzOutcome, Intensity,
 };

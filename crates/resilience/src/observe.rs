@@ -65,7 +65,9 @@ impl TrialWorld {
             return Ok(TrialWorld::Cell);
         }
         if let Some(n) = tag.strip_prefix("mp:") {
-            let cpus = n.parse().map_err(|e| format!("bad mp world {tag:?}: {e}"))?;
+            let cpus = n
+                .parse()
+                .map_err(|e| format!("bad mp world {tag:?}: {e}"))?;
             return Ok(TrialWorld::MultiCore { cpus });
         }
         if let Some(d) = tag.strip_prefix("weakmem:") {
@@ -143,6 +145,7 @@ fn wedge_failure(graph: &WaitForGraph, wedged: &[&pcr::WaitingThread]) -> Failur
             .iter()
             .map(|w| format!("{}({})", w.name, w.kind.tag()))
             .collect(),
+        resources: wedged.iter().map(|w| w.resource.clone()).collect(),
         detail: graph.render(),
     }
 }
@@ -204,9 +207,9 @@ fn observe_multicore(spec: &TrialSpec, cpus: u32) -> Observation {
         let _ = mp.fork_root(&format!("teller{t}"), Priority::of(4), move |ctx| {
             for _ in 0..40 {
                 let mut ga = ctx.enter(&ma);
-                ctx.sleep_precise(millis(2));
-                // threadlint: allow(lock-order-cycle) — the seed-derived
-                // order cycle is exactly what this world probes.
+                ctx.sleep_precise(millis(2)); // threadlint: allow(blocking-call-in-monitor)
+                                              // threadlint: allow(lock-order-cycle) — the seed-derived
+                                              // order cycle is exactly what this world probes.
                 let mut gb = ctx.enter(&mb);
                 ga.with_mut(|v| *v -= 1);
                 gb.with_mut(|v| *v += 1);
@@ -232,15 +235,23 @@ fn observe_multicore(spec: &TrialSpec, cpus: u32) -> Observation {
                 .iter()
                 .map(|b| format!("  {} waiting for {}\n", b.name, b.waiting_for))
                 .collect();
+            let resources = rep
+                .blocked
+                .iter()
+                .filter_map(|b| b.waiting_for.split_whitespace().nth(1))
+                .map(String::from)
+                .collect();
             Some(Failure {
                 class: FailureClass::Deadlock,
                 parties,
+                resources,
                 detail,
             })
         }
         _ if mp.stats().panics > 0 => Some(Failure {
             class: FailureClass::Panic,
             parties: vec!["mp-world(panic)".to_string()],
+            resources: Vec::new(),
             detail: String::new(),
         }),
         _ => None,
@@ -293,6 +304,7 @@ pub fn observe(spec: &TrialSpec, chaos: ChaosConfig) -> Observation {
             failure = Some(Failure {
                 class: FailureClass::Panic,
                 parties,
+                resources: Vec::new(),
                 detail: String::new(),
             });
             break;
@@ -309,6 +321,7 @@ pub fn observe(spec: &TrialSpec, chaos: ChaosConfig) -> Observation {
             failure = Some(Failure {
                 class: FailureClass::Deadlock,
                 parties,
+                resources: graph.threads.iter().map(|w| w.resource.clone()).collect(),
                 detail: graph.render(),
             });
             break;

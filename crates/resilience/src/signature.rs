@@ -40,6 +40,10 @@ pub struct Failure {
     pub class: FailureClass,
     /// The stranded threads, `name(kind)` per entry, unnormalized.
     pub parties: Vec<String>,
+    /// The resources the stranded threads were blocked on (monitor and
+    /// CV names, unnormalized). Empty for panics. This is the dynamic
+    /// half of `repro lint --confirm`'s join against static findings.
+    pub resources: Vec<String>,
     /// Multi-line human-readable detail (wait-for graph render).
     pub detail: String,
 }
@@ -140,7 +144,9 @@ mod tests {
         );
         let five = signature(
             FailureClass::Deadlock,
-            &(0..5).map(|i| format!("teller{i}(monitor)")).collect::<Vec<_>>(),
+            &(0..5)
+                .map(|i| format!("teller{i}(monitor)"))
+                .collect::<Vec<_>>(),
         );
         assert_eq!(two, "deadlock:[teller#(monitor)x2]");
         assert_eq!(five, "deadlock:[teller#(monitor)x5]");

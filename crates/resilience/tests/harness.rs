@@ -290,7 +290,7 @@ fn supervisor_restarts_an_attempt_dependent_deadlock() {
         let (a1, b1) = (a.clone(), b.clone());
         let _ = sim.fork_root("left", Priority::of(4), move |ctx| {
             let _ga = ctx.enter(&a1);
-            ctx.sleep(millis(5));
+            ctx.sleep(millis(5)); // threadlint: allow(blocking-call-in-monitor)
             let _gb = ctx.enter(&b1);
             ctx.work(millis(1));
         });
@@ -298,13 +298,13 @@ fn supervisor_restarts_an_attempt_dependent_deadlock() {
         let _ = sim.fork_root("right", Priority::of(4), move |ctx| {
             if flip {
                 let _gb = ctx.enter(&b);
-                ctx.sleep(millis(5));
-                // threadlint: allow(lock-order-cycle) — the AB-BA cycle is the point.
+                ctx.sleep(millis(5)); // threadlint: allow(blocking-call-in-monitor)
+                                      // threadlint: allow(lock-order-cycle) — the AB-BA cycle is the point.
                 let _ga = ctx.enter(&a);
             } else {
                 let _ga = ctx.enter(&a);
-                ctx.sleep(millis(5));
-                // threadlint: allow(lock-order-cycle)
+                ctx.sleep(millis(5)); // threadlint: allow(blocking-call-in-monitor)
+                                      // threadlint: allow(lock-order-cycle)
                 let _gb = ctx.enter(&b);
             }
             ctx.work(millis(1));

@@ -1,0 +1,403 @@
+//! Workspace-wide call graph over the structural scan.
+//!
+//! The per-file lints stop at `fn` boundaries on purpose; the
+//! interprocedural lockset analysis ([`crate::lockset`]) needs to know
+//! who calls whom. This module builds that graph from the hand-rolled
+//! scanner's output, with deliberately conservative name resolution:
+//!
+//! * **Nodes** are function-like bodies: every `fn` definition and
+//!   every closure body. Closures are the paper's §4.4 "fork to avoid
+//!   deadlock" escape hatch — a closure runs on a *new* activation
+//!   (forked thread, deferred callback), so it never inherits its
+//!   lexical creator's lockset and is never the target of a named
+//!   call. It still *originates* calls and acquisitions of its own.
+//! * **Edges** resolve a callee identifier to a unique workspace
+//!   definition, preferring same-file, then same-crate, then a unique
+//!   global match. Ambiguity (two defs with the same name in the
+//!   winning tier) or a name on the common-trait deny list produces no
+//!   edge — a missing edge only loses findings, never invents them.
+//! * Thread primitives (`fork*`, `enter`, `wait`, …) are census
+//!   territory, not call-graph edges.
+
+use std::collections::BTreeMap;
+
+use crate::scan::{normalize_arg, BlockKind};
+use crate::{FileScan, PrimKind};
+
+/// Method/function names too generic to resolve by name alone: nearly
+/// every type in the workspace defines these, so a textual match says
+/// nothing about which body actually runs.
+const DENY: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "drop",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "from",
+    "into",
+    "try_from",
+    "index",
+    "deref",
+    "next",
+    "len",
+    "is_empty",
+    "to_string",
+    "get",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "run",
+    "build",
+    "name",
+    "tag",
+];
+
+/// What kind of body a node is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A named `fn` definition, with its parameter names in order
+    /// (receiver params like `&mut self` are kept as `self`).
+    Fn {
+        /// The function name as written.
+        name: String,
+        /// Parameter names, in declaration order.
+        params: Vec<String>,
+    },
+    /// A closure body — anonymous, never a call target.
+    Closure,
+}
+
+/// One function-like body in the workspace.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Index into the analysis' file list.
+    pub file: usize,
+    /// Index of the body block in that file's scan.
+    pub block: usize,
+    /// 1-based line of the body's opening brace (closures) or of the
+    /// definition (fns).
+    pub line: usize,
+    /// Fn-vs-closure classification.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Display name: the fn name, or `closure@LINE`.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            NodeKind::Fn { name, .. } => name.clone(),
+            NodeKind::Closure => format!("closure@{}", self.line),
+        }
+    }
+
+    /// Parameter names for fns, empty for closures.
+    pub fn params(&self) -> &[String] {
+        match &self.kind {
+            NodeKind::Fn { params, .. } => params,
+            NodeKind::Closure => &[],
+        }
+    }
+}
+
+/// One resolved call edge.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Calling node (index into [`CallGraph::nodes`]).
+    pub caller: usize,
+    /// Called node.
+    pub callee: usize,
+    /// File the call site lives in (== the caller's file).
+    pub file: usize,
+    /// Byte offset of the call site.
+    pub off: usize,
+    /// 1-based line of the call site.
+    pub line: usize,
+    /// Call arguments, normalized ([`normalize_arg`]) in position
+    /// order — the lockset pass maps these onto the callee's params.
+    pub args: Vec<String>,
+}
+
+/// The workspace call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// Every function-like body, in (file, block) order.
+    pub nodes: Vec<Node>,
+    /// Every resolved call edge, in deterministic order.
+    pub edges: Vec<Edge>,
+    /// Outgoing edge indices per caller node.
+    pub out: BTreeMap<usize, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// The node owning the innermost fn/closure body around `off` in
+    /// file `fi`, if any.
+    pub fn node_at(&self, files: &[FileScan], fi: usize, off: usize) -> Option<usize> {
+        let block = files[fi].scan.body_of(off)?;
+        self.nodes
+            .iter()
+            .position(|n| n.file == fi && n.block == block)
+    }
+}
+
+/// Splits a parameter list at top-level commas, tracking `<>` depth as
+/// well as brackets so `BTreeMap<String, String>` stays one parameter.
+fn split_params(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' | '>' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+/// Parameter *names* from a def-site parameter list: `m: &Monitor<u32>`
+/// → `m`; `&mut self` → `self`; patterns that aren't plain identifiers
+/// come back as written (they will simply never match an argument).
+fn param_names(args_text: &str) -> Vec<String> {
+    split_params(args_text)
+        .iter()
+        .map(|p| {
+            let name = p.split(':').next().unwrap_or(p).trim();
+            let name = name.trim_start_matches('&').trim();
+            let name = name.strip_prefix("mut ").unwrap_or(name).trim();
+            name.to_string()
+        })
+        .collect()
+}
+
+/// Builds the call graph over all analyzed files.
+pub fn build(files: &[FileScan]) -> CallGraph {
+    let mut g = CallGraph::default();
+
+    // Pass 1: nodes. Fn blocks pair with their def-site call entry (the
+    // scanner records `fn name(params)` headers as `is_def` calls);
+    // closure blocks become anonymous nodes.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (bi, b) in f.scan.blocks.iter().enumerate() {
+            match b.kind {
+                BlockKind::Fn => {
+                    let Some(sig) = b.sig else { continue };
+                    let Some(def) = f
+                        .scan
+                        .calls
+                        .iter()
+                        .find(|c| c.is_def && c.off > sig && c.off < b.start)
+                    else {
+                        continue;
+                    };
+                    let params = param_names(&f.clean.text[def.args_start..def.args_end]);
+                    g.nodes.push(Node {
+                        file: fi,
+                        block: bi,
+                        line: def.line,
+                        kind: NodeKind::Fn {
+                            name: def.callee.clone(),
+                            params,
+                        },
+                    });
+                }
+                BlockKind::Closure => {
+                    g.nodes.push(Node {
+                        file: fi,
+                        block: bi,
+                        line: f.clean.line_of(b.start),
+                        kind: NodeKind::Closure,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    for (ni, n) in g.nodes.iter().enumerate() {
+        if let NodeKind::Fn { name, .. } = &n.kind {
+            by_name.entry(name.as_str()).or_default().push(ni);
+        }
+    }
+
+    // Pass 2: edges. Resolve each non-primitive call to a unique def,
+    // tiered same-file > same-crate > unique-global.
+    for (fi, f) in files.iter().enumerate() {
+        for c in &f.scan.calls {
+            // Blocking primitives and `work` are runtime leaves: an
+            // edge into e.g. pcr's own `fn work` implementation would
+            // carry every caller's lockset into the scheduler's guts.
+            if c.is_def
+                || PrimKind::of_callee(&c.callee).is_some()
+                || crate::lockset::is_blocking(&c.callee)
+                || c.callee == "work"
+                || DENY.contains(&c.callee.as_str())
+            {
+                continue;
+            }
+            let Some(cands) = by_name.get(c.callee.as_str()) else {
+                continue;
+            };
+            let Some(caller) = g.node_at(files, fi, c.off) else {
+                continue;
+            };
+            let unique = |pool: Vec<&usize>| (pool.len() == 1).then(|| *pool[0]);
+            let same_file: Vec<&usize> = cands.iter().filter(|&&d| g.nodes[d].file == fi).collect();
+            let same_crate: Vec<&usize> = cands
+                .iter()
+                .filter(|&&d| files[g.nodes[d].file].krate == f.krate)
+                .collect();
+            let callee = if !same_file.is_empty() {
+                unique(same_file)
+            } else if !same_crate.is_empty() {
+                unique(same_crate)
+            } else {
+                unique(cands.iter().collect())
+            };
+            let Some(callee) = callee else { continue };
+            let args: Vec<String> =
+                crate::scan::split_args(&f.clean.text[c.args_start..c.args_end])
+                    .iter()
+                    .map(|a| normalize_arg(a))
+                    .collect();
+            // Every monitor-touching fn in this codebase threads an
+            // explicit `ctx: &ThreadCtx`. A call that does not pass
+            // `ctx` where the def expects it first is a name collision
+            // (e.g. `VecDeque::drain` hitting a local `fn drain`), not
+            // a real edge.
+            let params = g.nodes[callee].params();
+            let skip = usize::from(params.first().map(String::as_str) == Some("self"));
+            if params.get(skip).map(String::as_str) == Some("ctx")
+                && args.first().map(String::as_str) != Some("ctx")
+            {
+                continue;
+            }
+            g.edges.push(Edge {
+                caller,
+                callee,
+                file: fi,
+                off: c.off,
+                line: c.line,
+                args,
+            });
+        }
+    }
+    for (ei, e) in g.edges.iter().enumerate() {
+        g.out.entry(e.caller).or_default().push(ei);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_str;
+
+    fn graph_of(srcs: &[(&str, &str, &str)]) -> (Vec<FileScan>, CallGraph) {
+        let files: Vec<FileScan> = srcs.iter().map(|(k, p, s)| analyze_str(k, p, s)).collect();
+        let g = build(&files);
+        (files, g)
+    }
+
+    fn node_labels(g: &CallGraph) -> Vec<String> {
+        g.nodes.iter().map(|n| n.label()).collect()
+    }
+
+    #[test]
+    fn fns_and_closures_become_nodes() {
+        let (_, g) = graph_of(&[(
+            "t",
+            "t.rs",
+            "fn outer(ctx: &ThreadCtx) { let c = move |ctx| { inner(ctx); }; }\nfn inner(ctx: &ThreadCtx) {}",
+        )]);
+        let labels = node_labels(&g);
+        assert!(labels.contains(&"outer".to_string()), "{labels:?}");
+        assert!(labels.contains(&"inner".to_string()), "{labels:?}");
+        assert!(
+            labels.iter().any(|l| l.starts_with("closure@")),
+            "{labels:?}"
+        );
+    }
+
+    #[test]
+    fn same_file_call_resolves_and_records_args() {
+        let (_, g) = graph_of(&[(
+            "t",
+            "t.rs",
+            "fn caller(ctx: &ThreadCtx, m: &Monitor<u32>) { helper(ctx, &m); }\n\
+             fn helper(ctx: &ThreadCtx, x: &Monitor<u32>) {}",
+        )]);
+        assert_eq!(g.edges.len(), 1);
+        let e = &g.edges[0];
+        assert_eq!(g.nodes[e.caller].label(), "caller");
+        assert_eq!(g.nodes[e.callee].label(), "helper");
+        assert_eq!(e.args, vec!["ctx", "m"]);
+        assert_eq!(g.nodes[e.callee].params(), ["ctx", "x"]);
+    }
+
+    #[test]
+    fn calls_inside_closures_attribute_to_the_closure_node() {
+        let (_, g) = graph_of(&[(
+            "t",
+            "t.rs",
+            "fn outer(ctx: &ThreadCtx) { fork(ctx, move |ctx| { inner(ctx); }); }\nfn inner(ctx: &ThreadCtx) {}",
+        )]);
+        assert_eq!(g.edges.len(), 1);
+        let caller = &g.nodes[g.edges[0].caller];
+        assert_eq!(caller.kind, NodeKind::Closure);
+    }
+
+    #[test]
+    fn ambiguous_cross_crate_names_produce_no_edge() {
+        let (_, g) = graph_of(&[
+            ("a", "crates/a/src/lib.rs", "fn helper() {}"),
+            ("b", "crates/b/src/lib.rs", "fn helper() {}"),
+            ("c", "crates/c/src/lib.rs", "fn caller() { helper(); }"),
+        ]);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn same_crate_beats_other_crate() {
+        let (files, g) = graph_of(&[
+            ("a", "crates/a/src/lib.rs", "fn helper() {}"),
+            ("b", "crates/b/src/one.rs", "fn helper() {}"),
+            ("b", "crates/b/src/two.rs", "fn caller() { helper(); }"),
+        ]);
+        assert_eq!(g.edges.len(), 1);
+        let callee = &g.nodes[g.edges[0].callee];
+        assert_eq!(files[callee.file].krate, "b");
+    }
+
+    #[test]
+    fn deny_listed_and_primitive_names_are_skipped() {
+        let (_, g) = graph_of(&[(
+            "t",
+            "t.rs",
+            "fn new() {}\nfn wait() {}\nfn caller(ctx: &ThreadCtx) { new(); ctx.wait(cv); }",
+        )]);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn generic_params_with_commas_keep_positions() {
+        assert_eq!(
+            param_names("ctx: &ThreadCtx, map: &BTreeMap<String, u32>, m: &Monitor<u32>"),
+            vec!["ctx", "map", "m"]
+        );
+        assert_eq!(param_names("&mut self, cv: &Condition"), vec!["self", "cv"]);
+    }
+}

@@ -272,8 +272,9 @@ fn scan_char_or_lifetime(b: &[u8], i: usize) -> usize {
         return 1;
     }
     if b[i + 1] == b'\\' {
-        // Escape: scan to the closing quote.
-        let mut j = i + 2;
+        // Escape: the char after the backslash is consumed even when it
+        // is a quote (`'\''`), then scan to the closing quote.
+        let mut j = i + 3;
         while j < b.len() && b[j] != b'\'' {
             j += 1;
         }
@@ -335,6 +336,55 @@ mod tests {
         assert_eq!(c.strings.len(), 2);
         assert_eq!(c.strings[0].value, "bytes");
         assert_eq!(c.strings[1].value, "raw");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_is_fully_consumed() {
+        // `'\''` once scanned 3 bytes instead of 4, leaving a stray
+        // quote in the cleaned text.
+        let src = "let q = '\\''; g.wait(cv);";
+        let c = clean(src);
+        assert!(c.text.contains("wait("));
+        assert!(!c.text.contains('\''), "{:?}", c.text);
+    }
+
+    #[test]
+    fn wait_inside_raw_strings_is_blanked() {
+        let src = "let a = r\"g.wait(cv);\"; let b = r#\"ctx.enter(m)\"#; let c = br##\"fork(\"##;";
+        let c = clean(src);
+        assert!(!c.text.contains("wait"), "{:?}", c.text);
+        assert!(!c.text.contains("enter"), "{:?}", c.text);
+        assert!(!c.text.contains("fork"), "{:?}", c.text);
+        assert_eq!(c.strings.len(), 3);
+        assert_eq!(c.strings[2].value, "fork(");
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_numbers() {
+        let src = "let a = r#\"one\ntwo\ng.wait(cv);\n\"#;\nctx.notify(cv);";
+        let c = clean(src);
+        assert!(!c.text.contains("wait("), "{:?}", c.text);
+        let at = c.text.find("notify").expect("notify survives");
+        assert_eq!(c.line_of(at), 5);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let src = "let r#type = 1; g.wait(cv);";
+        let c = clean(src);
+        assert!(c.text.contains("wait("), "{:?}", c.text);
+    }
+
+    #[test]
+    fn nested_block_comment_hides_calls_at_any_depth() {
+        let src = "/* outer /* inner g.wait(cv); */ g.enter(m); */ ctx.notify(cv);";
+        let c = clean(src);
+        assert!(
+            !c.text.contains("wait") && !c.text.contains("enter"),
+            "{:?}",
+            c.text
+        );
+        assert!(c.text.contains("notify"));
     }
 
     #[test]

@@ -24,8 +24,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
+pub mod lockset;
 pub mod report;
 pub mod scan;
 
@@ -34,7 +36,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use lints::{Finding, LockEdge};
-pub use report::{census_table, census_unmapped, findings_table, to_json};
+pub use report::{
+    baseline_key, census_table, census_unmapped, findings_table, monitor_literals, to_json,
+    to_sarif,
+};
 
 /// The discipline lints, named after the paper's mistake taxonomy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -49,16 +54,33 @@ pub enum Lint {
     TimeoutNoNotify,
     /// §2.6: cycle in the nested monitor-acquisition graph.
     LockOrderCycle,
+    /// §2.6/§4.4: acquisition-order cycle composed through call chains.
+    LockOrderCycleTransitive,
+    /// §5.3: a WAIT reachable with ≥ 2 monitors in the lockset — WAIT
+    /// releases only the innermost.
+    WaitWithOuterMonitor,
+    /// §6.1: fork/join/sleep/long-work reached while holding a monitor.
+    BlockingCallInMonitor,
 }
 
 impl Lint {
     /// All lints, in taxonomy order.
-    pub const ALL: [Lint; 5] = [
+    pub const ALL: [Lint; 8] = [
         Lint::WaitNotInLoop,
         Lint::NakedNotify,
         Lint::ForkResultDiscarded,
         Lint::TimeoutNoNotify,
         Lint::LockOrderCycle,
+        Lint::LockOrderCycleTransitive,
+        Lint::WaitWithOuterMonitor,
+        Lint::BlockingCallInMonitor,
+    ];
+
+    /// The interprocedural lints (the lockset analysis' output).
+    pub const INTERPROCEDURAL: [Lint; 3] = [
+        Lint::LockOrderCycleTransitive,
+        Lint::WaitWithOuterMonitor,
+        Lint::BlockingCallInMonitor,
     ];
 
     /// The kebab-case name used in `// threadlint: allow(…)`.
@@ -69,6 +91,9 @@ impl Lint {
             Lint::ForkResultDiscarded => "fork-result-discarded",
             Lint::TimeoutNoNotify => "timeout-no-notify",
             Lint::LockOrderCycle => "lock-order-cycle",
+            Lint::LockOrderCycleTransitive => "lock-order-cycle-transitive",
+            Lint::WaitWithOuterMonitor => "wait-with-outer-monitor",
+            Lint::BlockingCallInMonitor => "blocking-call-in-monitor",
         }
     }
 
@@ -78,6 +103,9 @@ impl Lint {
             Lint::WaitNotInLoop | Lint::NakedNotify | Lint::TimeoutNoNotify => "§5.3",
             Lint::ForkResultDiscarded => "§5.4",
             Lint::LockOrderCycle => "§2.6",
+            Lint::LockOrderCycleTransitive => "§2.6/§4.4",
+            Lint::WaitWithOuterMonitor => "§5.3",
+            Lint::BlockingCallInMonitor => "§6.1",
         }
     }
 }

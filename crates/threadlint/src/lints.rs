@@ -21,7 +21,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::scan::{last_segment, normalize_arg, split_args, BlockKind, Call};
-use crate::{FileScan, Lint};
+use crate::{FileScan, Lint, PrimKind};
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,9 +38,16 @@ pub struct Finding {
     pub message: String,
     /// True when covered by a `// threadlint: allow(…)` annotation.
     pub allowed: bool,
+    /// Static monitor names involved (empty for CV/fork lints) — the
+    /// hook `repro lint --confirm` matches against dynamic evidence.
+    pub monitors: Vec<String>,
+    /// Thread-name literal of the innermost enclosing fork call, when
+    /// the finding sits inside a forked closure body.
+    pub thread: Option<String>,
 }
 
-/// Runs every per-file lint plus the cross-file lock-order audit.
+/// Runs every per-file lint, the cross-file lock-order audit, and the
+/// interprocedural lockset lints.
 pub fn run_all(files: &[FileScan]) -> Vec<Finding> {
     let notified = notified_cv_names(files);
     let mut findings = Vec::new();
@@ -51,11 +58,42 @@ pub fn run_all(files: &[FileScan]) -> Vec<Finding> {
         timeout_no_notify(f, &notified, &mut findings);
         lock_order_cycles(f, &mut findings);
     }
+    crate::lockset::run(files, &mut findings);
     findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     findings
 }
 
-fn push(findings: &mut Vec<Finding>, f: &FileScan, lint: Lint, line: usize, message: String) {
+/// The name literal of the innermost fork call whose argument span
+/// (the forked closure body) contains `off` — ties a static site to
+/// the runtime thread that executes it.
+pub(crate) fn enclosing_fork_name(f: &FileScan, off: usize) -> Option<String> {
+    f.scan
+        .calls
+        .iter()
+        .filter(|c| {
+            !c.is_def
+                && matches!(PrimKind::of_callee(&c.callee), Some(PrimKind::Fork))
+                && c.args_start <= off
+                && off < c.args_end
+        })
+        .max_by_key(|c| c.args_start)
+        .and_then(|c| {
+            f.clean
+                .strings
+                .iter()
+                .find(|s| s.offset >= c.args_start && s.offset < c.args_end)
+                .map(|s| s.value.clone())
+        })
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    f: &FileScan,
+    lint: Lint,
+    line: usize,
+    off: usize,
+    message: String,
+) {
     findings.push(Finding {
         lint,
         krate: f.krate.clone(),
@@ -63,6 +101,8 @@ fn push(findings: &mut Vec<Finding>, f: &FileScan, lint: Lint, line: usize, mess
         line,
         message,
         allowed: f.clean.is_allowed(lint.name(), line),
+        monitors: Vec::new(),
+        thread: enclosing_fork_name(f, off),
     });
 }
 
@@ -99,6 +139,7 @@ fn wait_not_in_loop(f: &FileScan, findings: &mut Vec<Finding>) {
                 f,
                 Lint::WaitNotInLoop,
                 c.line,
+                c.off,
                 format!(
                     "WAIT on `{}` is guarded by `if` with no enclosing re-check loop \
                      (IF-based WAIT, §5.3)",
@@ -128,6 +169,7 @@ fn naked_notify(f: &FileScan, findings: &mut Vec<Finding>) {
                 f,
                 Lint::NakedNotify,
                 c.line,
+                c.off,
                 format!(
                     "NOTIFY through a transient `{recv}` guard: the wakeup is outside the \
                      critical section that established its predicate (naked NOTIFY, §5.3)"
@@ -159,6 +201,7 @@ fn naked_notify(f: &FileScan, findings: &mut Vec<Finding>) {
                 f,
                 Lint::NakedNotify,
                 c.line,
+                c.off,
                 format!(
                     "NOTIFY via `{recv}`, which is not a MonitorGuard bound in this scope \
                      (naked NOTIFY, §5.3)"
@@ -234,6 +277,7 @@ fn fork_result_discarded(f: &FileScan, findings: &mut Vec<Finding>) {
             f,
             Lint::ForkResultDiscarded,
             l.line,
+            l.off,
             format!(
                 "result of `{}` discarded: a failed FORK (ForkError) goes unnoticed and the \
                  thread is never joined, retried, or detached (§5.4)",
@@ -249,8 +293,11 @@ fn is_ident(s: &str) -> bool {
 
 /// Per-file clone/move aliases: `let cv2 = cv.clone();` (and the tuple
 /// form `let (m2, cv2) = (m.clone(), cv.clone());`) map the new name to
-/// its root, so notifying a clone counts as notifying the original.
-fn alias_map(f: &FileScan) -> BTreeMap<String, String> {
+/// its root, so notifying a clone counts as notifying the original —
+/// and, since the map is name-based, entering a *monitor* clone counts
+/// as entering the original (an unaliased lock-order audit would see
+/// `m` and `m2` as distinct and miss the AB-BA).
+pub(crate) fn alias_map(f: &FileScan) -> BTreeMap<String, String> {
     let mut aliases = BTreeMap::new();
     for l in &f.scan.lets {
         let pat = l.pat.trim();
@@ -288,8 +335,8 @@ fn alias_map(f: &FileScan) -> BTreeMap<String, String> {
     aliases
 }
 
-/// Resolves a CV name through a file's alias map.
-fn resolve<'a>(name: &'a str, aliases: &'a BTreeMap<String, String>) -> &'a str {
+/// Resolves a CV or monitor name through a file's alias map.
+pub(crate) fn resolve<'a>(name: &'a str, aliases: &'a BTreeMap<String, String>) -> &'a str {
     aliases.get(name).map(String::as_str).unwrap_or(name)
 }
 
@@ -359,6 +406,7 @@ fn timeout_no_notify(f: &FileScan, notified: &BTreeSet<String>, findings: &mut V
                 f,
                 Lint::TimeoutNoNotify,
                 c.line,
+                c.off,
                 format!(
                     "WAIT on `{name}`, a CV created with a timeout but never notified on any \
                      path in the workspace: progress is timeout-driven (§5.3)"
@@ -368,9 +416,9 @@ fn timeout_no_notify(f: &FileScan, notified: &BTreeSet<String>, findings: &mut V
     }
 }
 
-/// The name a condition-variable creation is bound to: `let cv = …` or
-/// a struct-literal field `nonempty: ctx.new_condition(…)`.
-fn cv_binding_name(f: &FileScan, c: &Call) -> Option<String> {
+/// The name a condition-variable (or monitor) creation is bound to:
+/// `let cv = …` or a struct-literal field `nonempty: ctx.new_condition(…)`.
+pub(crate) fn cv_binding_name(f: &FileScan, c: &Call) -> Option<String> {
     // A `let` whose RHS contains this call.
     if let Some(l) = f
         .scan
@@ -407,13 +455,17 @@ pub struct LockEdge {
     pub to: String,
     /// 1-based line of the inner acquisition.
     pub line: usize,
+    /// Byte offset of the inner acquisition (for fork attribution).
+    pub off: usize,
 }
 
-/// Collects nested-acquisition edges for one file. Nesting never
-/// crosses `fn`/closure boundaries: a fork-to-avoid-deadlock closure
-/// acquires in a *new* thread, which is exactly the paper's §4.4 escape
-/// and must not count as nested.
+/// Collects nested-acquisition edges for one file, with clone aliases
+/// resolved on both ends (`let m2 = m.clone();` is the *same* monitor).
+/// Nesting never crosses `fn`/closure boundaries: a
+/// fork-to-avoid-deadlock closure acquires in a *new* thread, which is
+/// exactly the paper's §4.4 escape and must not count as nested.
 pub fn lock_edges(f: &FileScan) -> Vec<LockEdge> {
+    let aliases = alias_map(f);
     let mut edges = Vec::new();
     for c in f
         .scan
@@ -423,7 +475,7 @@ pub fn lock_edges(f: &FileScan) -> Vec<LockEdge> {
     {
         let args = split_args(&f.clean.text[c.args_start..c.args_end]);
         let inner = match args.iter().find(|a| normalize_arg(a) != "ctx") {
-            Some(a) => normalize_arg(a),
+            Some(a) => resolve(&normalize_arg(a), &aliases).to_string(),
             None => continue,
         };
         if inner.is_empty() {
@@ -434,9 +486,10 @@ pub fn lock_edges(f: &FileScan) -> Vec<LockEdge> {
             // self-deadlock; the cycle pass reports it as a 1-cycle.
             if !g.monitor.is_empty() {
                 edges.push(LockEdge {
-                    from: g.monitor.clone(),
+                    from: resolve(&g.monitor, &aliases).to_string(),
                     to: inner.clone(),
                     line: c.line,
+                    off: c.off,
                 });
             }
         }
@@ -502,6 +555,14 @@ fn lock_order_cycles(f: &FileScan, findings: &mut Vec<Finding>) {
                                 .join(", ")
                         ),
                         allowed,
+                        monitors: names,
+                        // Attribute the cycle to the forked thread whose
+                        // body holds the anchor acquisition, when there
+                        // is one — the dynamic confirm join matches it
+                        // against stranded-party names.
+                        thread: cycle_edges
+                            .iter()
+                            .find_map(|e| enclosing_fork_name(f, e.off)),
                     });
                 } else if path.len() < 8
                     && !path.iter().any(|p| p.to == e.to)
@@ -690,6 +751,19 @@ mod tests {
              fork_to_avoid_deadlock(ctx, nm, move |ctx| { let gb = ctx.enter(b); }).unwrap();\n}\n\
              fn ba(ctx: &ThreadCtx, a: &Monitor<u32>, b: &Monitor<u32>) {\n\
              let gb = ctx.enter(b);\nlet ga = ctx.enter(a);\n}",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn wait_in_raw_string_or_comment_is_not_a_finding() {
+        // Lexer regression: primitive names inside raw strings and
+        // nested block comments must be invisible to every lint.
+        let fs = findings_for(
+            "fn f() {\n\
+             let doc = r#\"if empty { g.wait(cv); }\"#;\n\
+             /* dead /* g.wait(cv); */ ctx.enter(m); */\n\
+             let delim = '\\'';\n}",
         );
         assert!(fs.is_empty(), "{fs:?}");
     }

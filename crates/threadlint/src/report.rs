@@ -98,6 +98,8 @@ pub fn to_json(a: &Analysis) -> Json {
             ("line", Json::from(f.line)),
             ("allowed", Json::from(f.allowed)),
             ("message", Json::from(f.message.as_str())),
+            ("monitors", Json::from(f.monitors.clone())),
+            ("thread", Json::from(f.thread.clone())),
         ])
     }));
     let unallowed = a.unallowed().count();
@@ -116,6 +118,167 @@ pub fn to_json(a: &Analysis) -> Json {
             ]),
         ),
     ])
+}
+
+/// Replaces digit runs with `#` so baseline keys survive line-number
+/// churn inside messages.
+fn squash_digits(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_digits = false;
+    for c in s.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+            }
+            in_digits = true;
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The stable identity of a finding for the `ci/lint-baseline.json`
+/// ratchet: lint, file, and the digit-squashed message (line numbers
+/// move on every edit; the *shape* of a finding does not).
+pub fn baseline_key(f: &crate::Finding) -> String {
+    format!("{}|{}|{}", f.lint.name(), f.file, squash_digits(&f.message))
+}
+
+/// Exports the findings as a SARIF 2.1.0 document (one run, one rule
+/// per lint). Allowed findings carry an `inSource` suppression and
+/// level `note`; unallowed ones are `warning` — CI viewers render the
+/// distinction natively.
+pub fn to_sarif(a: &Analysis) -> Json {
+    let rules = Json::arr(crate::Lint::ALL.iter().map(|l| {
+        Json::obj([
+            ("id", Json::from(l.name())),
+            (
+                "shortDescription",
+                Json::obj([(
+                    "text",
+                    Json::from(format!("{} (paper {})", l.name(), l.paper_section())),
+                )]),
+            ),
+        ])
+    }));
+    let results = Json::arr(a.findings.iter().map(|f| {
+        let location = Json::obj([(
+            "physicalLocation",
+            Json::obj([
+                (
+                    "artifactLocation",
+                    Json::obj([("uri", Json::from(f.file.as_str()))]),
+                ),
+                ("region", Json::obj([("startLine", Json::from(f.line))])),
+            ]),
+        )]);
+        let mut r = Json::obj([
+            ("ruleId", Json::from(f.lint.name())),
+            (
+                "level",
+                Json::from(if f.allowed { "note" } else { "warning" }),
+            ),
+            (
+                "message",
+                Json::obj([("text", Json::from(f.message.as_str()))]),
+            ),
+            ("locations", Json::arr([location])),
+        ]);
+        if f.allowed {
+            r.push(
+                "suppressions",
+                Json::arr([Json::obj([("kind", Json::from("inSource"))])]),
+            );
+        }
+        r
+    }));
+    Json::obj([
+        (
+            "$schema",
+            Json::from("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", Json::from("2.1.0")),
+        (
+            "runs",
+            Json::arr([Json::obj([
+                (
+                    "tool",
+                    Json::obj([(
+                        "driver",
+                        Json::obj([("name", Json::from("threadlint")), ("rules", rules)]),
+                    )]),
+                ),
+                ("results", results),
+            ])]),
+        ),
+    ])
+}
+
+/// Rewrites `{…}` interpolation groups to `#`, the same shape
+/// [`squash_digits`] gives runtime instance numbers: the static
+/// literal `window-{w}.damage` and the runtime name `window-3.damage`
+/// both land on `window-#.damage`.
+fn braces_to_hash(lit: &str) -> String {
+    let mut out = String::with_capacity(lit.len());
+    let mut in_brace = false;
+    for c in lit.chars() {
+        match c {
+            '{' if !in_brace => {
+                in_brace = true;
+                out.push('#');
+            }
+            '}' if in_brace => in_brace = false,
+            _ if !in_brace => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Maps static monitor binding names to the runtime name literals they
+/// were created with: `let screen = sim.monitor("gvx-screen", …)` maps
+/// `screen` → `gvx-screen`, and the clone alias `screen_poller` maps
+/// there too. Interpolated literals are normalized with `#` in place
+/// of `{…}` groups so they compare against digit-squashed runtime
+/// names. This is the static half of `repro lint --confirm`'s join.
+pub fn monitor_literals(a: &Analysis) -> BTreeMap<String, BTreeSet<String>> {
+    let mut map: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in &a.files {
+        let mut local: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for c in
+            f.scan.calls.iter().filter(|c| {
+                !c.is_def && PrimKind::of_callee(&c.callee) == Some(PrimKind::MonitorNew)
+            })
+        {
+            let Some(lit) = f
+                .clean
+                .strings
+                .iter()
+                .find(|s| s.offset >= c.args_start && s.offset < c.args_end)
+            else {
+                continue;
+            };
+            let Some(name) = crate::lints::cv_binding_name(f, c) else {
+                continue;
+            };
+            local
+                .entry(name)
+                .or_default()
+                .insert(squash_digits(&braces_to_hash(&lit.value)));
+        }
+        let aliases = crate::lints::alias_map(f);
+        for (k, root) in &aliases {
+            if let Some(lits) = local.get(root).cloned() {
+                local.entry(k.clone()).or_default().extend(lits);
+            }
+        }
+        for (k, v) in local {
+            map.entry(k).or_default().extend(v);
+        }
+    }
+    map
 }
 
 /// Cross-checks the hand-transcribed inventory against the census:

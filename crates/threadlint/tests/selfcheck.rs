@@ -32,6 +32,52 @@ fn every_lint_fires_on_the_deliberate_mistakes() {
 }
 
 #[test]
+fn interprocedural_lints_fire_on_their_exemplars() {
+    // The tentpole lints must catch the cross-function shapes that the
+    // per-file lints structurally cannot: the deep ABBA reports its
+    // composed call chain, and the nested WAIT names both monitors.
+    let a = analyze_workspace(&workspace_root()).expect("workspace scan");
+    let in_mistakes = a.findings_in("crates/paradigms/src/mistakes.rs");
+    let cycle = in_mistakes
+        .iter()
+        .find(|f| f.lint == Lint::LockOrderCycleTransitive)
+        .expect("deep_transfer halves form a transitive cycle");
+    assert!(cycle.message.contains("via"), "{}", cycle.message);
+    assert!(
+        cycle.monitors.contains(&"ledger".into()) && cycle.monitors.contains(&"audit".into()),
+        "{:?}",
+        cycle.monitors
+    );
+    let wait = in_mistakes
+        .iter()
+        .find(|f| f.lint == Lint::WaitWithOuterMonitor)
+        .expect("nested_wait_inner waits with registry pinned");
+    assert!(
+        wait.monitors.contains(&"registry".into()) && wait.monitors.contains(&"inbox".into()),
+        "{:?}",
+        wait.monitors
+    );
+}
+
+#[test]
+fn fork_escape_remedy_is_not_a_transitive_cycle() {
+    // §4.4's remedy — fork a fresh thread for the second acquisition so
+    // the first lock is released before the second is taken — must
+    // break the chain: the forked closure starts with an empty lockset.
+    // deadlock_avoid demonstrates the remedy; the transitive-cycle lint
+    // must not fire there at all, allowed or otherwise.
+    let a = analyze_workspace(&workspace_root()).expect("workspace scan");
+    let in_remedy = a.findings_in("crates/paradigms/src/deadlock_avoid.rs");
+    assert!(
+        !in_remedy
+            .iter()
+            .any(|f| f.lint == Lint::LockOrderCycleTransitive),
+        "{:#?}",
+        in_remedy
+    );
+}
+
+#[test]
 fn census_floor_holds() {
     let a = analyze_workspace(&workspace_root()).expect("workspace scan");
     let count = |k: PrimKind| a.sites.iter().filter(|s| s.kind == k).count();

@@ -521,7 +521,7 @@ mod tests {
             for _ in 0..10 {
                 ctx.sleep_precise(millis(5));
                 let mut g = ctx.enter(&m2);
-                ctx.sleep_precise(millis(1)); // Hold across a block: contention.
+                ctx.sleep_precise(millis(1)); // threadlint: allow(blocking-call-in-monitor) -- hold across a block: contention.
                 g.with_mut(|v| *v += 1);
                 g.notify(&cv2);
                 ctx.work(pcr::micros(50)); // Still held: the wasted trip.

@@ -274,7 +274,7 @@ mod tests {
             let _ = sim.fork_root(&format!("t{i}"), Priority::DEFAULT, move |ctx| {
                 for _ in 0..5 {
                     let mut g = ctx.enter(&hot);
-                    ctx.sleep_precise(millis(2)); // Hold across a block.
+                    ctx.sleep_precise(millis(2)); // threadlint: allow(blocking-call-in-monitor) -- hold across a block.
                     g.with_mut(|v| *v += 1);
                     drop(g);
                     let mut c = ctx.enter(&cold);

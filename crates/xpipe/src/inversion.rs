@@ -114,7 +114,7 @@ pub fn build_metalock_world(donation: bool, daemon: bool) -> (Sim, JoinHandle<Si
     let r_owner = resource.clone();
     let _ = sim.fork_root("owner", Priority::of(5), move |ctx| {
         let mut g = ctx.enter(&r_owner);
-        ctx.sleep_precise(micros(150));
+        ctx.sleep_precise(micros(150)); // threadlint: allow(blocking-call-in-monitor)
         g.with_mut(|v| *v += 1);
     });
 
@@ -285,9 +285,7 @@ mod tests {
             .expect("claimant ok");
         assert!(latency < secs(5), "acquire latency {latency}");
         assert!(
-            sim.wait_for_graph()
-                .wedged(millis(500))
-                .is_empty(),
+            sim.wait_for_graph().wedged(millis(500)).is_empty(),
             "no wedge may remain after the remedies"
         );
     }
