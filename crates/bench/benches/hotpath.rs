@@ -3,8 +3,9 @@
 //! Two worlds that live almost entirely inside the scheduler's fast
 //! paths — the ready-queue bitmask, the CV queues, and the masked
 //! `emit` — reported as simulated events per wall-clock second (the same
-//! metric `repro bench` tracks). Plain `main()` harness, like the other
-//! benches in this directory.
+//! metric `repro bench` tracks), plus raw arm/fire churn over the timer
+//! wheel against the retired `BinaryHeap` baseline. Plain `main()`
+//! harness, like the other benches in this directory.
 //!
 //! Each target also asserts a *floor* chosen three orders of magnitude
 //! below typical rates on any development machine: the assertion is a
@@ -14,6 +15,32 @@
 use std::time::Instant;
 
 use pcr::{millis, secs, Priority, RunLimit, Sim, SimConfig};
+
+/// Arm/fire churn over a timer queue harness: keep 256 jittered
+/// deadlines pending, then repeatedly fire the earliest and arm a
+/// replacement — the steady-state pattern the sim's CV timeouts and
+/// timeslices produce. Shared by the wheel and heap via an identical
+/// inherent-method surface.
+macro_rules! timer_churn_ops_per_sec {
+    ($name:expr, $bench:expr, $ops:expr) => {{
+        let mut b = $bench;
+        let mut rng = pcr::SplitMix64::new(0x7133_D00D);
+        let mut now = 0u64;
+        for _ in 0..256 {
+            b.arm(now + 1 + rng.next_below(100_000));
+        }
+        let t0 = Instant::now();
+        for _ in 0..$ops {
+            let due = b.next_deadline_us().expect("queue stays populated");
+            assert!(b.fire(due), "armed timer must fire at its deadline");
+            now = due;
+            b.arm(now + 1 + rng.next_below(100_000));
+        }
+        let rate = $ops as f64 / t0.elapsed().as_secs_f64();
+        println!("{:40} {rate:>12.0} arm+fire/sec", $name);
+        (b, rate)
+    }};
+}
 
 /// Runs `world` once as warmup and `reps` more times, printing and
 /// returning the best observed events/sec. `world` returns the run's
@@ -79,6 +106,17 @@ fn fork_join_storm() -> u64 {
         }
     });
     sim.run(RunLimit::For(secs(5)));
+    let alloc = sim.alloc_counters();
+    // The arena/pool acceptance checks: after thousands of forks, the
+    // carrier pool and queue-node arena must be recycling, not growing.
+    assert!(
+        alloc.os_thread_reuses > alloc.os_thread_spawns,
+        "fork storm should reuse pooled carriers ({alloc:?})"
+    );
+    assert!(
+        alloc.queue_node_reuses > alloc.queue_node_allocs,
+        "ready/CV queues should reuse arena nodes ({alloc:?})"
+    );
     sim.stats().event_volume()
 }
 
@@ -86,7 +124,30 @@ fn main() {
     let pingpong = events_per_sec("hotpath_notify_wait_pingpong_5s", 3, notify_wait_pingpong);
     let storm = events_per_sec("hotpath_fork_join_storm_5s", 3, fork_join_storm);
 
+    const TIMER_OPS: u64 = 200_000;
+    let (wheel, wheel_rate) = timer_churn_ops_per_sec!(
+        "hotpath_timer_wheel_churn",
+        pcr::microbench::WheelBench::new(),
+        TIMER_OPS
+    );
+    let (_, heap_rate) = timer_churn_ops_per_sec!(
+        "hotpath_timer_heap_churn",
+        pcr::microbench::HeapBench::new(),
+        TIMER_OPS
+    );
+    println!(
+        "{:40} {:>12.2}x vs heap baseline",
+        "hotpath_timer_wheel_ratio",
+        wheel_rate / heap_rate
+    );
+    let (allocs, reuses) = wheel.alloc_stats();
+    assert!(
+        reuses > allocs,
+        "timer churn should be served from the wheel's free list ({allocs} allocs, {reuses} reuses)"
+    );
+
     const FLOOR_EVENTS_PER_SEC: f64 = 1_000.0;
+    const FLOOR_TIMER_OPS_PER_SEC: f64 = 50_000.0;
     assert!(
         pingpong > FLOOR_EVENTS_PER_SEC,
         "notify/wait ping-pong fell below {FLOOR_EVENTS_PER_SEC} events/sec ({pingpong:.0})"
@@ -95,5 +156,11 @@ fn main() {
         storm > FLOOR_EVENTS_PER_SEC,
         "fork/join storm fell below {FLOOR_EVENTS_PER_SEC} events/sec ({storm:.0})"
     );
-    println!("hot-path floors ok (> {FLOOR_EVENTS_PER_SEC} events/sec)");
+    assert!(
+        wheel_rate > FLOOR_TIMER_OPS_PER_SEC,
+        "timer wheel churn fell below {FLOOR_TIMER_OPS_PER_SEC} arm+fire/sec ({wheel_rate:.0})"
+    );
+    println!(
+        "hot-path floors ok (> {FLOOR_EVENTS_PER_SEC} events/sec, wheel > {FLOOR_TIMER_OPS_PER_SEC} arm+fire/sec)"
+    );
 }

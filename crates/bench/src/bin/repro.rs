@@ -90,11 +90,12 @@ commands:
   bench    [--reps N] [--json PATH] [--baseline PATH]
                              wall-clock perf harness: times every matrix
                              cell (median of N reps, default 3), reports
-                             simulated events/sec and the serial-vs-
-                             parallel driver speedup, and writes
-                             BENCH_threadstudy.json; with --baseline,
-                             fails if aggregate events/sec regressed
-                             more than 30% vs that file
+                             simulated events/sec and the work-stealing
+                             executor's scaling curve (1, 2, and max
+                             workers), and writes BENCH_threadstudy.json;
+                             with --baseline, fails if aggregate
+                             events/sec regressed more than 30% vs that
+                             file
   all      [--window SECS] [--json PATH]   everything
   help                       this text
 
@@ -102,9 +103,11 @@ global options:
   --seed HEX     RNG seed for the simulated worlds (default ceda2026;
                  history defaults to its own e7e27); even number of hex
                  digits, max 16, 0x prefix and _ separators allowed
-  --serial       force the one-cell-at-a-time matrix driver (the
-                 parallel driver is used by default on multicore hosts;
-                 both produce identical tables)";
+  --workers N    worker threads for the matrix/fuzz executor (default:
+                 all hardware threads); results are identical at every
+                 worker count, only wall-clock time changes
+  --serial       equivalent to --workers 1: run the matrix one cell at
+                 a time on the calling thread";
 
 /// Reports a failed run. Returns the exit code the condition maps to
 /// ([`exit::OK`] when the run was fine) so callers can accumulate the
@@ -378,13 +381,23 @@ fn main() {
         });
     let seed = seed_flag.unwrap_or(0xCEDA_2026);
     let serial = args.iter().any(|a| a == "--serial");
-    let run_matrix = |window, seed| {
-        if serial {
-            bench::tables::run_all_serial(window, seed)
-        } else {
-            bench::tables::run_all(window, seed)
-        }
+    let workers_flag: Option<usize> = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("bad --workers {s:?}: expected a positive integer");
+                std::process::exit(exit::USAGE);
+            }
+        });
+    let workers = if serial {
+        1
+    } else {
+        workers_flag.unwrap_or_else(bench::tables::workers_available)
     };
+    let run_matrix = |window, seed| bench::tables::run_all_with_workers(window, seed, workers);
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -490,6 +503,7 @@ fn main() {
                 compare_grid: args.iter().any(|a| a == "--compare-grid"),
                 wall_budget_ms: flag_value("--wall-budget-ms").and_then(|s| s.parse().ok()),
                 stats: flag_value("--stats").map(Into::into),
+                workers,
             };
             code = exit::worst(code, bench::resilience_cli::fuzz_cmd(&opts));
         }
@@ -551,7 +565,7 @@ fn main() {
                 .position(|a| a == "--baseline")
                 .and_then(|i| args.get(i + 1))
                 .cloned();
-            let report = bench::perf::measure(window, seed, reps);
+            let report = bench::perf::measure(window, seed, reps, workers);
             print!("{}", report.text());
             let path = json_path
                 .clone()

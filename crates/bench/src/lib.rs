@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod exit;
 pub mod experiments;
 pub mod lint;

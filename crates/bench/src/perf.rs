@@ -3,9 +3,10 @@
 //! Where the rest of this crate measures *virtual-time* rates (the
 //! paper's tables), this module measures how fast the simulator itself
 //! chews through its benchmark matrix on the host: wall time per cell,
-//! simulated events per second, and the serial-vs-parallel driver
-//! speedup. The numbers land in `BENCH_threadstudy.json` at the repo
-//! root, which CI uses as a regression baseline.
+//! simulated events per second, and the scaling curve of the
+//! work-stealing executor across worker counts. The numbers land in
+//! `BENCH_threadstudy.json` at the repo root, which CI uses as a
+//! regression baseline.
 
 use std::time::Instant;
 
@@ -13,7 +14,8 @@ use pcr::SimDuration;
 use trace::Json;
 use workloads::{run_benchmark, Benchmark, System};
 
-use crate::tables::{matrix, run_all_parallel, workers_available};
+use crate::executor::{run_indexed, Reporter};
+use crate::tables::matrix;
 
 /// Wall-clock measurements for one matrix cell.
 #[derive(Clone, Debug)]
@@ -28,6 +30,10 @@ pub struct CellPerf {
     pub wall_secs: f64,
     /// `event_volume / wall_secs`.
     pub events_per_sec: f64,
+    /// Allocation/reuse deltas over the measurement window (from the
+    /// first rep; deterministic). Near-zero `*_allocs` demonstrate the
+    /// arena/pool hot paths stop allocating after warm-up.
+    pub alloc: pcr::AllocCounters,
     /// §6.1 per-monitor contention profile from the first rep
     /// (deterministic, so every rep sees the same one).
     pub contention: Vec<trace::MonitorProfileRow>,
@@ -35,8 +41,23 @@ pub struct CellPerf {
     pub sched_latency: pcr::SchedLatency,
 }
 
+/// One point of the executor scaling curve: the whole matrix, `reps`
+/// times, at a fixed worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// Worker threads the executor ran with.
+    pub workers: usize,
+    /// Mean wall seconds per matrix pass at this worker count.
+    pub wall_secs: f64,
+    /// Tasks executed by a worker other than their home deque's owner.
+    pub steals: u64,
+    /// `serial wall / this wall`.
+    pub speedup: f64,
+}
+
 /// A full perf-harness run: every cell timed `reps` times serially, plus
-/// the whole matrix timed under the parallel driver.
+/// the matrix timed through the work-stealing executor at each point of
+/// the worker-count scaling curve.
 #[derive(Clone, Debug)]
 pub struct PerfReport {
     /// Virtual measurement window per cell.
@@ -45,13 +66,19 @@ pub struct PerfReport {
     pub seed: u64,
     /// Repetitions each median is taken over.
     pub reps: u32,
-    /// Hardware threads the parallel driver used.
+    /// Worker threads the widest parallel pass actually used (1 when the
+    /// harness ran serial-only).
     pub workers: usize,
+    /// `"serial"` or `"parallel"` — which driver the run was asked for.
+    pub mode: &'static str,
     /// Per-cell measurements, in table order.
     pub cells: Vec<CellPerf>,
+    /// The executor scaling curve, narrowest worker count first. The
+    /// first point is always the serial reference (1 worker, speedup 1).
+    pub scaling: Vec<ScalingPoint>,
     /// Median wall seconds for the whole matrix, one cell at a time.
     pub serial_wall_secs: f64,
-    /// Median wall seconds for the whole matrix under the parallel driver.
+    /// Mean wall seconds per matrix pass at the widest worker count.
     pub parallel_wall_secs: f64,
     /// `serial_wall_secs / parallel_wall_secs`.
     pub parallel_speedup: f64,
@@ -74,33 +101,59 @@ fn median(samples: &mut [f64]) -> f64 {
     }
 }
 
+/// The worker counts the scaling curve samples: 1, 2, and `max`,
+/// deduplicated and capped at `max`.
+pub fn scaling_worker_counts(max_workers: usize) -> Vec<usize> {
+    let max = max_workers.max(1);
+    let mut counts = vec![1, 2, max];
+    counts.sort_unstable();
+    counts.dedup();
+    counts.retain(|&w| w <= max);
+    counts
+}
+
 /// Runs the harness: `reps` serial passes over the matrix with per-cell
-/// timing, then `reps` timed parallel passes, reporting medians.
+/// timing (through the executor at one worker, so serial and parallel
+/// exercise the same driver), then `reps` matrix passes at each wider
+/// point of the scaling curve up to `max_workers`.
 ///
 /// # Panics
 ///
-/// Panics if a world deadlocks, or if the parallel driver's event
-/// volumes diverge from the serial driver's (a determinism bug).
-pub fn measure(window: SimDuration, seed: u64, reps: u32) -> PerfReport {
+/// Panics if a world deadlocks, or if any parallel pass's event volumes
+/// diverge from the serial pass's (a determinism bug).
+pub fn measure(window: SimDuration, seed: u64, reps: u32, max_workers: usize) -> PerfReport {
     let reps = reps.max(1);
     let cells = matrix();
+    let reporter = Reporter::new();
     let mut cell_walls: Vec<Vec<f64>> = vec![Vec::new(); cells.len()];
     let mut serial_walls: Vec<f64> = Vec::new();
     let mut volumes: Vec<u64> = vec![0; cells.len()];
+    let mut allocs: Vec<pcr::AllocCounters> = vec![Default::default(); cells.len()];
     let mut profiles: Vec<(Vec<trace::MonitorProfileRow>, pcr::SchedLatency)> =
         vec![Default::default(); cells.len()];
 
     for rep in 0..reps {
-        let mut pass_total = 0.0;
-        for (i, &(sys, b)) in cells.iter().enumerate() {
-            eprintln!("  bench rep {}/{reps}: {} / {b:?} ...", rep + 1, sys.name());
-            let t0 = Instant::now();
+        let t0 = Instant::now();
+        // One worker: runs on this thread in table order, but through
+        // the same executor entry point the parallel passes use.
+        let (timed, _) = run_indexed(1, cells.len(), |i| {
+            let (sys, b) = cells[i];
+            reporter.line(&format!(
+                "  bench rep {}/{reps}: {} / {b:?} ...",
+                rep + 1,
+                sys.name()
+            ));
+            let c0 = Instant::now();
             let r = run_benchmark(sys, b, window, seed);
-            let dt = t0.elapsed().as_secs_f64();
+            (c0.elapsed().as_secs_f64(), r)
+        });
+        serial_walls.push(t0.elapsed().as_secs_f64());
+        for (i, (dt, r)) in timed.into_iter().enumerate() {
+            let (sys, b) = cells[i];
             cell_walls[i].push(dt);
-            pass_total += dt;
             if rep == 0 {
                 volumes[i] = r.event_volume;
+                allocs[i] = r.alloc;
                 profiles[i] = (r.contention, r.sched_latency);
             } else {
                 assert_eq!(
@@ -111,21 +164,44 @@ pub fn measure(window: SimDuration, seed: u64, reps: u32) -> PerfReport {
                 );
             }
         }
-        serial_walls.push(pass_total);
     }
+    let serial_wall_secs = median(&mut serial_walls);
 
-    let mut parallel_walls: Vec<f64> = Vec::new();
-    for rep in 0..reps {
-        eprintln!("  bench rep {}/{reps}: parallel matrix ...", rep + 1);
+    let mut scaling = vec![ScalingPoint {
+        workers: 1,
+        wall_secs: serial_wall_secs,
+        steals: 0,
+        speedup: 1.0,
+    }];
+    for w in scaling_worker_counts(max_workers) {
+        if w <= 1 {
+            continue;
+        }
+        let n = cells.len() * reps as usize;
+        reporter.line(&format!("  bench scaling: {w} workers x {n} cell runs ..."));
         let t0 = Instant::now();
-        let results = run_all_parallel(window, seed);
-        parallel_walls.push(t0.elapsed().as_secs_f64());
-        for (i, r) in results.iter().enumerate() {
+        let (vols, exec) = run_indexed(w, n, |i| {
+            let (sys, b) = cells[i % cells.len()];
+            run_benchmark(sys, b, window, seed).event_volume
+        });
+        let wall_secs = t0.elapsed().as_secs_f64() / reps as f64;
+        for (i, v) in vols.iter().enumerate() {
             assert_eq!(
-                volumes[i], r.event_volume,
-                "parallel driver diverged from serial on cell {i}"
+                volumes[i % cells.len()],
+                *v,
+                "{w}-worker pass diverged from serial on task {i}"
             );
         }
+        scaling.push(ScalingPoint {
+            workers: exec.workers,
+            wall_secs,
+            steals: exec.steals,
+            speedup: if wall_secs > 0.0 {
+                serial_wall_secs / wall_secs
+            } else {
+                0.0
+            },
+        });
     }
 
     let cells_out: Vec<CellPerf> = cells
@@ -144,28 +220,30 @@ pub fn measure(window: SimDuration, seed: u64, reps: u32) -> PerfReport {
                 } else {
                     0.0
                 },
+                alloc: allocs[i],
                 contention,
                 sched_latency,
             }
         })
         .collect();
 
-    let serial_wall_secs = median(&mut serial_walls);
-    let parallel_wall_secs = median(&mut parallel_walls);
+    let widest = *scaling.last().expect("scaling always has the serial point");
     let total_events: u64 = volumes.iter().sum();
     PerfReport {
         window,
         seed,
         reps,
-        workers: workers_available().min(cells.len()),
-        cells: cells_out,
-        serial_wall_secs,
-        parallel_wall_secs,
-        parallel_speedup: if parallel_wall_secs > 0.0 {
-            serial_wall_secs / parallel_wall_secs
+        workers: widest.workers,
+        mode: if max_workers > 1 {
+            "parallel"
         } else {
-            0.0
+            "serial"
         },
+        cells: cells_out,
+        scaling,
+        serial_wall_secs,
+        parallel_wall_secs: widest.wall_secs,
+        parallel_speedup: widest.speedup,
         total_events,
         aggregate_events_per_sec: if serial_wall_secs > 0.0 {
             total_events as f64 / serial_wall_secs
@@ -173,6 +251,17 @@ pub fn measure(window: SimDuration, seed: u64, reps: u32) -> PerfReport {
             0.0
         },
     }
+}
+
+fn alloc_json(a: &pcr::AllocCounters) -> Json {
+    Json::obj([
+        ("timer_node_allocs", Json::from(a.timer_node_allocs)),
+        ("timer_node_reuses", Json::from(a.timer_node_reuses)),
+        ("queue_node_allocs", Json::from(a.queue_node_allocs)),
+        ("queue_node_reuses", Json::from(a.queue_node_reuses)),
+        ("os_thread_spawns", Json::from(a.os_thread_spawns)),
+        ("os_thread_reuses", Json::from(a.os_thread_reuses)),
+    ])
 }
 
 impl PerfReport {
@@ -185,18 +274,28 @@ impl PerfReport {
                 ("event_volume", Json::from(c.event_volume)),
                 ("wall_secs", Json::from(c.wall_secs)),
                 ("events_per_sec", Json::from(c.events_per_sec)),
+                ("alloc", alloc_json(&c.alloc)),
                 (
                     "profile",
                     crate::tables::profile_json(&c.contention, &c.sched_latency),
                 ),
             ])
         });
+        let scaling = self.scaling.iter().map(|p| {
+            Json::obj([
+                ("workers", Json::from(p.workers as u64)),
+                ("wall_secs", Json::from(p.wall_secs)),
+                ("steals", Json::from(p.steals)),
+                ("speedup", Json::from(p.speedup)),
+            ])
+        });
         Json::obj([
-            ("schema", Json::from("threadstudy-bench-v1")),
+            ("schema", Json::from("threadstudy-bench-v2")),
             ("window_us", Json::from(self.window.as_micros())),
             ("seed", Json::from(format!("{:#x}", self.seed))),
             ("reps", Json::from(self.reps)),
             ("workers", Json::from(self.workers)),
+            ("mode", Json::from(self.mode)),
             ("serial_wall_secs", Json::from(self.serial_wall_secs)),
             ("parallel_wall_secs", Json::from(self.parallel_wall_secs)),
             ("parallel_speedup", Json::from(self.parallel_speedup)),
@@ -205,6 +304,7 @@ impl PerfReport {
                 "aggregate_events_per_sec",
                 Json::from(self.aggregate_events_per_sec),
             ),
+            ("scaling", Json::arr(scaling)),
             ("cells", Json::arr(cells)),
         ])
     }
@@ -215,11 +315,12 @@ impl PerfReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "Perf harness: {} cells, window {}, seed {:#x}, median of {} reps",
+            "Perf harness: {} cells, window {}, seed {:#x}, median of {} reps, {} mode",
             self.cells.len(),
             self.window,
             self.seed,
-            self.reps
+            self.reps,
+            self.mode
         );
         let _ = writeln!(
             out,
@@ -234,6 +335,14 @@ impl PerfReport {
                 c.event_volume,
                 c.wall_secs,
                 c.events_per_sec
+            );
+        }
+        let _ = writeln!(out, "scaling (wall per matrix pass):");
+        for p in &self.scaling {
+            let _ = writeln!(
+                out,
+                "  {:>3} worker(s): {:>8.3}s   speedup {:>5.2}x   steals {}",
+                p.workers, p.wall_secs, p.speedup, p.steals
             );
         }
         let _ = writeln!(
@@ -272,13 +381,36 @@ mod tests {
     }
 
     #[test]
+    fn scaling_counts_are_deduped_and_capped() {
+        assert_eq!(scaling_worker_counts(1), vec![1]);
+        assert_eq!(scaling_worker_counts(2), vec![1, 2]);
+        assert_eq!(scaling_worker_counts(8), vec![1, 2, 8]);
+        assert_eq!(scaling_worker_counts(0), vec![1]);
+    }
+
+    #[test]
     fn baseline_extraction_roundtrips() {
         let report = PerfReport {
             window: pcr::millis(10),
             seed: 0xCEDA_2026,
             reps: 1,
-            workers: 1,
+            workers: 2,
+            mode: "parallel",
             cells: Vec::new(),
+            scaling: vec![
+                ScalingPoint {
+                    workers: 1,
+                    wall_secs: 2.0,
+                    steals: 0,
+                    speedup: 1.0,
+                },
+                ScalingPoint {
+                    workers: 2,
+                    wall_secs: 1.0,
+                    steals: 3,
+                    speedup: 2.0,
+                },
+            ],
             serial_wall_secs: 2.0,
             parallel_wall_secs: 1.0,
             parallel_speedup: 2.0,
@@ -289,5 +421,35 @@ mod tests {
             assert_eq!(baseline_events_per_sec(&text), Some(500.0));
         }
         assert_eq!(baseline_events_per_sec("no such key"), None);
+    }
+
+    #[test]
+    fn v2_report_carries_scaling_and_mode() {
+        let report = PerfReport {
+            window: pcr::millis(10),
+            seed: 1,
+            reps: 1,
+            workers: 2,
+            mode: "parallel",
+            cells: Vec::new(),
+            scaling: vec![ScalingPoint {
+                workers: 1,
+                wall_secs: 1.0,
+                steals: 0,
+                speedup: 1.0,
+            }],
+            serial_wall_secs: 1.0,
+            parallel_wall_secs: 1.0,
+            parallel_speedup: 1.0,
+            total_events: 0,
+            aggregate_events_per_sec: 0.0,
+        };
+        let j = report.to_json();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some("threadstudy-bench-v2")
+        );
+        assert_eq!(j.get("mode").and_then(Json::as_str), Some("parallel"));
+        assert!(j.get("scaling").is_some());
     }
 }

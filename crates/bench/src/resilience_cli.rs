@@ -8,11 +8,12 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use pcr::{secs, RunLimit};
+use pcr::{secs, ChaosConfig, RunLimit};
 use resilience::{
-    fuzz, guided_fuzz, recover_preset, replay, shrink, signatures_per_cpu_minute, supervise,
-    supervise_benchmark, unsupervised_wedges, FoundCase, FuzzCell, FuzzConfig, MutationDiscovery,
-    RecoveryKind, ShrinkConfig, StoredCase, SupervisorConfig, TrialWorld,
+    fuzz_with, guided_fuzz, observe, recover_preset, replay, shrink, signatures_per_cpu_minute,
+    supervise, supervise_benchmark, unsupervised_wedges, FoundCase, FuzzCell, FuzzConfig,
+    MutationDiscovery, Observation, RecoveryKind, ShrinkConfig, StoredCase, SupervisorConfig,
+    TrialSpec, TrialWorld,
 };
 use threadstudy_core::System;
 use trace::Table;
@@ -76,6 +77,11 @@ pub struct FuzzOpts {
     pub wall_budget_ms: Option<u64>,
     /// Write a JSON stats artifact (signatures per CPU-minute etc.).
     pub stats: Option<PathBuf>,
+    /// Worker threads for grid sweeps (1 = serial). Signatures are
+    /// identical at every worker count; only wall-clock time changes.
+    /// The guided fuzzer is inherently sequential (each mutation depends
+    /// on earlier outcomes) and ignores this.
+    pub workers: usize,
 }
 
 /// `repro fuzz`: sweep the chaos grid (or, with `--guided`, run the
@@ -96,23 +102,35 @@ pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
     }
     let started = std::time::Instant::now();
     let mode = if opts.guided { "guided" } else { "grid" };
+    let workers = opts.workers.max(1);
+    // Grid sweeps route every batch of trials through the work-stealing
+    // executor; trial results are processed in grid order inside
+    // `fuzz_with`, so the signature set is worker-count-independent.
+    let mut grid_runner = |batch: &[(TrialSpec, ChaosConfig)]| -> Vec<Observation> {
+        let (obs, _) = crate::executor::run_indexed(workers, batch.len(), |i| {
+            let (spec, chaos) = &batch[i];
+            observe(spec, chaos.clone())
+        });
+        obs
+    };
     let (trials, failures, cases, discoveries): (u32, u32, Vec<FoundCase>, Vec<MutationDiscovery>) =
         if opts.guided {
             let o = guided_fuzz(&cfg, |line| eprintln!("{line}"));
             (o.trials, o.failures, o.cases, o.mutation_discoveries)
         } else {
-            let o = fuzz(&cfg, |line| eprintln!("{line}"));
+            let o = fuzz_with(&cfg, |line| eprintln!("{line}"), workers, &mut grid_runner);
             (o.trials, o.failures, o.cases, Vec::new())
         };
     let wall = started.elapsed();
     let per_minute = signatures_per_cpu_minute(cases.len(), wall);
     println!(
-        "fuzz[{mode}]: {} trial(s), {} failure(s), {} unique signature(s) in {:.1}s ({:.1} signatures/cpu-minute)",
+        "fuzz[{mode}]: {} trial(s), {} failure(s), {} unique signature(s) in {:.1}s ({:.1} signatures/cpu-minute, {} worker(s))",
         trials,
         failures,
         cases.len(),
         wall.as_secs_f64(),
-        per_minute
+        per_minute,
+        if opts.guided { 1 } else { workers }
     );
     for d in &discoveries {
         println!(
@@ -166,6 +184,10 @@ pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
     }
     let mut stats_fields = vec![
         ("mode", trace::Json::Str(mode.to_string())),
+        (
+            "workers",
+            trace::Json::UInt(if opts.guided { 1 } else { workers as u64 }),
+        ),
         ("trials", trace::Json::UInt(u64::from(trials))),
         ("failures", trace::Json::UInt(u64::from(failures))),
         ("distinct_signatures", trace::Json::UInt(cases.len() as u64)),
@@ -186,7 +208,7 @@ pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
     ];
     if opts.compare_grid {
         let grid_started = std::time::Instant::now();
-        let grid = fuzz(&cfg, |line| eprintln!("{line}"));
+        let grid = fuzz_with(&cfg, |line| eprintln!("{line}"), workers, &mut grid_runner);
         let grid_wall = grid_started.elapsed();
         let grid_per_minute = signatures_per_cpu_minute(grid.cases.len(), grid_wall);
         println!(

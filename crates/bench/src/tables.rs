@@ -1,11 +1,10 @@
 //! Regenerating the paper's Tables 1–4.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use pcr::SimDuration;
 use trace::{f0, f1, pct, Json, Table};
 use workloads::{paper_row, run_benchmark, BenchResult, Benchmark, System};
+
+use crate::executor::{run_indexed, Reporter};
 
 /// The twelve matrix cells (eight Cedar + four GVX), in table order.
 pub fn matrix() -> Vec<(System, Benchmark)> {
@@ -18,19 +17,10 @@ pub fn matrix() -> Vec<(System, Benchmark)> {
     cells
 }
 
-/// All twelve benchmark runs, in table order.
-///
-/// Dispatches to [`run_all_parallel`] when the machine has more than one
-/// hardware thread, else [`run_all_serial`]. Both drivers produce
-/// identical results for a given `(window, seed)` — each cell is an
-/// independent deterministic simulation — so the choice only affects
-/// wall-clock time.
+/// All twelve benchmark runs, in table order, on every available
+/// hardware thread. See [`run_all_with_workers`].
 pub fn run_all(window: SimDuration, seed: u64) -> Vec<BenchResult> {
-    if workers_available() > 1 {
-        run_all_parallel(window, seed)
-    } else {
-        run_all_serial(window, seed)
-    }
+    run_all_with_workers(window, seed, workers_available())
 }
 
 /// Hardware threads available to the parallel driver.
@@ -42,46 +32,22 @@ pub fn workers_available() -> usize {
 
 /// Runs the matrix one cell at a time on the calling thread.
 pub fn run_all_serial(window: SimDuration, seed: u64) -> Vec<BenchResult> {
-    let mut results = Vec::new();
-    for (sys, b) in matrix() {
-        eprintln!("  running {} / {b:?} ...", sys.name());
-        results.push(run_benchmark(sys, b, window, seed));
-    }
-    results
+    run_all_with_workers(window, seed, 1)
 }
 
-/// Runs the matrix with one scoped worker per hardware thread (capped at
-/// one per cell), handing out cells from a shared atomic index. Results
-/// land in per-cell slots, so the returned order is table order no matter
-/// which worker ran which cell.
-pub fn run_all_parallel(window: SimDuration, seed: u64) -> Vec<BenchResult> {
+/// Runs the matrix on `workers` threads through the work-stealing
+/// executor. Each cell is an independent deterministic simulation, so
+/// every worker count produces identical results for a given
+/// `(window, seed)` — the choice only affects wall-clock time.
+pub fn run_all_with_workers(window: SimDuration, seed: u64, workers: usize) -> Vec<BenchResult> {
     let cells = matrix();
-    let n = cells.len();
-    let workers = workers_available().min(n);
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<BenchResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let (sys, b) = cells[i];
-                eprintln!("  running {} / {b:?} ...", sys.name());
-                let r = run_benchmark(sys, b, window, seed);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
+    let reporter = Reporter::new();
+    let (results, _) = run_indexed(workers, cells.len(), |i| {
+        let (sys, b) = cells[i];
+        reporter.line(&format!("  running {} / {b:?} ...", sys.name()));
+        run_benchmark(sys, b, window, seed)
     });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every cell was claimed and completed")
-        })
-        .collect()
+    results
 }
 
 fn rows_for(results: &[BenchResult], sys: System) -> impl Iterator<Item = &BenchResult> {

@@ -1,10 +1,13 @@
-//! The serial and parallel matrix drivers must be indistinguishable:
-//! every cell is an independent deterministic simulation, so fanning the
-//! matrix across OS threads may only change wall-clock time, never a
-//! single measured number or rendered table byte.
+//! The matrix and fuzz drivers must be indistinguishable at every
+//! worker count: every cell/trial is an independent deterministic
+//! simulation, so fanning the work across OS threads may only change
+//! wall-clock time, never a single measured number, rendered table
+//! byte, or failure signature.
 
-use bench::tables::{run_all_parallel, run_all_serial, table1, table2, table3};
-use pcr::secs;
+use bench::executor::run_indexed;
+use bench::tables::{json_summary, run_all_serial, run_all_with_workers, table1, table2, table3};
+use pcr::{secs, ChaosConfig};
+use resilience::{fuzz, fuzz_with, observe, FuzzConfig, FuzzOutcome, Observation, TrialSpec};
 use workloads::{chaos_preset, run_benchmark_chaos, BenchResult, Benchmark, System};
 
 fn table_text(results: &[BenchResult]) -> String {
@@ -17,33 +20,94 @@ fn table_text(results: &[BenchResult]) -> String {
 }
 
 #[test]
-fn parallel_matrix_matches_serial_across_seeds() {
+fn worker_counts_cannot_change_matrix_results() {
+    // Force at least a 2-wide and a 3-wide schedule even on small hosts:
+    // the executor happily runs more workers than cores, and results
+    // must be identical either way.
+    let max = bench::tables::workers_available().max(3);
+    let worker_counts = [2, max];
     for seed in [0xCEDA_2026u64, 0xBEEF, 0x5EED_0003] {
         let serial = run_all_serial(secs(1), seed);
-        let parallel = run_all_parallel(secs(1), seed);
-        assert_eq!(serial.len(), parallel.len());
-        for (a, b) in serial.iter().zip(&parallel) {
-            let label = format!("seed {seed:#x} {}/{:?}", a.system.name(), a.benchmark);
-            assert_eq!(a.system, b.system, "{label}: cell order changed");
-            assert_eq!(a.benchmark, b.benchmark, "{label}: cell order changed");
-            assert_eq!(a.event_volume, b.event_volume, "{label}: event volume");
+        let serial_tables = table_text(&serial);
+        let serial_json = json_summary(&serial).pretty();
+        for &workers in &worker_counts {
+            let parallel = run_all_with_workers(secs(1), seed, workers);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                let label = format!(
+                    "seed {seed:#x} workers {workers} {}/{:?}",
+                    a.system.name(),
+                    a.benchmark
+                );
+                assert_eq!(a.system, b.system, "{label}: cell order changed");
+                assert_eq!(a.benchmark, b.benchmark, "{label}: cell order changed");
+                assert_eq!(a.event_volume, b.event_volume, "{label}: event volume");
+                assert_eq!(
+                    a.max_live_threads, b.max_live_threads,
+                    "{label}: live threads"
+                );
+                assert_eq!(
+                    a.max_generation, b.max_generation,
+                    "{label}: fork generations"
+                );
+                assert_eq!(
+                    a.rates.switches_per_sec, b.rates.switches_per_sec,
+                    "{label}: switch rate"
+                );
+            }
             assert_eq!(
-                a.max_live_threads, b.max_live_threads,
-                "{label}: live threads"
+                serial_tables,
+                table_text(&parallel),
+                "rendered tables diverged for seed {seed:#x} at {workers} workers"
             );
             assert_eq!(
-                a.max_generation, b.max_generation,
-                "{label}: fork generations"
-            );
-            assert_eq!(
-                a.rates.switches_per_sec, b.rates.switches_per_sec,
-                "{label}: switch rate"
+                serial_json,
+                json_summary(&parallel).pretty(),
+                "JSON summary bytes diverged for seed {seed:#x} at {workers} workers"
             );
         }
+    }
+}
+
+#[test]
+fn fuzz_grid_signatures_are_worker_count_independent() {
+    // Budget 20 reaches the second intensity layer of the Cedar cells
+    // (the guaranteed-failure fork-cap rung), so the signature dedup
+    // path is exercised, not just clean trials.
+    let cfg = FuzzConfig {
+        budget: 20,
+        window: secs(2),
+        ..FuzzConfig::default()
+    };
+    let fingerprint = |o: &FuzzOutcome| -> Vec<(String, u32)> {
+        o.cases
+            .iter()
+            .map(|c| (c.case.signature.clone(), c.count))
+            .collect()
+    };
+    let serial = fuzz(&cfg, |_| {});
+    assert!(
+        serial.failures > 0,
+        "the fork-cap rung should fail within this budget"
+    );
+    for workers in [2usize, 4] {
+        let mut runner = |batch: &[(TrialSpec, ChaosConfig)]| -> Vec<Observation> {
+            let (obs, _) = run_indexed(workers, batch.len(), |i| {
+                let (spec, chaos) = &batch[i];
+                observe(spec, chaos.clone())
+            });
+            obs
+        };
+        let parallel = fuzz_with(&cfg, |_| {}, workers, &mut runner);
+        assert_eq!(parallel.trials, serial.trials, "{workers} workers: trials");
         assert_eq!(
-            table_text(&serial),
-            table_text(&parallel),
-            "rendered tables diverged for seed {seed:#x}"
+            parallel.failures, serial.failures,
+            "{workers} workers: failures"
+        );
+        assert_eq!(
+            fingerprint(&parallel),
+            fingerprint(&serial),
+            "{workers} workers: signature set diverged from serial"
         );
     }
 }

@@ -1,0 +1,318 @@
+//! A shared slab arena for scheduler queue nodes.
+//!
+//! The ready queues and condition-variable wait queues used to be
+//! `VecDeque`s — fine asymptotically, but every queue owned a private
+//! buffer that grew to its own high-water mark, exclusion-path removal
+//! (`pop_ready_excluding`) shifted elements, and clearing a queue walked
+//! and dropped them. [`NodeArena`] pools all queue nodes in one slab
+//! with an intrusive free list: a [`QList`] is just `(head, tail, len)`
+//! indices into the slab, so push/pop/unlink are O(1) pointer swings and
+//! a steady-state sim performs no queue allocation at all. The slab
+//! never shrinks; its high-water mark is the peak *total* queue
+//! population, shared across every queue.
+//!
+//! Nodes carry the same `(tid, generation)` payload the `VecDeque`
+//! entries did: the scheduler's tombstone scheme (a stale generation
+//! means the entry was lazily cancelled) is unchanged, and list order is
+//! strict FIFO, so scheduling decisions — including `DonateRandom`'s
+//! index-into-live-entries scan — are byte-identical to the `VecDeque`
+//! implementation.
+
+use crate::thread::ThreadId;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Node {
+    tid: ThreadId,
+    gen: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// One FIFO queue whose nodes live in a shared [`NodeArena`].
+///
+/// Deliberately not `Copy`/`Clone`: a duplicated head/tail pair would
+/// silently desync from the arena. All operations go through the arena,
+/// which owns the nodes.
+pub(crate) struct QList {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Default for QList {
+    fn default() -> Self {
+        QList {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+impl QList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The shared node slab. See the module docs.
+#[derive(Default)]
+pub(crate) struct NodeArena {
+    nodes: Vec<Node>,
+    /// Head of the intrusive free list (threaded through `next`).
+    free: u32,
+    allocs: u64,
+    reuses: u64,
+}
+
+impl NodeArena {
+    pub fn new() -> Self {
+        NodeArena {
+            nodes: Vec::new(),
+            free: NIL,
+            allocs: 0,
+            reuses: 0,
+        }
+    }
+
+    /// `(slab allocations, node reuses)` so far.
+    pub fn alloc_stats(&self) -> (u64, u64) {
+        (self.allocs, self.reuses)
+    }
+
+    fn acquire(&mut self, tid: ThreadId, gen: u64) -> u32 {
+        if self.free != NIL {
+            let n = self.free;
+            self.free = self.nodes[n as usize].next;
+            self.nodes[n as usize] = Node {
+                tid,
+                gen,
+                prev: NIL,
+                next: NIL,
+            };
+            self.reuses += 1;
+            n
+        } else {
+            self.nodes.push(Node {
+                tid,
+                gen,
+                prev: NIL,
+                next: NIL,
+            });
+            self.allocs += 1;
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, n: u32) {
+        self.nodes[n as usize].next = self.free;
+        self.free = n;
+    }
+
+    /// Appends `(tid, gen)` at the tail of `list`.
+    pub fn push_back(&mut self, list: &mut QList, tid: ThreadId, gen: u64) {
+        let n = self.acquire(tid, gen);
+        self.nodes[n as usize].prev = list.tail;
+        if list.tail == NIL {
+            list.head = n;
+        } else {
+            self.nodes[list.tail as usize].next = n;
+        }
+        list.tail = n;
+        list.len += 1;
+    }
+
+    /// Prepends `(tid, gen)` at the head of `list`.
+    pub fn push_front(&mut self, list: &mut QList, tid: ThreadId, gen: u64) {
+        let n = self.acquire(tid, gen);
+        self.nodes[n as usize].next = list.head;
+        if list.head == NIL {
+            list.tail = n;
+        } else {
+            self.nodes[list.head as usize].prev = n;
+        }
+        list.head = n;
+        list.len += 1;
+    }
+
+    /// Pops the head of `list`.
+    pub fn pop_front(&mut self, list: &mut QList) -> Option<(ThreadId, u64)> {
+        if list.head == NIL {
+            return None;
+        }
+        let n = list.head;
+        let node = self.nodes[n as usize];
+        list.head = node.next;
+        if list.head == NIL {
+            list.tail = NIL;
+        } else {
+            self.nodes[list.head as usize].prev = NIL;
+        }
+        list.len -= 1;
+        self.release(n);
+        Some((node.tid, node.gen))
+    }
+
+    /// Unlinks an interior node previously found via [`Self::iter`].
+    pub fn unlink(&mut self, list: &mut QList, n: u32) {
+        let node = self.nodes[n as usize];
+        if node.prev == NIL {
+            list.head = node.next;
+        } else {
+            self.nodes[node.prev as usize].next = node.next;
+        }
+        if node.next == NIL {
+            list.tail = node.prev;
+        } else {
+            self.nodes[node.next as usize].prev = node.prev;
+        }
+        list.len -= 1;
+        self.release(n);
+    }
+
+    /// Frees every node of `list`, leaving it empty.
+    pub fn clear(&mut self, list: &mut QList) {
+        let mut n = list.head;
+        while n != NIL {
+            let next = self.nodes[n as usize].next;
+            self.release(n);
+            n = next;
+        }
+        *list = QList::new();
+    }
+
+    /// Iterates `list` head-to-tail, yielding `(node index, tid, gen)`.
+    /// The node index stays valid until the node is unlinked or the list
+    /// cleared, so a scan can collect an index and unlink it after.
+    pub fn iter<'a>(&'a self, list: &QList) -> QIter<'a> {
+        QIter {
+            arena: self,
+            cursor: list.head,
+        }
+    }
+}
+
+/// Head-to-tail iterator over a [`QList`].
+pub(crate) struct QIter<'a> {
+    arena: &'a NodeArena,
+    cursor: u32,
+}
+
+impl Iterator for QIter<'_> {
+    type Item = (u32, ThreadId, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let n = self.cursor;
+        let node = self.arena.nodes[n as usize];
+        self.cursor = node.next;
+        Some((n, node.tid, node.gen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(arena: &mut NodeArena, list: &mut QList) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        while let Some((tid, gen)) = arena.pop_front(list) {
+            out.push((tid.as_u32(), gen));
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_push_pop() {
+        let mut arena = NodeArena::new();
+        let mut list = QList::new();
+        for i in 0..5u32 {
+            arena.push_back(&mut list, ThreadId(i), i as u64);
+        }
+        assert_eq!(list.len(), 5);
+        assert_eq!(
+            drain(&mut arena, &mut list),
+            vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]
+        );
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn push_front_prepends() {
+        let mut arena = NodeArena::new();
+        let mut list = QList::new();
+        arena.push_back(&mut list, ThreadId(1), 0);
+        arena.push_front(&mut list, ThreadId(0), 0);
+        arena.push_back(&mut list, ThreadId(2), 0);
+        let order: Vec<u32> = arena.iter(&list).map(|(_, t, _)| t.as_u32()).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unlink_interior_head_and_tail() {
+        let mut arena = NodeArena::new();
+        for victim in 0..3u32 {
+            let mut list = QList::new();
+            for i in 0..3u32 {
+                arena.push_back(&mut list, ThreadId(i), 0);
+            }
+            let (n, _, _) = arena
+                .iter(&list)
+                .find(|&(_, t, _)| t == ThreadId(victim))
+                .unwrap();
+            arena.unlink(&mut list, n);
+            let rest: Vec<u32> = arena.iter(&list).map(|(_, t, _)| t.as_u32()).collect();
+            let expect: Vec<u32> = (0..3).filter(|&i| i != victim).collect();
+            assert_eq!(rest, expect, "victim {victim}");
+            assert_eq!(list.len(), 2);
+            arena.clear(&mut list);
+        }
+    }
+
+    #[test]
+    fn nodes_are_recycled_across_lists() {
+        let mut arena = NodeArena::new();
+        let mut a = QList::new();
+        let mut b = QList::new();
+        for i in 0..4u32 {
+            arena.push_back(&mut a, ThreadId(i), 0);
+        }
+        arena.clear(&mut a);
+        for i in 0..4u32 {
+            arena.push_back(&mut b, ThreadId(i), 0);
+        }
+        let (allocs, reuses) = arena.alloc_stats();
+        assert_eq!(allocs, 4, "second list must reuse the freed nodes");
+        assert_eq!(reuses, 4);
+    }
+
+    #[test]
+    fn interleaved_lists_stay_independent() {
+        let mut arena = NodeArena::new();
+        let mut a = QList::new();
+        let mut b = QList::new();
+        for i in 0..6u32 {
+            if i % 2 == 0 {
+                arena.push_back(&mut a, ThreadId(i), 10 + i as u64);
+            } else {
+                arena.push_back(&mut b, ThreadId(i), 20 + i as u64);
+            }
+        }
+        assert_eq!(drain(&mut arena, &mut a), vec![(0, 10), (2, 12), (4, 14)]);
+        assert_eq!(drain(&mut arena, &mut b), vec![(1, 21), (3, 23), (5, 25)]);
+    }
+}

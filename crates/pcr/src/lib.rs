@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod chaos;
 mod condition;
 mod config;
@@ -72,6 +73,7 @@ mod ctx;
 mod error;
 mod event;
 mod hazard;
+pub mod microbench;
 mod monitor;
 pub mod mp;
 mod rendezvous;
@@ -96,7 +98,7 @@ pub use hazard::{Hazard, HazardConfig, HazardCounts, HazardKind, HazardMonitor};
 pub use monitor::{Monitor, MonitorGuard, MonitorId};
 pub use mp::MpSim;
 pub use rng::SplitMix64;
-pub use sched::{RunLimit, SchedLatency, Sim, SimStats};
+pub use sched::{AllocCounters, RunLimit, SchedLatency, Sim, SimStats};
 pub use thread::{JoinHandle, Priority, ThreadId, ThreadInfo, ThreadView};
 pub use time::{micros, millis, secs, SimDuration, SimTime};
 pub use waitgraph::{BlockKind, Inversion, RunnableThread, WaitForGraph, WaitingThread};

@@ -1,0 +1,108 @@
+//! Microbenchmark harnesses over the runtime's internal timer queues.
+//!
+//! The `bench` crate's `hotpath` microbenches compare the hierarchical
+//! timer wheel against the `BinaryHeap` implementation it replaced, but
+//! both live behind crate-private types ([`crate::Sim`] owns the wheel).
+//! These thin wrappers expose just enough surface — arm, peek, fire —
+//! to drive either queue from outside the crate, in raw microseconds.
+//! They are measurement scaffolding, not API: simulations never touch
+//! timers directly.
+
+use crate::thread::ThreadId;
+use crate::time::SimTime;
+use crate::timer::{HeapTimers, TimerKind, TimerWheel};
+
+/// Harness over the hierarchical timer wheel the runtime uses.
+#[derive(Default)]
+pub struct WheelBench {
+    wheel: TimerWheel,
+}
+
+impl WheelBench {
+    /// An empty wheel anchored at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a timer at `at_us` microseconds.
+    pub fn arm(&mut self, at_us: u64) {
+        self.wheel
+            .schedule(SimTime::from_micros(at_us), TimerKind::Wake(ThreadId(0)));
+    }
+
+    /// The earliest pending deadline, in microseconds.
+    pub fn next_deadline_us(&self) -> Option<u64> {
+        self.wheel.next_deadline().map(SimTime::as_micros)
+    }
+
+    /// Fires the next timer due at or before `now_us`. Returns true if
+    /// one fired.
+    pub fn fire(&mut self, now_us: u64) -> bool {
+        self.wheel.pop_due(SimTime::from_micros(now_us)).is_some()
+    }
+
+    /// Pending timer count.
+    pub fn pending(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// `(slab allocations, slab reuses)` so far — the wheel's node-reuse
+    /// evidence.
+    pub fn alloc_stats(&self) -> (u64, u64) {
+        self.wheel.alloc_stats()
+    }
+}
+
+/// Harness over the retired `BinaryHeap` timer queue, kept as the
+/// baseline the wheel is measured against.
+#[derive(Default)]
+pub struct HeapBench {
+    heap: HeapTimers,
+}
+
+impl HeapBench {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a timer at `at_us` microseconds.
+    pub fn arm(&mut self, at_us: u64) {
+        self.heap
+            .schedule(SimTime::from_micros(at_us), TimerKind::Wake(ThreadId(0)));
+    }
+
+    /// The earliest pending deadline, in microseconds.
+    pub fn next_deadline_us(&self) -> Option<u64> {
+        self.heap.next_deadline().map(SimTime::as_micros)
+    }
+
+    /// Fires the next timer due at or before `now_us`. Returns true if
+    /// one fired.
+    pub fn fire(&mut self, now_us: u64) -> bool {
+        self.heap.pop_due(SimTime::from_micros(now_us)).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harnesses_agree() {
+        let mut wheel = WheelBench::new();
+        let mut heap = HeapBench::new();
+        for at in [30, 10, 20, 10] {
+            wheel.arm(at);
+            heap.arm(at);
+        }
+        assert_eq!(wheel.pending(), 4);
+        while let Some(d) = heap.next_deadline_us() {
+            assert_eq!(wheel.next_deadline_us(), Some(d));
+            assert!(heap.fire(d));
+            assert!(wheel.fire(d));
+        }
+        assert_eq!(wheel.next_deadline_us(), None);
+        assert_eq!(wheel.pending(), 0);
+    }
+}

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
+use crate::arena::{NodeArena, QList};
 use crate::chaos::{FaultDecision, FaultSchedule, FaultSiteKind};
 use crate::condition::Condition;
 use crate::config::{ForkPolicy, NotifyMode, SimConfig};
@@ -20,7 +21,7 @@ use crate::error::{BlockedThread, DeadlockReport, RunReport, StopReason};
 use crate::event::{CondId, Event, EventKind, EventMask, TraceSink, WaitOutcome, YieldKind};
 use crate::hazard::HazardMonitor;
 use crate::monitor::{Monitor, MonitorId};
-use crate::rendezvous::{reply_channel, ForkSpec, Reply, Request, ThreadChannels};
+use crate::rendezvous::{reply_channel, BodyFn, ForkSpec, Reply, Request, ThreadChannels};
 use crate::rng::SplitMix64;
 use crate::thread::{JoinHandle, Priority, ResultSlot, ThreadId, ThreadInfo, ThreadView};
 use crate::time::{micros, millis, SimDuration, SimTime};
@@ -267,7 +268,9 @@ struct Tcb {
     debt: SimDuration,
     after_debt: AfterDebt,
     reply_tx: mpsc::Sender<Reply>,
-    os_join: Option<std::thread::JoinHandle<()>>,
+    /// Index of the pooled OS carrier thread running this simulated
+    /// thread's body, released back to the pool on exit.
+    worker: Option<u32>,
     detached: bool,
     joiner: Option<ThreadId>,
     exited: bool,
@@ -332,11 +335,12 @@ struct CvState {
     name: String,
     monitor: MonitorId,
     timeout: Option<SimDuration>,
-    /// Waiters in arrival order, each tagged with the `wait_seq` it
-    /// enqueued under. A timeout or spurious wake cancels its entry
-    /// lazily (the seq no longer matches) instead of an O(n) `retain`;
-    /// `live` tracks how many entries are still current.
-    queue: VecDeque<(ThreadId, u64)>,
+    /// Waiters in arrival order (nodes in [`Sim::queue_arena`]), each
+    /// tagged with the `wait_seq` it enqueued under. A timeout or
+    /// spurious wake cancels its entry lazily (the seq no longer
+    /// matches) instead of an O(n) `retain`; `live` tracks how many
+    /// entries are still current.
+    queue: QList,
     /// Number of live entries in `queue`.
     live: u32,
 }
@@ -360,6 +364,143 @@ enum Shield {
     FromDonor(ThreadId),
 }
 
+/// Allocation and reuse counters for the sim's pooled resources, for
+/// verifying that the fork/switch/timer hot paths stop allocating once
+/// the pools reach their high-water marks. Snapshot-and-subtract over a
+/// measurement window with [`AllocCounters::since`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocCounters {
+    /// Timer-wheel slab nodes newly allocated.
+    pub timer_node_allocs: u64,
+    /// Timer arms served from the wheel's free list.
+    pub timer_node_reuses: u64,
+    /// Ready/CV queue nodes newly allocated.
+    pub queue_node_allocs: u64,
+    /// Queue pushes served from the arena's free list.
+    pub queue_node_reuses: u64,
+    /// OS carrier threads spawned for simulated forks.
+    pub os_thread_spawns: u64,
+    /// Simulated forks served by an idle pooled carrier.
+    pub os_thread_reuses: u64,
+}
+
+impl AllocCounters {
+    /// Elementwise difference from an earlier snapshot.
+    pub fn since(self, earlier: AllocCounters) -> AllocCounters {
+        AllocCounters {
+            timer_node_allocs: self.timer_node_allocs - earlier.timer_node_allocs,
+            timer_node_reuses: self.timer_node_reuses - earlier.timer_node_reuses,
+            queue_node_allocs: self.queue_node_allocs - earlier.queue_node_allocs,
+            queue_node_reuses: self.queue_node_reuses - earlier.queue_node_reuses,
+            os_thread_spawns: self.os_thread_spawns - earlier.os_thread_spawns,
+            os_thread_reuses: self.os_thread_reuses - earlier.os_thread_reuses,
+        }
+    }
+}
+
+/// One simulated thread's body plus its rendezvous endpoints, handed to
+/// a pooled carrier thread. The carrier waits for the first dispatch
+/// (`Reply::Ok`) before running the body, exactly as a dedicated spawn
+/// did; anything else means the sim is tearing down before the thread
+/// ever ran.
+struct Assignment {
+    body: BodyFn,
+    ctx: ThreadCtx,
+}
+
+struct PoolWorker {
+    /// `None` once shutdown has disconnected the carrier's queue.
+    assign_tx: Option<mpsc::Sender<Assignment>>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The carrier-thread pool. A carrier loops over assignments; the body
+/// wrapper ([`crate::ctx::wrap_body`]) catches every unwind — including
+/// the shutdown signal — so a finished or torn-down body always returns
+/// control to the loop. Exited threads release their carrier index
+/// without joining: a successor assignment just queues on the carrier's
+/// channel until it loops back.
+struct WorkerPool {
+    workers: Vec<PoolWorker>,
+    /// LIFO free list of carrier indices, so the hottest carrier (most
+    /// recently exited, stack still warm) is reused first.
+    free: Vec<u32>,
+    spawns: u64,
+    reuses: u64,
+}
+
+impl WorkerPool {
+    fn new() -> WorkerPool {
+        WorkerPool {
+            workers: Vec::new(),
+            free: Vec::new(),
+            spawns: 0,
+            reuses: 0,
+        }
+    }
+
+    /// Hands `assignment` to an idle carrier, spawning one only when the
+    /// pool has no free carrier. Returns the carrier index.
+    fn assign(&mut self, assignment: Assignment) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.reuses += 1;
+            self.workers[idx as usize]
+                .assign_tx
+                .as_ref()
+                .expect("assign after pool shutdown")
+                .send(assignment)
+                .expect("pooled carrier thread died");
+            return idx;
+        }
+        let idx = self.workers.len() as u32;
+        let (assign_tx, assign_rx) = mpsc::channel::<Assignment>();
+        let join = std::thread::Builder::new()
+            .name(format!("sim-worker-{idx}"))
+            .stack_size(128 * 1024)
+            .spawn(move || {
+                while let Ok(a) = assign_rx.recv() {
+                    if let Ok(Reply::Ok) = a.ctx.channels.reply_rx.recv() {
+                        (a.body)(&a.ctx);
+                    }
+                }
+            })
+            .expect("failed to spawn carrier thread for simulated thread");
+        self.spawns += 1;
+        self.workers.push(PoolWorker {
+            assign_tx: Some(assign_tx),
+            join: Some(join),
+        });
+        self.workers[idx as usize]
+            .assign_tx
+            .as_ref()
+            .expect("just installed")
+            .send(assignment)
+            .expect("pooled carrier thread died");
+        idx
+    }
+
+    /// Returns a carrier to the free list. The carrier may still be
+    /// unwinding out of its previous body; that's fine, its next
+    /// assignment waits on the channel.
+    fn release(&mut self, idx: u32) {
+        self.free.push(idx);
+    }
+
+    /// Disconnects every carrier's queue and joins them. Callers must
+    /// already have unblocked any carrier still inside a body (the sim
+    /// sends `Reply::Shutdown` to all live threads first).
+    fn shutdown(&mut self) {
+        for w in &mut self.workers {
+            w.assign_tx = None;
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.join.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
 /// The simulated runtime.
 ///
 /// Build one with [`Sim::new`], create monitors/conditions/root threads,
@@ -371,11 +512,16 @@ pub struct Sim {
     clock_mirror: Arc<AtomicU64>,
     rng: SplitMix64,
     threads: Vec<Tcb>,
-    /// Per-priority ready queues. Entries are `(tid, ready_gen)`; an
-    /// entry is live iff the thread's `in_ready` flag is set and its
-    /// generation matches, which makes mid-queue removal O(1) at the
-    /// cost of tombstones that are dropped when popped.
-    ready: [VecDeque<(ThreadId, u32)>; Priority::LEVELS],
+    /// Per-priority ready queues, with nodes in [`Sim::queue_arena`].
+    /// Entries are `(tid, ready_gen)`; an entry is live iff the thread's
+    /// `in_ready` flag is set and its generation matches, which makes
+    /// mid-queue removal O(1) at the cost of tombstones that are dropped
+    /// when popped.
+    ready: [QList; Priority::LEVELS],
+    /// Shared node slab for the ready queues and CV wait queues: one
+    /// free list bounds total queue memory at its joint high-water mark
+    /// and keeps enqueue/dequeue allocation-free at steady state.
+    queue_arena: NodeArena,
     /// Live-entry count per priority level (tombstones excluded).
     ready_live: [u32; Priority::LEVELS],
     /// Bit `i` set iff `ready_live[i] > 0`: the scheduler finds the
@@ -387,6 +533,10 @@ pub struct Sim {
     shield: Option<Shield>,
     donation: Option<DonationPlan>,
     timers: TimerWheel,
+    /// Pool of reusable OS carrier threads: a simulated fork grabs a
+    /// free carrier instead of spawning, so steady-state fork/exit does
+    /// no OS thread creation or join.
+    pool: WorkerPool,
     monitors: Vec<MonitorState>,
     conds: Vec<CvState>,
     req_tx: mpsc::Sender<(ThreadId, Request)>,
@@ -439,6 +589,8 @@ impl Sim {
             rng: SplitMix64::new(seed),
             threads: Vec::new(),
             ready: Default::default(),
+            queue_arena: NodeArena::new(),
+            pool: WorkerPool::new(),
             ready_live: [0; Priority::LEVELS],
             ready_mask: 0,
             running: None,
@@ -519,6 +671,23 @@ impl Sim {
     /// Runtime counters accumulated so far.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Allocation/reuse counters for the sim's pooled resources (timer
+    /// slab, queue-node arena, carrier-thread pool). Snapshot before and
+    /// after a window and subtract with [`AllocCounters::since`] to
+    /// verify the hot path runs allocation-free at steady state.
+    pub fn alloc_counters(&self) -> AllocCounters {
+        let (timer_node_allocs, timer_node_reuses) = self.timers.alloc_stats();
+        let (queue_node_allocs, queue_node_reuses) = self.queue_arena.alloc_stats();
+        AllocCounters {
+            timer_node_allocs,
+            timer_node_reuses,
+            queue_node_allocs,
+            queue_node_reuses,
+            os_thread_spawns: self.pool.spawns,
+            os_thread_reuses: self.pool.reuses,
+        }
     }
 
     /// Installs a trace sink; events flow to it from now on. The sink's
@@ -808,7 +977,7 @@ impl Sim {
             name: name.to_string(),
             monitor: m.id(),
             timeout,
-            queue: VecDeque::new(),
+            queue: QList::new(),
             live: 0,
         });
         Condition {
@@ -888,18 +1057,10 @@ impl Sim {
             priority: std::cell::Cell::new(priority),
             seed: self.cfg.seed,
         };
-        let body = spec.body;
-        let os_join = std::thread::Builder::new()
-            .name(format!("sim-{}", spec.name))
-            .stack_size(128 * 1024)
-            .spawn(move || {
-                // Wait for the first dispatch; anything but the go-ahead
-                // means the simulation is tearing down before we started.
-                if let Ok(Reply::Ok) = ctx.channels.reply_rx.recv() {
-                    body(&ctx)
-                }
-            })
-            .expect("failed to spawn OS thread for simulated thread");
+        let worker = self.pool.assign(Assignment {
+            body: spec.body,
+            ctx,
+        });
         self.threads.push(Tcb {
             name: spec.name,
             priority,
@@ -908,7 +1069,7 @@ impl Sim {
             debt: SimDuration::ZERO,
             after_debt: AfterDebt::Reply,
             reply_tx,
-            os_join: Some(os_join),
+            worker: Some(worker),
             detached: spec.detached,
             joiner: None,
             exited: false,
@@ -986,12 +1147,12 @@ impl Sim {
         t.in_ready = true;
         t.ready_gen = t.ready_gen.wrapping_add(1);
         t.ready_since = now;
-        let entry = (tid, t.ready_gen);
+        let gen = t.ready_gen as u64;
         let lvl = t.priority.index();
         if front {
-            self.ready[lvl].push_front(entry);
+            self.queue_arena.push_front(&mut self.ready[lvl], tid, gen);
         } else {
-            self.ready[lvl].push_back(entry);
+            self.queue_arena.push_back(&mut self.ready[lvl], tid, gen);
         }
         self.ready_live[lvl] += 1;
         self.ready_mask |= 1 << lvl;
@@ -1005,17 +1166,17 @@ impl Sim {
         self.ready_live[lvl] -= 1;
         if self.ready_live[lvl] == 0 {
             self.ready_mask &= !(1 << lvl);
-            // Whatever remains in the deque is tombstones.
-            self.ready[lvl].clear();
+            // Whatever remains in the list is tombstones.
+            self.queue_arena.clear(&mut self.ready[lvl]);
         }
     }
 
     /// Pops the frontmost *live* entry at `lvl`, dropping tombstones on
     /// the way. Returns `None` only if the level has no live entry.
     fn pop_ready_at(&mut self, lvl: usize) -> Option<ThreadId> {
-        while let Some((tid, gen)) = self.ready[lvl].pop_front() {
+        while let Some((tid, gen)) = self.queue_arena.pop_front(&mut self.ready[lvl]) {
             let t = &self.threads[tid.0 as usize];
-            if t.in_ready && t.ready_gen == gen {
+            if t.in_ready && t.ready_gen as u64 == gen {
                 self.ready_mark_dequeued(tid, lvl);
                 return Some(tid);
             }
@@ -1162,9 +1323,9 @@ impl Sim {
             let lvl = (31 - self.ready_mask.leading_zeros()) as usize;
             return self.pop_ready_at(lvl);
         };
-        // Exclusion path (YieldButNotToMe): rare, so the mid-queue
-        // `remove` below is acceptable. Skip levels whose only live
-        // entry is the excluded thread itself.
+        // Exclusion path (YieldButNotToMe): scan for the first live
+        // non-excluded entry, then unlink it in O(1). Skip levels whose
+        // only live entry is the excluded thread itself.
         let mut mask = self.ready_mask;
         while mask != 0 {
             let lvl = (31 - mask.leading_zeros()) as usize;
@@ -1173,14 +1334,17 @@ impl Sim {
             if ext.in_ready && ext.priority.index() == lvl && self.ready_live[lvl] == 1 {
                 continue;
             }
-            for pos in 0..self.ready[lvl].len() {
-                let (tid, gen) = self.ready[lvl][pos];
-                let t = &self.threads[tid.0 as usize];
-                if tid != ex && t.in_ready && t.ready_gen == gen {
-                    self.ready[lvl].remove(pos);
-                    self.ready_mark_dequeued(tid, lvl);
-                    return Some(tid);
-                }
+            let hit = self
+                .queue_arena
+                .iter(&self.ready[lvl])
+                .find(|&(_, tid, gen)| {
+                    let t = &self.threads[tid.0 as usize];
+                    tid != ex && t.in_ready && t.ready_gen as u64 == gen
+                });
+            if let Some((node, tid, _)) = hit {
+                self.queue_arena.unlink(&mut self.ready[lvl], node);
+                self.ready_mark_dequeued(tid, lvl);
+                return Some(tid);
             }
         }
         None
@@ -1340,10 +1504,10 @@ impl Sim {
     /// out, or spuriously awakened); the deque entry itself is dropped
     /// lazily when it surfaces.
     fn cv_mark_dequeued(&mut self, cv: CondId) {
-        let c = &mut self.conds[cv.0 as usize];
-        c.live -= 1;
-        if c.live == 0 {
-            c.queue.clear();
+        let i = cv.0 as usize;
+        self.conds[i].live -= 1;
+        if self.conds[i].live == 0 {
+            self.queue_arena.clear(&mut self.conds[i].queue);
         }
     }
 
@@ -1353,7 +1517,10 @@ impl Sim {
         if self.conds[cv.0 as usize].live == 0 {
             return None;
         }
-        while let Some((w, seq)) = self.conds[cv.0 as usize].queue.pop_front() {
+        while let Some((w, seq)) = self
+            .queue_arena
+            .pop_front(&mut self.conds[cv.0 as usize].queue)
+        {
             if self.threads[w.0 as usize].wait_seq == seq {
                 self.cv_mark_dequeued(cv);
                 return Some(w);
@@ -1792,9 +1959,9 @@ impl Sim {
                     let mut target = tid;
                     let mut seen = 0usize;
                     'scan: for lvl in 0..Priority::LEVELS {
-                        for &(t, gen) in &self.ready[lvl] {
+                        for (_, t, gen) in self.queue_arena.iter(&self.ready[lvl]) {
                             let tcb = &self.threads[t.0 as usize];
-                            if t != tid && tcb.in_ready && tcb.ready_gen == gen {
+                            if t != tid && tcb.in_ready && tcb.ready_gen as u64 == gen {
                                 if seen == i {
                                     target = t;
                                     break 'scan;
@@ -1835,7 +2002,7 @@ impl Sim {
                     name,
                     monitor,
                     timeout,
-                    queue: VecDeque::new(),
+                    queue: QList::new(),
                     live: 0,
                 });
                 self.threads[tid.0 as usize].pending_reply = Some(Reply::CondId(id));
@@ -2030,7 +2197,8 @@ impl Sim {
                 TimerKind::ChaosSpuriousWake { tid, cv, seq },
             );
         }
-        self.conds[cv.0 as usize].queue.push_back((tid, seq));
+        self.queue_arena
+            .push_back(&mut self.conds[cv.0 as usize].queue, tid, seq);
         self.conds[cv.0 as usize].live += 1;
         self.emit(EventKind::MlExit { tid, monitor: mid });
         self.release_monitor(mid);
@@ -2139,9 +2307,11 @@ impl Sim {
         t.pending_reply = None;
         t.debt = SimDuration::ZERO;
         self.live_threads -= 1;
-        // Reap the OS thread; it terminates right after sending Exit.
-        if let Some(h) = self.threads[tid.0 as usize].os_join.take() {
-            let _ = h.join();
+        // Release the carrier thread back to the pool without joining:
+        // it returns to its assignment loop right after sending Exit,
+        // and a successor assignment queues safely in the meantime.
+        if let Some(w) = self.threads[tid.0 as usize].worker.take() {
+            self.pool.release(w);
         }
         debug_assert!(
             self.monitors.iter().all(|m| m.owner != Some(tid)),
@@ -2214,16 +2384,14 @@ impl Sim {
     }
 
     fn shutdown(&mut self) {
+        // Unblock every still-live body (the shutdown reply unwinds it),
+        // then disconnect and join the carrier pool.
         for t in &self.threads {
             if !t.exited {
                 let _ = t.reply_tx.send(Reply::Shutdown);
             }
         }
-        for t in &mut self.threads {
-            if let Some(h) = t.os_join.take() {
-                let _ = h.join();
-            }
-        }
+        self.pool.shutdown();
     }
 }
 

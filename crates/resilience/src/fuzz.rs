@@ -24,7 +24,7 @@ use threadstudy_core::System;
 use workloads::{chaos_preset, eternal_thread_count, Benchmark};
 
 use crate::case::StoredCase;
-use crate::observe::{observe, TrialSpec, TrialWorld};
+use crate::observe::{observe, Observation, TrialSpec, TrialWorld};
 
 /// One rung of a system's chaos-intensity ladder.
 #[derive(Clone, Debug)]
@@ -277,62 +277,116 @@ pub(crate) fn grid_spec(
 /// Sweeps `cfg.budget` trials over the cell × intensity × seed grid and
 /// returns the deduplicated failures. `progress` is called once per
 /// trial with a one-line description.
-pub fn fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> FuzzOutcome {
+///
+/// Serial reference driver: runs each trial on the calling thread, in
+/// grid order. [`fuzz_with`] generalizes it to batched execution; this
+/// wrapper is `fuzz_with` with a batch size of one and an inline runner,
+/// so both paths share every line of grid enumeration and dedup logic.
+pub fn fuzz(cfg: &FuzzConfig, progress: impl FnMut(&str)) -> FuzzOutcome {
+    fuzz_with(cfg, progress, 1, &mut |batch| {
+        batch
+            .iter()
+            .map(|(spec, chaos)| observe(spec, chaos.clone()))
+            .collect()
+    })
+}
+
+/// A batch executor for [`fuzz_with`]: given `(spec, chaos)` pairs, it
+/// must return one [`Observation`] per pair, in pair order, each equal
+/// to what [`observe`] would produce for that pair.
+pub type BatchRunner<'a> = dyn FnMut(&[(TrialSpec, ChaosConfig)]) -> Vec<Observation> + 'a;
+
+/// [`fuzz`], with trial execution delegated to `run_batch`.
+///
+/// Trials are enumerated in grid order and handed to `run_batch` in
+/// consecutive chunks of up to `batch_size`; the runner must return one
+/// [`Observation`] per spec, in spec order, each equal to what
+/// [`observe`] would produce (every trial is an independent
+/// deterministic simulation, so a parallel runner satisfies this for
+/// free). Results are processed strictly in trial order, so signature
+/// dedup, progress lines, and the final case list are identical at every
+/// batch size; the wall-clock budget is checked at batch boundaries,
+/// which with `batch_size == 1` is exactly the per-trial check.
+pub fn fuzz_with(
+    cfg: &FuzzConfig,
+    mut progress: impl FnMut(&str),
+    batch_size: usize,
+    run_batch: &mut BatchRunner<'_>,
+) -> FuzzOutcome {
     assert!(!cfg.cells.is_empty(), "fuzz needs at least one cell");
+    let batch_size = (batch_size.max(1) as u32).min(cfg.budget.max(1));
     let ladders: Vec<Vec<Intensity>> = cfg.cells.iter().map(cell_ladder).collect();
     let start = std::time::Instant::now();
     let mut trials = 0u32;
     let mut failures = 0u32;
     let mut cases: Vec<FoundCase> = Vec::new();
-    for i in 0..cfg.budget {
+    let mut next = 0u32;
+    while next < cfg.budget {
         if let Some(ms) = cfg.wall_budget_ms {
             if start.elapsed().as_millis() as u64 >= ms {
-                progress(&format!("wall budget exhausted after {i} trials"));
+                progress(&format!("wall budget exhausted after {next} trials"));
                 break;
             }
         }
-        trials += 1;
-        let (cell, rung, seed) = grid_trial(cfg, &ladders, i);
-        let spec = grid_spec(cfg, cell, rung, seed);
-        let obs = observe(&spec, rung.chaos.clone());
-        match obs.failure {
-            None => progress(&format!(
-                "trial {i}: {} {} seed={seed:x} — clean",
-                cell.label(),
-                rung.name
-            )),
-            Some(failure) => {
-                failures += 1;
-                let signature = failure.signature();
-                progress(&format!(
-                    "trial {i}: {} {} seed={seed:x} — {} after {}",
+        let end = (next + batch_size).min(cfg.budget);
+        let triples: Vec<(u32, FuzzCell, &Intensity, u64)> = (next..end)
+            .map(|i| {
+                let (cell, rung, seed) = grid_trial(cfg, &ladders, i);
+                (i, cell, rung, seed)
+            })
+            .collect();
+        let specs: Vec<(TrialSpec, ChaosConfig)> = triples
+            .iter()
+            .map(|&(_, cell, rung, seed)| (grid_spec(cfg, cell, rung, seed), rung.chaos.clone()))
+            .collect();
+        let observations = run_batch(&specs);
+        assert_eq!(
+            observations.len(),
+            specs.len(),
+            "batch runner must return one observation per spec"
+        );
+        for (&(i, cell, rung, seed), obs) in triples.iter().zip(observations) {
+            trials += 1;
+            match obs.failure {
+                None => progress(&format!(
+                    "trial {i}: {} {} seed={seed:x} — clean",
                     cell.label(),
-                    rung.name,
-                    signature,
-                    obs.elapsed
-                ));
-                match cases.iter_mut().find(|c| c.case.signature == signature) {
-                    Some(known) => known.count += 1,
-                    None => cases.push(FoundCase {
-                        case: StoredCase {
-                            world: cell.world,
-                            system: cell.system,
-                            benchmark: cell.benchmark,
-                            seed,
-                            window: cfg.window,
-                            slice: cfg.slice,
-                            wedge_threshold: cfg.wedge_threshold,
-                            max_threads: rung.max_threads,
-                            intensity: rung.name.to_string(),
-                            signature,
-                            schedule: obs.schedule,
-                        },
-                        count: 1,
-                        live_threads: obs.live_threads,
-                    }),
+                    rung.name
+                )),
+                Some(failure) => {
+                    failures += 1;
+                    let signature = failure.signature();
+                    progress(&format!(
+                        "trial {i}: {} {} seed={seed:x} — {} after {}",
+                        cell.label(),
+                        rung.name,
+                        signature,
+                        obs.elapsed
+                    ));
+                    match cases.iter_mut().find(|c| c.case.signature == signature) {
+                        Some(known) => known.count += 1,
+                        None => cases.push(FoundCase {
+                            case: StoredCase {
+                                world: cell.world,
+                                system: cell.system,
+                                benchmark: cell.benchmark,
+                                seed,
+                                window: cfg.window,
+                                slice: cfg.slice,
+                                wedge_threshold: cfg.wedge_threshold,
+                                max_threads: rung.max_threads,
+                                intensity: rung.name.to_string(),
+                                signature,
+                                schedule: obs.schedule,
+                            },
+                            count: 1,
+                            live_threads: obs.live_threads,
+                        }),
+                    }
                 }
             }
         }
+        next = end;
     }
     cases.sort_by(|a, b| a.case.signature.cmp(&b.case.signature));
     FuzzOutcome {

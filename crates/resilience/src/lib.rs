@@ -47,7 +47,8 @@ mod supervisor;
 pub use case::StoredCase;
 pub use confirm::{case_evidence, corpus_evidence, Evidence};
 pub use fuzz::{
-    default_cells, fuzz, intensity_ladder, FoundCase, FuzzCell, FuzzConfig, FuzzOutcome, Intensity,
+    default_cells, fuzz, fuzz_with, intensity_ladder, BatchRunner, FoundCase, FuzzCell, FuzzConfig,
+    FuzzOutcome, Intensity,
 };
 pub use guided::{guided_fuzz, signatures_per_cpu_minute, GuidedOutcome, MutationDiscovery};
 pub use observe::{observe, replay, replay_schedule, Observation, TrialSpec, TrialWorld};

@@ -367,6 +367,7 @@ pub fn supervise_benchmark(
     drop(clean);
 
     let mut start_stats = SimStats::default();
+    let mut start_alloc = pcr::AllocCounters::default();
     let (supervision, mut sim) = supervise(
         |attempt| {
             // Each attempt reseeds deterministically so a restart does
@@ -379,6 +380,7 @@ pub fn supervise_benchmark(
                 }
             });
             start_stats = sim.stats().clone();
+            start_alloc = sim.alloc_counters();
             sim.set_sink(Box::new(Collector::for_sim(&sim)));
             sim
         },
@@ -390,6 +392,7 @@ pub fn supervise_benchmark(
         system,
         benchmark,
         &start_stats,
+        start_alloc,
         supervision.final_elapsed,
         hazards,
     );

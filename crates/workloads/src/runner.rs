@@ -1,8 +1,8 @@
 //! Running a benchmark and harvesting the paper's measurements.
 
 use pcr::{
-    millis, secs, ChaosConfig, HazardConfig, HazardCounts, Priority, RunLimit, SchedLatency, Sim,
-    SimConfig, SimDuration, SimStats, SystemDaemonConfig,
+    millis, secs, AllocCounters, ChaosConfig, HazardConfig, HazardCounts, Priority, RunLimit,
+    SchedLatency, Sim, SimConfig, SimDuration, SimStats, SystemDaemonConfig,
 };
 use threadstudy_core::System;
 use trace::{BenchmarkRates, Collector, IntervalHistogram, MonitorProfileRow};
@@ -45,6 +45,11 @@ pub struct BenchResult {
     /// Per-monitor contention profile over the measurement window
     /// (§6.1), hottest monitor first.
     pub contention: Vec<MonitorProfileRow>,
+    /// Allocation/reuse deltas for the sim's pooled resources (timer
+    /// slab, queue-node arena, carrier-thread pool) over the measurement
+    /// window. At steady state the `*_allocs` components should be near
+    /// zero: the warm-up populates the pools and the window reuses them.
+    pub alloc: AllocCounters,
     /// Degradation score under supervised fault load: event volume
     /// achieved across every attempt divided by a clean same-cell run's
     /// volume (1.0 ≈ no degradation, 0.0 ≈ nothing completed). `None`
@@ -159,6 +164,7 @@ pub fn run_benchmark_chaos(
         warmup.reason
     );
     let start_stats = sim.stats().clone();
+    let start_alloc = sim.alloc_counters();
     sim.set_sink(Box::new(Collector::for_sim(&sim)));
     let report = sim.run(RunLimit::For(window));
     assert!(
@@ -176,6 +182,7 @@ pub fn run_benchmark_chaos(
         system,
         benchmark,
         &start_stats,
+        start_alloc,
         report.elapsed,
         report.hazards,
     )
@@ -191,6 +198,7 @@ pub fn harvest(
     system: System,
     benchmark: Benchmark,
     start_stats: &SimStats,
+    start_alloc: AllocCounters,
     elapsed: SimDuration,
     hazards: HazardCounts,
 ) -> BenchResult {
@@ -218,6 +226,7 @@ pub fn harvest(
             .sched_latency
             .window_since(&start_stats.sched_latency),
         contention: collector.contention.rows(),
+        alloc: sim.alloc_counters().since(start_alloc),
         degradation: None,
     }
 }
