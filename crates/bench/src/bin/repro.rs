@@ -87,6 +87,19 @@ commands:
                              and classifies each finding as confirmed /
                              plausible / unreached
   markdown [--window SECS]   Tables 1-4 as Markdown (for EXPERIMENTS.md)
+  tournament [--window SECS] [--json PATH] [--trace-dir DIR]
+           [--reference | --workload SYS/BENCH]
+                             the scheduling-policy tournament: run the
+                             benchmark matrix under every policy (rr,
+                             cfs, lottery, mlfq) and compare per-priority
+                             wakeup-to-run latency and contention across
+                             policies (docs/SCHEDULING.md); --json writes
+                             the threadstudy-tournament-v1 comparison,
+                             --trace-dir a Perfetto trace per
+                             (cell, policy), --reference restricts to
+                             Cedar/Keyboard + GVX/Scroll; exits 3 unless
+                             every policy completes every cell
+                             deadlock-free
   bench    [--reps N] [--json PATH] [--baseline PATH]
                              wall-clock perf harness: times every matrix
                              cell (median of N reps, default 3), reports
@@ -107,7 +120,12 @@ global options:
                  all hardware threads); results are identical at every
                  worker count, only wall-clock time changes
   --serial       equivalent to --workers 1: run the matrix one cell at
-                 a time on the calling thread";
+                 a time on the calling thread
+  --policy P     scheduling policy for the simulated worlds: rr (the
+                 paper's 7-priority round-robin, default), cfs, lottery,
+                 or mlfq; honored by bench, chaos, fuzz, and trace
+                 (tournament always races all four); see
+                 docs/SCHEDULING.md";
 
 /// Reports a failed run. Returns the exit code the condition maps to
 /// ([`exit::OK`] when the run was fine) so callers can accumulate the
@@ -198,6 +216,7 @@ fn contention(seed: u64) -> i32 {
 fn trace_cmd(
     window: pcr::SimDuration,
     seed: u64,
+    policy: pcr::PolicyKind,
     chaos: bool,
     chrome_path: Option<&str>,
     jsonl_path: Option<&str>,
@@ -207,11 +226,12 @@ fn trace_cmd(
     } else {
         pcr::ChaosConfig::none()
     };
-    let mut sim = workloads::build_chaos(
+    let mut sim = workloads::build_chaos_with(
         workloads::System::Cedar,
         workloads::Benchmark::Keyboard,
         seed,
         faults,
+        |cfg| cfg.with_policy(policy),
     );
     sim.set_sink(Box::new(pcr::VecSink::default()));
     let report = sim.run(pcr::RunLimit::For(window));
@@ -287,7 +307,7 @@ fn diff_cmd(path_a: &str, path_b: &str, threshold_pct: f64, schedule: Option<&st
 /// fault mix injected, each run twice from the same seed. The two
 /// replays must produce byte-identical JSONL event traces and identical
 /// hazard tallies — the acceptance bar for deterministic injection.
-fn chaos(window: pcr::SimDuration, seed: u64) -> i32 {
+fn chaos(window: pcr::SimDuration, seed: u64, policy: pcr::PolicyKind) -> i32 {
     let preset = workloads::chaos_preset();
     let mut code = exit::OK;
     for (sys, bench) in [
@@ -296,7 +316,9 @@ fn chaos(window: pcr::SimDuration, seed: u64) -> i32 {
     ] {
         let label = format!("chaos {}/{bench:?}", sys.name());
         let run = || {
-            let mut sim = workloads::build_chaos(sys, bench, seed, preset.clone());
+            let mut sim = workloads::build_chaos_with(sys, bench, seed, preset.clone(), |cfg| {
+                cfg.with_policy(policy)
+            });
             sim.set_sink(Box::new(pcr::VecSink::default()));
             let report = sim.run(pcr::RunLimit::For(window));
             let events = trace::take_collector::<pcr::VecSink>(&mut sim)
@@ -398,6 +420,20 @@ fn main() {
         workers_flag.unwrap_or_else(bench::tables::workers_available)
     };
     let run_matrix = |window, seed| bench::tables::run_all_with_workers(window, seed, workers);
+    // `--policy` (rr | cfs | lottery | mlfq); default is the paper's
+    // round-robin, so outputs without the flag stay byte-identical.
+    let policy: pcr::PolicyKind = args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| match s.parse() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("bad --policy: {e}");
+                std::process::exit(exit::USAGE);
+            }
+        })
+        .unwrap_or_default();
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -431,6 +467,7 @@ fn main() {
                 trace_cmd(
                     window_flag.unwrap_or(secs(5)),
                     seed,
+                    policy,
                     args.iter().any(|a| a == "--chaos"),
                     flag_value("--chrome").as_deref(),
                     flag_value("--jsonl").as_deref(),
@@ -473,7 +510,7 @@ fn main() {
                     ),
                 );
             } else {
-                code = exit::worst(code, chaos(window, seed));
+                code = exit::worst(code, chaos(window, seed, policy));
             }
         }
         "fuzz" => {
@@ -504,6 +541,7 @@ fn main() {
                 wall_budget_ms: flag_value("--wall-budget-ms").and_then(|s| s.parse().ok()),
                 stats: flag_value("--stats").map(Into::into),
                 workers,
+                policy,
             };
             code = exit::worst(code, bench::resilience_cli::fuzz_cmd(&opts));
         }
@@ -565,7 +603,7 @@ fn main() {
                 .position(|a| a == "--baseline")
                 .and_then(|i| args.get(i + 1))
                 .cloned();
-            let report = bench::perf::measure(window, seed, reps, workers);
+            let report = bench::perf::measure(window, seed, reps, workers, policy);
             print!("{}", report.text());
             let path = json_path
                 .clone()
@@ -596,6 +634,55 @@ fn main() {
                         code = exit::worst(code, exit::REGRESSION);
                     }
                 }
+            }
+        }
+        "tournament" => {
+            let mut opts = bench::tournament::TournamentOpts::new(
+                window_flag.unwrap_or(secs(10)),
+                seed,
+                workers,
+            );
+            if args.iter().any(|a| a == "--reference") {
+                opts = opts.reference_cells();
+            } else if let Some(w) = flag_value("--workload") {
+                match bench::resilience_cli::parse_workload(&w) {
+                    Ok((system, benchmark)) => opts.cells = vec![(system, benchmark)],
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        std::process::exit(exit::USAGE);
+                    }
+                }
+            }
+            opts.trace_dir = flag_value("--trace-dir").map(Into::into);
+            let report = bench::tournament::run_tournament(&opts);
+            println!("{}", report.summary_table().to_text());
+            for &(system, benchmark) in &opts.cells {
+                let lat = report.latency_comparison(system, benchmark);
+                if !lat.is_empty() {
+                    println!("{}", lat.to_text());
+                }
+            }
+            if let Some(path) = &json_path {
+                std::fs::write(path, report.to_json().pretty() + "\n").expect("write json");
+                eprintln!("wrote {path}");
+            }
+            let failures = report.failures();
+            for f in &failures {
+                eprintln!(
+                    "FAIL tournament: {} under {}: {}",
+                    f.cell_label(),
+                    f.policy,
+                    f.outcome.as_ref().unwrap_err()
+                );
+            }
+            if failures.is_empty() {
+                println!(
+                    "tournament: {} cell(s) x {} policies, all complete and deadlock-free",
+                    opts.cells.len(),
+                    report.policies.len()
+                );
+            } else {
+                code = exit::worst(code, exit::DEADLOCK);
             }
         }
         "markdown" => {

@@ -14,3 +14,4 @@ pub mod lint;
 pub mod perf;
 pub mod resilience_cli;
 pub mod tables;
+pub mod tournament;

@@ -10,9 +10,9 @@
 
 use std::time::Instant;
 
-use pcr::SimDuration;
+use pcr::{PolicyKind, SimDuration};
 use trace::Json;
-use workloads::{run_benchmark, Benchmark, System};
+use workloads::{run_benchmark_policy, Benchmark, System};
 
 use crate::executor::{run_indexed, Reporter};
 use crate::tables::matrix;
@@ -64,6 +64,8 @@ pub struct PerfReport {
     pub window: SimDuration,
     /// RNG seed every cell ran with.
     pub seed: u64,
+    /// Scheduling policy every cell ran under.
+    pub policy: PolicyKind,
     /// Repetitions each median is taken over.
     pub reps: u32,
     /// Worker threads the widest parallel pass actually used (1 when the
@@ -121,7 +123,13 @@ pub fn scaling_worker_counts(max_workers: usize) -> Vec<usize> {
 ///
 /// Panics if a world deadlocks, or if any parallel pass's event volumes
 /// diverge from the serial pass's (a determinism bug).
-pub fn measure(window: SimDuration, seed: u64, reps: u32, max_workers: usize) -> PerfReport {
+pub fn measure(
+    window: SimDuration,
+    seed: u64,
+    reps: u32,
+    max_workers: usize,
+    policy: PolicyKind,
+) -> PerfReport {
     let reps = reps.max(1);
     let cells = matrix();
     let reporter = Reporter::new();
@@ -144,7 +152,7 @@ pub fn measure(window: SimDuration, seed: u64, reps: u32, max_workers: usize) ->
                 sys.name()
             ));
             let c0 = Instant::now();
-            let r = run_benchmark(sys, b, window, seed);
+            let r = run_benchmark_policy(sys, b, window, seed, policy);
             (c0.elapsed().as_secs_f64(), r)
         });
         serial_walls.push(t0.elapsed().as_secs_f64());
@@ -182,7 +190,7 @@ pub fn measure(window: SimDuration, seed: u64, reps: u32, max_workers: usize) ->
         let t0 = Instant::now();
         let (vols, exec) = run_indexed(w, n, |i| {
             let (sys, b) = cells[i % cells.len()];
-            run_benchmark(sys, b, window, seed).event_volume
+            run_benchmark_policy(sys, b, window, seed, policy).event_volume
         });
         let wall_secs = t0.elapsed().as_secs_f64() / reps as f64;
         for (i, v) in vols.iter().enumerate() {
@@ -232,6 +240,7 @@ pub fn measure(window: SimDuration, seed: u64, reps: u32, max_workers: usize) ->
     PerfReport {
         window,
         seed,
+        policy,
         reps,
         workers: widest.workers,
         mode: if max_workers > 1 {
@@ -293,6 +302,7 @@ impl PerfReport {
             ("schema", Json::from("threadstudy-bench-v2")),
             ("window_us", Json::from(self.window.as_micros())),
             ("seed", Json::from(format!("{:#x}", self.seed))),
+            ("policy", Json::from(self.policy.as_str())),
             ("reps", Json::from(self.reps)),
             ("workers", Json::from(self.workers)),
             ("mode", Json::from(self.mode)),
@@ -315,10 +325,11 @@ impl PerfReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "Perf harness: {} cells, window {}, seed {:#x}, median of {} reps, {} mode",
+            "Perf harness: {} cells, window {}, seed {:#x}, policy {}, median of {} reps, {} mode",
             self.cells.len(),
             self.window,
             self.seed,
+            self.policy,
             self.reps,
             self.mode
         );
@@ -393,6 +404,7 @@ mod tests {
         let report = PerfReport {
             window: pcr::millis(10),
             seed: 0xCEDA_2026,
+            policy: PolicyKind::RoundRobin,
             reps: 1,
             workers: 2,
             mode: "parallel",
@@ -428,6 +440,7 @@ mod tests {
         let report = PerfReport {
             window: pcr::millis(10),
             seed: 1,
+            policy: PolicyKind::RoundRobin,
             reps: 1,
             workers: 2,
             mode: "parallel",

@@ -82,6 +82,8 @@ pub struct FuzzOpts {
     /// The guided fuzzer is inherently sequential (each mutation depends
     /// on earlier outcomes) and ignores this.
     pub workers: usize,
+    /// Scheduling policy every trial runs under (`--policy`).
+    pub policy: pcr::PolicyKind,
 }
 
 /// `repro fuzz`: sweep the chaos grid (or, with `--guided`, run the
@@ -92,6 +94,7 @@ pub fn fuzz_cmd(opts: &FuzzOpts) -> i32 {
         budget: opts.budget,
         base_seed: opts.base_seed,
         wall_budget_ms: opts.wall_budget_ms,
+        policy: opts.policy,
         ..FuzzConfig::default()
     };
     if let Some((system, benchmark)) = opts.workload {

@@ -55,6 +55,7 @@ fn help_lists_every_documented_subcommand() {
         "lint",
         "markdown",
         "bench",
+        "tournament",
         "all",
         "help",
     ] {

@@ -6,9 +6,13 @@
 
 use bench::executor::run_indexed;
 use bench::tables::{json_summary, run_all_serial, run_all_with_workers, table1, table2, table3};
-use pcr::{secs, ChaosConfig};
+use bench::tournament::{run_tournament, TournamentOpts};
+use pcr::{secs, ChaosConfig, PolicyKind};
 use resilience::{fuzz, fuzz_with, observe, FuzzConfig, FuzzOutcome, Observation, TrialSpec};
-use workloads::{chaos_preset, run_benchmark_chaos, BenchResult, Benchmark, System};
+use workloads::{
+    chaos_preset, run_benchmark, run_benchmark_chaos, run_benchmark_policy, BenchResult, Benchmark,
+    System,
+};
 
 fn table_text(results: &[BenchResult]) -> String {
     format!(
@@ -109,6 +113,69 @@ fn fuzz_grid_signatures_are_worker_count_independent() {
             fingerprint(&serial),
             "{workers} workers: signature set diverged from serial"
         );
+    }
+}
+
+#[test]
+fn explicit_round_robin_matches_the_default_scheduler() {
+    // `--policy rr` must be a no-op: the extracted round-robin policy
+    // has to reproduce the pre-trait scheduler decision for decision.
+    // Any drift shows up as a differing counter or histogram bucket in
+    // the full result debug rendering.
+    for seed in [0xCEDA_2026u64, 0xBEEF, 0x5EED_0003] {
+        for (sys, b) in [
+            (System::Cedar, Benchmark::Keyboard),
+            (System::Gvx, Benchmark::Scroll),
+        ] {
+            let default = run_benchmark(sys, b, secs(2), seed);
+            let explicit = run_benchmark_policy(sys, b, secs(2), seed, PolicyKind::RoundRobin);
+            assert_eq!(
+                format!("{default:?}"),
+                format!("{explicit:?}"),
+                "seed {seed:#x} {}/{b:?}: explicit rr diverged from the default",
+                sys.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tournament_reference_slice_is_complete_and_deadlock_free() {
+    let opts = TournamentOpts::new(secs(1), 0xCEDA_2026, 2).reference_cells();
+    let report = run_tournament(&opts);
+    assert_eq!(
+        report.entries.len(),
+        2 * PolicyKind::ALL.len(),
+        "2 reference cells x 4 policies"
+    );
+    assert!(
+        report.failures().is_empty(),
+        "reference slice wedged: {:?}",
+        report
+            .failures()
+            .iter()
+            .map(|e| format!("{}/{:?}/{}", e.system.name(), e.benchmark, e.policy))
+            .collect::<Vec<_>>()
+    );
+    let json = report.to_json();
+    assert_eq!(
+        json.get("schema").and_then(trace::Json::as_str),
+        Some("threadstudy-tournament-v1")
+    );
+    let cells = json
+        .get("cells")
+        .and_then(trace::Json::as_array)
+        .expect("cells array");
+    assert_eq!(cells.len(), 2);
+    for cell in cells {
+        let policies = cell
+            .get("policies")
+            .and_then(trace::Json::as_array)
+            .expect("per-cell policy array");
+        assert_eq!(policies.len(), PolicyKind::ALL.len());
+        for p in policies {
+            assert_eq!(p.get("ok").and_then(trace::Json::as_bool), Some(true));
+        }
     }
 }
 

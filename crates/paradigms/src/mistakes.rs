@@ -135,7 +135,7 @@ pub fn transfer_ba(ctx: &ThreadCtx, a: &Monitor<u64>, b: &Monitor<u64>, amount: 
 
 /// One half of the *interprocedural* ABBA of §2.6/§4.4: locally this
 /// takes a single lock and makes one innocent-looking call — the
-/// second acquisition hides inside [`log_to_audit`]. Only the
+/// second acquisition hides inside `log_to_audit`. Only the
 /// workspace call graph sees the `ledger -> audit` edge; run
 /// concurrently with [`deep_transfer_ba`] the composed order cycles.
 pub fn deep_transfer_ab(ctx: &ThreadCtx, ledger: &Monitor<u64>, audit: &Monitor<u64>, amount: u64) {
@@ -151,7 +151,7 @@ fn log_to_audit(ctx: &ThreadCtx, audit: &Monitor<u64>, amount: u64) {
     g.with_mut(|v| *v += amount);
 }
 
-/// The other half: `audit` first, then `ledger` via [`post_to_ledger`].
+/// The other half: `audit` first, then `ledger` via `post_to_ledger`.
 /// Neither function nests two ENTERs in its own body, so the per-file
 /// cycle lint stays silent; the transitive one must not.
 pub fn deep_transfer_ba(ctx: &ThreadCtx, ledger: &Monitor<u64>, audit: &Monitor<u64>, amount: u64) {

@@ -6,6 +6,7 @@
 
 use crate::chaos::ChaosConfig;
 use crate::hazard::HazardConfig;
+use crate::sched::policy::PolicyKind;
 use crate::time::{micros, millis, SimDuration};
 
 /// How NOTIFY schedules the awakened thread (§6.1).
@@ -100,6 +101,11 @@ pub struct SimConfig {
     /// detection (the default; it costs a shadow bookkeeping pass per
     /// event).
     pub hazard_detection: Option<HazardConfig>,
+    /// Which scheduling policy dispatches threads
+    /// ([`crate::policy::Scheduler`]). The default is the paper's
+    /// 7-priority round-robin; the alternatives exist for the policy
+    /// tournament (`docs/SCHEDULING.md`).
+    pub policy: PolicyKind,
 }
 
 impl Default for SimConfig {
@@ -119,6 +125,7 @@ impl Default for SimConfig {
             seed: 0x5EED_CEDA,
             chaos: ChaosConfig::default(),
             hazard_detection: None,
+            policy: PolicyKind::default(),
         }
     }
 }
@@ -201,6 +208,12 @@ impl SimConfig {
         self.hazard_detection = Some(cfg);
         self
     }
+
+    /// Selects the scheduling policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +242,13 @@ mod tests {
     fn granularity_follows_quantum_by_default() {
         let c = SimConfig::default().with_quantum(millis(20));
         assert_eq!(c.granularity(), millis(20));
+    }
+
+    #[test]
+    fn default_policy_is_round_robin() {
+        assert_eq!(SimConfig::default().policy, PolicyKind::RoundRobin);
+        let c = SimConfig::default().with_policy(PolicyKind::Mlfq);
+        assert_eq!(c.policy, PolicyKind::Mlfq);
     }
 
     #[test]

@@ -98,6 +98,8 @@ pub use hazard::{Hazard, HazardConfig, HazardCounts, HazardKind, HazardMonitor};
 pub use monitor::{Monitor, MonitorGuard, MonitorId};
 pub use mp::MpSim;
 pub use rng::SplitMix64;
+pub use sched::policy;
+pub use sched::policy::PolicyKind;
 pub use sched::{AllocCounters, RunLimit, SchedLatency, Sim, SimStats};
 pub use thread::{JoinHandle, Priority, ThreadId, ThreadInfo, ThreadView};
 pub use time::{micros, millis, secs, SimDuration, SimTime};

@@ -27,6 +27,10 @@ use crate::thread::{JoinHandle, Priority, ResultSlot, ThreadId, ThreadInfo, Thre
 use crate::time::{micros, millis, SimDuration, SimTime};
 use crate::timer::{TimerKind, TimerWheel};
 
+pub mod policy;
+
+use policy::{PolicyCtx, Scheduler};
+
 /// Salt folded into the seed for the dedicated chaos RNG stream, so
 /// enabling injection leaves the scheduler's own random decisions (e.g.
 /// SystemDaemon donation targets) untouched.
@@ -512,22 +516,16 @@ pub struct Sim {
     clock_mirror: Arc<AtomicU64>,
     rng: SplitMix64,
     threads: Vec<Tcb>,
-    /// Per-priority ready queues, with nodes in [`Sim::queue_arena`].
-    /// Entries are `(tid, ready_gen)`; an entry is live iff the thread's
-    /// `in_ready` flag is set and its generation matches, which makes
-    /// mid-queue removal O(1) at the cost of tombstones that are dropped
-    /// when popped.
-    ready: [QList; Priority::LEVELS],
+    /// The installed scheduling policy: owns the ready structure and
+    /// makes every dispatch decision ([`policy::Scheduler`]). The
+    /// default [`policy::RoundRobin`] is the paper's scheduler,
+    /// byte-identical to the pre-trait dispatcher.
+    policy: Box<dyn Scheduler>,
     /// Shared node slab for the ready queues and CV wait queues: one
     /// free list bounds total queue memory at its joint high-water mark
-    /// and keeps enqueue/dequeue allocation-free at steady state.
+    /// and keeps enqueue/dequeue allocation-free at steady state. Lent
+    /// to the policy through [`PolicyCtx`] on every policy call.
     queue_arena: NodeArena,
-    /// Live-entry count per priority level (tombstones excluded).
-    ready_live: [u32; Priority::LEVELS],
-    /// Bit `i` set iff `ready_live[i] > 0`: the scheduler finds the
-    /// highest nonempty priority with one leading-zeros instruction
-    /// instead of scanning seven queues.
-    ready_mask: u32,
     running: Option<ThreadId>,
     last_dispatched: Option<ThreadId>,
     shield: Option<Shield>,
@@ -582,17 +580,16 @@ impl Sim {
         let (req_tx, req_rx) = mpsc::channel();
         let seed = cfg.seed;
         let daemon = cfg.system_daemon;
+        let kind = cfg.policy;
         let mut sim = Sim {
             cfg,
             clock: SimTime::ZERO,
             clock_mirror: Arc::new(AtomicU64::new(0)),
             rng: SplitMix64::new(seed),
             threads: Vec::new(),
-            ready: Default::default(),
+            policy: policy::make(kind, seed),
             queue_arena: NodeArena::new(),
             pool: WorkerPool::new(),
-            ready_live: [0; Priority::LEVELS],
-            ready_mask: 0,
             running: None,
             last_dispatched: None,
             shield: None,
@@ -915,9 +912,11 @@ impl Sim {
         if self.threads[tid.0 as usize].in_ready {
             self.remove_from_ready(tid);
             self.threads[tid.0 as usize].priority = priority;
-            self.ready_enqueue(tid, false);
+            self.policy.on_priority_changed(tid, priority);
+            self.ready_enqueue(tid, false, false);
         } else {
             self.threads[tid.0 as usize].priority = priority;
+            self.policy.on_priority_changed(tid, priority);
         }
         self.emit(EventKind::SetPriority { tid, priority });
         true
@@ -1096,7 +1095,7 @@ impl Sim {
             priority,
             generation,
         });
-        self.ready_enqueue(tid, false);
+        self.ready_enqueue(tid, false, true);
         tid
     }
 
@@ -1138,66 +1137,59 @@ impl Sim {
 
     // ---- ready-queue helpers ----------------------------------------------
 
-    /// Appends a live entry for `tid` at its current priority,
-    /// maintaining the live counts and the nonempty mask.
-    fn ready_enqueue(&mut self, tid: ThreadId, front: bool) {
+    /// Splits the borrow of `self` into the installed policy and the
+    /// [`PolicyCtx`] lending it the arena and thread table — disjoint
+    /// fields, so the policy can mutate its structure while reading
+    /// thread state.
+    fn policy_split(&mut self) -> (&mut dyn Scheduler, PolicyCtx<'_>) {
+        let Sim {
+            policy,
+            queue_arena,
+            threads,
+            ..
+        } = self;
+        (
+            policy.as_mut(),
+            PolicyCtx {
+                arena: queue_arena,
+                threads,
+            },
+        )
+    }
+
+    /// Hands a runnable `tid` to the policy, maintaining the simulator's
+    /// own bookkeeping (live flag, tombstone generation, latency stamp).
+    /// `wakeup` is true when the thread was blocked rather than
+    /// preempted or yielding.
+    fn ready_enqueue(&mut self, tid: ThreadId, front: bool, wakeup: bool) {
         let now = self.clock;
         let t = &mut self.threads[tid.0 as usize];
         debug_assert!(!t.in_ready, "thread {tid:?} enqueued while already ready");
         t.in_ready = true;
         t.ready_gen = t.ready_gen.wrapping_add(1);
         t.ready_since = now;
-        let gen = t.ready_gen as u64;
-        let lvl = t.priority.index();
-        if front {
-            self.queue_arena.push_front(&mut self.ready[lvl], tid, gen);
-        } else {
-            self.queue_arena.push_back(&mut self.ready[lvl], tid, gen);
-        }
-        self.ready_live[lvl] += 1;
-        self.ready_mask |= 1 << lvl;
-    }
-
-    /// Marks a dequeued level slot dead and updates count and mask. The
-    /// caller has already taken the entry out of (or tombstoned it in)
-    /// the deque.
-    fn ready_mark_dequeued(&mut self, tid: ThreadId, lvl: usize) {
-        self.threads[tid.0 as usize].in_ready = false;
-        self.ready_live[lvl] -= 1;
-        if self.ready_live[lvl] == 0 {
-            self.ready_mask &= !(1 << lvl);
-            // Whatever remains in the list is tombstones.
-            self.queue_arena.clear(&mut self.ready[lvl]);
-        }
-    }
-
-    /// Pops the frontmost *live* entry at `lvl`, dropping tombstones on
-    /// the way. Returns `None` only if the level has no live entry.
-    fn pop_ready_at(&mut self, lvl: usize) -> Option<ThreadId> {
-        while let Some((tid, gen)) = self.queue_arena.pop_front(&mut self.ready[lvl]) {
-            let t = &self.threads[tid.0 as usize];
-            if t.in_ready && t.ready_gen as u64 == gen {
-                self.ready_mark_dequeued(tid, lvl);
-                return Some(tid);
-            }
-        }
-        None
+        let (policy, mut ctx) = self.policy_split();
+        policy.on_ready(&mut ctx, tid, front, wakeup);
     }
 
     fn push_ready_back(&mut self, tid: ThreadId) {
         if self.apply_pending_stall(tid) {
             return;
         }
-        self.threads[tid.0 as usize].state = TState::Ready;
-        self.ready_enqueue(tid, false);
+        let t = &mut self.threads[tid.0 as usize];
+        let wakeup = t.state != TState::Running;
+        t.state = TState::Ready;
+        self.ready_enqueue(tid, false, wakeup);
     }
 
     fn push_ready_front(&mut self, tid: ThreadId) {
         if self.apply_pending_stall(tid) {
             return;
         }
-        self.threads[tid.0 as usize].state = TState::Ready;
-        self.ready_enqueue(tid, true);
+        let t = &mut self.threads[tid.0 as usize];
+        let wakeup = t.state != TState::Running;
+        t.state = TState::Ready;
+        self.ready_enqueue(tid, true, wakeup);
     }
 
     // ---- chaos injection --------------------------------------------------
@@ -1305,6 +1297,7 @@ impl Sim {
         if let Some(level) = param {
             let prio = Priority::of(level.clamp(1, Priority::LEVELS as u64) as u8);
             self.threads[tid.0 as usize].priority = prio;
+            self.policy.on_priority_changed(tid, prio);
             self.stats.chaos_priority_changes += 1;
             self.emit(EventKind::SetPriority {
                 tid,
@@ -1313,86 +1306,46 @@ impl Sim {
         }
     }
 
+    /// Asks the policy for the next thread to run, skipping `excluded`
+    /// (the paper's `YieldButNotToMe`).
     fn pop_ready_excluding(&mut self, excluded: Option<ThreadId>) -> Option<ThreadId> {
-        let Some(ex) = excluded else {
-            // Hot path: one leading-zeros instruction finds the highest
-            // nonempty priority; the pop drops tombstones lazily.
-            if self.ready_mask == 0 {
-                return None;
-            }
-            let lvl = (31 - self.ready_mask.leading_zeros()) as usize;
-            return self.pop_ready_at(lvl);
-        };
-        // Exclusion path (YieldButNotToMe): scan for the first live
-        // non-excluded entry, then unlink it in O(1). Skip levels whose
-        // only live entry is the excluded thread itself.
-        let mut mask = self.ready_mask;
-        while mask != 0 {
-            let lvl = (31 - mask.leading_zeros()) as usize;
-            mask &= !(1 << lvl);
-            let ext = &self.threads[ex.0 as usize];
-            if ext.in_ready && ext.priority.index() == lvl && self.ready_live[lvl] == 1 {
-                continue;
-            }
-            let hit = self
-                .queue_arena
-                .iter(&self.ready[lvl])
-                .find(|&(_, tid, gen)| {
-                    let t = &self.threads[tid.0 as usize];
-                    tid != ex && t.in_ready && t.ready_gen as u64 == gen
-                });
-            if let Some((node, tid, _)) = hit {
-                self.queue_arena.unlink(&mut self.ready[lvl], node);
-                self.ready_mark_dequeued(tid, lvl);
-                return Some(tid);
-            }
-        }
-        None
+        let (policy, mut ctx) = self.policy_split();
+        policy.next(&mut ctx, excluded)
     }
 
     fn remove_from_ready(&mut self, tid: ThreadId) -> bool {
         if !self.threads[tid.0 as usize].in_ready {
             return false;
         }
-        // O(1): the queue entry stays behind as a tombstone.
-        let lvl = self.threads[tid.0 as usize].priority.index();
-        self.ready_mark_dequeued(tid, lvl);
+        let (policy, mut ctx) = self.policy_split();
+        policy.remove(&mut ctx, tid);
+        debug_assert!(!self.threads[tid.0 as usize].in_ready);
         true
     }
 
-    fn exists_ready_higher_than(&self, prio: Priority, excluded: Option<ThreadId>) -> bool {
-        let above = self.ready_mask & !((1u32 << (prio.index() + 1)) - 1);
-        let Some(ex) = excluded else {
-            return above != 0;
-        };
-        if above == 0 {
-            return false;
-        }
-        // The excluded thread occupies at most one level; discount it
-        // when it is that level's only live entry.
-        let ext = &self.threads[ex.0 as usize];
-        if ext.in_ready {
-            let lvl = ext.priority.index();
-            if lvl > prio.index() && self.ready_live[lvl] == 1 {
-                return above & !(1 << lvl) != 0;
-            }
-        }
-        true
+    /// After `tid`'s quantum expired: does the policy want to requeue it
+    /// behind a competitor instead of granting a fresh slice?
+    fn quantum_competitor_exists(&mut self, tid: ThreadId) -> bool {
+        let (policy, mut ctx) = self.policy_split();
+        policy.has_competitor(&mut ctx, tid)
     }
 
-    fn exists_ready_at_least(&self, prio: Priority) -> bool {
-        self.ready_mask >> prio.index() != 0
+    /// The policy-granted quantum for dispatching `tid` now.
+    fn policy_timeslice(&self, tid: ThreadId) -> SimDuration {
+        let prio = self.threads[tid.0 as usize].priority;
+        self.policy.timeslice(tid, prio, self.cfg.quantum)
     }
 
-    fn preempt_needed(&self) -> bool {
+    fn preempt_needed(&mut self) -> bool {
         let Some(run) = self.running else {
             return false;
         };
-        let rp = self.threads[run.0 as usize].priority;
-        match self.shield {
+        let shield = self.shield;
+        let (policy, mut ctx) = self.policy_split();
+        match shield {
             Some(Shield::Full) => false,
-            Some(Shield::FromDonor(d)) => self.exists_ready_higher_than(rp, Some(d)),
-            None => self.exists_ready_higher_than(rp, None),
+            Some(Shield::FromDonor(d)) => policy.preempts(&mut ctx, run, Some(d)),
+            None => policy.preempts(&mut ctx, run, None),
         }
     }
 
@@ -1683,9 +1636,10 @@ impl Sim {
         }
         let t = &mut self.threads[tid.0 as usize];
         t.cpu += d;
-        let idx = t.priority.index();
-        self.stats.cpu_by_priority[idx] += d;
+        let prio = t.priority;
+        self.stats.cpu_by_priority[prio.index()] += d;
         self.stats.total_cpu += d;
+        self.policy.on_cpu(tid, prio, d);
         self.set_clock(self.clock + d);
     }
 
@@ -1792,12 +1746,13 @@ impl Sim {
         self.running = Some(tid);
         self.threads[tid.0 as usize].state = TState::Running;
         self.shield = shield;
-        let mut quantum_left = quantum_override.unwrap_or(self.cfg.quantum);
+        let mut quantum_left = quantum_override.unwrap_or_else(|| self.policy_timeslice(tid));
 
         // A CV wake or metalock retry acquires its monitor now; blocking
         // here is the "useless trip through the scheduler" of §6.1.
         if let Some(mid) = self.threads[tid.0 as usize].acquire_on_dispatch.take() {
             if !self.dispatch_acquire(tid, mid) {
+                self.policy.on_block(tid);
                 self.running = None;
                 self.shield = None;
                 return;
@@ -1834,11 +1789,11 @@ impl Sim {
                         self.push_ready_back(tid);
                         break;
                     }
-                    if self.exists_ready_at_least(self.threads[tid.0 as usize].priority) {
+                    if self.quantum_competitor_exists(tid) {
                         self.push_ready_back(tid);
                         break;
                     }
-                    quantum_left = self.cfg.quantum;
+                    quantum_left = self.policy_timeslice(tid);
                     continue;
                 }
                 self.charge_thread(tid, slice);
@@ -1873,11 +1828,22 @@ impl Sim {
                 break;
             }
         }
+        if !matches!(
+            self.threads[tid.0 as usize].state,
+            TState::Running | TState::Ready | TState::Exited
+        ) {
+            // The dispatched thread left the CPU blocked (monitor, CV,
+            // sleep, join, fork-wait, or a chaos stall).
+            self.policy.on_block(tid);
+        }
         self.running = None;
         self.shield = None;
     }
 
     fn quantum_expired(&mut self, tid: ThreadId) {
+        // Demotion (MLFQ) happens before the requeue decision so the
+        // expired thread re-enters at its new level.
+        self.policy.on_quantum_expired(tid);
         self.stats.quantum_expiries += 1;
         self.emit(EventKind::QuantumExpired { tid });
     }
@@ -1947,29 +1913,21 @@ impl Sim {
             }
             Request::DonateRandom { slice } => {
                 self.threads[tid.0 as usize].pending_reply = Some(Reply::Ok);
-                // Candidate count without materializing the list: every
-                // live ready entry except the donor itself. The walk below
-                // visits live entries in the same (level, FIFO) order the
-                // pre-tombstone queues had, so the RNG pick is unchanged.
-                let mut n: usize = self.ready_live.iter().map(|&c| c as usize).sum();
-                if self.threads[tid.0 as usize].in_ready {
-                    n -= 1;
-                }
+                // The candidate count comes from the policy (every ready
+                // thread except the donor); the index pick stays on the
+                // main RNG stream, and the policy enumerates candidates
+                // in its deterministic order — for round-robin, the same
+                // (level, FIFO) order the pre-trait scheduler had.
+                let n = {
+                    let (policy, ctx) = self.policy_split();
+                    policy.ready_count_excluding(&ctx, tid)
+                };
                 if let Some(i) = self.rng.pick_index(n) {
-                    let mut target = tid;
-                    let mut seen = 0usize;
-                    'scan: for lvl in 0..Priority::LEVELS {
-                        for (_, t, gen) in self.queue_arena.iter(&self.ready[lvl]) {
-                            let tcb = &self.threads[t.0 as usize];
-                            if t != tid && tcb.in_ready && tcb.ready_gen as u64 == gen {
-                                if seen == i {
-                                    target = t;
-                                    break 'scan;
-                                }
-                                seen += 1;
-                            }
-                        }
+                    let target = {
+                        let (policy, ctx) = self.policy_split();
+                        policy.nth_ready_excluding(&ctx, i, tid)
                     }
+                    .expect("donation target walk out of sync");
                     debug_assert_ne!(target, tid, "donation target walk out of sync");
                     self.stats.daemon_donations += 1;
                     self.emit(EventKind::DaemonDonation { target });
@@ -1979,6 +1937,9 @@ impl Sim {
             }
             Request::SetPriority(p) => {
                 self.threads[tid.0 as usize].priority = p;
+                // The thread is running (not in the ready structure), so
+                // the policy only needs the notification, not a requeue.
+                self.policy.on_priority_changed(tid, p);
                 self.emit(EventKind::SetPriority { tid, priority: p });
                 self.reply_ok(tid);
             }

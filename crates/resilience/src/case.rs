@@ -10,7 +10,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use pcr::{FaultDecision, FaultSchedule, FaultSiteKind, SimDuration, SimTime, StallSpec};
+use pcr::{
+    FaultDecision, FaultSchedule, FaultSiteKind, PolicyKind, SimDuration, SimTime, StallSpec,
+};
 use threadstudy_core::System;
 use trace::Json;
 use workloads::Benchmark;
@@ -37,6 +39,9 @@ pub struct StoredCase {
     pub wedge_threshold: SimDuration,
     /// Thread-table cap, when the intensity level set one.
     pub max_threads: Option<usize>,
+    /// Scheduling policy the trial ran under. Files written before the
+    /// policy tournament carry no `"policy"` key and load as round-robin.
+    pub policy: PolicyKind,
     /// Name of the intensity level that found the failure.
     pub intensity: String,
     /// The canonical failure signature the schedule reproduces.
@@ -77,6 +82,7 @@ impl StoredCase {
             slice: self.slice,
             wedge_threshold: self.wedge_threshold,
             max_threads: self.max_threads,
+            policy: self.policy,
         }
     }
 
@@ -119,6 +125,7 @@ impl StoredCase {
                 self.max_threads
                     .map_or(Json::Null, |n| Json::UInt(n as u64)),
             ),
+            ("policy", Json::Str(self.policy.as_str().to_string())),
             ("intensity", Json::Str(self.intensity.clone())),
             ("signature", Json::Str(self.signature.clone())),
             ("decisions", decisions),
@@ -149,6 +156,15 @@ impl StoredCase {
         let seed_hex = str_field("seed")?;
         let seed = u64::from_str_radix(&seed_hex, 16)
             .map_err(|e| format!("bad seed {seed_hex:?}: {e}"))?;
+        // Cases written before the policy tournament have no "policy" key;
+        // they all ran under the paper's round-robin.
+        let policy = match j.get("policy") {
+            None | Some(Json::Null) => PolicyKind::RoundRobin,
+            Some(other) => other
+                .as_str()
+                .ok_or_else(|| "field \"policy\" is not a string".to_string())?
+                .parse()?,
+        };
         let max_threads = match field("max_threads")? {
             Json::Null => None,
             other => Some(
@@ -221,6 +237,7 @@ impl StoredCase {
             slice: SimDuration::from_micros(u64_field("slice_us")?),
             wedge_threshold: SimDuration::from_micros(u64_field("wedge_threshold_us")?),
             max_threads,
+            policy,
             intensity: str_field("intensity")?,
             signature: str_field("signature")?,
             schedule: FaultSchedule { decisions, stalls },
@@ -309,6 +326,7 @@ mod tests {
             slice: millis(250),
             wedge_threshold: millis(1500),
             max_threads: Some(23),
+            policy: PolicyKind::RoundRobin,
             intensity: "stall-gated".to_string(),
             signature: "wedge:[GVX.DisplayWatchdog(monitor)]".to_string(),
             schedule: FaultSchedule {
@@ -346,9 +364,31 @@ mod tests {
         assert_eq!(back.slice, case.slice);
         assert_eq!(back.wedge_threshold, case.wedge_threshold);
         assert_eq!(back.max_threads, case.max_threads);
+        assert_eq!(back.policy, case.policy);
         assert_eq!(back.intensity, case.intensity);
         assert_eq!(back.signature, case.signature);
         assert_eq!(back.schedule, case.schedule);
+    }
+
+    #[test]
+    fn non_default_policy_round_trips() {
+        let mut case = sample();
+        case.policy = PolicyKind::Mlfq;
+        let text = case.to_json().pretty();
+        assert!(text.contains("\"policy\": \"mlfq\""), "{text}");
+        let back = StoredCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.policy, PolicyKind::Mlfq);
+    }
+
+    #[test]
+    fn missing_policy_defaults_to_round_robin() {
+        // Files from before the tournament have no "policy" key at all.
+        let text = sample()
+            .to_json()
+            .pretty()
+            .replace("\"policy\": \"rr\",", "");
+        let back = StoredCase::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.policy, PolicyKind::RoundRobin);
     }
 
     #[test]
@@ -423,6 +463,7 @@ mod tests {
         let mut text = sample().to_json().pretty();
         text = text.replace("\"v\": 2", "\"v\": 1");
         text = text.replace("\"world\": \"cell\",", "");
+        text = text.replace("\"policy\": \"rr\",", "");
         let back = StoredCase::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.world, TrialWorld::Cell);
         assert_eq!(back.seed, sample().seed);

@@ -118,6 +118,7 @@ mod tests {
                 slice: pcr::millis(100),
                 wedge_threshold: pcr::millis(400),
                 max_threads: None,
+                policy: pcr::PolicyKind::RoundRobin,
             };
             let obs = crate::observe::observe(&spec, pcr::ChaosConfig::none());
             if let Some(f) = &obs.failure {
@@ -135,6 +136,7 @@ mod tests {
             slice: spec.slice,
             wedge_threshold: spec.wedge_threshold,
             max_threads: spec.max_threads,
+            policy: spec.policy,
             intensity: "baseline".to_string(),
             signature: signature.clone(),
             schedule: FaultSchedule::default(),

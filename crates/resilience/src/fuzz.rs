@@ -19,7 +19,7 @@
 //! signature, so the corpus a sweep writes to disk is byte-deterministic
 //! regardless of discovery order.
 
-use pcr::{millis, secs, ChaosConfig, SimDuration, SimTime};
+use pcr::{millis, secs, ChaosConfig, PolicyKind, SimDuration, SimTime};
 use threadstudy_core::System;
 use workloads::{chaos_preset, eternal_thread_count, Benchmark};
 
@@ -171,6 +171,9 @@ pub struct FuzzConfig {
     pub slice: SimDuration,
     /// Wedge age threshold.
     pub wedge_threshold: SimDuration,
+    /// Scheduling policy every trial runs under (the multiprocessor mesh
+    /// ignores it; see [`TrialSpec::policy`]).
+    pub policy: PolicyKind,
 }
 
 /// The full default grid: every Table 1 matrix cell plus the
@@ -205,6 +208,7 @@ impl Default for FuzzConfig {
             window: secs(6),
             slice: millis(250),
             wedge_threshold: millis(1500),
+            policy: PolicyKind::RoundRobin,
         }
     }
 }
@@ -271,6 +275,7 @@ pub(crate) fn grid_spec(
         slice: cfg.slice,
         wedge_threshold: cfg.wedge_threshold,
         max_threads: rung.max_threads,
+        policy: cfg.policy,
     }
 }
 
@@ -375,6 +380,7 @@ pub fn fuzz_with(
                                 slice: cfg.slice,
                                 wedge_threshold: cfg.wedge_threshold,
                                 max_threads: rung.max_threads,
+                                policy: cfg.policy,
                                 intensity: rung.name.to_string(),
                                 signature,
                                 schedule: obs.schedule,

@@ -299,6 +299,7 @@ pub fn guided_fuzz(cfg: &FuzzConfig, mut progress: impl FnMut(&str)) -> GuidedOu
                 slice: cfg.slice,
                 wedge_threshold: cfg.wedge_threshold,
                 max_threads: rung.max_threads,
+                policy: cfg.policy,
                 intensity: rung.name.to_string(),
                 signature: String::new(),
                 schedule: FaultSchedule::default(),
@@ -432,6 +433,7 @@ mod tests {
                 slice: millis(250),
                 wedge_threshold: millis(500),
                 max_threads: None,
+                policy: pcr::PolicyKind::RoundRobin,
                 intensity: "preset".to_string(),
                 signature: "sig".to_string(),
                 schedule: FaultSchedule::default(),
@@ -460,6 +462,7 @@ mod tests {
                 slice: millis(250),
                 wedge_threshold: millis(1500),
                 max_threads: None,
+                policy: pcr::PolicyKind::RoundRobin,
                 intensity: "preset".to_string(),
                 signature: "wedge:[x(monitor)]".to_string(),
                 schedule: FaultSchedule {

@@ -109,6 +109,11 @@ pub struct TrialSpec {
     pub wedge_threshold: SimDuration,
     /// Optional thread-table cap (the §5.4 fork-outage lever).
     pub max_threads: Option<usize>,
+    /// Which scheduling policy dispatches the trial's world. Applies to
+    /// [`TrialWorld::Cell`] and [`TrialWorld::WeakMemory`] (which run on
+    /// [`pcr::Sim`]); the multiprocessor world has its own per-CPU
+    /// dispatcher and ignores it.
+    pub policy: pcr::PolicyKind,
 }
 
 /// The outcome of one trial.
@@ -159,7 +164,10 @@ fn build_weakmem_world(spec: &TrialSpec, chaos: ChaosConfig, max_delay_us: u64) 
     const DATA: usize = 0;
     const FLAG: usize = 1;
     const ROUNDS: u64 = 200;
-    let cfg = SimConfig::default().with_seed(spec.seed).with_chaos(chaos);
+    let cfg = SimConfig::default()
+        .with_seed(spec.seed)
+        .with_policy(spec.policy)
+        .with_chaos(chaos);
     let mut sim = Sim::new(cfg);
     let mem = WeakMem::new(spec.seed ^ 0x7EA4_5EED, micros(max_delay_us));
     let m = mem.clone();
@@ -274,16 +282,15 @@ pub fn observe(spec: &TrialSpec, chaos: ChaosConfig) -> Observation {
     let mut sim = match spec.world {
         TrialWorld::MultiCore { cpus } => return observe_multicore(spec, cpus),
         TrialWorld::WeakMemory { max_delay_us } => build_weakmem_world(spec, chaos, max_delay_us),
-        TrialWorld::Cell => build_chaos_with(
-            spec.system,
-            spec.benchmark,
-            spec.seed,
-            chaos,
-            |cfg| match spec.max_threads {
-                Some(n) => cfg.with_max_threads(n),
-                None => cfg,
-            },
-        ),
+        TrialWorld::Cell => {
+            build_chaos_with(spec.system, spec.benchmark, spec.seed, chaos, |cfg| {
+                let cfg = cfg.with_policy(spec.policy);
+                match spec.max_threads {
+                    Some(n) => cfg.with_max_threads(n),
+                    None => cfg,
+                }
+            })
+        }
     };
     let mut remaining = spec.window;
     let mut elapsed = SimDuration::ZERO;

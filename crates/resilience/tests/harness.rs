@@ -38,6 +38,7 @@ fn seeded_case(system: System, benchmark: Benchmark, seed: u64) -> StoredCase {
         slice: millis(250),
         wedge_threshold: millis(1500),
         max_threads: rung.max_threads,
+        policy: pcr::PolicyKind::RoundRobin,
     };
     let obs = observe(&spec, rung.chaos.clone());
     let failure = obs
@@ -53,6 +54,7 @@ fn seeded_case(system: System, benchmark: Benchmark, seed: u64) -> StoredCase {
         slice: spec.slice,
         wedge_threshold: spec.wedge_threshold,
         max_threads: rung.max_threads,
+        policy: spec.policy,
         intensity: rung.name.to_string(),
         signature: failure.signature(),
         schedule: obs.schedule.clone(),

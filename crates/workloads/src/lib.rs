@@ -26,6 +26,7 @@ pub mod world;
 
 pub use runner::{
     build_chaos, build_chaos_with, chaos_preset, eternal_thread_count, harvest, probe,
-    run_benchmark, run_benchmark_chaos, BenchResult, DEFAULT_WINDOW,
+    run_benchmark, run_benchmark_chaos, run_benchmark_policy, run_benchmark_with, BenchResult,
+    DEFAULT_WINDOW,
 };
 pub use spec::{paper_row, Benchmark, PaperRow, System};

@@ -139,6 +139,30 @@ pub fn run_benchmark(
     run_benchmark_chaos(system, benchmark, window, seed, ChaosConfig::none())
 }
 
+/// Like [`run_benchmark`], but dispatching with `policy` instead of the
+/// default round-robin — the per-cell unit of the policy tournament.
+///
+/// # Panics
+///
+/// Panics if the world deadlocks under the chosen policy (which the
+/// tournament treats as that policy losing the cell).
+pub fn run_benchmark_policy(
+    system: System,
+    benchmark: Benchmark,
+    window: SimDuration,
+    seed: u64,
+    policy: pcr::PolicyKind,
+) -> BenchResult {
+    run_benchmark_with(
+        system,
+        benchmark,
+        window,
+        seed,
+        ChaosConfig::none(),
+        |cfg| cfg.with_policy(policy),
+    )
+}
+
 /// Like [`run_benchmark`], but with fault injection per `chaos` and the
 /// [`pcr::HazardMonitor`] watching the whole run; the tallies land in
 /// [`BenchResult::hazards`].
@@ -155,7 +179,25 @@ pub fn run_benchmark_chaos(
     seed: u64,
     chaos: ChaosConfig,
 ) -> BenchResult {
-    let mut sim = build_chaos(system, benchmark, seed, chaos);
+    run_benchmark_with(system, benchmark, window, seed, chaos, |cfg| cfg)
+}
+
+/// The general benchmark runner: fault injection per `chaos` plus an
+/// arbitrary [`SimConfig`] `tweak` (scheduling policy, thread caps, …)
+/// applied before the world is installed.
+///
+/// # Panics
+///
+/// Panics if the world deadlocks.
+pub fn run_benchmark_with(
+    system: System,
+    benchmark: Benchmark,
+    window: SimDuration,
+    seed: u64,
+    chaos: ChaosConfig,
+    tweak: impl FnOnce(SimConfig) -> SimConfig,
+) -> BenchResult {
+    let mut sim = build_chaos_with(system, benchmark, seed, chaos, tweak);
     // Warm-up: let queues and sleepers reach steady state.
     let warmup = sim.run(RunLimit::For(secs(2)));
     assert!(
