@@ -5,7 +5,8 @@
 //! Exit codes are unified in [`bench::exit`]: 0 success, 1 hazards or
 //! replay divergence, 2 usage, 3 deadlock/wedge, 4 diff deltas, 5
 //! regression or non-reproducing case, 6 file I/O, 7 new fuzz failure
-//! signature. When several conditions accumulate, the largest code wins.
+//! signature, 8 serve SLO breach. When several conditions accumulate,
+//! the largest code wins.
 
 use bench::exit;
 use pcr::secs;
@@ -18,8 +19,8 @@ commands:
   tables   [--window SECS]   Tables 1-3 (runs all 12 benchmarks)
   table4                     Table 4 (static census)
   figures  [--window SECS]   interval/priority/generation figures
-  experiments                the §5/§6 experiments (E5-E12)
-  slack|spurious|inversion|quantum|mistakes|forkfail|weakmem|xlib
+  experiments                the §5/§6 experiments (E5-E13, E17)
+  slack|spurious|inversion|quantum|mistakes|forkfail|weakmem|xlib|exploiters|retrystorm
                              one experiment by name
   history                    a 100ms event history of Cedar typing
   contention                 the §6.1 contention profile and §6.2 latency
@@ -109,6 +110,28 @@ commands:
                              with --baseline, fails if aggregate
                              events/sec regressed more than 30% vs that
                              file
+  serve    [--sessions N] [--scenario reference|burst|outage]
+           [--chaos outage] [--reps N] [--pipeline-workers N]
+           [--no-retry-budget] [--json PATH] [--baseline PATH]
+           [--chrome PATH] [--slo-p50-ms N] [--slo-p99-ms N]
+           [--slo-p999-ms N]
+                             the overload-resilient serve world
+                             (docs/SERVING.md): an open-loop fleet of N
+                             client sessions (default 25000) against the
+                             input-to-echo pipeline with admission
+                             control, deadline shedding, retry budgets,
+                             a circuit breaker, and the degradation
+                             ladder; prints the threadstudy-serve-v1
+                             report and gates the run on its
+                             p50/p99/p999 SLOs (exit 8 on breach);
+                             --reps N runs N replicas on the host
+                             executor and exits 1 unless their reports
+                             are byte-identical; --baseline regression-
+                             checks a stored report (exit 5 on drift);
+                             --chaos outage is shorthand for --scenario
+                             outage (mid-run X-server blackouts);
+                             --chrome additionally records one traced
+                             run for ui.perfetto.dev
   all      [--window SECS] [--json PATH]   everything
   help                       this text
 
@@ -384,8 +407,7 @@ fn main() {
         .iter()
         .position(|a| a == "--window")
         .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<u64>().ok())
-        .map(secs);
+        .map(|s| secs(parse_positive("--window", s)));
     let window = window_flag.unwrap_or(secs(30));
     // `--seed HEX` (0x prefix and _ separators accepted). Subcommands
     // keep their historical defaults when the flag is absent, so
@@ -592,11 +614,8 @@ fn main() {
             }
         }
         "bench" => {
-            let reps = args
-                .iter()
-                .position(|a| a == "--reps")
-                .and_then(|i| args.get(i + 1))
-                .and_then(|s| s.parse::<u32>().ok())
+            let reps = flag_value("--reps")
+                .map(|s| parse_positive_u32("--reps", &s))
                 .unwrap_or(3);
             let baseline_path = args
                 .iter()
@@ -635,6 +654,46 @@ fn main() {
                     }
                 }
             }
+        }
+        "serve" => {
+            let mut opts = bench::serve_cli::ServeOpts::new(
+                flag_value("--sessions")
+                    .map(|s| parse_positive_u32("--sessions", &s))
+                    .unwrap_or(25_000),
+                seed,
+            );
+            if let Some(s) = flag_value("--scenario") {
+                opts.scenario =
+                    workloads::serve::ServeScenario::from_label(&s).unwrap_or_else(|| {
+                        eprintln!("bad --scenario {s:?}: expected reference, burst, or outage");
+                        std::process::exit(exit::USAGE);
+                    });
+            }
+            if let Some(c) = flag_value("--chaos") {
+                if c != "outage" {
+                    eprintln!("bad --chaos {c:?}: serve only injects the outage fault mix");
+                    std::process::exit(exit::USAGE);
+                }
+                opts.scenario = workloads::serve::ServeScenario::Outage;
+            }
+            opts.pipeline_workers = flag_value("--pipeline-workers")
+                .map(|s| parse_positive("--pipeline-workers", &s) as usize);
+            opts.reps = flag_value("--reps")
+                .map(|s| parse_positive_u32("--reps", &s))
+                .unwrap_or(1);
+            opts.workers = workers;
+            opts.policy = policy;
+            opts.no_retry_budget = args.iter().any(|a| a == "--no-retry-budget");
+            opts.slo_p50_ms =
+                flag_value("--slo-p50-ms").map(|s| parse_positive("--slo-p50-ms", &s));
+            opts.slo_p99_ms =
+                flag_value("--slo-p99-ms").map(|s| parse_positive("--slo-p99-ms", &s));
+            opts.slo_p999_ms =
+                flag_value("--slo-p999-ms").map(|s| parse_positive("--slo-p999-ms", &s));
+            opts.json = json_path.clone();
+            opts.baseline = flag_value("--baseline");
+            opts.chrome = flag_value("--chrome");
+            code = exit::worst(code, bench::serve_cli::serve_cmd(&opts));
         }
         "tournament" => {
             let mut opts = bench::tournament::TournamentOpts::new(
@@ -765,6 +824,47 @@ fn parse_seed(s: &str) -> Result<u64, String> {
     u64::from_str_radix(&t, 16).map_err(|e| e.to_string())
 }
 
+/// Parses a strictly positive integer flag value, exiting with the
+/// usage code (and a hint in the strict `--seed` style) on junk, zero,
+/// negative, or overflowing input rather than silently defaulting.
+fn parse_positive(name: &str, s: &str) -> u64 {
+    match positive_u64(s) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bad {name} {s:?}: {e}");
+            std::process::exit(exit::USAGE);
+        }
+    }
+}
+
+/// As [`parse_positive`], additionally bounded to `u32`.
+fn parse_positive_u32(name: &str, s: &str) -> u32 {
+    let v = parse_positive(name, s);
+    u32::try_from(v).unwrap_or_else(|_| {
+        eprintln!(
+            "bad {name} {s:?}: {v} does not fit a 32-bit count (max {})",
+            u32::MAX
+        );
+        std::process::exit(exit::USAGE);
+    })
+}
+
+/// The testable core of [`parse_positive`].
+fn positive_u64(s: &str) -> Result<u64, String> {
+    use std::num::IntErrorKind;
+    match s.parse::<u64>() {
+        Ok(0) => Err("must be at least 1".to_string()),
+        Ok(v) => Ok(v),
+        Err(e) if *e.kind() == IntErrorKind::PosOverflow => {
+            Err(format!("does not fit a 64-bit count (max {})", u64::MAX))
+        }
+        Err(_) if s.trim_start().starts_with('-') => {
+            Err("negative counts make no sense here; pass a positive integer".to_string())
+        }
+        Err(_) => Err("expected a positive integer".to_string()),
+    }
+}
+
 /// Reports any benchmark run that surfaced hazards; returns
 /// [`exit::HAZARD`] if any did, [`exit::OK`] otherwise.
 fn any_hazardous(results: &[workloads::BenchResult]) -> i32 {
@@ -786,7 +886,32 @@ fn any_hazardous(results: &[workloads::BenchResult]) -> i32 {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_seed;
+    use super::{parse_seed, positive_u64};
+
+    #[test]
+    fn positive_u64_accepts_ordinary_counts() {
+        assert_eq!(positive_u64("1"), Ok(1));
+        assert_eq!(positive_u64("25000"), Ok(25_000));
+        assert_eq!(positive_u64("18446744073709551615"), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn positive_u64_rejects_bad_counts_with_clear_messages() {
+        let zero = positive_u64("0").unwrap_err();
+        assert!(zero.contains("at least 1"), "{zero}");
+
+        let neg = positive_u64("-3").unwrap_err();
+        assert!(neg.contains("negative"), "{neg}");
+
+        let over = positive_u64("18446744073709551616").unwrap_err();
+        assert!(over.contains("does not fit a 64-bit count"), "{over}");
+
+        let junk = positive_u64("three").unwrap_err();
+        assert!(junk.contains("expected a positive integer"), "{junk}");
+
+        let empty = positive_u64("").unwrap_err();
+        assert!(empty.contains("expected a positive integer"), "{empty}");
+    }
 
     #[test]
     fn parse_seed_accepts_the_documented_forms() {

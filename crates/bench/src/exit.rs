@@ -24,6 +24,8 @@ pub const REGRESSION: i32 = 5;
 pub const IO: i32 = 6;
 /// The fuzzer found a failure signature not in the expected set.
 pub const NEW_FAILURE: i32 = 7;
+/// A serve run missed one of its input-to-echo latency SLO gates.
+pub const SLO_BREACH: i32 = 8;
 
 /// Accumulates exit codes: the most severe (numerically largest) wins.
 pub fn worst(acc: i32, code: i32) -> i32 {
@@ -40,7 +42,8 @@ exit codes:
   4  diff deltas beyond threshold
   5  regression vs baseline, or stored failure no longer reproduces
   6  file I/O or parse error
-  7  fuzzer found a failure signature missing from --expect";
+  7  fuzzer found a failure signature missing from --expect
+  8  serve run breached an input-to-echo SLO gate";
 
 #[cfg(test)]
 mod tests {
@@ -57,6 +60,7 @@ mod tests {
             REGRESSION,
             IO,
             NEW_FAILURE,
+            SLO_BREACH,
         ];
         let mut dedup = codes.to_vec();
         dedup.sort_unstable();
@@ -82,6 +86,7 @@ mod tests {
             REGRESSION,
             IO,
             NEW_FAILURE,
+            SLO_BREACH,
         ] {
             assert!(
                 TABLE

@@ -383,6 +383,59 @@ pub fn exploiters_report() -> String {
     out
 }
 
+/// E17: retry-storm amplification under an X-server outage, with and
+/// without the client retry budget. Same outage cell, one knob flipped;
+/// the budget must keep the offered-work amplification factor bounded
+/// while the unbudgeted fleet amplifies the outage into extra load.
+pub fn retrystorm_report() -> String {
+    let run = |budget: bool| {
+        let mut spec = serverd::ServeSpec::scenario(serverd::ServeScenario::Outage, 1200, 0xA5);
+        spec.window = secs(8);
+        spec.outage = vec![(secs(2), millis(900)), (secs(5), millis(900))];
+        spec.retry.budget_enabled = budget;
+        serverd::run_serve(spec)
+    };
+    let with_budget = run(true);
+    let without = run(false);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E17 (docs/SERVING.md) — retry-storm amplification across an X-server outage"
+    );
+    let _ = writeln!(
+        out,
+        "  retry budget   offered  painted  retries  suppressed  amplification  breaker trips"
+    );
+    for (label, o, suppressed) in [
+        ("with budget", &with_budget, with_budget.budget_suppressed),
+        ("no budget", &without, without.budget_suppressed),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {:12} {:>9} {:>8} {:>8} {:>11} {:>14.3} {:>14}",
+            label,
+            o.counters.offered,
+            o.counters.painted,
+            o.counters.retries,
+            suppressed,
+            o.counters.amplification(),
+            o.breaker_trips,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  => the budget suppresses {} retries and holds amplification at {:.3}x",
+        with_budget.budget_suppressed,
+        with_budget.counters.amplification()
+    );
+    let _ = writeln!(
+        out,
+        "     (unbudgeted: {:.3}x) — an outage must not be amplified into a storm",
+        without.counters.amplification()
+    );
+    out
+}
+
 /// Looks up one experiment's report by its DESIGN.md name.
 pub fn report_by_name(name: &str) -> Option<String> {
     Some(match name {
@@ -395,6 +448,7 @@ pub fn report_by_name(name: &str) -> Option<String> {
         "weakmem" | "e11" => weakmem_report(),
         "xlib" | "e12" => xlib_report(),
         "exploiters" | "e13" => exploiters_report(),
+        "retrystorm" | "e17" => retrystorm_report(),
         _ => return None,
     })
 }
@@ -411,6 +465,7 @@ pub fn all_reports() -> Vec<String> {
         weakmem_report(),
         xlib_report(),
         exploiters_report(),
+        retrystorm_report(),
     ]
 }
 
@@ -435,5 +490,15 @@ mod tests {
     fn weakmem_report_shows_fix() {
         let r = weakmem_report();
         assert!(r.contains("store barrier"));
+    }
+
+    #[test]
+    fn retrystorm_report_contrasts_the_budget() {
+        let r = retrystorm_report();
+        assert!(r.contains("with budget"), "{r}");
+        assert!(r.contains("no budget"), "{r}");
+        assert!(r.contains("holds amplification"), "{r}");
+        assert!(report_by_name("e17").is_some());
+        assert!(report_by_name("retrystorm").is_some());
     }
 }

@@ -13,5 +13,6 @@ pub mod experiments;
 pub mod lint;
 pub mod perf;
 pub mod resilience_cli;
+pub mod serve_cli;
 pub mod tables;
 pub mod tournament;

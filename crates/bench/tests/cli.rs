@@ -55,6 +55,7 @@ fn help_lists_every_documented_subcommand() {
         "lint",
         "markdown",
         "bench",
+        "serve",
         "tournament",
         "all",
         "help",
@@ -218,6 +219,152 @@ fn bad_seeds_are_rejected_with_an_explanation() {
             "seed {seed:?}: expected {needle:?} in:\n{stderr}"
         );
     }
+}
+
+#[test]
+fn bad_counts_are_rejected_with_an_explanation() {
+    for (args, needle) in [
+        (&["bench", "--reps", "0"][..], "must be at least 1"),
+        (&["bench", "--reps", "-3"][..], "negative"),
+        (
+            &["bench", "--reps", "99999999999"][..],
+            "does not fit a 32-bit count",
+        ),
+        (
+            &["bench", "--reps", "18446744073709551616"][..],
+            "does not fit a 64-bit count",
+        ),
+        (&["tables", "--window", "junk"][..], "positive integer"),
+        (&["serve", "--sessions", "0"][..], "must be at least 1"),
+        (&["serve", "--reps", "three"][..], "positive integer"),
+        (&["serve", "--slo-p99-ms", "-1"][..], "negative"),
+        (&["bench", "--workers", "0"][..], "positive integer"),
+    ] {
+        let out = repro().args(args).output().expect("spawn repro");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?}: {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "args {args:?}: expected {needle:?} in:\n{stderr}"
+        );
+        // The hint names the offending flag and value, --seed style.
+        assert!(stderr.contains(args[1]), "args {args:?}:\n{stderr}");
+    }
+}
+
+#[test]
+fn serve_report_is_deterministic_across_runs_and_worker_counts() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let mut reports = Vec::new();
+    for (tag, workers) in [("a", "1"), ("b", "4")] {
+        let path = dir.join(format!("serve-{tag}-{pid}.json"));
+        let out = repro()
+            .args(["serve", "--sessions", "1200", "--seed", "A5"])
+            .args(["--reps", "2", "--workers", workers, "--json"])
+            .arg(&path)
+            .output()
+            .expect("spawn repro");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            out.status.success(),
+            "workers {workers}:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+        );
+        assert!(stdout.contains("slo: all gates met"), "{stdout}");
+        reports.push(std::fs::read_to_string(&path).expect("report json"));
+        std::fs::remove_file(&path).ok();
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "serve reports differ across --workers values"
+    );
+    assert!(
+        reports[0].starts_with("{\"schema\":\"threadstudy-serve-v1\""),
+        "{:.>120}",
+        reports[0]
+    );
+}
+
+#[test]
+fn serve_slo_breach_exits_with_the_dedicated_code() {
+    let out = repro()
+        .args(["serve", "--sessions", "800", "--seed", "A5"])
+        .args(["--slo-p99-ms", "1"])
+        .output()
+        .expect("spawn repro");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stderr.contains("SLO breach"), "{stderr}");
+}
+
+#[test]
+fn serve_baseline_catches_a_planted_regression() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path = dir.join(format!("serve-base-{pid}.json"));
+    let out = repro()
+        .args(["serve", "--sessions", "800", "--seed", "A5", "--json"])
+        .arg(&path)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Same cell vs its own report: clean.
+    let out = repro()
+        .args(["serve", "--sessions", "800", "--seed", "A5", "--baseline"])
+        .arg(&path)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "self-baseline:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Plant a much better baseline: current goodput now looks regressed.
+    let text = std::fs::read_to_string(&path).expect("baseline");
+    let doc = trace::Json::parse(&text).expect("baseline json");
+    let goodput = doc
+        .get("goodput_per_sec")
+        .and_then(trace::Json::as_f64)
+        .expect("goodput");
+    let planted = text.replacen(
+        &format!("\"goodput_per_sec\":{goodput}"),
+        &format!("\"goodput_per_sec\":{}", goodput * 10.0),
+        1,
+    );
+    assert_ne!(planted, text, "failed to plant the regression");
+    std::fs::write(&path, planted).unwrap();
+    let out = repro()
+        .args(["serve", "--sessions", "800", "--seed", "A5", "--baseline"])
+        .arg(&path)
+        .output()
+        .expect("spawn repro");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "planted baseline:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("goodput"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]

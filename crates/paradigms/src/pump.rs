@@ -123,6 +123,54 @@ impl<T: Send + 'static> BoundedQueue<T> {
         }
     }
 
+    /// Inserts as many of `items` as fit without blocking, in order,
+    /// under one monitor entry. Returns the rejected tail (everything
+    /// if the queue is closed). Wakes every consumer when more than one
+    /// item lands, so batch producers don't strand parallel consumers.
+    pub fn try_put_all(&self, ctx: &ThreadCtx, items: Vec<T>) -> Vec<T> {
+        if items.is_empty() {
+            return items;
+        }
+        let mut g = ctx.enter(&self.monitor);
+        let (accepted, rejected) = g.with_mut(|q| {
+            if q.closed {
+                return (0, items);
+            }
+            let room = q.capacity.saturating_sub(q.items.len());
+            let mut it = items.into_iter();
+            let mut accepted = 0;
+            for item in it.by_ref().take(room) {
+                q.items.push_back(item);
+                accepted += 1;
+            }
+            (accepted, it.collect())
+        });
+        match accepted {
+            0 => {}
+            1 => g.notify(&self.nonempty),
+            _ => g.broadcast(&self.nonempty),
+        }
+        rejected
+    }
+
+    /// Removes up to `max` items, blocking while the queue is empty.
+    /// Returns an empty vector once the queue is closed and drained —
+    /// one monitor entry per batch instead of one per item.
+    pub fn take_up_to(&self, ctx: &ThreadCtx, max: usize) -> Vec<T> {
+        let mut g = ctx.enter(&self.monitor);
+        g.wait_until(&self.nonempty, |q| q.closed || !q.items.is_empty());
+        let items = g.with_mut(|q| {
+            let n = q.items.len().min(max);
+            q.items.drain(..n).collect::<Vec<_>>()
+        });
+        match items.len() {
+            0 => {}
+            1 => g.notify(&self.nonfull),
+            _ => g.broadcast(&self.nonfull),
+        }
+        items
+    }
+
     /// Removes the next item, blocking while the queue is empty. Returns
     /// `None` once the queue is closed and drained.
     pub fn take(&self, ctx: &ThreadCtx) -> Option<T> {
@@ -342,6 +390,56 @@ mod tests {
             h.into_result().unwrap().unwrap(),
             vec!["v0", "v2", "v4", "v6", "v8"]
         );
+    }
+
+    #[test]
+    fn bulk_ops_round_trip() {
+        let mut sim = Sim::new(SimConfig::default());
+        let q = BoundedQueue::new_in_sim(&mut sim, "q", 4, None);
+        let h = sim.fork_root("t", Priority::DEFAULT, move |ctx| {
+            // 6 items into capacity 4: order preserved, tail rejected.
+            let rejected = q.try_put_all(ctx, (0..6).collect());
+            assert_eq!(rejected, vec![4, 5]);
+            assert_eq!(q.take_up_to(ctx, 3), vec![0, 1, 2]);
+            assert_eq!(q.take_up_to(ctx, 8), vec![3]);
+            assert!(q.try_put_all(ctx, Vec::new()).is_empty());
+            q.close(ctx);
+            // Closed: everything bounces, takes return empty.
+            assert_eq!(q.try_put_all(ctx, vec![9]), vec![9]);
+            q.take_up_to(ctx, 4).is_empty()
+        });
+        sim.run(RunLimit::ToCompletion);
+        assert!(h.into_result().unwrap().unwrap());
+    }
+
+    #[test]
+    fn bulk_put_wakes_parallel_consumers() {
+        // One bulk put of 4 items must wake both blocked consumers, not
+        // just one (broadcast, not notify).
+        let mut sim = Sim::new(SimConfig::default());
+        let q: BoundedQueue<u32> = BoundedQueue::new_in_sim(&mut sim, "q", 8, None);
+        let mut handles = Vec::new();
+        for i in 0..2 {
+            let qc = q.clone();
+            handles.push(
+                sim.fork_root(&format!("c{i}"), Priority::DEFAULT, move |ctx| {
+                    let got = qc.take_up_to(ctx, 2);
+                    ctx.sleep_precise(millis(1));
+                    got.len()
+                }),
+            );
+        }
+        let _ = sim.fork_root("producer", Priority::of(3), move |ctx| {
+            ctx.sleep_precise(millis(5));
+            assert!(q.try_put_all(ctx, vec![1, 2, 3, 4]).is_empty());
+        });
+        let r = sim.run(RunLimit::For(secs(1)));
+        assert_eq!(r.reason, StopReason::AllExited);
+        let total: usize = handles
+            .into_iter()
+            .map(|h| h.into_result().unwrap().unwrap())
+            .sum();
+        assert_eq!(total, 4, "both consumers must drain a batch");
     }
 
     #[test]

@@ -84,6 +84,7 @@ mod time;
 mod timer;
 mod waitgraph;
 pub mod weakmem;
+pub mod wheel;
 
 pub use chaos::{ChaosConfig, FaultDecision, FaultSchedule, FaultSiteKind, PctConfig, StallSpec};
 pub use condition::Condition;
@@ -104,6 +105,7 @@ pub use sched::{AllocCounters, RunLimit, SchedLatency, Sim, SimStats};
 pub use thread::{JoinHandle, Priority, ThreadId, ThreadInfo, ThreadView};
 pub use time::{micros, millis, secs, SimDuration, SimTime};
 pub use waitgraph::{BlockKind, Inversion, RunnableThread, WaitForGraph, WaitingThread};
+pub use wheel::{HeapWheel, Wheel, WheelToken};
 
 use std::sync::Once;
 

@@ -440,6 +440,12 @@ mod tests {
             TrialWorld::Cell,
             TrialWorld::MultiCore { cpus: 2 },
             TrialWorld::WeakMemory { max_delay_us: 200 },
+            TrialWorld::Serve {
+                scenario: workloads::serve::ServeScenario::Burst,
+            },
+            TrialWorld::Serve {
+                scenario: workloads::serve::ServeScenario::Outage,
+            },
         ] {
             assert_eq!(TrialWorld::from_tag(&world.tag()).unwrap(), world);
             let mut case = sample();
@@ -449,11 +455,23 @@ mod tests {
             assert_eq!(back.world, world);
         }
         assert!(TrialWorld::from_tag("marsrover").is_err());
+        assert!(TrialWorld::from_tag("serve:quiet").is_err());
         let mp = StoredCase {
             world: TrialWorld::MultiCore { cpus: 2 },
             ..sample()
         };
         assert!(mp.file_name().starts_with("mp2-"), "{}", mp.file_name());
+        let sv = StoredCase {
+            world: TrialWorld::Serve {
+                scenario: workloads::serve::ServeScenario::Outage,
+            },
+            ..sample()
+        };
+        assert!(
+            sv.file_name().starts_with("serve-outage-"),
+            "{}",
+            sv.file_name()
+        );
     }
 
     #[test]

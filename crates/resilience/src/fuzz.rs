@@ -9,9 +9,11 @@
 //! monitor for GVX), so small budgets still find real failures.
 //!
 //! The default grid covers the paper's full benchmark matrix — all
-//! twelve `(system, benchmark)` cells of Table 1 — plus the two worlds
+//! twelve `(system, benchmark)` cells of Table 1 — plus the worlds
 //! outside the matrix: the multiprocessor transfer mesh on
-//! [`pcr::MpSim`] (§5.3) and the §5.5 weak-memory publication race.
+//! [`pcr::MpSim`] (§5.3), the §5.5 weak-memory publication race, and
+//! two hot cells of the overload-resilient serve world
+//! (`serve:burst`, `serve:outage`).
 //!
 //! Every failing trial is classified by its seed-independent signature;
 //! the first trial to exhibit each signature becomes a [`StoredCase`],
@@ -149,6 +151,29 @@ pub fn cell_ladder(cell: &FuzzCell) -> Vec<Intensity> {
             rung("wm-race", ChaosConfig::none()),
             rung("wm-race-pct", ChaosConfig::none().pct(4, 2048)),
         ],
+        TrialWorld::Serve { .. } => vec![
+            // The serve world carries its own stressors (bursts, X-server
+            // outages); the clean rung probes those alone.
+            rung("serve-clean", ChaosConfig::none()),
+            Intensity {
+                name: "serve-fork-cap",
+                chaos: ChaosConfig::none(),
+                // Serve.Main plus its pipeline threads need more slots
+                // than this: the worker fork blocks forever (§5.4).
+                max_threads: Some(2),
+            },
+            rung(
+                "serve-stall-xconn",
+                ChaosConfig::none().stall_while_holding(
+                    "Serve.XConn",
+                    "serve.xq",
+                    SimTime::from_micros(1_000_000),
+                    secs(120),
+                ),
+            ),
+            rung("serve-cv-storm", cv_storm()),
+            rung("serve-pct", chaos_preset().pct(4, 2048)),
+        ],
     }
 }
 
@@ -195,6 +220,16 @@ pub fn default_cells() -> Vec<FuzzCell> {
         system: System::Cedar,
         benchmark: Benchmark::Idle,
     });
+    for scenario in [
+        workloads::serve::ServeScenario::Burst,
+        workloads::serve::ServeScenario::Outage,
+    ] {
+        cells.push(FuzzCell {
+            world: TrialWorld::Serve { scenario },
+            system: System::Cedar,
+            benchmark: Benchmark::Idle,
+        });
+    }
     cells
 }
 

@@ -6,8 +6,9 @@
 //! wedges):
 //!
 //! * [`fuzz`] sweeps seeds and chaos-intensity grids over the full
-//!   benchmark matrix — plus the multiprocessor transfer mesh and the
-//!   §5.5 weak-memory race ([`TrialWorld`]) — classifies every failing
+//!   benchmark matrix — plus the multiprocessor transfer mesh, the
+//!   §5.5 weak-memory race, and the overload-resilient serve world's
+//!   burst and outage cells ([`TrialWorld`]) — classifies every failing
 //!   run by a seed-independent [`signature`], and stores each unique
 //!   failure as a replayable [`StoredCase`] carrying the exact
 //!   [`pcr::FaultSchedule`] that produced it.

@@ -47,15 +47,24 @@ pub enum TrialWorld {
         /// Maximum store-visibility delay, in microseconds.
         max_delay_us: u64,
     },
+    /// A small, hot cell of the overload-resilient serve world
+    /// (`workloads::serve`), with its own burst/outage stressors on top
+    /// of whatever chaos the rung injects.
+    Serve {
+        /// Which canned serve scenario the cell runs.
+        scenario: workloads::serve::ServeScenario,
+    },
 }
 
 impl TrialWorld {
-    /// Stable serialization tag: `cell`, `mp:N`, or `weakmem:D`.
+    /// Stable serialization tag: `cell`, `mp:N`, `weakmem:D`, or
+    /// `serve:SCENARIO`.
     pub fn tag(&self) -> String {
         match self {
             TrialWorld::Cell => "cell".to_string(),
             TrialWorld::MultiCore { cpus } => format!("mp:{cpus}"),
             TrialWorld::WeakMemory { max_delay_us } => format!("weakmem:{max_delay_us}"),
+            TrialWorld::Serve { scenario } => format!("serve:{}", scenario.label()),
         }
     }
 
@@ -76,6 +85,11 @@ impl TrialWorld {
                 .map_err(|e| format!("bad weakmem world {tag:?}: {e}"))?;
             return Ok(TrialWorld::WeakMemory { max_delay_us });
         }
+        if let Some(s) = tag.strip_prefix("serve:") {
+            let scenario = workloads::serve::ServeScenario::from_label(s)
+                .ok_or_else(|| format!("bad serve world {tag:?}: unknown scenario {s:?}"))?;
+            return Ok(TrialWorld::Serve { scenario });
+        }
         Err(format!("unknown trial world {tag:?}"))
     }
 
@@ -85,6 +99,7 @@ impl TrialWorld {
             TrialWorld::Cell => None,
             TrialWorld::MultiCore { cpus } => Some(format!("mp{cpus}")),
             TrialWorld::WeakMemory { max_delay_us } => Some(format!("weakmem{max_delay_us}")),
+            TrialWorld::Serve { scenario } => Some(format!("serve-{}", scenario.label())),
         }
     }
 }
@@ -282,6 +297,9 @@ pub fn observe(spec: &TrialSpec, chaos: ChaosConfig) -> Observation {
     let mut sim = match spec.world {
         TrialWorld::MultiCore { cpus } => return observe_multicore(spec, cpus),
         TrialWorld::WeakMemory { max_delay_us } => build_weakmem_world(spec, chaos, max_delay_us),
+        TrialWorld::Serve { scenario } => {
+            workloads::serve::build_fuzz_world(scenario, spec.seed, chaos, spec.max_threads)
+        }
         TrialWorld::Cell => {
             build_chaos_with(spec.system, spec.benchmark, spec.seed, chaos, |cfg| {
                 let cfg = cfg.with_policy(spec.policy);

@@ -1,0 +1,168 @@
+//! A circuit breaker on the simulated X-server connection.
+//!
+//! Classic three-state machine: **Closed** (normal; count consecutive
+//! failures), **Open** (fast-fail everything without touching the
+//! connection, for `open_for`), **HalfOpen** (let a few probe batches
+//! through; one success closes, one failure re-opens). Composes with
+//! `pcr::chaos` outage faults: the outage makes writes fail, the
+//! breaker converts sustained failure into cheap fast-fails that the
+//! client retry budget then refuses to amplify.
+
+use pcr::{millis, SimTime};
+
+/// Tuning knobs for [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerSpec {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// How long to stay Open before probing.
+    pub open_for: pcr::SimDuration,
+    /// Probe batches allowed through per HalfOpen episode.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerSpec {
+    fn default() -> Self {
+        BreakerSpec {
+            failure_threshold: 5,
+            open_for: millis(400),
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// The breaker's current state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation.
+    Closed,
+    /// Fast-failing; no traffic reaches the connection.
+    Open,
+    /// Probing with limited traffic.
+    HalfOpen,
+}
+
+/// The breaker itself. Lives in a monitor shared by the pipeline
+/// workers (who ask [`CircuitBreaker::allow`]) and the X-connection
+/// thread (who reports outcomes).
+#[derive(Clone, Copy, Debug)]
+pub struct CircuitBreaker {
+    spec: BreakerSpec,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: SimTime,
+    probes_left: u32,
+    /// Closed→Open transitions.
+    pub trips: u64,
+    /// Batches fast-failed while Open / probe-exhausted.
+    pub fast_failed_batches: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(spec: BreakerSpec) -> Self {
+        CircuitBreaker {
+            spec,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: SimTime::ZERO,
+            probes_left: 0,
+            trips: 0,
+            fast_failed_batches: 0,
+        }
+    }
+
+    /// Current state (after lazily applying the Open → HalfOpen clock).
+    pub fn state(&mut self, now: SimTime) -> BreakerState {
+        if self.state == BreakerState::Open && now >= self.opened_at + self.spec.open_for {
+            self.state = BreakerState::HalfOpen;
+            self.probes_left = self.spec.half_open_probes;
+        }
+        self.state
+    }
+
+    /// May this batch proceed to the connection? `false` = fast-fail.
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                self.fast_failed_batches += 1;
+                false
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_left > 0 {
+                    self.probes_left -= 1;
+                    true
+                } else {
+                    self.fast_failed_batches += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// The connection served a batch.
+    pub fn on_success(&mut self, now: SimTime) {
+        let _ = now;
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// The connection failed a batch.
+    pub fn on_failure(&mut self, now: SimTime) {
+        match self.state(now) {
+            BreakerState::HalfOpen => {
+                // A failed probe re-opens immediately.
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                self.trips += 1;
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.spec.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                    self.trips += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_probes_and_recovers() {
+        let spec = BreakerSpec {
+            failure_threshold: 3,
+            open_for: millis(100),
+            half_open_probes: 1,
+        };
+        let mut b = CircuitBreaker::new(spec);
+        let t0 = SimTime::ZERO;
+        assert!(b.allow(t0));
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        assert_eq!(b.state(t0), BreakerState::Open);
+        assert_eq!(b.trips, 1);
+        assert!(!b.allow(t0), "open fast-fails");
+        // After open_for: half-open, one probe allowed, second refused.
+        let t1 = t0 + millis(100);
+        assert!(b.allow(t1));
+        assert!(!b.allow(t1));
+        // Probe fails → re-open; next window's probe succeeds → closed.
+        b.on_failure(t1);
+        assert_eq!(b.state(t1), BreakerState::Open);
+        assert_eq!(b.trips, 2);
+        let t2 = t1 + millis(100);
+        assert!(b.allow(t2));
+        b.on_success(t2);
+        assert_eq!(b.state(t2), BreakerState::Closed);
+        assert!(b.allow(t2));
+        assert_eq!(b.fast_failed_batches, 2);
+    }
+}

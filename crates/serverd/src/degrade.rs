@@ -1,0 +1,166 @@
+//! The graceful-degradation ladder: shed echo-coalescing quality before
+//! latency.
+//!
+//! §5.2's slack process trades echo granularity for throughput by
+//! merging adjacent screen updates. This module turns that knob into a
+//! feedback controller: each control window the controller looks at the
+//! painted p99 and the ingress queue depth; if latency is drifting
+//! toward the SLO (or a standing backlog is forming), it *raises* the
+//! coalescing factor — batches get bigger, per-request overhead
+//! amortizes further, capacity rises, users see chunkier echoes but on
+//! time. When pressure clears and holds clear, it steps back down.
+
+use pcr::{millis, SimDuration, SimTime};
+
+/// Ladder tuning.
+#[derive(Clone, Debug)]
+pub struct LadderSpec {
+    /// Coalescing factor per quality level; level 0 is full quality.
+    pub levels: Vec<u32>,
+    /// Degrade when window p99 exceeds this fraction of the p99 SLO.
+    pub degrade_at: f64,
+    /// Restore when window p99 is below this fraction (and depth low).
+    pub restore_below: f64,
+    /// Degrade when sampled ingress depth exceeds this fraction of
+    /// capacity, regardless of painted latency (outage backlogs paint
+    /// nothing, so p99 alone can look deceptively healthy).
+    pub depth_degrade_frac: f64,
+    /// Minimum dwell between level changes.
+    pub hold: SimDuration,
+}
+
+impl Default for LadderSpec {
+    fn default() -> Self {
+        LadderSpec {
+            levels: vec![4, 8, 16, 32],
+            degrade_at: 0.75,
+            restore_below: 0.35,
+            depth_degrade_frac: 0.5,
+            hold: millis(400),
+        }
+    }
+}
+
+/// The controller state plus its outcome counters.
+#[derive(Clone, Debug)]
+pub struct Ladder {
+    spec: LadderSpec,
+    level: usize,
+    last_change: SimTime,
+    level_entered: SimTime,
+    /// Quality-shedding steps taken (level raised).
+    pub degrade_steps: u64,
+    /// Quality-restoring steps taken (level lowered).
+    pub restore_steps: u64,
+    /// Deepest level reached.
+    pub max_level: usize,
+    /// Virtual µs spent at each level (finalized by [`Ladder::finish`]).
+    pub time_at_level_us: Vec<u64>,
+}
+
+impl Ladder {
+    /// A ladder at full quality.
+    pub fn new(spec: LadderSpec) -> Self {
+        assert!(!spec.levels.is_empty(), "ladder needs at least one level");
+        let n = spec.levels.len();
+        Ladder {
+            spec,
+            level: 0,
+            last_change: SimTime::ZERO,
+            level_entered: SimTime::ZERO,
+            degrade_steps: 0,
+            restore_steps: 0,
+            max_level: 0,
+            time_at_level_us: vec![0; n],
+        }
+    }
+
+    /// The current coalescing factor workers should use.
+    pub fn coalesce(&self) -> u32 {
+        self.spec.levels[self.level]
+    }
+
+    /// Current quality level (0 = full quality).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// One control-window observation. `window_p99` is the painted p99
+    /// over the window (None when nothing painted), `depth_frac` the
+    /// sampled ingress depth / capacity, `slo_p99` the gate. Returns
+    /// the possibly-changed coalescing factor.
+    pub fn on_window(
+        &mut self,
+        now: SimTime,
+        window_p99: Option<SimDuration>,
+        depth_frac: f64,
+        slo_p99: SimDuration,
+    ) -> u32 {
+        let held = now.saturating_since(self.last_change) >= self.spec.hold;
+        let slo_us = slo_p99.as_micros() as f64;
+        let p99_frac = window_p99.map(|d| d.as_micros() as f64 / slo_us);
+        let pressured = p99_frac.is_some_and(|f| f > self.spec.degrade_at)
+            || depth_frac > self.spec.depth_degrade_frac;
+        let calm = p99_frac.is_none_or(|f| f < self.spec.restore_below)
+            && depth_frac < self.spec.depth_degrade_frac / 4.0;
+        if pressured && held && self.level + 1 < self.spec.levels.len() {
+            self.switch_to(self.level + 1, now);
+            self.degrade_steps += 1;
+            self.max_level = self.max_level.max(self.level);
+        } else if calm
+            && self.level > 0
+            && now.saturating_since(self.last_change) >= self.spec.hold * 2
+        {
+            self.switch_to(self.level - 1, now);
+            self.restore_steps += 1;
+        }
+        self.coalesce()
+    }
+
+    fn switch_to(&mut self, level: usize, now: SimTime) {
+        self.time_at_level_us[self.level] += now.saturating_since(self.level_entered).as_micros();
+        self.level = level;
+        self.last_change = now;
+        self.level_entered = now;
+    }
+
+    /// Closes the books at end of run.
+    pub fn finish(&mut self, now: SimTime) {
+        self.time_at_level_us[self.level] += now.saturating_since(self.level_entered).as_micros();
+        self.level_entered = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr::secs;
+
+    #[test]
+    fn degrades_under_pressure_restores_when_calm() {
+        let mut l = Ladder::new(LadderSpec::default());
+        let slo = millis(50);
+        let mut now = SimTime::ZERO + secs(1);
+        assert_eq!(l.coalesce(), 4);
+        // Hot window → degrade (after hold).
+        assert_eq!(l.on_window(now, Some(millis(45)), 0.1, slo), 8);
+        // Immediately hot again → hold blocks a second step.
+        now += millis(100);
+        assert_eq!(l.on_window(now, Some(millis(45)), 0.1, slo), 8);
+        now += millis(400);
+        assert_eq!(l.on_window(now, Some(millis(45)), 0.1, slo), 16);
+        assert_eq!(l.degrade_steps, 2);
+        assert_eq!(l.max_level, 2);
+        // Depth pressure alone degrades too (outage backlog).
+        now += millis(500);
+        assert_eq!(l.on_window(now, None, 0.8, slo), 32);
+        // Calm long enough → restore one step at a time.
+        now += secs(1);
+        assert_eq!(l.on_window(now, Some(millis(2)), 0.0, slo), 16);
+        assert_eq!(l.restore_steps, 1);
+        l.finish(now + secs(1));
+        // Segments partition the whole run: ZERO → finish time.
+        let total: u64 = l.time_at_level_us.iter().sum();
+        assert_eq!(total, (now + secs(1)).as_micros());
+    }
+}

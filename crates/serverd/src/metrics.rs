@@ -1,0 +1,169 @@
+//! Latency histograms and the shared pipeline metrics monitor.
+
+use pcr::{SimDuration, SimTime};
+
+const BUCKETS: usize = 40; // covers 1µs .. ~9 minutes in log2 steps
+
+/// A log2-bucketed microsecond latency histogram with deterministic
+/// quantile extraction (linear interpolation within the bucket).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        // Bucket b holds [2^(b-1), 2^b); bucket 0 holds {0}.
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        self.counts[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest observation, µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean, µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile in µs (`q` ∈ (0, 1]); `None` when empty.
+    /// Deterministic: integer rank, linear interpolation across the
+    /// bucket's value range by intra-bucket position.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                let hi = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                let pos = (rank - seen - 1) as f64 / c as f64;
+                let v = lo as f64 + (hi - lo) as f64 * pos;
+                return Some((v as u64).min(self.max_us));
+            }
+            seen += c;
+        }
+        Some(self.max_us)
+    }
+
+    /// Quantile as a duration.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        self.quantile_us(q).map(SimDuration::from_micros)
+    }
+
+    /// Resets to empty (control-window reuse).
+    pub fn reset(&mut self) {
+        *self = LatencyHistogram::new();
+    }
+
+    /// Nonzero `(bucket_lo_us, count)` rows for the JSON report.
+    pub fn rows(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, c))
+            .collect()
+    }
+}
+
+/// Pipeline-side counters and histograms, shared via one monitor.
+#[derive(Clone, Debug, Default)]
+pub struct ServeMetrics {
+    /// Input-to-echo latency of painted requests, whole run.
+    pub latency: LatencyHistogram,
+    /// Same, current control window only (controller resets it).
+    pub window: LatencyHistogram,
+    /// Ingress-queue sojourn of requests reaching the X connection.
+    pub sojourn: LatencyHistogram,
+    /// Requests painted.
+    pub painted: u64,
+    /// Batches painted.
+    pub batches: u64,
+    /// Batches failed by the (simulated) connection outage.
+    pub outage_failed_batches: u64,
+}
+
+impl ServeMetrics {
+    /// Records a painted request's input-to-echo latency.
+    pub fn record_paint(&mut self, produced_at: SimTime, painted_at: SimTime) {
+        let lat = painted_at.saturating_since(produced_at);
+        self.latency.record(lat);
+        self.window.record(lat);
+        self.painted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr::{micros, millis};
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(micros(i * 10));
+        }
+        let p50 = h.quantile_us(0.5).unwrap();
+        let p99 = h.quantile_us(0.99).unwrap();
+        let p999 = h.quantile_us(0.999).unwrap();
+        assert!(p50 <= p99 && p99 <= p999);
+        assert!(p999 <= h.max_us());
+        // log2 buckets: p50 within a factor of 2 of the true 5000µs.
+        assert!((2500..=10_000).contains(&p50), "p50 {p50}");
+        assert_eq!(h.count(), 1000);
+        h.reset();
+        assert_eq!(h.quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn zero_and_huge_observations_survive() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(millis(10_000_000));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_us(0.01).unwrap(), 0);
+        assert!(h.quantile_us(1.0).unwrap() <= h.max_us());
+        assert_eq!(h.rows().len(), 2);
+    }
+}

@@ -1,0 +1,322 @@
+//! Open-loop traffic model: session classes, diurnal ramps, bursts.
+//!
+//! A *session* is one simulated user interacting for a short burst: a
+//! class (keyboard / mouse / scroll, mirroring the paper's interactive
+//! benchmark rows), a start time drawn from the load shape, and a
+//! Poisson request train while active. Sessions are open-loop: they
+//! emit on their own clock and never wait for responses, which is what
+//! makes overload possible — and worth defending against.
+
+use pcr::{micros, SimDuration, SplitMix64};
+
+/// A session's interaction class. The three classes mirror the paper's
+/// Keyboard / Mouse / Scroll interactive benchmarks (§5.1): tiny
+/// frequent echoes, a dense motion stream, and heavier repaints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SessionClass {
+    /// Character echo: small, frequent, tight deadline.
+    Keyboard,
+    /// Pointer motion: very frequent, tiny service cost, tightest
+    /// deadline (stale motion is worthless).
+    Mouse,
+    /// Scroll repaint: fewer, heavier requests with a looser deadline.
+    Scroll,
+}
+
+impl SessionClass {
+    /// All classes, in stable index order.
+    pub const ALL: [SessionClass; 3] = [
+        SessionClass::Keyboard,
+        SessionClass::Mouse,
+        SessionClass::Scroll,
+    ];
+
+    /// Stable index (array keying).
+    pub fn index(self) -> usize {
+        match self {
+            SessionClass::Keyboard => 0,
+            SessionClass::Mouse => 1,
+            SessionClass::Scroll => 2,
+        }
+    }
+
+    /// Lower-case label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionClass::Keyboard => "keyboard",
+            SessionClass::Mouse => "mouse",
+            SessionClass::Scroll => "scroll",
+        }
+    }
+}
+
+/// Per-class traffic and service parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassParams {
+    /// Which class this row describes.
+    pub class: SessionClass,
+    /// Fraction of sessions in this class (shares should sum to 1).
+    pub share: f64,
+    /// Mean requests per second while the session is active.
+    pub events_per_sec: f64,
+    /// Mean active duration of a session, seconds.
+    pub active_secs: f64,
+    /// Input-to-echo deadline: past this the echo is worthless and the
+    /// request is shed (server side) or timed out (client side).
+    pub deadline: SimDuration,
+    /// Imaging CPU cost per request (worker side, pre-paint).
+    pub service: SimDuration,
+}
+
+impl ClassParams {
+    /// Expected requests per session of this class.
+    pub fn events_per_session(&self) -> f64 {
+        self.events_per_sec * self.active_secs
+    }
+}
+
+/// The reference traffic mix. Shares and rates are scaled so a session
+/// averages ~4 requests; service costs keep the single virtual CPU at
+/// ~55% utilization at the reference arrival rate, leaving headroom
+/// that bursts deliberately exhaust.
+pub fn default_mix() -> Vec<ClassParams> {
+    vec![
+        ClassParams {
+            class: SessionClass::Keyboard,
+            share: 0.5,
+            events_per_sec: 4.5,
+            active_secs: 0.9,
+            deadline: pcr::millis(100),
+            service: micros(90),
+        },
+        ClassParams {
+            class: SessionClass::Mouse,
+            share: 0.3,
+            events_per_sec: 12.0,
+            active_secs: 0.33,
+            deadline: pcr::millis(60),
+            service: micros(40),
+        },
+        ClassParams {
+            class: SessionClass::Scroll,
+            share: 0.2,
+            events_per_sec: 6.0,
+            active_secs: 0.7,
+            deadline: pcr::millis(150),
+            service: micros(180),
+        },
+    ]
+}
+
+/// How session arrivals are spread over the run window.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadShape {
+    /// Modulate the base rate with a diurnal sin² ramp (trough at the
+    /// window edges, peak in the middle).
+    pub diurnal: bool,
+    /// Number of short overload bursts superimposed on the base rate.
+    pub bursts: u32,
+    /// Extra arrival density inside a burst, as a multiple of the base
+    /// rate (2.0 = 3× total during the burst).
+    pub burst_amp: f64,
+    /// Burst width as a fraction of the window.
+    pub burst_width: f64,
+}
+
+impl LoadShape {
+    /// Flat arrivals, no bursts.
+    pub fn steady() -> Self {
+        LoadShape {
+            diurnal: false,
+            bursts: 0,
+            burst_amp: 0.0,
+            burst_width: 0.0,
+        }
+    }
+
+    /// The reference shape: diurnal ramp plus two 1%-wide 2×-extra
+    /// bursts.
+    pub fn reference() -> Self {
+        LoadShape {
+            diurnal: true,
+            bursts: 2,
+            burst_amp: 2.0,
+            burst_width: 0.01,
+        }
+    }
+
+    /// Relative arrival density at window fraction `frac` ∈ [0, 1).
+    pub fn density(&self, frac: f64) -> f64 {
+        let mut d = if self.diurnal {
+            // 0.4 at the edges, 1.7 at the peak; mean 1.05.
+            let s = (std::f64::consts::PI * frac).sin();
+            0.4 + 1.3 * s * s
+        } else {
+            1.0
+        };
+        for k in 0..self.bursts {
+            let center = (k as f64 + 0.5) / self.bursts as f64;
+            if (frac - center).abs() < self.burst_width / 2.0 {
+                d += self.burst_amp * if self.diurnal { 1.05 } else { 1.0 };
+            }
+        }
+        d
+    }
+}
+
+/// A binned inverse-CDF table over a [`LoadShape`], for sampling
+/// session start times by inverse transform — exact enough at 4096
+/// bins, fully deterministic, no rejection loop.
+pub struct StartTable {
+    /// `cum[i]` = P(start < bin i); `cum[BINS]` = 1.
+    cum: Vec<f64>,
+}
+
+const START_BINS: usize = 4096;
+
+impl StartTable {
+    /// Integrates `shape` into a cumulative table.
+    pub fn build(shape: &LoadShape) -> Self {
+        let mut cum = Vec::with_capacity(START_BINS + 1);
+        let mut acc = 0.0;
+        cum.push(0.0);
+        for i in 0..START_BINS {
+            let frac = (i as f64 + 0.5) / START_BINS as f64;
+            acc += shape.density(frac).max(0.0);
+            cum.push(acc);
+        }
+        if acc <= 0.0 {
+            // Degenerate shape: fall back to uniform.
+            for (i, c) in cum.iter_mut().enumerate() {
+                *c = i as f64 / START_BINS as f64;
+            }
+        } else {
+            for c in &mut cum {
+                *c /= acc;
+            }
+        }
+        StartTable { cum }
+    }
+
+    /// Maps a uniform `u` ∈ [0, 1) to a window fraction.
+    pub fn sample(&self, u: f64) -> f64 {
+        // Binary search for the bin containing u, then interpolate.
+        let mut lo = 0usize;
+        let mut hi = START_BINS;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.cum[mid] <= u {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let span = self.cum[lo + 1] - self.cum[lo];
+        let within = if span > 0.0 {
+            (u - self.cum[lo]) / span
+        } else {
+            0.0
+        };
+        (lo as f64 + within) / START_BINS as f64
+    }
+}
+
+/// Samples a Poisson inter-arrival gap at `per_sec` events/second,
+/// floored at 100µs. The same formula `workloads::world::next_gap` has
+/// always used; hoisted here so both worlds share one definition.
+pub fn poisson_gap(rng: &mut SplitMix64, per_sec: f64) -> SimDuration {
+    if per_sec <= 0.0 {
+        return pcr::millis(3_600_000);
+    }
+    let mean_us = 1_000_000.0 / per_sec;
+    micros((rng.next_exp(mean_us) as u64).max(100))
+}
+
+/// The canned serve scenarios the fuzz grid and CLI presets name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeScenario {
+    /// Steady reference traffic (diurnal + bursts, no faults).
+    Reference,
+    /// An overload spike: burst amplitude high enough to exceed
+    /// capacity, exercising admission + CoDel + the ladder.
+    Burst,
+    /// X-connection outage windows: exercises the breaker, fast-fail
+    /// path, and the retry budget.
+    Outage,
+}
+
+impl ServeScenario {
+    /// Stable label (`serve:<label>` is the fuzz-world tag).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeScenario::Reference => "reference",
+            ServeScenario::Burst => "burst",
+            ServeScenario::Outage => "outage",
+        }
+    }
+
+    /// Parses [`ServeScenario::label`] back.
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "reference" => Some(ServeScenario::Reference),
+            "burst" => Some(ServeScenario::Burst),
+            "outage" => Some(ServeScenario::Outage),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let total: f64 = default_mix().iter().map(|c| c.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn start_table_is_monotone_and_tracks_density() {
+        let table = StartTable::build(&LoadShape::reference());
+        let mut prev = -1.0f64;
+        let mut rng = SplitMix64::new(7);
+        let mut mid = 0u32;
+        for _ in 0..4000 {
+            let f = table.sample(rng.next_f64());
+            assert!((0.0..1.0).contains(&f));
+            if (0.25..0.75).contains(&f) {
+                mid += 1;
+            }
+            prev = prev.max(f);
+        }
+        assert!(prev > 0.9, "samples must reach the window tail");
+        // The diurnal peak concentrates well over half the mass in the
+        // middle half of the window.
+        assert!(mid > 2400, "diurnal ramp missing: {mid}/4000 in middle");
+    }
+
+    #[test]
+    fn uniform_u_maps_monotonically() {
+        let table = StartTable::build(&LoadShape::steady());
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let f = table.sample(i as f64 / 100.0);
+            assert!(f >= prev, "inverse CDF must be monotone");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn poisson_gap_matches_world_formula() {
+        // Same seed → same gaps as the historical workloads formula.
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            let got = poisson_gap(&mut a, 50.0);
+            let want = micros((b.next_exp(1_000_000.0 / 50.0) as u64).max(100));
+            assert_eq!(got, want);
+        }
+        assert_eq!(poisson_gap(&mut a, 0.0), pcr::millis(3_600_000));
+    }
+}

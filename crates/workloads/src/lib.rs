@@ -20,6 +20,7 @@ pub mod cedar;
 pub mod gvx;
 pub mod inventory;
 pub mod runner;
+pub mod serve;
 pub mod session;
 pub mod spec;
 pub mod world;

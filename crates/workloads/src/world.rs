@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use pcr::{micros, millis, Condition, Monitor, Priority, Sim, SimDuration, ThreadCtx};
+use pcr::{micros, Condition, Monitor, Priority, Sim, SimDuration, ThreadCtx};
 
 /// One user-input event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -193,20 +193,17 @@ impl SleeperBus {
 }
 
 /// Poisson-process interarrival helper: samples the next gap for a mean
-/// rate of `per_sec` events per second, clamped to ≥ 100 µs.
+/// rate of `per_sec` events per second, clamped to ≥ 100 µs. The single
+/// implementation lives in `serverd::traffic` so the desktop worlds and
+/// the serve world draw identical gap streams from identical seeds.
 pub fn next_gap(rng: &mut pcr::SplitMix64, per_sec: f64) -> SimDuration {
-    if per_sec <= 0.0 {
-        return millis(3_600_000);
-    }
-    let mean_us = 1e6 / per_sec;
-    let gap = rng.next_exp(mean_us);
-    SimDuration::from_micros((gap as u64).max(100))
+    serverd::traffic::poisson_gap(rng, per_sec)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcr::{secs, RunLimit, SimConfig};
+    use pcr::{millis, secs, RunLimit, SimConfig};
 
     #[test]
     fn library_cursor_walks_its_range() {

@@ -75,6 +75,24 @@ impl Default for ServerCosts {
     }
 }
 
+impl ServerCosts {
+    /// Total cost of writing one batch of `n` requests.
+    pub fn batch_cost(&self, n: usize) -> SimDuration {
+        self.per_batch + self.per_request * n as u64
+    }
+
+    /// The cost model of the serve world's persistent batched X
+    /// connection: far cheaper than the default interactive pipeline
+    /// (no per-batch connection setup), which is what makes a
+    /// million-session open-loop world feasible at all.
+    pub fn serve_connection() -> Self {
+        ServerCosts {
+            per_batch: micros(600),
+            per_request: micros(60),
+        }
+    }
+}
+
 impl XServer {
     /// Spawns the server thread consuming `batches`.
     pub fn spawn(
@@ -88,7 +106,7 @@ impl XServer {
         let _ = ctx
             .fork_detached_prio("XServer", priority, move |ctx| {
                 while let Some(batch) = batches.take(ctx) {
-                    ctx.work(costs.per_batch + costs.per_request * batch.len() as u64);
+                    ctx.work(costs.batch_cost(batch.len()));
                     let now = ctx.now();
                     let mut g = ctx.enter(&st);
                     g.with_mut(|s| {
